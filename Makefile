@@ -1,0 +1,24 @@
+# Convenience targets for the reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench figures examples clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures:
+	$(PYTHON) -m repro figures
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; done
+
+clean:
+	rm -rf build *.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,43 @@
+"""Shared plumbing for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper, asserts the
+reproduction's acceptance criteria (shape, not absolute numbers — see
+DESIGN.md §4) and writes the rendered table under
+``benchmarks/results/`` so EXPERIMENTS.md can cite the exact output.
+
+The cleaning-interval sweep behind Figures 3–6 is memoised here so the
+four figure benches do not re-simulate the same 70 runs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict
+
+from repro.experiments import RunConfig, interval_sweep
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: The standard workload size for figure regeneration.
+BENCH_CONFIG = RunConfig(n_refs=120_000, warmup_refs=40_000)
+
+_SWEEPS: Dict[str, dict] = {}
+
+
+def get_sweep(suite: str) -> dict:
+    """Memoised interval sweep for a suite ('fp' or 'int')."""
+    if suite not in _SWEEPS:
+        _SWEEPS[suite] = interval_sweep(suite, BENCH_CONFIG)
+    return _SWEEPS[suite]
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a rendered table for EXPERIMENTS.md."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def series_average(series: Dict[str, Dict[str, float]], column: str) -> float:
+    """Arithmetic mean of one column across benchmarks."""
+    vals = [row[column] for row in series.values() if column in row]
+    return sum(vals) / len(vals)

@@ -1,0 +1,38 @@
+"""Ablation: shared-ECC-array size (entries per set).
+
+The paper fixes one entry per set (32 KB).  This sweep quantifies the
+trade-off it implies: more entries cost area but cut ECC-WB traffic and
+raise the structural dirty-residency cap.
+"""
+
+from _shared import BENCH_CONFIG, write_result
+
+from repro.experiments import ablate_ecc_entries, render_table
+
+SUBSET = ["mesa", "apsi", "gap", "parser", "swim", "mcf"]
+
+
+def bench_ablation_eccways(benchmark):
+    points = benchmark.pedantic(
+        ablate_ecc_entries,
+        kwargs=dict(benchmarks=SUBSET, entries_grid=(1, 2, 4),
+                    config=BENCH_CONFIG),
+        rounds=1,
+        iterations=1,
+    )
+    table = render_table(
+        ["entries/set", "area KiB", "dirty %", "ECC-WB %", "total WB %"],
+        [
+            [p.entries_per_set, p.area_kib, p.dirty_pct, p.ecc_wb_pct,
+             p.total_wb_pct]
+            for p in points
+        ],
+        title="Ablation: shared ECC array size (avg over 6 benchmarks)",
+    )
+    write_result("ablation_eccways", table)
+
+    # Area grows linearly with entries.
+    assert points[0].area_kib == 54.0
+    assert points[-1].area_kib > points[0].area_kib
+    # More entries -> fewer forced ECC write-backs.
+    assert points[-1].ecc_wb_pct <= points[0].ecc_wb_pct + 0.1

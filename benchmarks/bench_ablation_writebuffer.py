@@ -1,0 +1,57 @@
+"""Ablation: write-buffer depth (Skadron & Clark [6]).
+
+The paper's baseline interposes a 16-entry coalescing write buffer
+between the write-through L1D and the L2.  Depth controls how many
+store blocks can merge before draining; the coalescing rate it achieves
+determines how much raw store traffic ever reaches the L2 — the stream
+the protection scheme's dirty lines are born from.
+"""
+
+from _shared import BENCH_CONFIG, write_result
+
+from repro.experiments import ablate_write_buffer, render_series
+
+SUBSET = ["swim", "mesa", "gap", "parser", "mcf"]
+
+
+def bench_ablation_writebuffer(benchmark):
+    res = benchmark.pedantic(
+        ablate_write_buffer,
+        kwargs=dict(config=BENCH_CONFIG, benchmarks=SUBSET),
+        rounds=1,
+        iterations=1,
+    )
+    write_result(
+        "ablation_writebuffer",
+        render_series(
+            res, title="Ablation: store coalescing rate vs buffer depth (%)"
+        ),
+    )
+
+    for name, row in res.items():
+        rates = [row[f"coalesce@{d}"] for d in (1, 4, 16, 64)]
+        # Deeper buffers never coalesce less.
+        assert all(a <= b + 1e-9 for a, b in zip(rates, rates[1:])), name
+        assert 0.0 <= rates[-1] <= 100.0
+
+
+def bench_ablation_cachesize(benchmark):
+    from repro.experiments import ablate_cache_size
+
+    res = benchmark.pedantic(
+        ablate_cache_size,
+        kwargs=dict(config=BENCH_CONFIG, benchmarks=["mesa", "swim", "mcf"]),
+        rounds=1,
+        iterations=1,
+    )
+    write_result(
+        "ablation_cachesize",
+        render_series(
+            res, title="Ablation: baseline dirty % vs L2 capacity"
+        ),
+    )
+
+    # A cache-resident benchmark's dirty *count* is its footprint, so
+    # the *fraction* halves as capacity doubles.
+    mesa = res["mesa"]
+    assert mesa["2x"] < mesa["1x"] < mesa["0.5x"]

@@ -1,0 +1,34 @@
+"""Ablation: the written bit's second-chance filter.
+
+Without the written bit, the sweep writes back every dirty line it
+visits, including lines still being written — which re-dirty at once
+and turn into extra memory traffic.  This quantifies the 2 KB bit
+array's value.
+"""
+
+from _shared import BENCH_CONFIG, write_result
+
+from repro.experiments import ablate_written_bit, render_series
+
+SUBSET = ["mesa", "apsi", "gap", "parser", "twolf", "vpr"]
+
+
+def bench_ablation_writtenbit(benchmark):
+    res = benchmark.pedantic(
+        ablate_written_bit,
+        kwargs=dict(config=BENCH_CONFIG, benchmarks=SUBSET),
+        rounds=1,
+        iterations=1,
+    )
+    write_result(
+        "ablation_writtenbit",
+        render_series(
+            res, title="Ablation: cleaning with vs without the written bit"
+        ),
+    )
+
+    for name, row in res.items():
+        # Removing the filter can only clean at least as hard...
+        assert row["without dirty %"] <= row["with dirty %"] + 1.0, name
+        # ...at the cost of no less write-back traffic (within noise).
+        assert row["without wb %"] >= row["with wb %"] - 0.3, name

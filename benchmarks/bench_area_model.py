@@ -1,0 +1,40 @@
+"""Section 5.2 area accounting: 54 KB vs 132 KB -> 59% reduction.
+
+This is the paper's headline number and is reproduced exactly (it is
+closed-form over the 1MB/4-way/64B geometry, independent of workloads).
+"""
+
+import pytest
+from _shared import write_result
+
+from repro.cache.hierarchy import default_l2_config
+from repro.core import li_et_al_overhead
+from repro.experiments import area_table, render_table
+
+
+def bench_area_model(benchmark):
+    conv, ours, red = benchmark.pedantic(area_table, rounds=1, iterations=1)
+    li = li_et_al_overhead(default_l2_config())
+
+    rows = [
+        [f"conventional: {name}", bits, kib]
+        for name, bits, kib in conv.rows()
+    ] + [
+        [f"proposed: {name}", bits, kib] for name, bits, kib in ours.rows()
+    ] + [
+        ["Li et al. [11]: total (no area reduction)", li.total_bits,
+         li.total_kib],
+        ["reduction", "", f"{100 * red:.1f}%"],
+    ]
+    table = render_table(
+        ["component", "bits", "KiB"],
+        rows,
+        title="Area overhead for error protection (1MB 4-way 64B L2)",
+    )
+    write_result("area_model", table)
+
+    assert conv.total_kib == 132.0
+    assert ours.total_kib == 54.0
+    assert red == pytest.approx(0.59, abs=0.005)
+    # The paper's related-work claim: Li et al. save nothing.
+    assert li.total_kib > conv.total_kib

@@ -1,0 +1,28 @@
+"""Figure 1: % dirty lines per cycle in the conventional 1MB-class L2.
+
+Paper: 51.6% average across SPEC2000; apsi, mesa, gap and parser stand
+out with large dirty populations ("a large percentage of clean cache
+lines except for four benchmarks").
+"""
+
+from _shared import BENCH_CONFIG, write_result
+
+from repro.experiments import figure1, render_series
+
+
+def bench_fig1_dirty_baseline(benchmark):
+    f1 = benchmark.pedantic(
+        figure1, args=(BENCH_CONFIG,), rounds=1, iterations=1
+    )
+    table = render_series(
+        {k: {"dirty %": v} for k, v in f1.items()},
+        title="Figure 1: % dirty L2 lines per cycle (conventional cache)",
+    )
+    write_result("fig1_dirty_baseline", table)
+
+    average = sum(f1.values()) / len(f1)
+    # Paper reports 51.6% on average.
+    assert 35.0 <= average <= 65.0, f"average dirty {average:.1f}%"
+    # The four named outliers must sit clearly above the suite average.
+    for outlier in ("apsi", "mesa", "gap", "parser"):
+        assert f1[outlier] > average, (outlier, f1[outlier], average)

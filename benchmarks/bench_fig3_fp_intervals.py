@@ -1,0 +1,31 @@
+"""Figure 3: dirty % vs cleaning interval, floating-point benchmarks.
+
+Paper shape: smaller intervals reduce dirty residency monotonically;
+applu, swim, mgrid and equake show little reduction at the 4M interval
+(their lines are evicted before long intervals elapse); 256K lands near
+2K dirty lines (12.5%) on average.
+"""
+
+from _shared import BENCH_CONFIG, get_sweep, series_average, write_result
+
+from repro.experiments import figure3_4, render_series
+
+INTERVALS = ["64K", "256K", "1M", "4M"]
+
+
+def bench_fig3_fp_intervals(benchmark):
+    sweep = benchmark.pedantic(get_sweep, args=("fp",), rounds=1, iterations=1)
+    f3 = figure3_4("fp", BENCH_CONFIG, sweep=sweep)
+    write_result(
+        "fig3_fp_intervals",
+        render_series(f3, title="Figure 3: dirty % vs cleaning interval (FP)"),
+    )
+
+    # Monotone on average: smaller interval -> fewer dirty lines.
+    avgs = [series_average(f3, c) for c in INTERVALS + ["org"]]
+    assert all(a <= b + 1.0 for a, b in zip(avgs, avgs[1:])), avgs
+    # The paper's streaming group barely moves at 4M.
+    for name in ("applu", "swim", "mgrid", "equake"):
+        assert f3[name]["4M"] > 0.8 * f3[name]["org"], name
+    # 256K approaches the paper's ~12.5% anchor.
+    assert 5.0 <= series_average(f3, "256K") <= 22.0

@@ -1,0 +1,27 @@
+"""Figure 4: dirty % vs cleaning interval, integer benchmarks.
+
+Paper shape: as Figure 3; mcf joins the little-reduction-at-4M group.
+"""
+
+from _shared import BENCH_CONFIG, get_sweep, series_average, write_result
+
+from repro.experiments import figure3_4, render_series
+
+INTERVALS = ["64K", "256K", "1M", "4M"]
+
+
+def bench_fig4_int_intervals(benchmark):
+    sweep = benchmark.pedantic(get_sweep, args=("int",), rounds=1, iterations=1)
+    f4 = figure3_4("int", BENCH_CONFIG, sweep=sweep)
+    write_result(
+        "fig4_int_intervals",
+        render_series(f4, title="Figure 4: dirty % vs cleaning interval (INT)"),
+    )
+
+    avgs = [series_average(f4, c) for c in INTERVALS + ["org"]]
+    assert all(a <= b + 1.0 for a, b in zip(avgs, avgs[1:])), avgs
+    # mcf barely moves at 4M (pointer chasing over 8x the cache).
+    assert f4["mcf"]["4M"] > 0.8 * f4["mcf"]["org"]
+    # The high-dirty outliers are cleanable at small intervals.
+    for name in ("gap", "parser"):
+        assert f4[name]["64K"] < 0.25 * f4[name]["org"], name

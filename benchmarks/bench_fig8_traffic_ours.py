@@ -1,0 +1,41 @@
+"""Figure 8: write-back traffic of the full scheme, split by cause.
+
+Paper shape: Clean-WB and normal WB are small; ECC-WB dominates the
+added traffic on average ("ECC-WB consists of most of the write back
+traffic on the average"), and the total increase over the original
+configuration is small (1.20%/1.19% vs 1.08%/1.12% in the paper).
+"""
+
+from _shared import BENCH_CONFIG, get_sweep, series_average, write_result
+
+from repro.experiments import figure5_6, figure8, render_series
+
+
+def bench_fig8_traffic_ours(benchmark):
+    f8 = benchmark.pedantic(
+        figure8, args=(BENCH_CONFIG,), rounds=1, iterations=1
+    )
+    write_result(
+        "fig8_traffic_ours",
+        render_series(
+            f8,
+            title="Figure 8: write-back % split WB / Clean-WB / ECC-WB (ours)",
+        ),
+    )
+
+    avg = {
+        col: series_average(f8, col)
+        for col in ("WB", "Clean-WB", "ECC-WB", "total")
+    }
+    # ECC-WB dominates the scheme's write-back traffic on average.
+    assert avg["ECC-WB"] >= avg["Clean-WB"], avg
+    assert avg["ECC-WB"] >= avg["WB"], avg
+
+    # Total traffic stays within a modest factor of the org baselines.
+    org = (
+        series_average(figure5_6("fp", BENCH_CONFIG, sweep=get_sweep("fp")), "org")
+        + series_average(
+            figure5_6("int", BENCH_CONFIG, sweep=get_sweep("int")), "org"
+        )
+    ) / 2
+    assert avg["total"] <= org + 3.0, (avg["total"], org)

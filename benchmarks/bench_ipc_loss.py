@@ -1,0 +1,39 @@
+"""Section 5.2 performance: IPC loss of the full scheme vs the baseline.
+
+Paper: 0.14% average loss for FP and 0.65% for INT — i.e. under 1% —
+because the added write-backs only contend for the (split-transaction)
+memory bus.  The reproduced criterion: average loss below 1% per suite
+and no benchmark suffering a dramatic slowdown.
+"""
+
+from _shared import BENCH_CONFIG, write_result
+
+from repro.experiments import ipc_loss, render_series
+
+N_INSTS = 150_000
+
+
+def _run():
+    return {
+        "fp": ipc_loss(BENCH_CONFIG, suite="fp", n_insts=N_INSTS),
+        "int": ipc_loss(BENCH_CONFIG, suite="int", n_insts=N_INSTS),
+    }
+
+
+def bench_ipc_loss(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    combined = {**results["fp"], **results["int"]}
+    write_result(
+        "ipc_loss",
+        render_series(
+            combined,
+            ndigits=3,
+            title="IPC: conventional (org) vs full scheme (ours)",
+        ),
+    )
+
+    for suite, rows in results.items():
+        losses = [row["loss %"] for row in rows.values()]
+        avg = sum(losses) / len(losses)
+        assert avg < 1.0, (suite, avg)
+        assert max(losses) < 5.0, (suite, max(losses))

@@ -1,0 +1,15 @@
+"""Table 1: the baseline processor configuration block."""
+
+from _shared import write_result
+
+from repro.experiments import table1
+
+
+def bench_table1(benchmark):
+    text = benchmark.pedantic(table1, rounds=1, iterations=1)
+    write_result("table1", text)
+    assert "64-entry RUU" in text
+    assert "32-entry LSQ" in text
+    assert "4 instructions per cycle" in text
+    assert "4 INT add, 1 INT mult/div" in text
+    assert "1 FP add, 1 FP mult/div" in text

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Multiprogrammed workloads: cleaning under phase behaviour.
+
+Time-shares the protected L2 between two very different programs —
+cache-resident mesa and streaming swim — in coarse phases, and adds
+idle pauses (I/O waits) during which the cleaning FSM has the cache to
+itself.  Shows that the scheme's dirty cap holds across phase changes
+and that idle periods let cleaning fully drain the dirty population
+left behind by a departing program.
+
+Run:  python examples/multiprogrammed.py
+"""
+
+import itertools
+
+from repro.cache import MemoryHierarchy
+from repro.core import ProtectedL2, ProtectionConfig
+from repro.experiments import SCALED_GEOMETRY, render_table
+from repro.workloads import get_benchmark, make_ref_stream
+from repro.workloads.phases import phase_alternate, with_pauses
+
+
+def main():
+    geometry = SCALED_GEOMETRY
+    l2 = ProtectedL2(
+        geometry.hierarchy_config().l2,
+        ProtectionConfig(
+            cleaning_interval=geometry.scaled_interval(1 << 20),
+            ecc_entries_per_set=1,
+        ),
+    )
+    hierarchy = MemoryHierarchy(config=geometry.hierarchy_config(), l2=l2)
+
+    streams = [
+        make_ref_stream(get_benchmark("mesa"), geometry.l2_bytes, seed=0),
+        make_ref_stream(get_benchmark("swim"), geometry.l2_bytes, seed=0),
+    ]
+    workload = with_pauses(
+        phase_alternate(streams, phase_len=20_000),
+        active_refs=40_000,
+        pause_cycles=50_000,
+    )
+
+    cycle = 0
+    samples = []
+    for i, ref in enumerate(itertools.islice(workload, 160_000)):
+        cycle += 1 + ref.gap
+        (hierarchy.store if ref.is_write else hierarchy.load)(ref.addr, cycle)
+        if i % 20_000 == 19_999:
+            samples.append(
+                [i + 1, cycle, l2.dirty.dirty_count,
+                 100 * l2.dirty.dirty_count / l2.config.n_lines]
+            )
+
+    print(render_table(
+        ["refs", "cycle", "dirty lines", "dirty %"],
+        samples,
+        title="Dirty population across phases and pauses",
+    ))
+    print(
+        f"\npeak dirty: {100 * l2.dirty.peak_dirty / l2.config.n_lines:.1f}%"
+        f"  (structural cap 25%)\n"
+        f"write-back causes: {l2.writeback_breakdown()}"
+    )
+
+
+if __name__ == "__main__":
+    main()

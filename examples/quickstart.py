@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Quickstart: protect an L2 cache the paper's way, in ~40 lines.
+
+Builds the paper's memory hierarchy twice — once with a conventional
+uniformly-ECC L2 and once with the protected L2 (parity everywhere, ECC
+only for dirty lines, 1M-cycle cleaning, one shared ECC entry per set)
+— drives both with the same synthetic workload, and prints what the
+scheme buys: the same workload behaviour at 59% less protection area,
+with a bounded dirty-line population.
+
+Run:  python examples/quickstart.py
+"""
+
+import itertools
+
+from repro.cache import MemoryHierarchy
+from repro.cache.hierarchy import default_l2_config
+from repro.core import (
+    ProtectedL2,
+    ProtectionConfig,
+    conventional_overhead,
+    proposed_overhead,
+    reduction,
+)
+from repro.experiments import SCALED_GEOMETRY
+from repro.workloads import get_benchmark, make_ref_stream
+
+
+def run(hierarchy, refs):
+    cycle = 0
+    for ref in refs:
+        cycle += 1 + ref.gap
+        if ref.is_write:
+            hierarchy.store(ref.addr, cycle)
+        else:
+            hierarchy.load(ref.addr, cycle)
+    return cycle
+
+
+def main():
+    geometry = SCALED_GEOMETRY  # 1/16-scale capacities; fast to simulate
+    spec = get_benchmark("mesa")  # a high-dirty-residency benchmark
+
+    # Conventional L2: every line carries full ECC.
+    baseline = MemoryHierarchy(config=geometry.hierarchy_config())
+
+    # The paper's L2: cleaning + shared per-set ECC array.
+    protected_l2 = ProtectedL2(
+        geometry.hierarchy_config().l2,
+        ProtectionConfig(
+            cleaning_interval=geometry.scaled_interval(1 << 20),
+            ecc_entries_per_set=1,
+        ),
+    )
+    ours = MemoryHierarchy(config=geometry.hierarchy_config(), l2=protected_l2)
+
+    for name, h in (("conventional", baseline), ("protected", ours)):
+        refs = itertools.islice(
+            make_ref_stream(spec, geometry.l2_bytes, seed=0), 80_000
+        )
+        cycles = run(h, refs)
+        dirty = 100 * h.l2.dirty.average_dirty_fraction(cycles)
+        print(f"{name:12s}: avg dirty lines {dirty:5.1f}%  "
+              f"writebacks {100 * h.writeback_fraction():.2f}% of refs")
+    print(f"protected L2 write-back causes: {protected_l2.writeback_breakdown()}")
+
+    # The area story is computed on the paper's full 1MB geometry.
+    l2 = default_l2_config()
+    conv, prop = conventional_overhead(l2), proposed_overhead(l2)
+    print(
+        f"\nprotection area, 1MB L2: conventional {conv.total_kib:.0f} KiB"
+        f" -> proposed {prop.total_kib:.0f} KiB"
+        f" ({100 * reduction(conv, prop):.0f}% smaller)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Protecting the third cache level.
+
+The paper's motivation covers L2 *and* L3 caches (POWER4 and Itanium
+protect both with ECC).  This example builds a three-level hierarchy
+with the protected cache at the L3, shows the structural dirty cap at
+work (one ECC entry per 8-way set → at most 12.5% dirty) and computes
+the area story for a full-size 4MB L3 — where the saving *exceeds* the
+paper's 59%, because one shared entry amortises over eight ways.
+
+Run:  python examples/three_level_l3.py
+"""
+
+import itertools
+from dataclasses import replace
+
+from repro.cache import MemoryHierarchy
+from repro.cache.cache import CacheConfig
+from repro.core import (
+    ProtectedL2,
+    ProtectionConfig,
+    conventional_overhead,
+    proposed_overhead,
+    reduction,
+)
+from repro.experiments import SCALED_GEOMETRY, render_table
+from repro.workloads import get_benchmark, make_ref_stream
+
+
+def main():
+    geometry = SCALED_GEOMETRY
+    base = geometry.hierarchy_config()
+    hier_cfg = replace(
+        base,
+        l3=CacheConfig("l3", 4 * base.l2.size_bytes, 8, 64, hit_latency=25),
+    )
+
+    l3 = ProtectedL2(
+        hier_cfg.l3,
+        ProtectionConfig(
+            cleaning_interval=geometry.scaled_interval(1 << 20),
+            ecc_entries_per_set=1,
+        ),
+    )
+    hierarchy = MemoryHierarchy(config=hier_cfg, l3=l3)
+
+    # bzip2's footprint fits the L3 but not the L2: the interesting case.
+    stream = make_ref_stream(get_benchmark("bzip2"), geometry.l2_bytes,
+                             seed=0)
+    cycle = 0
+    for ref in itertools.islice(stream, 80_000):
+        cycle += 1 + ref.gap
+        (hierarchy.store if ref.is_write else hierarchy.load)(ref.addr, cycle)
+
+    rows = [
+        ["L2 avg dirty %", 100 * hierarchy.l2.dirty.average_dirty_fraction(cycle)],
+        ["L3 avg dirty %", 100 * l3.dirty.average_dirty_fraction(cycle)],
+        ["L3 peak dirty % (cap: 12.5)", 100 * l3.dirty.peak_dirty / l3.config.n_lines],
+        ["L3 Clean-WB", l3.stats.writebacks_cleaning],
+        ["L3 ECC-WB", l3.stats.writebacks_ecc_eviction],
+    ]
+    print(render_table(["metric", "value"], rows,
+                       title="bzip2 through a protected L3 (scaled)"))
+
+    full_l3 = CacheConfig("l3", 4 * 1024 * 1024, 8, 64)
+    conv, ours = conventional_overhead(full_l3), proposed_overhead(full_l3)
+    print(
+        f"\n4MB 8-way L3 protection area: {conv.total_kib:.0f} KiB -> "
+        f"{ours.total_kib:.0f} KiB ({100 * reduction(conv, ours):.1f}% "
+        f"reduction; the paper's 4-way L2 gives 59%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

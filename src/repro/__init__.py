@@ -1,0 +1,28 @@
+"""repro: reproduction of "Area-Efficient Error Protection for Caches".
+
+Soontae Kim, DATE 2006.  The paper protects only *dirty* L2 lines with
+ECC (clean lines need just parity — they can be refetched), keeps the
+dirty population small with a written-bit cleaning heuristic, and stores
+the ECCs in a small per-set shared array, cutting error-protection area
+by 59% for a 1 MB L2 at <1% IPC loss.
+
+Package map
+-----------
+``repro.ecc``
+    Parity and SECDED(72,64) codecs, fault injection.
+``repro.cache``
+    Trace-driven memory hierarchy (L1s, write buffer, L2, memory bus).
+``repro.cpu``
+    Four-issue out-of-order timing model (Table 1).
+``repro.core``
+    The paper's scheme: cleaning logic, shared ECC array, protected L2,
+    area model.
+``repro.workloads``
+    Synthetic SPEC2000-like benchmark models.
+``repro.experiments``
+    Harness regenerating every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,287 @@
+"""Generic set-associative cache with write-back / write-through policies.
+
+This is the substrate the paper's protected L2 extends: the base class
+exposes hooks (``_on_write_line``, ``_evict_way``, ``advance``) that
+:class:`repro.core.protected_cache.ProtectedL2` overrides to add the
+written-bit semantics, cleaning sweeps and shared-ECC-array bookkeeping.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.cache.line import CacheLine
+from repro.cache.replacement import ReplacementPolicy, make_policy
+from repro.cache.stats import CacheStats, DirtyIntegrator
+
+
+class WritePolicy(enum.Enum):
+    WRITE_BACK = "write-back"
+    WRITE_THROUGH = "write-through"
+
+
+class WritebackReason(enum.Enum):
+    """Why a line left the cache toward the next memory level."""
+
+    REPLACEMENT = "replacement"
+    CLEANING = "cleaning"
+    ECC_EVICTION = "ecc-eviction"
+    #: Eager write-back (Lee et al. [7]), used by the ablation baseline.
+    EAGER = "eager"
+    FLUSH = "flush"
+
+
+@dataclass(frozen=True)
+class Writeback:
+    """One dirty-line write-back: block address plus its cause."""
+
+    addr: int
+    reason: WritebackReason
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one cache access.
+
+    ``fill_addr`` is the block address fetched from the next level (None
+    on hits and on no-allocate write misses).  ``writebacks`` lists every
+    block pushed down to the next level by this access, including any
+    forced by the protected cache's ECC-array eviction.
+    """
+
+    hit: bool
+    is_write: bool
+    fill_addr: Optional[int] = None
+    writebacks: List[Writeback] = field(default_factory=list)
+    #: True for write-through forwarding of the written data.
+    wrote_through: bool = False
+
+
+def _is_pow2(x: int) -> bool:
+    return x > 0 and (x & (x - 1)) == 0
+
+
+@dataclass
+class CacheConfig:
+    """Geometry and policy of one cache level."""
+
+    name: str
+    size_bytes: int
+    ways: int
+    line_bytes: int
+    write_policy: WritePolicy = WritePolicy.WRITE_BACK
+    #: Allocate a line on a write miss (write-back caches normally do;
+    #: the paper's write-through L1D does not, it forwards via the buffer).
+    write_allocate: bool = True
+    hit_latency: int = 1
+    replacement: str = "lru"
+
+    def __post_init__(self) -> None:
+        if not _is_pow2(self.line_bytes):
+            raise ValueError("line_bytes must be a power of two")
+        if self.size_bytes % (self.line_bytes * self.ways) != 0:
+            raise ValueError("size must be divisible by ways*line_bytes")
+        n_sets = self.size_bytes // (self.line_bytes * self.ways)
+        if not _is_pow2(n_sets):
+            raise ValueError("number of sets must be a power of two")
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.ways)
+
+    @property
+    def n_lines(self) -> int:
+        return self.n_sets * self.ways
+
+
+class SetAssociativeCache:
+    """A single level of set-associative cache.
+
+    The cache is address-only (trace driven): it tracks tags and line
+    state, not payloads.  Payload-level protection behaviour is modelled
+    separately by :mod:`repro.ecc` and exercised in the fault-injection
+    experiments.
+    """
+
+    def __init__(self, config: CacheConfig, seed: int = 0) -> None:
+        self.config = config
+        self.policy: ReplacementPolicy = make_policy(config.replacement, seed=seed)
+        self.n_sets = config.n_sets
+        self.ways = config.ways
+        self._offset_bits = config.line_bytes.bit_length() - 1
+        self._index_mask = self.n_sets - 1
+        self.sets: List[List[CacheLine]] = [
+            [CacheLine() for _ in range(config.ways)] for _ in range(self.n_sets)
+        ]
+        self.stats = CacheStats()
+        self.dirty = DirtyIntegrator(total_lines=config.n_lines)
+        self._stamp = 0
+
+    # -- address helpers ---------------------------------------------------
+
+    def locate(self, addr: int) -> Tuple[int, int]:
+        """Return (set index, tag) for a byte address."""
+        block = addr >> self._offset_bits
+        return block & self._index_mask, block >> (self.n_sets.bit_length() - 1)
+
+    def block_addr(self, set_idx: int, tag: int) -> int:
+        """Reconstruct the byte address of a block from (set, tag)."""
+        block = (tag << (self.n_sets.bit_length() - 1)) | set_idx
+        return block << self._offset_bits
+
+    # -- queries -----------------------------------------------------------
+
+    def probe(self, addr: int) -> bool:
+        """Non-mutating hit test."""
+        set_idx, tag = self.locate(addr)
+        return any(l.valid and l.tag == tag for l in self.sets[set_idx])
+
+    def find_line(self, addr: int) -> Optional[CacheLine]:
+        """Return the line holding ``addr``, or None (non-mutating)."""
+        set_idx, tag = self.locate(addr)
+        for line in self.sets[set_idx]:
+            if line.valid and line.tag == tag:
+                return line
+        return None
+
+    def dirty_line_count(self) -> int:
+        """Exact current number of dirty lines (O(lines); for validation)."""
+        return sum(
+            1 for ways in self.sets for l in ways if l.valid and l.dirty
+        )
+
+    # -- main access path ----------------------------------------------------
+
+    def advance(self, cycle: int) -> List[Writeback]:
+        """Hook: run background activity (cleaning sweeps) up to ``cycle``.
+
+        The base cache has none; the protected L2 overrides this.
+        """
+        return []
+
+    def access(self, addr: int, is_write: bool, cycle: int) -> AccessResult:
+        """Perform one read or write at ``cycle``; cycles must not decrease."""
+        set_idx, tag = self.locate(addr)
+        ways = self.sets[set_idx]
+        self._stamp += 1
+        result = AccessResult(hit=False, is_write=is_write)
+
+        for way, line in enumerate(ways):
+            if line.valid and line.tag == tag:
+                result.hit = True
+                self.policy.on_access(line, self._stamp)
+                line.last_touch_cycle = cycle
+                if is_write:
+                    self.stats.write_hits += 1
+                    self._handle_write(line, set_idx, way, cycle, result)
+                else:
+                    self.stats.read_hits += 1
+                return result
+
+        # Miss path.
+        if is_write:
+            self.stats.write_misses += 1
+            if not self.config.write_allocate:
+                # No-allocate write miss: forward the write downstream.
+                result.wrote_through = True
+                self.stats.write_throughs += 1
+                return result
+        else:
+            self.stats.read_misses += 1
+
+        way = self._fill(set_idx, tag, cycle, result)
+        if is_write:
+            self._handle_write(ways[way], set_idx, way, cycle, result)
+        return result
+
+    # -- internals / extension points ---------------------------------------
+
+    def _fill(self, set_idx: int, tag: int, cycle: int, result: AccessResult) -> int:
+        """Bring a block into the set, evicting a victim if needed."""
+        ways = self.sets[set_idx]
+        way = self.policy.choose_victim(ways)
+        victim = ways[way]
+        if victim.valid:
+            self._evict_way(set_idx, way, cycle, result, WritebackReason.REPLACEMENT)
+        victim.fill(tag, cycle, self._stamp)
+        self.stats.fills += 1
+        result.fill_addr = self.block_addr(set_idx, tag)
+        return way
+
+    def _evict_way(
+        self,
+        set_idx: int,
+        way: int,
+        cycle: int,
+        result: AccessResult,
+        reason: WritebackReason,
+    ) -> None:
+        """Evict one valid way, emitting a write-back if it is dirty."""
+        line = self.sets[set_idx][way]
+        self.stats.evictions += 1
+        if line.dirty:
+            self._writeback_line(set_idx, way, cycle, result, reason)
+        line.invalidate()
+
+    def _writeback_line(
+        self,
+        set_idx: int,
+        way: int,
+        cycle: int,
+        result: AccessResult,
+        reason: WritebackReason,
+    ) -> None:
+        """Push a dirty line downstream and mark it clean."""
+        line = self.sets[set_idx][way]
+        if not line.dirty:
+            raise ValueError("write-back of a clean line")
+        self.dirty.add_dirty(cycle, -1)
+        self.stats.dirty_episodes += 1
+        self.stats.dirty_episode_cycles += max(0, cycle - line.dirty_since)
+        line.dirty = False
+        line.written = False
+        result.writebacks.append(
+            Writeback(addr=self.block_addr(set_idx, line.tag), reason=reason)
+        )
+        if reason is WritebackReason.CLEANING:
+            self.stats.writebacks_cleaning += 1
+        elif reason is WritebackReason.ECC_EVICTION:
+            self.stats.writebacks_ecc_eviction += 1
+        elif reason is WritebackReason.EAGER:
+            self.stats.writebacks_eager += 1
+        else:
+            # REPLACEMENT and FLUSH both count as ordinary write-backs.
+            self.stats.writebacks_replacement += 1
+
+    def _handle_write(
+        self,
+        line: CacheLine,
+        set_idx: int,
+        way: int,
+        cycle: int,
+        result: AccessResult,
+    ) -> None:
+        """Apply a write to a resident line (policy-dependent)."""
+        if self.config.write_policy is WritePolicy.WRITE_THROUGH:
+            # Data is forwarded downstream; the line never turns dirty.
+            result.wrote_through = True
+            self.stats.write_throughs += 1
+            return
+        if line.record_write():
+            line.dirty_since = cycle
+            self.dirty.add_dirty(cycle, +1)
+
+    # -- maintenance ---------------------------------------------------------
+
+    def flush(self, cycle: int) -> List[Writeback]:
+        """Write back every dirty line and invalidate the whole cache."""
+        result = AccessResult(hit=False, is_write=False)
+        for set_idx, ways in enumerate(self.sets):
+            for way, line in enumerate(ways):
+                if line.valid:
+                    self._evict_way(
+                        set_idx, way, cycle, result, WritebackReason.FLUSH
+                    )
+        return result.writebacks

@@ -1,0 +1,82 @@
+"""Per-line cache state, including the paper's *written* bit."""
+
+from __future__ import annotations
+
+
+class CacheLine:
+    """State of one cache line (one way of one set).
+
+    Besides the usual tag/valid/dirty state this carries the paper's
+    *written* bit: ``dirty`` is set on the first write to the line after
+    fill, ``written`` on any write beyond the first.  The cleaning logic
+    (:mod:`repro.core.cleaning`) uses ``dirty and not written`` as its
+    "no longer being modified" predicate.
+    """
+
+    __slots__ = (
+        "tag",
+        "valid",
+        "dirty",
+        "written",
+        "lru_stamp",
+        "fill_cycle",
+        "fifo_stamp",
+        "last_touch_cycle",
+        "dirty_since",
+    )
+
+    def __init__(self) -> None:
+        self.tag: int = 0
+        self.valid: bool = False
+        self.dirty: bool = False
+        self.written: bool = False
+        #: Monotonic access stamp used by LRU replacement.
+        self.lru_stamp: int = 0
+        #: Cycle of the most recent fill (for generational statistics).
+        self.fill_cycle: int = 0
+        #: Fill order stamp used by FIFO replacement.
+        self.fifo_stamp: int = 0
+        #: Cycle of the most recent access (for decay-style policies).
+        self.last_touch_cycle: int = 0
+        #: Cycle the current dirty episode began (exposure accounting).
+        self.dirty_since: int = 0
+
+    def fill(self, tag: int, cycle: int, stamp: int) -> None:
+        """Install a new block: resets dirty and written per the paper."""
+        self.tag = tag
+        self.valid = True
+        self.dirty = False
+        self.written = False
+        self.lru_stamp = stamp
+        self.fifo_stamp = stamp
+        self.fill_cycle = cycle
+        self.last_touch_cycle = cycle
+
+    def invalidate(self) -> None:
+        self.valid = False
+        self.dirty = False
+        self.written = False
+
+    def record_write(self) -> bool:
+        """Apply one write; return True when the line turned dirty just now.
+
+        Implements the paper's rule: the dirty bit is set when the line
+        is modified once; the written bit when it is modified more than
+        one time.
+        """
+        if self.dirty:
+            self.written = True
+            return False
+        self.dirty = True
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = "".join(
+            f if on else "-"
+            for f, on in (
+                ("V", self.valid),
+                ("D", self.dirty),
+                ("W", self.written),
+            )
+        )
+        return f"CacheLine(tag={self.tag:#x}, {flags})"

@@ -1,0 +1,139 @@
+"""Statistics counters for caches, including time-weighted dirty residency.
+
+The paper's headline metric is "percentage of dirty cache lines per
+cycle": the time-weighted average number of dirty lines divided by the
+total number of lines.  :class:`DirtyIntegrator` accumulates that
+integral incrementally as lines change state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class CacheStats:
+    """Event counters for one cache."""
+
+    read_hits: int = 0
+    read_misses: int = 0
+    write_hits: int = 0
+    write_misses: int = 0
+    #: Write-backs caused by replacement of a dirty line.
+    writebacks_replacement: int = 0
+    #: Write-backs issued by the cleaning logic (paper's Clean-WB).
+    writebacks_cleaning: int = 0
+    #: Write-backs forced by ECC-array entry eviction (paper's ECC-WB).
+    writebacks_ecc_eviction: int = 0
+    #: Write-backs issued by the eager-writeback ablation baseline.
+    writebacks_eager: int = 0
+    #: Write-throughs (write-through caches forward every write).
+    write_throughs: int = 0
+    fills: int = 0
+    evictions: int = 0
+    #: Completed dirty episodes (dirty -> written back) and their total
+    #: duration in cycles: the data for mean-exposure statistics.
+    dirty_episodes: int = 0
+    dirty_episode_cycles: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return (
+            self.read_hits + self.read_misses + self.write_hits + self.write_misses
+        )
+
+    @property
+    def misses(self) -> int:
+        return self.read_misses + self.write_misses
+
+    @property
+    def hits(self) -> int:
+        return self.read_hits + self.write_hits
+
+    @property
+    def writebacks_total(self) -> int:
+        return (
+            self.writebacks_replacement
+            + self.writebacks_cleaning
+            + self.writebacks_ecc_eviction
+            + self.writebacks_eager
+        )
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def mean_dirty_episode_cycles(self) -> float:
+        """Average dirty-episode length (write to write-back), cycles."""
+        if self.dirty_episodes == 0:
+            return 0.0
+        return self.dirty_episode_cycles / self.dirty_episodes
+
+    def as_dict(self) -> Dict[str, int]:
+        """Flat dict view for reporting."""
+        return {
+            "read_hits": self.read_hits,
+            "read_misses": self.read_misses,
+            "write_hits": self.write_hits,
+            "write_misses": self.write_misses,
+            "writebacks_replacement": self.writebacks_replacement,
+            "writebacks_cleaning": self.writebacks_cleaning,
+            "writebacks_ecc_eviction": self.writebacks_ecc_eviction,
+            "writebacks_eager": self.writebacks_eager,
+            "write_throughs": self.write_throughs,
+            "fills": self.fills,
+            "evictions": self.evictions,
+        }
+
+
+@dataclass
+class DirtyIntegrator:
+    """Time-weighted integral of the dirty-line count.
+
+    ``update`` must be called *before* every change to the dirty count so
+    the elapsed interval is weighted by the old count.  The average dirty
+    fraction over the run is ``area / (elapsed_cycles * total_lines)``.
+    """
+
+    total_lines: int
+    dirty_count: int = 0
+    area: float = 0.0
+    last_cycle: int = 0
+    start_cycle: int = 0
+    peak_dirty: int = 0
+    _frozen: bool = field(default=False, repr=False)
+
+    def reset(self, cycle: int, dirty_count: int) -> None:
+        """Restart integration at ``cycle`` (e.g. after warm-up)."""
+        self.area = 0.0
+        self.last_cycle = cycle
+        self.start_cycle = cycle
+        self.dirty_count = dirty_count
+        self.peak_dirty = dirty_count
+
+    def update(self, cycle: int) -> None:
+        """Integrate up to ``cycle`` with the current dirty count."""
+        if cycle > self.last_cycle:
+            self.area += self.dirty_count * (cycle - self.last_cycle)
+            self.last_cycle = cycle
+
+    def add_dirty(self, cycle: int, delta: int) -> None:
+        """Apply a dirty-count change of ``delta`` at ``cycle``."""
+        self.update(cycle)
+        self.dirty_count += delta
+        if self.dirty_count < 0:
+            raise ValueError("dirty count went negative")
+        if self.dirty_count > self.peak_dirty:
+            self.peak_dirty = self.dirty_count
+
+    def average_dirty_lines(self, cycle: int) -> float:
+        """Average dirty-line count over [start_cycle, cycle]."""
+        self.update(cycle)
+        elapsed = self.last_cycle - self.start_cycle
+        return self.area / elapsed if elapsed else float(self.dirty_count)
+
+    def average_dirty_fraction(self, cycle: int) -> float:
+        """Average fraction of lines dirty over [start_cycle, cycle]."""
+        return self.average_dirty_lines(cycle) / self.total_lines

@@ -1,0 +1,412 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``figures``   regenerate one or all of the paper's figures/tables
+``run``       one reference-mode run of a benchmark or trace file
+``ipc``       one CPU-mode run (org vs ours IPC comparison)
+``area``      the Section 5.2 area accounting
+``inject``    a fault-injection campaign against a codec
+``trace``     export a benchmark's synthetic trace to a file
+``list``      list the benchmark suite
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.protected_cache import ProtectionConfig
+from repro.experiments import (
+    RunConfig,
+    area_table,
+    figure1,
+    figure3_4,
+    figure5_6,
+    figure7,
+    figure8,
+    interval_sweep,
+    ipc_loss,
+    render_series,
+    render_table,
+    run_ipc,
+    run_refs,
+    run_trace,
+    table1,
+)
+from repro.workloads import (
+    BENCHMARKS,
+    get_benchmark,
+    load_trace,
+    make_ref_stream,
+    save_trace,
+    summarize_trace,
+)
+
+
+def _parse_interval(text: str) -> Optional[int]:
+    """'1M'/'256K'/'none' -> cycles (paper-nominal) or None."""
+    text = text.strip().lower()
+    if text in ("none", "off", "0"):
+        return None
+    multiplier = 1
+    if text.endswith("m"):
+        multiplier, text = 1 << 20, text[:-1]
+    elif text.endswith("k"):
+        multiplier, text = 1 << 10, text[:-1]
+    try:
+        value = int(text) * multiplier
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad interval {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError("interval must be positive")
+    return value
+
+
+def _parse_entries(text: str) -> Optional[int]:
+    if text.strip().lower() in ("none", "off"):
+        return None
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError("entries must be positive or 'none'")
+    return value
+
+
+def _protection(args) -> Optional[ProtectionConfig]:
+    if args.interval is None and args.ecc_entries is None:
+        return None
+    return ProtectionConfig(
+        cleaning_interval=args.interval, ecc_entries_per_set=args.ecc_entries
+    )
+
+
+def _run_config(args) -> RunConfig:
+    return RunConfig(n_refs=args.refs, warmup_refs=args.warmup, seed=args.seed)
+
+
+def _add_run_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--refs", type=int, default=60_000,
+                        help="measured memory references")
+    parser.add_argument("--warmup", type=int, default=20_000,
+                        help="warm-up references (stats discarded)")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_protection_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--interval", type=_parse_interval, default="1M", metavar="CYCLES",
+        help="cleaning interval, paper-nominal (e.g. 256K, 1M, none)",
+    )
+    parser.add_argument(
+        "--ecc-entries", type=_parse_entries, default="1", metavar="N",
+        help="shared ECC entries per set (or 'none' for unconstrained)",
+    )
+
+
+def cmd_figures(args) -> int:
+    config = _run_config(args)
+    if args.json:
+        from repro.experiments import regenerate_all, save_json
+
+        doc = regenerate_all(config, include_ipc=not args.no_ipc,
+                             ipc_insts=args.refs * 2)
+        save_json(doc, args.json)
+        print(f"wrote {args.json}")
+        return 0
+    wanted = args.fig
+    if wanted in ("all", "table1"):
+        print("Table 1: baseline configuration")
+        print(table1())
+        print()
+    if wanted in ("all", "1"):
+        f1 = figure1(config)
+        print(render_series({k: {"dirty %": v} for k, v in f1.items()},
+                            title="Figure 1: % dirty lines (conventional)"))
+        print()
+    if wanted in ("all", "3", "4", "5", "6"):
+        suites = {"3": ["fp"], "5": ["fp"], "4": ["int"], "6": ["int"]}.get(
+            wanted, ["fp", "int"]
+        )
+        for suite in suites:
+            sweep = interval_sweep(suite, config)
+            if wanted in ("all", "3", "4"):
+                fig = "3" if suite == "fp" else "4"
+                print(render_series(
+                    figure3_4(suite, config, sweep=sweep),
+                    title=f"Figure {fig}: dirty % vs interval ({suite})"))
+                print()
+            if wanted in ("all", "5", "6"):
+                fig = "5" if suite == "fp" else "6"
+                print(render_series(
+                    figure5_6(suite, config, sweep=sweep),
+                    title=f"Figure {fig}: writeback % vs interval ({suite})"))
+                print()
+    if wanted in ("all", "7"):
+        f7 = figure7(config)
+        print(render_series({k: {"dirty %": v} for k, v in f7.items()},
+                            title="Figure 7: % dirty lines (full scheme)"))
+        print()
+    if wanted in ("all", "8"):
+        print(render_series(figure8(config),
+                            title="Figure 8: writeback split (full scheme)"))
+        print()
+    if wanted in ("all", "ipc"):
+        rows = {}
+        for suite in ("fp", "int"):
+            rows.update(ipc_loss(config, suite=suite, n_insts=args.refs * 2))
+        print(render_series(rows, ndigits=3, title="IPC: org vs ours"))
+        print()
+    if wanted in ("all", "area"):
+        return cmd_area(args)
+    return 0
+
+
+def cmd_run(args) -> int:
+    config = _run_config(args)
+    protection = _protection(args)
+    if args.trace:
+        out = run_trace(load_trace(args.trace), protection, config,
+                        label=args.trace)
+    else:
+        out = run_refs(args.benchmark, protection, config)
+    rows = [
+        ["benchmark", out.benchmark],
+        ["measured refs", out.refs],
+        ["cycles", out.cycles],
+        ["avg dirty %", 100 * out.dirty_fraction],
+        ["peak dirty %", 100 * out.peak_dirty_fraction],
+        ["writeback % of refs", 100 * out.writeback_fraction],
+        ["  WB %", 100 * out.writeback_split["WB"]],
+        ["  Clean-WB %", 100 * out.writeback_split["Clean-WB"]],
+        ["  ECC-WB %", 100 * out.writeback_split["ECC-WB"]],
+        ["L2 miss rate", out.l2_miss_rate],
+        ["bus utilisation", out.bus_utilization],
+    ]
+    print(render_table(["metric", "value"], rows))
+    return 0
+
+
+def cmd_ipc(args) -> int:
+    config = _run_config(args)
+    org = run_ipc(args.benchmark, None, config, n_insts=args.insts)
+    ours = run_ipc(args.benchmark, _protection(args), config,
+                   n_insts=args.insts)
+    loss = 100 * (org.ipc - ours.ipc) / org.ipc if org.ipc else 0.0
+    print(render_table(
+        ["metric", "org", "ours"],
+        [
+            ["IPC", org.ipc, ours.ipc],
+            ["cycles", org.result.cycles, ours.result.cycles],
+            ["writeback fraction", org.writeback_fraction,
+             ours.writeback_fraction],
+        ],
+        ndigits=3,
+        title=f"{args.benchmark}: {args.insts} instructions",
+    ))
+    print(f"IPC loss: {loss:.2f}%")
+    return 0
+
+
+def cmd_area(args) -> int:
+    conv, ours, red = area_table(ecc_entries_per_set=args.ecc_area_entries)
+    rows = [[f"conventional: {n}", f"{k:.2f}"] for n, _, k in conv.rows()]
+    rows += [[f"proposed: {n}", f"{k:.2f}"] for n, _, k in ours.rows()]
+    rows.append(["reduction", f"{100 * red:.1f}%"])
+    print(render_table(["component", "KiB"], rows,
+                       title="Protection area, 1MB 4-way 64B L2"))
+    return 0
+
+
+def cmd_inject(args) -> int:
+    from repro.ecc import FaultInjector, ParityCodec, SecDedCodec
+
+    codec = SecDedCodec() if args.codec == "secded" else ParityCodec()
+    injector = FaultInjector(codec, seed=args.seed)
+    stats = injector.campaign(args.trials, args.flips)
+    rows = [[o.value, n, n / stats.trials]
+            for o, n in sorted(stats.by_outcome.items(), key=lambda kv: kv[0].value)]
+    print(render_table(
+        ["outcome", "count", "rate"], rows, ndigits=4,
+        title=f"{args.codec}: {args.trials} trials x {args.flips} flips",
+    ))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    import itertools
+
+    spec = get_benchmark(args.benchmark)
+    stream = itertools.islice(
+        make_ref_stream(spec, args.l2_bytes, seed=args.seed), args.n
+    )
+    count = save_trace(stream, args.out, fmt=args.format)
+    summary = summarize_trace(load_trace(args.out))
+    print(f"wrote {count} refs to {args.out} "
+          f"(write ratio {summary.write_ratio:.2f}, "
+          f"footprint {summary.footprint_bytes // 1024} KiB)")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """Multi-seed spread of the residency and traffic metrics."""
+    from repro.experiments.stats import (
+        dirty_fraction_stats,
+        writeback_fraction_stats,
+    )
+
+    config = _run_config(args)
+    protection = _protection(args)
+    seeds = tuple(range(args.n_seeds))
+    dirty = dirty_fraction_stats(args.benchmark, protection, config, seeds)
+    traffic = writeback_fraction_stats(args.benchmark, protection, config,
+                                       seeds)
+    rows = [
+        ["dirty fraction", dirty.mean, dirty.std, dirty.ci95],
+        ["writeback fraction", traffic.mean, traffic.std, traffic.ci95],
+    ]
+    print(render_table(
+        ["metric", "mean", "std", "95% CI"],
+        rows,
+        ndigits=4,
+        title=f"{args.benchmark}: spread over {args.n_seeds} seeds",
+    ))
+    return 0
+
+
+_ABLATIONS = {
+    "ecc-entries": "ablate_ecc_entries",
+    "best-interval": "ablate_best_interval",
+    "eager": "ablate_eager_writeback",
+    "written-bit": "ablate_written_bit",
+    "decay": "ablate_cleaning_policy",
+    "replacement": "ablate_replacement",
+    "write-buffer": "ablate_write_buffer",
+    "cache-size": "ablate_cache_size",
+    "energy": "ablate_energy",
+}
+
+
+def cmd_ablate(args) -> int:
+    """Run one ablation study and print its table."""
+    import repro.experiments as experiments
+
+    config = _run_config(args)
+    func = getattr(experiments, _ABLATIONS[args.study])
+    kwargs = {"config": config}
+    if args.benchmarks:
+        kwargs["benchmarks"] = args.benchmarks
+    result = func(**kwargs)
+    if args.study == "ecc-entries":
+        rows = [
+            [p.entries_per_set, p.area_kib, p.dirty_pct, p.ecc_wb_pct,
+             p.total_wb_pct]
+            for p in result
+        ]
+        print(render_table(
+            ["entries/set", "area KiB", "dirty %", "ECC-WB %", "total WB %"],
+            rows,
+            title=f"ablation: {args.study}",
+        ))
+    else:
+        print(render_series(result, title=f"ablation: {args.study}"))
+    return 0
+
+
+def cmd_list(args) -> int:
+    rows = [
+        [s.name, s.suite, s.kind, f"{s.ws_factor:g}x L2", s.store_ratio]
+        for s in BENCHMARKS.values()
+    ]
+    print(render_table(
+        ["benchmark", "suite", "kind", "working set", "store ratio"],
+        rows,
+        title="Synthetic SPEC2000 suite",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Area-Efficient Error Protection for "
+                    "Caches' (DATE 2006)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("figures", help="regenerate the paper's figures")
+    p.add_argument("--fig", default="all",
+                   choices=["all", "table1", "1", "3", "4", "5", "6", "7",
+                            "8", "ipc", "area"])
+    p.add_argument("--ecc-area-entries", type=int, default=1)
+    p.add_argument("--json", metavar="PATH",
+                   help="regenerate everything and write one JSON document")
+    p.add_argument("--no-ipc", action="store_true",
+                   help="skip the (slow) IPC runs in --json mode")
+    _add_run_args(p)
+    p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser("run", help="one reference-mode run")
+    p.add_argument("--benchmark", default="mesa",
+                   choices=sorted(BENCHMARKS))
+    p.add_argument("--trace", help="run a trace file instead of a benchmark")
+    _add_protection_args(p)
+    _add_run_args(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("ipc", help="org-vs-ours IPC comparison")
+    p.add_argument("--benchmark", default="mesa",
+                   choices=sorted(BENCHMARKS))
+    p.add_argument("--insts", type=int, default=120_000)
+    _add_protection_args(p)
+    _add_run_args(p)
+    p.set_defaults(func=cmd_ipc)
+
+    p = sub.add_parser("area", help="Section 5.2 area accounting")
+    p.add_argument("--ecc-area-entries", type=int, default=1)
+    p.set_defaults(func=cmd_area)
+
+    p = sub.add_parser("inject", help="codec fault-injection campaign")
+    p.add_argument("--codec", choices=["secded", "parity"], default="secded")
+    p.add_argument("--trials", type=int, default=1000)
+    p.add_argument("--flips", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_inject)
+
+    p = sub.add_parser("trace", help="export a synthetic trace")
+    p.add_argument("--benchmark", required=True, choices=sorted(BENCHMARKS))
+    p.add_argument("--out", required=True)
+    p.add_argument("-n", type=int, default=100_000)
+    p.add_argument("--format", choices=["binary", "text"], default="binary")
+    p.add_argument("--l2-bytes", type=int, default=64 * 1024)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("stats", help="multi-seed spread of key metrics")
+    p.add_argument("--benchmark", default="mesa",
+                   choices=sorted(BENCHMARKS))
+    p.add_argument("--n-seeds", type=int, default=5)
+    _add_protection_args(p)
+    _add_run_args(p)
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("ablate", help="run one ablation study")
+    p.add_argument("study", choices=sorted(_ABLATIONS))
+    p.add_argument("--benchmarks", nargs="*", metavar="NAME",
+                   help="restrict to these benchmarks")
+    _add_run_args(p)
+    p.set_defaults(func=cmd_ablate)
+
+    p = sub.add_parser("list", help="list the benchmark suite")
+    p.set_defaults(func=cmd_list)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

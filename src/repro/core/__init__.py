@@ -1,0 +1,69 @@
+"""The paper's contribution: area-efficient error protection for the L2.
+
+Three cooperating techniques (Section 3 of the paper):
+
+* **Non-uniform protection** (:mod:`repro.core.policy`): parity on every
+  line, SECDED ECC only on dirty lines.
+* **Dirty-line cleaning** (:mod:`repro.core.cleaning`): a written-bit
+  heuristic plus a set-sweeping FSM that writes back write-dead dirty
+  lines.
+* **Shared ECC array** (:mod:`repro.core.ecc_array`): one ECC entry per
+  set instead of one per line, enforced by ECC-entry-eviction
+  write-backs.
+
+:class:`~repro.core.protected_cache.ProtectedL2` integrates all three
+into a drop-in replacement for the plain L2 of
+:mod:`repro.cache.hierarchy`, and :mod:`repro.core.area` reproduces the
+paper's 59% area-overhead reduction arithmetic.
+"""
+
+from repro.core.area import (
+    AreaBreakdown,
+    conventional_overhead,
+    li_et_al_overhead,
+    proposed_overhead,
+    reduction,
+)
+from repro.core.cleaning import CleaningLogic
+from repro.core.decay import DecayCleaningL2
+from repro.core.ecc_array import SharedEccArray
+from repro.core.eager import EagerL2
+from repro.core.hotlines import HotLineTable
+from repro.core.icr import IcrCache
+from repro.core.policy import (
+    LineProtection,
+    NonUniformPolicy,
+    ProtectionDomain,
+    ProtectionPolicy,
+    UniformEccPolicy,
+    UniformParityPolicy,
+)
+from repro.core.protected_cache import ProtectedL2, ProtectionConfig
+from repro.core.scrub import IntegrityError, check_invariants
+from repro.core.tag_protection import ProtectedTag, TagOutcome
+
+__all__ = [
+    "AreaBreakdown",
+    "CleaningLogic",
+    "DecayCleaningL2",
+    "EagerL2",
+    "HotLineTable",
+    "IcrCache",
+    "IntegrityError",
+    "LineProtection",
+    "NonUniformPolicy",
+    "ProtectedL2",
+    "ProtectedTag",
+    "ProtectionConfig",
+    "ProtectionDomain",
+    "ProtectionPolicy",
+    "SharedEccArray",
+    "TagOutcome",
+    "UniformEccPolicy",
+    "UniformParityPolicy",
+    "check_invariants",
+    "conventional_overhead",
+    "li_et_al_overhead",
+    "proposed_overhead",
+    "reduction",
+]

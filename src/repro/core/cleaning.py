@@ -1,0 +1,73 @@
+"""The paper's dirty-line cleaning FSM (Figure 2).
+
+Hardware view: a cycle counter plus a latch holding the next cache set
+number.  Every ``interval / n_sets`` cycles the logic visits the latched
+set, examines each line's (dirty, written) pair and either cleans the
+line (``dirty=1, written=0`` — predicted write-dead) or resets its
+written bit (``written=1`` — still being modified, second chance).  The
+latch then advances, so each individual line is revisited once per
+*cleaning interval* — the paper's 64K…4M-cycle parameter.
+
+This module implements only the sweep schedule; the per-line actions
+live in :meth:`repro.core.protected_cache.ProtectedL2.advance` because
+they mutate cache state.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+class CleaningLogic:
+    """Sweep scheduler: which sets are due for a cleaning check.
+
+    The schedule is exact in the long run even when ``interval`` is not
+    a multiple of ``n_sets``: elapsed cycles are accounted in units of
+    ``1 / n_sets`` cycles so no drift accumulates.
+    """
+
+    def __init__(self, n_sets: int, interval_cycles: int) -> None:
+        if n_sets <= 0:
+            raise ValueError("n_sets must be positive")
+        if interval_cycles <= 0:
+            raise ValueError("cleaning interval must be positive")
+        self.n_sets = n_sets
+        self.interval_cycles = interval_cycles
+        #: Next set the latch points at.
+        self.next_set = 0
+        self._last_cycle = 0
+        #: Accumulated time in units of 1/n_sets cycles.
+        self._tick_balance = 0
+        #: Total set checks issued (for reporting).
+        self.checks = 0
+
+    @property
+    def cycles_per_set_check(self) -> float:
+        """Average cycles between consecutive set visits."""
+        return self.interval_cycles / self.n_sets
+
+    def due_sets(self, cycle: int) -> Iterator[int]:
+        """Yield every set due for a check in (last cycle, ``cycle``].
+
+        Cycles must be non-decreasing across calls.  If the simulator
+        jumps far ahead, at most two full sweeps are issued for the gap —
+        re-checking an unchanged set more often than that is idempotent
+        (cleaning an already-clean cache), so capping keeps long idle
+        gaps cheap without changing observable state.
+        """
+        if cycle < self._last_cycle:
+            raise ValueError("cleaning clock moved backwards")
+        self._tick_balance += (cycle - self._last_cycle) * self.n_sets
+        self._last_cycle = cycle
+        cap = 2 * self.n_sets
+        issued = 0
+        while self._tick_balance >= self.interval_cycles and issued < cap:
+            self._tick_balance -= self.interval_cycles
+            current = self.next_set
+            self.next_set = (current + 1) % self.n_sets
+            self.checks += 1
+            issued += 1
+            yield current
+        if issued == cap:
+            # Discard the remainder of an over-long idle gap.
+            self._tick_balance %= self.interval_cycles

@@ -1,0 +1,68 @@
+"""Eager write-back baseline (Lee, Tyson & Farrens [7]).
+
+Comparator for the ablation benchmarks: instead of the paper's
+written-bit cleaning, a dirty line is written back as soon as it reaches
+the LRU position of its set (it is then the next replacement candidate,
+so its write-back is performed early to smooth bus traffic).  The line
+stays resident and clean.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.cache import (
+    AccessResult,
+    CacheConfig,
+    SetAssociativeCache,
+    WritebackReason,
+)
+from repro.cache.line import CacheLine
+
+
+class EagerL2(SetAssociativeCache):
+    """Write-back L2 with eager write-back of LRU dirty lines."""
+
+    def __init__(self, config: CacheConfig, seed: int = 0) -> None:
+        if config.replacement.lower() != "lru":
+            raise ValueError("eager write-back is defined for LRU caches")
+        super().__init__(config, seed=seed)
+
+    def access(self, addr: int, is_write: bool, cycle: int) -> AccessResult:
+        result = super().access(addr, is_write, cycle)
+        set_idx, _ = self.locate(addr)
+        self._eagerly_clean_lru(set_idx, cycle, result)
+        return result
+
+    def _eagerly_clean_lru(
+        self, set_idx: int, cycle: int, result: AccessResult
+    ) -> None:
+        """Write back the set's LRU line if it is dirty."""
+        way = self._lru_way(set_idx)
+        if way is None:
+            return
+        line = self.sets[set_idx][way]
+        if line.dirty:
+            self._writeback_line(
+                set_idx, way, cycle, result, WritebackReason.EAGER
+            )
+
+    def _lru_way(self, set_idx: int) -> Optional[int]:
+        """Index of the least-recently-used valid way, or None if any invalid."""
+        ways = self.sets[set_idx]
+        victim: Optional[int] = None
+        oldest = None
+        for i, line in enumerate(ways):
+            if not line.valid:
+                return None  # set not full: no replacement pressure yet
+            if oldest is None or line.lru_stamp < oldest:
+                victim, oldest = i, line.lru_stamp
+        return victim
+
+    def lru_dirty_line(self, set_idx: int) -> Optional[CacheLine]:
+        """The dirty LRU line of ``set_idx`` if one exists (for tests)."""
+        way = self._lru_way(set_idx)
+        if way is None:
+            return None
+        line = self.sets[set_idx][way]
+        return line if line.dirty else None

@@ -1,0 +1,90 @@
+"""The shared ECC array (Section 3.3, Figure 2 right).
+
+Conventionally every cache way has its own ECC-bits array.  The paper
+keeps one small ECC array for *all* ways: each cache set owns
+``entries_per_set`` ECC entries (one, in the paper's configuration), so
+at most that many lines per set may be dirty at a time.  A write that
+needs an entry in a set whose entries are all taken *evicts* one entry,
+which forces the dirty line it protected to be written back (the paper's
+ECC-WB traffic) — the line stays resident but clean, protected by parity
+alone.
+
+This module is pure bookkeeping: who owns which entry.  The forced
+write-backs are performed by :class:`repro.core.protected_cache.ProtectedL2`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass
+class EccArrayStats:
+    allocations: int = 0
+    releases: int = 0
+    #: Entry evictions = forced ECC-WB write-backs.
+    evictions: int = 0
+
+
+class SharedEccArray:
+    """Per-set ECC entry ownership with FIFO entry replacement."""
+
+    def __init__(self, n_sets: int, entries_per_set: int = 1) -> None:
+        if n_sets <= 0 or entries_per_set <= 0:
+            raise ValueError("n_sets and entries_per_set must be positive")
+        self.n_sets = n_sets
+        self.entries_per_set = entries_per_set
+        #: Per set, the way indices owning an entry, in allocation (FIFO) order.
+        self._owners: List[List[int]] = [[] for _ in range(n_sets)]
+        self.stats = EccArrayStats()
+
+    # -- queries -----------------------------------------------------------
+
+    def owners(self, set_idx: int) -> List[int]:
+        """Way indices currently holding an ECC entry in ``set_idx``."""
+        return list(self._owners[set_idx])
+
+    def holds(self, set_idx: int, way: int) -> bool:
+        return way in self._owners[set_idx]
+
+    def free_entries(self, set_idx: int) -> int:
+        return self.entries_per_set - len(self._owners[set_idx])
+
+    @property
+    def total_entries(self) -> int:
+        return self.n_sets * self.entries_per_set
+
+    def used_entries(self) -> int:
+        return sum(len(o) for o in self._owners)
+
+    # -- mutations ---------------------------------------------------------
+
+    def allocate(self, set_idx: int, way: int) -> Optional[int]:
+        """Grant ``way`` an entry in ``set_idx``.
+
+        Returns the way whose entry was evicted to make room, or None if
+        a free entry existed.  Allocating for a way that already owns an
+        entry is an error (the caller should have updated in place).
+        """
+        owners = self._owners[set_idx]
+        if way in owners:
+            raise ValueError(
+                f"way {way} already owns an ECC entry in set {set_idx}"
+            )
+        evicted: Optional[int] = None
+        if len(owners) >= self.entries_per_set:
+            evicted = owners.pop(0)
+            self.stats.evictions += 1
+        owners.append(way)
+        self.stats.allocations += 1
+        return evicted
+
+    def release(self, set_idx: int, way: int) -> bool:
+        """Drop ``way``'s entry (line cleaned or evicted); False if absent."""
+        owners = self._owners[set_idx]
+        if way not in owners:
+            return False
+        owners.remove(way)
+        self.stats.releases += 1
+        return True

@@ -1,0 +1,160 @@
+"""In-cache replication: the Zhang et al. [10] comparator.
+
+ICR enhances data-cache reliability by *replicating* active blocks into
+blocks predicted dead (using a decay-style dead-block predictor, the
+same generational insight the paper's cleaning exploits).  A fault in a
+replicated block's primary copy recovers from the replica.
+
+The model here captures the mechanism at its essential granularity:
+
+* every line carries a decay clock; a line untouched for
+  ``dead_interval`` cycles is *dead*;
+* an access to a live line tries to maintain a replica in a dead line
+  of the same set (the paper's vertical replication, simplified);
+* replicas are invalidated when their host line is re-activated by a
+  demand fill or when the primary is written (the replica is rewritten
+  too — counted as replica-update work);
+* the figure of merit is replication coverage: the fraction of accesses
+  whose line had a valid replica at access time.
+
+Contrast with the reproduced paper's scheme: ICR protects a *subset*
+of blocks (those lucky enough to find a dead partner) and sacrifices
+effective capacity, where non-uniform ECC protects everything without
+displacing data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cache.cache import CacheConfig
+from repro.cache.line import CacheLine
+from repro.cache.replacement import LruPolicy
+
+
+@dataclass
+class IcrStats:
+    accesses: int = 0
+    covered_accesses: int = 0
+    replicas_created: int = 0
+    replicas_displaced: int = 0
+    replica_updates: int = 0
+
+    @property
+    def coverage(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.covered_accesses / self.accesses
+
+
+class IcrCache:
+    """Set-associative cache with dead-block replication."""
+
+    def __init__(self, config: CacheConfig, dead_interval: int = 4096) -> None:
+        if dead_interval <= 0:
+            raise ValueError("dead_interval must be positive")
+        self.config = config
+        self.dead_interval = dead_interval
+        self.n_sets = config.n_sets
+        self.ways = config.ways
+        self._offset_bits = config.line_bytes.bit_length() - 1
+        self._index_mask = self.n_sets - 1
+        self.sets: List[List[CacheLine]] = [
+            [CacheLine() for _ in range(config.ways)]
+            for _ in range(self.n_sets)
+        ]
+        #: Per set: primary way -> replica way.
+        self._replicas: List[Dict[int, int]] = [{} for _ in range(self.n_sets)]
+        self._policy = LruPolicy()
+        self._stamp = 0
+        self.stats = IcrStats()
+
+    # -- helpers -------------------------------------------------------------
+
+    def _locate(self, addr: int):
+        block = addr >> self._offset_bits
+        return block & self._index_mask, block >> (self.n_sets.bit_length() - 1)
+
+    def _is_dead(self, line: CacheLine, cycle: int) -> bool:
+        return (
+            not line.valid
+            or cycle - line.last_touch_cycle >= self.dead_interval
+        )
+
+    def _replica_of(self, set_idx: int, way: int) -> Optional[int]:
+        return self._replicas[set_idx].get(way)
+
+    def _drop_replica_hosted_by(self, set_idx: int, way: int) -> None:
+        """Way is being reused for real data: forget any replica it held."""
+        replicas = self._replicas[set_idx]
+        for primary, host in list(replicas.items()):
+            if host == way:
+                del replicas[primary]
+                self.stats.replicas_displaced += 1
+
+    # -- main access path ------------------------------------------------------
+
+    def access(self, addr: int, is_write: bool, cycle: int) -> bool:
+        """One access; returns True when the line had a live replica."""
+        self.stats.accesses += 1
+        set_idx, tag = self._locate(addr)
+        ways = self.sets[set_idx]
+        self._stamp += 1
+
+        way = None
+        for w, line in enumerate(ways):
+            if line.valid and line.tag == tag:
+                way = w
+                break
+        if way is None:
+            way = self._fill(set_idx, tag, cycle)
+        line = ways[way]
+        line.lru_stamp = self._stamp
+        line.last_touch_cycle = cycle
+        if is_write:
+            line.record_write()
+
+        covered = False
+        replica = self._replica_of(set_idx, way)
+        if replica is not None:
+            covered = True
+            self.stats.covered_accesses += 1
+            if is_write:
+                self.stats.replica_updates += 1
+        else:
+            self._try_replicate(set_idx, way, cycle)
+        return covered
+
+    def _fill(self, set_idx: int, tag: int, cycle: int) -> int:
+        ways = self.sets[set_idx]
+        way = self._policy.choose_victim(ways)
+        self._drop_replica_hosted_by(set_idx, way)
+        self._replicas[set_idx].pop(way, None)  # old primary's replica link
+        ways[way].fill(tag, cycle, self._stamp)
+        return way
+
+    def _try_replicate(self, set_idx: int, way: int, cycle: int) -> None:
+        """Host a replica of ``way`` in a dead line of the same set."""
+        ways = self.sets[set_idx]
+        taken_hosts = set(self._replicas[set_idx].values())
+        for host, line in enumerate(ways):
+            if host == way or host in taken_hosts:
+                continue
+            if self._is_dead(line, cycle):
+                self._replicas[set_idx][way] = host
+                self.stats.replicas_created += 1
+                return
+
+    # -- queries ----------------------------------------------------------------
+
+    def replicated_fraction(self) -> float:
+        """Fraction of valid lines currently backed by a replica."""
+        valid = replicated = 0
+        for set_idx, ways in enumerate(self.sets):
+            for way, line in enumerate(ways):
+                if line.valid:
+                    valid += 1
+                    if way in self._replicas[set_idx]:
+                        replicated += 1
+        return replicated / valid if valid else 0.0

@@ -1,0 +1,240 @@
+"""Protection policies and payload-level line protection.
+
+A :class:`ProtectionPolicy` states which code guards a line in a given
+state.  The paper's scheme is :class:`NonUniformPolicy` — parity on
+every line, ECC added while dirty — against the conventional
+:class:`UniformEccPolicy` baseline.
+
+:class:`LineProtection` binds a policy to a real payload and real codecs
+(:mod:`repro.ecc`) so the reliability experiments can inject faults and
+observe end-to-end recovery: a clean line that fails parity is refetched
+from the next level; a dirty line relies on ECC correction; a dirty line
+with a double-bit error is data loss.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from typing import List, Optional, Tuple
+
+from repro.ecc.codec import LineCodec
+from repro.ecc.events import CheckOutcome
+from repro.ecc.hamming import SecDedCodec
+from repro.ecc.parity import ParityCodec
+
+
+class ProtectionDomain(enum.Enum):
+    """Which code currently guards a line."""
+
+    NONE = "none"
+    PARITY = "parity"
+    ECC = "ecc"
+
+
+class ProtectionPolicy(abc.ABC):
+    """Maps line state to protection domains and per-line check bits."""
+
+    name: str
+
+    @abc.abstractmethod
+    def domains_for(self, dirty: bool) -> Tuple[ProtectionDomain, ...]:
+        """Codes stored for a line in the given state."""
+
+    def check_bits_per_line(self, line_bytes: int, dirty: bool) -> int:
+        """Total protection bits stored for one line in the given state."""
+        words = line_bytes // 8
+        bits = 0
+        for domain in self.domains_for(dirty):
+            if domain is ProtectionDomain.PARITY:
+                bits += words  # 1 bit / 64-bit word
+            elif domain is ProtectionDomain.ECC:
+                bits += 8 * words  # SECDED(72,64)
+        return bits
+
+    def recovery_domain(self, dirty: bool) -> ProtectionDomain:
+        """The strongest code available for recovery in the given state."""
+        domains = self.domains_for(dirty)
+        if ProtectionDomain.ECC in domains:
+            return ProtectionDomain.ECC
+        if ProtectionDomain.PARITY in domains:
+            return ProtectionDomain.PARITY
+        return ProtectionDomain.NONE
+
+
+class UniformEccPolicy(ProtectionPolicy):
+    """Conventional baseline: SECDED on every line (12.5% area)."""
+
+    name = "uniform-ecc"
+
+    def domains_for(self, dirty: bool) -> Tuple[ProtectionDomain, ...]:
+        return (ProtectionDomain.ECC,)
+
+
+class UniformParityPolicy(ProtectionPolicy):
+    """Parity-only (the L1 arrays in POWER4/Itanium)."""
+
+    name = "uniform-parity"
+
+    def domains_for(self, dirty: bool) -> Tuple[ProtectionDomain, ...]:
+        return (ProtectionDomain.PARITY,)
+
+
+class NonUniformPolicy(ProtectionPolicy):
+    """The paper's scheme: parity always, ECC while dirty."""
+
+    name = "non-uniform"
+
+    def domains_for(self, dirty: bool) -> Tuple[ProtectionDomain, ...]:
+        if dirty:
+            return (ProtectionDomain.PARITY, ProtectionDomain.ECC)
+        return (ProtectionDomain.PARITY,)
+
+
+class RecoveryAction(enum.Enum):
+    """End-to-end result of reading a (possibly corrupted) line."""
+
+    CLEAN_READ = "clean-read"
+    CORRECTED_IN_PLACE = "corrected"
+    #: Parity caught an error on a clean line; re-fetched from below.
+    REFETCHED = "refetched"
+    #: Error detected on a dirty line beyond ECC's correction power.
+    DATA_LOSS = "data-loss"
+    #: Corrupted data returned with no error signalled.
+    SILENT_CORRUPTION = "silent-corruption"
+
+    @property
+    def recovered(self) -> bool:
+        return self in (
+            RecoveryAction.CLEAN_READ,
+            RecoveryAction.CORRECTED_IN_PLACE,
+            RecoveryAction.REFETCHED,
+        )
+
+
+class LineProtection:
+    """One cache line's payload plus its live protection metadata.
+
+    Used by the fault-injection experiments: holds the stored payload
+    (which faults corrupt), the golden copy (ground truth, also what a
+    refetch from the next memory level returns for a *clean* line), and
+    the check bits the active policy mandates.
+    """
+
+    def __init__(
+        self,
+        policy: ProtectionPolicy,
+        payload: bytes,
+        line_bytes: int = 64,
+    ) -> None:
+        if len(payload) != line_bytes:
+            raise ValueError(f"payload must be {line_bytes} bytes")
+        self.policy = policy
+        self.line_bytes = line_bytes
+        self._parity = LineCodec(ParityCodec(), line_bytes)
+        self._ecc = LineCodec(SecDedCodec(), line_bytes)
+        self.dirty = False
+        self.payload = bytearray(payload)
+        #: Ground truth: what memory holds (clean) or what was written (dirty).
+        self.golden = bytes(payload)
+        self.parity_checks: Optional[List[int]] = None
+        self.ecc_checks: Optional[List[int]] = None
+        self._encode()
+
+    def _encode(self) -> None:
+        """Regenerate check bits for the current payload and state."""
+        domains = self.policy.domains_for(self.dirty)
+        stored = bytes(self.payload)
+        self.parity_checks = (
+            self._parity.encode_line(stored)
+            if ProtectionDomain.PARITY in domains
+            else None
+        )
+        self.ecc_checks = (
+            self._ecc.encode_line(stored)
+            if ProtectionDomain.ECC in domains
+            else None
+        )
+
+    # -- state transitions ---------------------------------------------------
+
+    def write(self, payload: bytes) -> None:
+        """Store new data: the line becomes dirty (memory copy now stale)."""
+        if len(payload) != self.line_bytes:
+            raise ValueError(f"payload must be {self.line_bytes} bytes")
+        self.payload = bytearray(payload)
+        self.golden = bytes(payload)
+        self.dirty = True
+        self._encode()
+
+    def clean(self) -> bytes:
+        """Write the line back: returns the data sent to memory.
+
+        After cleaning, the line keeps its payload but drops to the
+        clean-state protection domain (ECC bits are surrendered).
+        """
+        data = bytes(self.payload)
+        self.dirty = False
+        self._encode()
+        return data
+
+    def flip(self, byte_idx: int, bit_idx: int) -> None:
+        """Inject a fault: flip one stored payload bit (not the golden copy)."""
+        if not 0 <= byte_idx < self.line_bytes or not 0 <= bit_idx < 8:
+            raise ValueError("flip target out of range")
+        self.payload[byte_idx] ^= 1 << bit_idx
+
+    # -- access --------------------------------------------------------------
+
+    def access(self) -> Tuple[RecoveryAction, bytes]:
+        """Read the line end-to-end: check, recover, return (action, data)."""
+        domain = self.policy.recovery_domain(self.dirty)
+        stored = bytes(self.payload)
+
+        if domain is ProtectionDomain.ECC:
+            assert self.ecc_checks is not None
+            outcome, repaired, _ = self._ecc.check_line(stored, self.ecc_checks)
+            if outcome is CheckOutcome.OK:
+                action = (
+                    RecoveryAction.CLEAN_READ
+                    if repaired == self.golden
+                    else RecoveryAction.SILENT_CORRUPTION
+                )
+                return action, repaired
+            if outcome is CheckOutcome.CORRECTED:
+                self.payload = bytearray(repaired)
+                action = (
+                    RecoveryAction.CORRECTED_IN_PLACE
+                    if repaired == self.golden
+                    else RecoveryAction.SILENT_CORRUPTION
+                )
+                return action, repaired
+            # Uncorrectable on a dirty line: the only up-to-date copy is lost.
+            return RecoveryAction.DATA_LOSS, stored
+
+        if domain is ProtectionDomain.PARITY:
+            assert self.parity_checks is not None
+            outcome, _, _ = self._parity.check_line(stored, self.parity_checks)
+            if outcome is CheckOutcome.OK:
+                action = (
+                    RecoveryAction.CLEAN_READ
+                    if stored == self.golden
+                    else RecoveryAction.SILENT_CORRUPTION
+                )
+                return action, stored
+            if self.dirty:
+                # Parity detected an error but the only up-to-date copy
+                # is the corrupted one: unrecoverable.  This is exactly
+                # why the paper insists dirty lines carry ECC.
+                return RecoveryAction.DATA_LOSS, stored
+            # Clean line, parity mismatch: refetch pristine data from below.
+            self.payload = bytearray(self.golden)
+            self._encode()
+            return RecoveryAction.REFETCHED, bytes(self.payload)
+
+        action = (
+            RecoveryAction.CLEAN_READ
+            if stored == self.golden
+            else RecoveryAction.SILENT_CORRUPTION
+        )
+        return action, stored

@@ -1,0 +1,51 @@
+"""Integrity checks over a protected L2's state.
+
+These validate the invariants the paper's design relies on (and which
+our tests assert after every workload):
+
+1. At most ``entries_per_set`` dirty lines per set — otherwise some
+   dirty line would have no ECC protection.
+2. ECC entry ownership matches dirtiness exactly: every dirty line owns
+   an entry and every owned entry belongs to a valid dirty line (this is
+   what lets the hardware identify the line of an evicted ECC entry by
+   its dirty bit alone).
+3. The incremental dirty-count integrator matches a full scan.
+"""
+
+from __future__ import annotations
+
+from repro.cache.cache import SetAssociativeCache
+from repro.core.protected_cache import ProtectedL2
+
+
+class IntegrityError(AssertionError):
+    """A protected-cache invariant was violated."""
+
+
+def check_invariants(cache: SetAssociativeCache) -> None:
+    """Raise :class:`IntegrityError` on any invariant violation."""
+    actual_dirty = cache.dirty_line_count()
+    if actual_dirty != cache.dirty.dirty_count:
+        raise IntegrityError(
+            f"dirty integrator {cache.dirty.dirty_count} != scan {actual_dirty}"
+        )
+
+    if not isinstance(cache, ProtectedL2) or cache.ecc_array is None:
+        return
+
+    per_set_cap = cache.ecc_array.entries_per_set
+    for set_idx, ways in enumerate(cache.sets):
+        dirty_ways = {
+            w for w, line in enumerate(ways) if line.valid and line.dirty
+        }
+        if len(dirty_ways) > per_set_cap:
+            raise IntegrityError(
+                f"set {set_idx}: {len(dirty_ways)} dirty lines exceed "
+                f"{per_set_cap} ECC entries"
+            )
+        owners = set(cache.ecc_array.owners(set_idx))
+        if owners != dirty_ways:
+            raise IntegrityError(
+                f"set {set_idx}: ECC owners {sorted(owners)} != dirty ways "
+                f"{sorted(dirty_ways)}"
+            )

@@ -1,0 +1,76 @@
+"""Tag-array protection semantics.
+
+Both the conventional design and the paper's scheme guard each L2 tag
+(and its status bits) with a 1-bit parity code, "as in Itanium
+processor" — 2 KB each for the 16K-line L2.  This module models what a
+tag-parity error *means* end to end:
+
+* On a **clean** line, a detected tag error is recoverable: the line's
+  identity is untrustworthy, so the controller invalidates it and the
+  next access refetches from below.  A read of that address simply
+  misses.
+* On a **dirty** line, the only up-to-date copy's *address* is lost —
+  the data cannot be written back anywhere trustworthy.  That is data
+  loss, exactly parallel to the data-array argument for ECC on dirty
+  lines.  (Real designs accept this residual risk for single-bit tag
+  parity, in both the conventional and proposed schemes; the paper's
+  area accounting includes the same 1-bit tag parity for both.)
+
+An undetected (even-weight) tag flip silently aliases the line to a
+different address — classified here so campaigns can count it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.ecc.parity import _parity64
+
+
+class TagOutcome(enum.Enum):
+    """End-to-end result of accessing a line via a (possibly hit) tag."""
+
+    OK = "ok"
+    #: Clean line, parity caught the flip: invalidate + refetch.
+    INVALIDATED_REFETCH = "invalidated-refetch"
+    #: Dirty line, parity caught the flip: the write-back address is lost.
+    DATA_LOSS = "data-loss"
+    #: Even number of flips: the tag silently names another address.
+    SILENT_ALIAS = "silent-alias"
+
+
+@dataclass
+class ProtectedTag:
+    """One tag field with its parity bit."""
+
+    tag: int
+    tag_bits: int = 24
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.tag < (1 << self.tag_bits):
+            raise ValueError("tag out of range for tag_bits")
+        self.stored = self.tag
+        self.parity = _parity64(self.tag)
+
+    def flip(self, bit: int) -> None:
+        """Soft error: flip one stored tag bit."""
+        if not 0 <= bit < self.tag_bits:
+            raise ValueError("tag bit out of range")
+        self.stored ^= 1 << bit
+
+    def check(self, dirty: bool) -> TagOutcome:
+        """Classify the stored tag's state for a line of given dirtiness."""
+        if _parity64(self.stored) != self.parity:
+            return (
+                TagOutcome.DATA_LOSS if dirty
+                else TagOutcome.INVALIDATED_REFETCH
+            )
+        if self.stored != self.tag:
+            return TagOutcome.SILENT_ALIAS
+        return TagOutcome.OK
+
+    def repair(self) -> None:
+        """Refetch path: restore the true tag (new fill from below)."""
+        self.stored = self.tag
+        self.parity = _parity64(self.tag)

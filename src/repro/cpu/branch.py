@@ -1,0 +1,110 @@
+"""Two-level branch predictor with a 2K-entry BTB (Table 1).
+
+A two-level adaptive predictor: a global branch-history register is
+combined (gshare-style, shifted XOR) with the branch address to index a
+pattern history table of 2-bit saturating counters.  The history is
+deliberately narrower than the table index so each static branch keeps
+a mostly-private group of counters — the predictor then degrades
+gracefully to per-branch bias prediction when history carries no
+correlation, as in real designs.
+
+A direct-mapped, tagged branch target buffer supplies targets; a taken
+prediction without a BTB target is treated as a mispredict (the
+front-end cannot redirect without a target).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BranchPredictorConfig:
+    #: log2 of the pattern-history-table size.
+    pht_bits: int = 12
+    #: Global history bits folded into the index.
+    history_bits: int = 6
+    btb_entries: int = 2048
+
+    def __post_init__(self) -> None:
+        if not 0 < self.pht_bits <= 24:
+            raise ValueError("pht_bits must be in 1..24")
+        if not 0 <= self.history_bits <= self.pht_bits:
+            raise ValueError("history_bits must be in 0..pht_bits")
+        if self.btb_entries & (self.btb_entries - 1):
+            raise ValueError("btb_entries must be a power of two")
+
+
+@dataclass
+class BranchStats:
+    predictions: int = 0
+    mispredictions: int = 0
+    btb_misses: int = 0
+
+    @property
+    def mispredict_rate(self) -> float:
+        if self.predictions == 0:
+            return 0.0
+        return self.mispredictions / self.predictions
+
+
+class BranchPredictor:
+    """Two-level direction predictor + direct-mapped BTB."""
+
+    def __init__(self, config: BranchPredictorConfig = BranchPredictorConfig()):
+        self.config = config
+        self._pht_size = 1 << config.pht_bits
+        self._pht_mask = self._pht_size - 1
+        #: 2-bit saturating counters, initialised weakly taken.
+        self._pht = [2] * self._pht_size
+        self._history = 0
+        self._history_mask = (1 << config.history_bits) - 1
+        #: Left-shift that spreads the history across the index's top bits.
+        self._history_shift = config.pht_bits - config.history_bits
+        self._btb_mask = config.btb_entries - 1
+        #: BTB entry: pc tag -> target; direct mapped on low pc bits.
+        self._btb_tags = [0] * config.btb_entries
+        self._btb_targets = [0] * config.btb_entries
+        self._btb_valid = [False] * config.btb_entries
+        self.stats = BranchStats()
+
+    def _index(self, pc: int) -> int:
+        return (
+            (pc >> 2) ^ (self._history << self._history_shift)
+        ) & self._pht_mask
+
+    def predict_and_update(self, pc: int, taken: bool, target: int) -> bool:
+        """Predict the branch at ``pc``; train; return True on mispredict."""
+        self.stats.predictions += 1
+        idx = self._index(pc)
+        counter = self._pht[idx]
+        pred_taken = counter >= 2
+
+        btb_idx = (pc >> 2) & self._btb_mask
+        btb_hit = self._btb_valid[btb_idx] and self._btb_tags[btb_idx] == pc
+        pred_target = self._btb_targets[btb_idx] if btb_hit else None
+
+        mispredict = pred_taken != taken
+        if not mispredict and taken:
+            if pred_target is None:
+                self.stats.btb_misses += 1
+                mispredict = True
+            elif pred_target != target:
+                mispredict = True
+        if mispredict:
+            self.stats.mispredictions += 1
+
+        # Train the PHT counter and the history register.
+        if taken:
+            self._pht[idx] = min(3, counter + 1)
+        else:
+            self._pht[idx] = max(0, counter - 1)
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+
+        # Allocate/refresh the BTB entry for taken branches.
+        if taken:
+            self._btb_valid[btb_idx] = True
+            self._btb_tags[btb_idx] = pc
+            self._btb_targets[btb_idx] = target
+
+        return mispredict

@@ -1,0 +1,72 @@
+"""Instruction and data TLBs (Table 1: 64-entry/4-way and 128-entry/4-way)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class TlbConfig:
+    entries: int = 64
+    ways: int = 4
+    page_bytes: int = 4096
+    #: Fixed page-walk penalty on a miss (SimpleScalar's default 30).
+    miss_penalty: int = 30
+
+    def __post_init__(self) -> None:
+        if self.entries % self.ways != 0:
+            raise ValueError("entries must be divisible by ways")
+        n_sets = self.entries // self.ways
+        if n_sets & (n_sets - 1):
+            raise ValueError("number of TLB sets must be a power of two")
+        if self.page_bytes & (self.page_bytes - 1):
+            raise ValueError("page_bytes must be a power of two")
+
+    @property
+    def n_sets(self) -> int:
+        return self.entries // self.ways
+
+
+@dataclass
+class TlbStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+
+class Tlb:
+    """Set-associative LRU TLB; returns the translation penalty in cycles."""
+
+    def __init__(self, config: TlbConfig = TlbConfig()) -> None:
+        self.config = config
+        self._offset_bits = config.page_bytes.bit_length() - 1
+        self._index_mask = config.n_sets - 1
+        #: Per set: list of (vpn, stamp), most recent last.
+        self._sets: List[List[List[int]]] = [
+            [] for _ in range(config.n_sets)
+        ]
+        self._stamp = 0
+        self.stats = TlbStats()
+
+    def translate(self, addr: int) -> int:
+        """Look up ``addr``; return 0 on a hit, miss_penalty on a miss."""
+        vpn = addr >> self._offset_bits
+        set_idx = vpn & self._index_mask
+        entries = self._sets[set_idx]
+        self._stamp += 1
+        for entry in entries:
+            if entry[0] == vpn:
+                entry[1] = self._stamp
+                self.stats.hits += 1
+                return 0
+        self.stats.misses += 1
+        if len(entries) >= self.config.ways:
+            # Evict the LRU entry.
+            entries.remove(min(entries, key=lambda e: e[1]))
+        entries.append([vpn, self._stamp])
+        return self.config.miss_penalty

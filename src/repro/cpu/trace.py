@@ -1,0 +1,78 @@
+"""Instruction trace records consumed by the timing model.
+
+Workload generators (:mod:`repro.workloads`) emit streams of
+:class:`Inst`; the cache-only experiments use just the LOAD/STORE
+records, the IPC experiments feed the full stream to
+:class:`repro.cpu.ooo.OoOCore`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+
+class OpClass(enum.IntEnum):
+    """Instruction classes with distinct timing behaviour."""
+
+    INT_ALU = 0
+    INT_MUL = 1
+    FP_ALU = 2
+    FP_MUL = 3
+    LOAD = 4
+    STORE = 5
+    BRANCH = 6
+
+    @property
+    def is_mem(self) -> bool:
+        return self in (OpClass.LOAD, OpClass.STORE)
+
+
+#: Execution latency (cycles) per op class; LOAD latency comes from the
+#: memory hierarchy instead.
+EXEC_LATENCY = {
+    OpClass.INT_ALU: 1,
+    OpClass.INT_MUL: 3,
+    OpClass.FP_ALU: 2,
+    OpClass.FP_MUL: 4,
+    OpClass.LOAD: 1,  # address generation; memory latency added on top
+    OpClass.STORE: 1,
+    OpClass.BRANCH: 1,
+}
+
+
+class Inst:
+    """One dynamic instruction.
+
+    ``srcs``/``dest`` are abstract register ids (any ints); ``-1`` means
+    no destination.  For branches, ``taken``/``target`` are the *actual*
+    outcome the predictor is checked against.
+    """
+
+    __slots__ = ("op", "pc", "addr", "dest", "srcs", "taken", "target")
+
+    def __init__(
+        self,
+        op: OpClass,
+        pc: int,
+        addr: int = 0,
+        dest: int = -1,
+        srcs: Tuple[int, ...] = (),
+        taken: bool = False,
+        target: int = 0,
+    ) -> None:
+        self.op = op
+        self.pc = pc
+        self.addr = addr
+        self.dest = dest
+        self.srcs = srcs
+        self.taken = taken
+        self.target = target
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extra = ""
+        if self.op.is_mem:
+            extra = f", addr={self.addr:#x}"
+        elif self.op is OpClass.BRANCH:
+            extra = f", taken={self.taken}"
+        return f"Inst({self.op.name}, pc={self.pc:#x}{extra})"

@@ -1,0 +1,28 @@
+"""Error-coding substrate: parity and SECDED codecs plus fault injection.
+
+The paper protects clean cache lines with one parity bit per 64-bit word
+and dirty lines with SECDED ECC (8 check bits per 64-bit word, as in the
+Itanium L2).  This package provides bit-accurate implementations of both
+codes over real payloads, a common :class:`~repro.ecc.codec.Codec`
+interface, and a fault-injection harness used by the reliability
+experiments and tests.
+"""
+
+from repro.ecc.codec import Codec, CodewordError, LineCodec
+from repro.ecc.events import CheckOutcome, CheckResult
+from repro.ecc.hamming import SecDedCodec
+from repro.ecc.injection import FaultInjector, flip_bit
+from repro.ecc.parity import InterleavedParityCodec, ParityCodec
+
+__all__ = [
+    "CheckOutcome",
+    "CheckResult",
+    "Codec",
+    "CodewordError",
+    "FaultInjector",
+    "InterleavedParityCodec",
+    "LineCodec",
+    "ParityCodec",
+    "SecDedCodec",
+    "flip_bit",
+]

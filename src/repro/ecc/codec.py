@@ -1,0 +1,118 @@
+"""Common codec interface for the protection codes used by the caches.
+
+All codecs operate on 64-bit data words (the granularity at which both
+the Itanium parity and SECDED schemes the paper cites are organised) and
+on whole cache lines, which are sequences of such words.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence, Tuple
+
+from repro.ecc.events import CheckOutcome, CheckResult
+
+#: Width of one protected data word, in bits.
+WORD_BITS = 64
+#: Mask selecting one data word.
+WORD_MASK = (1 << WORD_BITS) - 1
+
+
+class CodewordError(ValueError):
+    """Raised for malformed codec inputs (out-of-range word or check bits)."""
+
+
+class Codec(abc.ABC):
+    """A per-word error protection code.
+
+    Concrete codecs encode a 64-bit data word into *check bits* and later
+    verify (and possibly repair) a stored word against stored check bits.
+    """
+
+    #: Number of check bits produced per 64-bit data word.
+    check_bits_per_word: int
+
+    @abc.abstractmethod
+    def encode(self, word: int) -> int:
+        """Return the check bits for ``word``."""
+
+    @abc.abstractmethod
+    def check(self, word: int, check: int) -> CheckResult:
+        """Verify ``word`` against ``check``; return a :class:`CheckResult`."""
+
+    # -- shared helpers ---------------------------------------------------
+
+    def _validate_word(self, word: int) -> None:
+        if not 0 <= word <= WORD_MASK:
+            raise CodewordError(f"data word out of range: {word:#x}")
+
+    def _validate_check(self, check: int) -> None:
+        limit = 1 << self.check_bits_per_word
+        if not 0 <= check < limit:
+            raise CodewordError(f"check bits out of range: {check:#x}")
+
+
+class LineCodec:
+    """Applies a per-word :class:`Codec` across a whole cache line.
+
+    A 64-byte line holds eight 64-bit words; the line's check bits are the
+    concatenation (as a list) of the per-word check bits.
+    """
+
+    def __init__(self, codec: Codec, line_bytes: int = 64) -> None:
+        if line_bytes % 8 != 0:
+            raise CodewordError("line size must be a multiple of 8 bytes")
+        self.codec = codec
+        self.line_bytes = line_bytes
+        self.words_per_line = line_bytes // 8
+
+    @property
+    def check_bits_per_line(self) -> int:
+        return self.codec.check_bits_per_word * self.words_per_line
+
+    def split_line(self, payload: bytes) -> List[int]:
+        """Split a line payload into little-endian 64-bit words."""
+        if len(payload) != self.line_bytes:
+            raise CodewordError(
+                f"payload must be {self.line_bytes} bytes, got {len(payload)}"
+            )
+        return [
+            int.from_bytes(payload[i : i + 8], "little")
+            for i in range(0, self.line_bytes, 8)
+        ]
+
+    def join_line(self, words: Sequence[int]) -> bytes:
+        """Inverse of :meth:`split_line`."""
+        if len(words) != self.words_per_line:
+            raise CodewordError("wrong number of words for line")
+        return b"".join(w.to_bytes(8, "little") for w in words)
+
+    def encode_line(self, payload: bytes) -> List[int]:
+        """Return the per-word check bits for a full line payload."""
+        return [self.codec.encode(w) for w in self.split_line(payload)]
+
+    def check_line(
+        self, payload: bytes, checks: Sequence[int]
+    ) -> Tuple[CheckOutcome, bytes, List[CheckResult]]:
+        """Verify a full line; return (worst outcome, repaired payload, details).
+
+        The *worst* outcome across words is reported: ``DETECTED`` beats
+        ``CORRECTED`` beats ``OK``.  The repaired payload incorporates any
+        single-bit corrections made by the codec.
+        """
+        words = self.split_line(payload)
+        if len(checks) != self.words_per_line:
+            raise CodewordError("wrong number of check words for line")
+        results = [self.codec.check(w, c) for w, c in zip(words, checks)]
+        repaired = self.join_line([r.data for r in results])
+        worst = CheckOutcome.OK
+        severity = {
+            CheckOutcome.OK: 0,
+            CheckOutcome.CORRECTED: 1,
+            CheckOutcome.DETECTED: 2,
+            CheckOutcome.UNDETECTED: 3,
+        }
+        for r in results:
+            if severity[r.outcome] > severity[worst]:
+                worst = r.outcome
+        return worst, repaired, results

@@ -1,0 +1,64 @@
+"""Outcome types shared by every codec in :mod:`repro.ecc`."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class CheckOutcome(enum.Enum):
+    """Result category of checking one codeword.
+
+    ``OK``
+        No error signalled; the stored word matched its check bits.
+    ``CORRECTED``
+        A single-bit error was detected *and repaired* (SECDED only).
+    ``DETECTED``
+        An error was detected but cannot be repaired by this code
+        (any odd-weight error under parity; a double-bit error under
+        SECDED).  For a clean line the recovery action is a refetch
+        from the next memory level; for a dirty line it is data loss.
+    ``UNDETECTED``
+        The stored word is known (by the injection harness) to differ
+        from the original, yet the code reported ``OK``.  Only the
+        fault-injection driver can label this outcome, since a real
+        decoder cannot observe it.
+    """
+
+    OK = "ok"
+    CORRECTED = "corrected"
+    DETECTED = "detected"
+    UNDETECTED = "undetected"
+
+    @property
+    def is_error_signalled(self) -> bool:
+        """True when the decoder raised any error indication."""
+        return self in (CheckOutcome.CORRECTED, CheckOutcome.DETECTED)
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Full result of decoding one codeword.
+
+    Attributes
+    ----------
+    outcome:
+        The :class:`CheckOutcome` category.
+    data:
+        The (possibly corrected) data word.  For ``DETECTED`` the word
+        is returned unrepaired and must not be consumed.
+    syndrome:
+        Raw decoder syndrome, useful for diagnostics; 0 means clean.
+    corrected_bit:
+        Bit index repaired within the codeword, or ``None``.
+    """
+
+    outcome: CheckOutcome
+    data: int
+    syndrome: int = 0
+    corrected_bit: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome is CheckOutcome.OK

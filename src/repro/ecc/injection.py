@@ -1,0 +1,134 @@
+"""Fault injection over codewords: deterministic flips and random campaigns.
+
+Soft errors in the paper's threat model flip bits in the SRAM arrays; the
+injector models a strike as one or more bit flips within a stored
+(data word, check bits) pair and classifies the decoder's response,
+including silent data corruption (``UNDETECTED``), which only the
+injector — knowing ground truth — can label.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.ecc.codec import WORD_BITS, Codec, CodewordError
+from repro.ecc.events import CheckOutcome
+
+
+def flip_bit(word: int, bit: int, width: int = WORD_BITS) -> int:
+    """Return ``word`` with bit ``bit`` flipped; ``bit`` must be in range."""
+    if not 0 <= bit < width:
+        raise CodewordError(f"bit index {bit} out of range for width {width}")
+    return word ^ (1 << bit)
+
+
+@dataclass
+class CampaignStats:
+    """Aggregated outcomes of an injection campaign."""
+
+    trials: int = 0
+    by_outcome: Dict[CheckOutcome, int] = field(default_factory=dict)
+
+    def record(self, outcome: CheckOutcome) -> None:
+        self.trials += 1
+        self.by_outcome[outcome] = self.by_outcome.get(outcome, 0) + 1
+
+    def rate(self, outcome: CheckOutcome) -> float:
+        if self.trials == 0:
+            return 0.0
+        return self.by_outcome.get(outcome, 0) / self.trials
+
+
+class FaultInjector:
+    """Seeded random bit-flip campaigns against a :class:`Codec`.
+
+    A *trial* encodes a random data word, flips ``n_flips`` distinct bits
+    anywhere in the combined (data ‖ check) codeword, decodes, and
+    classifies the outcome against ground truth.
+    """
+
+    def __init__(self, codec: Codec, seed: int = 0) -> None:
+        self.codec = codec
+        self.rng = random.Random(seed)
+
+    def inject(
+        self, word: int, n_flips: int, rng: Optional[random.Random] = None
+    ) -> Tuple[CheckOutcome, int, int]:
+        """Run one trial on ``word``; return (outcome, faulty word, faulty check).
+
+        The outcome is reclassified as ``UNDETECTED`` when the decoder
+        reported ``OK`` or returned wrong data despite the injected flips.
+        """
+        rng = rng or self.rng
+        check = self.codec.encode(word)
+        total_bits = WORD_BITS + self.codec.check_bits_per_word
+        bits = rng.sample(range(total_bits), n_flips)
+        faulty_word, faulty_check = word, check
+        for b in bits:
+            if b < WORD_BITS:
+                faulty_word = flip_bit(faulty_word, b)
+            else:
+                faulty_check = flip_bit(
+                    faulty_check, b - WORD_BITS, self.codec.check_bits_per_word
+                )
+        result = self.codec.check(faulty_word, faulty_check)
+        outcome = result.outcome
+        if n_flips > 0:
+            silent_ok = outcome is CheckOutcome.OK
+            wrong_repair = (
+                outcome is CheckOutcome.CORRECTED and result.data != word
+            )
+            if silent_ok or wrong_repair:
+                outcome = CheckOutcome.UNDETECTED
+        return outcome, faulty_word, faulty_check
+
+    def inject_burst(
+        self,
+        word: int,
+        burst_len: int,
+        rng: Optional[random.Random] = None,
+    ) -> Tuple[CheckOutcome, int, int]:
+        """One multi-bit-upset trial: flip ``burst_len`` *adjacent* data bits.
+
+        Models a single particle strike disturbing neighbouring cells —
+        the failure mode interleaved parity exists for.  The burst stays
+        within the data word (check bits are assumed physically apart).
+        """
+        rng = rng or self.rng
+        if not 1 <= burst_len <= WORD_BITS:
+            raise CodewordError("burst length out of range")
+        check = self.codec.encode(word)
+        start = rng.randrange(WORD_BITS - burst_len + 1)
+        faulty_word = word
+        for b in range(start, start + burst_len):
+            faulty_word = flip_bit(faulty_word, b)
+        result = self.codec.check(faulty_word, check)
+        outcome = result.outcome
+        silent_ok = outcome is CheckOutcome.OK
+        wrong_repair = (
+            outcome is CheckOutcome.CORRECTED and result.data != word
+        )
+        if silent_ok or wrong_repair:
+            outcome = CheckOutcome.UNDETECTED
+        return outcome, faulty_word, check
+
+    def campaign(
+        self, trials: int, n_flips: int, burst: bool = False
+    ) -> CampaignStats:
+        """Run ``trials`` independent injections.
+
+        With ``burst=False`` (default), ``n_flips`` uniformly random
+        bits flip anywhere in the codeword; with ``burst=True``,
+        ``n_flips`` *adjacent* data bits flip (multi-bit upset).
+        """
+        stats = CampaignStats()
+        for _ in range(trials):
+            word = self.rng.getrandbits(WORD_BITS)
+            if burst:
+                outcome, _, _ = self.inject_burst(word, n_flips)
+            else:
+                outcome, _, _ = self.inject(word, n_flips)
+            stats.record(outcome)
+        return stats

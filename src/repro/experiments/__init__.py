@@ -1,0 +1,132 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+:mod:`repro.experiments.runner` runs one benchmark under one protection
+configuration (fast reference-stream mode for residency/traffic figures,
+full CPU mode for IPC); :mod:`repro.experiments.figures` sweeps the
+paper's parameter grids; :mod:`repro.experiments.report` renders the
+paper-style tables.
+"""
+
+from repro.experiments.runner import (
+    PAPER_GEOMETRY,
+    SCALED_GEOMETRY,
+    Geometry,
+    IpcRunOutput,
+    RefRunOutput,
+    RunConfig,
+    build_l2,
+    run_ipc,
+    run_refs,
+    run_trace,
+)
+from repro.experiments.figures import (
+    area_table,
+    figure1,
+    figure3_4,
+    figure5_6,
+    figure7,
+    figure8,
+    interval_sweep,
+    ipc_loss,
+    table1,
+)
+from repro.experiments.ablations import (
+    ablate_best_interval,
+    ablate_bus_width,
+    ablate_cache_size,
+    ablate_cleaning_policy,
+    ablate_eager_writeback,
+    ablate_ecc_entries,
+    ablate_energy,
+    ablate_replacement,
+    ablate_write_buffer,
+    ablate_written_bit,
+)
+from repro.experiments.related import (
+    CoveragePoint,
+    icr_coverage,
+    kim_somani_coverage,
+    related_work_table,
+)
+from repro.experiments.reliability import (
+    ReliabilityConfig,
+    ReliabilityResult,
+    compare_policies,
+    reliability_campaign,
+)
+from repro.experiments.avf import (
+    dirty_exposure,
+    expected_uncorrectable,
+    exposure_comparison,
+    p_double_bit,
+)
+from repro.experiments.export import (
+    config_metadata,
+    load_json,
+    regenerate_all,
+    save_json,
+)
+from repro.experiments.report import render_bars, render_series, render_table
+from repro.experiments.stats import (
+    SeedStats,
+    dirty_fraction_stats,
+    multi_seed,
+    summarize,
+    writeback_fraction_stats,
+)
+
+__all__ = [
+    "Geometry",
+    "ReliabilityConfig",
+    "ReliabilityResult",
+    "ablate_best_interval",
+    "ablate_bus_width",
+    "ablate_cache_size",
+    "ablate_cleaning_policy",
+    "ablate_eager_writeback",
+    "ablate_ecc_entries",
+    "ablate_energy",
+    "ablate_replacement",
+    "ablate_write_buffer",
+    "ablate_written_bit",
+    "CoveragePoint",
+    "compare_policies",
+    "config_metadata",
+    "icr_coverage",
+    "kim_somani_coverage",
+    "related_work_table",
+    "load_json",
+    "regenerate_all",
+    "reliability_campaign",
+    "save_json",
+    "IpcRunOutput",
+    "PAPER_GEOMETRY",
+    "RefRunOutput",
+    "RunConfig",
+    "SCALED_GEOMETRY",
+    "SeedStats",
+    "dirty_exposure",
+    "dirty_fraction_stats",
+    "expected_uncorrectable",
+    "exposure_comparison",
+    "multi_seed",
+    "p_double_bit",
+    "render_bars",
+    "summarize",
+    "writeback_fraction_stats",
+    "area_table",
+    "build_l2",
+    "figure1",
+    "figure3_4",
+    "figure5_6",
+    "figure7",
+    "figure8",
+    "interval_sweep",
+    "ipc_loss",
+    "render_series",
+    "render_table",
+    "run_ipc",
+    "run_refs",
+    "run_trace",
+    "table1",
+]

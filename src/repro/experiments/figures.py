@@ -1,0 +1,192 @@
+"""Drivers that regenerate every table and figure of the paper.
+
+Each function returns plain data (dict keyed by benchmark) so tests and
+benchmarks can assert on shapes, plus the :mod:`report` helpers render
+the paper-style tables.  Figure/Table numbering follows the paper:
+
+* :func:`table1` — baseline processor configuration.
+* :func:`figure1` — % dirty L2 lines per cycle, conventional cache.
+* :func:`figure3_4` — dirty % vs cleaning interval (FP = Fig 3, INT = Fig 4).
+* :func:`figure5_6` — write-back traffic vs interval (FP = Fig 5, INT = Fig 6).
+* :func:`figure7` — dirty % under the full scheme (cleaning + shared ECC).
+* :func:`figure8` — write-back traffic split WB / Clean-WB / ECC-WB.
+* :func:`area_table` — the Section 5.2 54 KB vs 132 KB accounting.
+* :func:`ipc_loss` — the Section 5.2 IPC-loss measurement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache.hierarchy import default_l2_config
+from repro.core.area import (
+    AreaBreakdown,
+    conventional_overhead,
+    proposed_overhead,
+    reduction,
+)
+from repro.core.protected_cache import ProtectionConfig
+from repro.cpu.config import ProcessorConfig
+from repro.experiments.runner import (
+    RunConfig,
+    interval_label,
+    run_ipc,
+    run_refs,
+)
+from repro.workloads.spec2000 import (
+    BENCHMARKS,
+    FP_BENCHMARKS,
+    INT_BENCHMARKS,
+    BenchmarkSpec,
+)
+
+#: The interval the paper selects for its final scheme (Section 5.2).
+CHOSEN_INTERVAL = 1 << 20  # 1M cycles (paper-nominal)
+
+
+def _suite(suite: Optional[str]) -> List[BenchmarkSpec]:
+    if suite == "fp":
+        return FP_BENCHMARKS
+    if suite == "int":
+        return INT_BENCHMARKS
+    if suite is None:
+        return FP_BENCHMARKS + INT_BENCHMARKS
+    raise ValueError(f"unknown suite {suite!r}; use 'fp', 'int' or None")
+
+
+def table1(processor: Optional[ProcessorConfig] = None) -> str:
+    """Render the Table 1 baseline-configuration block."""
+    return (processor or ProcessorConfig()).describe()
+
+
+def figure1(config: RunConfig = RunConfig()) -> Dict[str, float]:
+    """Fig. 1: % dirty lines per cycle in the conventional L2, per benchmark.
+
+    The paper reports a 51.6% average with apsi/mesa/gap/parser high.
+    """
+    return {
+        spec.name: 100.0 * run_refs(spec.name, None, config).dirty_fraction
+        for spec in _suite(None)
+    }
+
+
+def interval_sweep(
+    suite: str, config: RunConfig = RunConfig()
+) -> Dict[str, Dict[str, "object"]]:
+    """The cleaning-interval sweep behind Figures 3–6.
+
+    Runs every benchmark of ``suite`` at each paper-nominal interval
+    (cleaning only, no ECC-array constraint) plus the unmodified
+    baseline ('org').  Returns {benchmark: {label: RefRunOutput}} so the
+    dirty-residency figures (3/4) and the traffic figures (5/6) can both
+    be projected from one set of simulations.
+    """
+    out: Dict[str, Dict[str, object]] = {}
+    grid = config.geometry.paper_intervals
+    for spec in _suite(suite):
+        row: Dict[str, object] = {}
+        for paper_interval in grid:
+            protection = ProtectionConfig(
+                cleaning_interval=paper_interval, ecc_entries_per_set=None
+            )
+            row[interval_label(paper_interval)] = run_refs(
+                spec.name, protection, config
+            )
+        row["org"] = run_refs(spec.name, None, config)
+        out[spec.name] = row
+    return out
+
+
+def figure3_4(
+    suite: str,
+    config: RunConfig = RunConfig(),
+    sweep: Optional[Dict[str, Dict[str, "object"]]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Figs. 3/4: dirty % per cleaning interval (cleaning only, no ECC array).
+
+    Returns {benchmark: {interval label or 'org': dirty %}}.  Pass a
+    precomputed :func:`interval_sweep` to avoid re-simulating.
+    """
+    sweep = sweep if sweep is not None else interval_sweep(suite, config)
+    return {
+        bench: {label: 100.0 * res.dirty_fraction for label, res in row.items()}
+        for bench, row in sweep.items()
+    }
+
+
+def figure5_6(
+    suite: str,
+    config: RunConfig = RunConfig(),
+    sweep: Optional[Dict[str, Dict[str, "object"]]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Figs. 5/6: write-backs as % of all loads/stores, per interval + org."""
+    sweep = sweep if sweep is not None else interval_sweep(suite, config)
+    return {
+        bench: {
+            label: 100.0 * res.writeback_fraction for label, res in row.items()
+        }
+        for bench, row in sweep.items()
+    }
+
+
+def _ours() -> ProtectionConfig:
+    """The paper's final configuration: 1M cleaning + 1-entry ECC array."""
+    return ProtectionConfig(
+        cleaning_interval=CHOSEN_INTERVAL, ecc_entries_per_set=1
+    )
+
+
+def figure7(config: RunConfig = RunConfig()) -> Dict[str, float]:
+    """Fig. 7: dirty % under the full scheme (the paper sees <25% everywhere)."""
+    return {
+        spec.name: 100.0 * run_refs(spec.name, _ours(), config).dirty_fraction
+        for spec in _suite(None)
+    }
+
+
+def figure8(config: RunConfig = RunConfig()) -> Dict[str, Dict[str, float]]:
+    """Fig. 8: write-back % split into WB / Clean-WB / ECC-WB, plus total."""
+    out: Dict[str, Dict[str, float]] = {}
+    for spec in _suite(None):
+        res = run_refs(spec.name, _ours(), config)
+        row = {k: 100.0 * v for k, v in res.writeback_split.items()}
+        row["total"] = 100.0 * res.writeback_fraction
+        out[spec.name] = row
+    return out
+
+
+def area_table(
+    ecc_entries_per_set: int = 1,
+) -> Tuple[AreaBreakdown, AreaBreakdown, float]:
+    """Section 5.2 area accounting on the paper's 1MB/4-way/64B L2.
+
+    Returns (conventional, proposed, fractional reduction ≈ 0.59).
+    """
+    l2 = default_l2_config()
+    conv = conventional_overhead(l2)
+    ours = proposed_overhead(l2, ecc_entries_per_set=ecc_entries_per_set)
+    return conv, ours, reduction(conv, ours)
+
+
+def ipc_loss(
+    config: RunConfig = RunConfig(),
+    suite: Optional[str] = None,
+    n_insts: Optional[int] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Section 5.2: IPC of org vs ours and the % loss, per benchmark.
+
+    The paper reports 0.14% (FP) / 0.65% (INT) average loss.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for spec in _suite(suite):
+        org = run_ipc(spec.name, None, config, n_insts=n_insts)
+        ours = run_ipc(spec.name, _ours(), config, n_insts=n_insts)
+        loss = (
+            100.0 * (org.ipc - ours.ipc) / org.ipc if org.ipc > 0 else 0.0
+        )
+        out[spec.name] = {
+            "IPC org": org.ipc,
+            "IPC ours": ours.ipc,
+            "loss %": loss,
+        }
+    return out

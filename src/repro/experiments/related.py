@@ -1,0 +1,129 @@
+"""Related-work comparison: protection coverage versus area.
+
+The paper positions itself against two prior reliability schemes:
+
+* Kim & Somani [9] protect only frequently-accessed lines — cheap, but
+  coverage is whatever locality delivers;
+* Zhang et al.'s in-cache replication [10] protects blocks that find a
+  dead partner — coverage depends on dead-block availability and costs
+  effective capacity;
+* the paper's non-uniform scheme protects *every* line (parity
+  everywhere, ECC for dirty data) at 59% less area than conventional
+  full ECC.
+
+These drivers measure the first two schemes' coverage on the synthetic
+suite so the three-way comparison can be tabulated.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cache.cache import CacheConfig
+from repro.core.area import ECC_BITS_PER_WORD
+from repro.core.hotlines import coverage_for_stream
+from repro.core.icr import IcrCache
+from repro.experiments.runner import RunConfig
+from repro.workloads.spec2000 import BENCHMARKS, get_benchmark, make_ref_stream
+
+
+@dataclass
+class CoveragePoint:
+    """One scheme configuration: its area cost and measured coverage."""
+
+    scheme: str
+    detail: str
+    area_kib: float
+    coverage_pct: float
+
+
+def hotline_area_kib(entries: int, line_bytes: int = 64) -> float:
+    """Storage for [9]'s protection structure: ECC bits + a block tag
+    per entry (tag estimated at 32 bits)."""
+    words = line_bytes * 8 // 64
+    bits_per_entry = words * ECC_BITS_PER_WORD + 32
+    return entries * bits_per_entry / 8 / 1024
+
+
+def kim_somani_coverage(
+    benchmark: str,
+    entries_grid: tuple = (256, 1024, 4096),
+    config: RunConfig = RunConfig(),
+) -> List[CoveragePoint]:
+    """Coverage of hot-line-only protection for one benchmark."""
+    points: List[CoveragePoint] = []
+    for entries in entries_grid:
+        stream = itertools.islice(
+            make_ref_stream(get_benchmark(benchmark),
+                            config.geometry.l2_bytes, seed=config.seed),
+            config.n_refs,
+        )
+        stats = coverage_for_stream(stream, entries=entries)
+        points.append(
+            CoveragePoint(
+                scheme="kim-somani",
+                detail=f"{entries} entries",
+                area_kib=hotline_area_kib(entries),
+                coverage_pct=100.0 * stats.coverage,
+            )
+        )
+    return points
+
+
+def icr_coverage(
+    benchmark: str,
+    config: RunConfig = RunConfig(),
+    dead_interval: Optional[int] = None,
+) -> CoveragePoint:
+    """Coverage of in-cache replication for one benchmark.
+
+    The ICR cache reuses the experiment geometry's L1D shape; its area
+    cost is nominally zero extra storage (replicas live in dead lines)
+    but it consumes capacity — reported here as coverage only.
+    """
+    l1_bytes = config.geometry.l1_bytes
+    cache = IcrCache(
+        CacheConfig("l1d-icr", l1_bytes, 4, 32),
+        dead_interval=dead_interval
+        or max(64, config.geometry.scaled_interval(1 << 14)),
+    )
+    stream = itertools.islice(
+        make_ref_stream(get_benchmark(benchmark),
+                        config.geometry.l2_bytes, seed=config.seed),
+        config.n_refs,
+    )
+    cycle = 0
+    for ref in stream:
+        cycle += 1 + ref.gap
+        cache.access(ref.addr, ref.is_write, cycle)
+    return CoveragePoint(
+        scheme="icr",
+        detail=f"dead@{cache.dead_interval}",
+        area_kib=0.0,
+        coverage_pct=100.0 * cache.stats.coverage,
+    )
+
+
+def related_work_table(
+    benchmarks: Optional[List[str]] = None,
+    config: RunConfig = RunConfig(),
+) -> Dict[str, Dict[str, float]]:
+    """Coverage (% of accesses protected) per scheme, per benchmark.
+
+    The paper's scheme covers 100% of accesses by construction (every
+    line carries at least parity, every dirty line full ECC), so its
+    column is structural.
+    """
+    names = benchmarks or sorted(BENCHMARKS)
+    out: Dict[str, Dict[str, float]] = {}
+    for name in names:
+        ks = kim_somani_coverage(name, entries_grid=(1024,), config=config)
+        icr = icr_coverage(name, config=config)
+        out[name] = {
+            "kim-somani@1K": ks[0].coverage_pct,
+            "icr": icr.coverage_pct,
+            "ours": 100.0,
+        }
+    return out

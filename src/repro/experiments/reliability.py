@@ -1,0 +1,122 @@
+"""End-to-end reliability campaigns over protected lines.
+
+The paper argues its non-uniform scheme keeps dirty data as safe as the
+conventional uniformly-ECC cache while clean data, protected only by
+parity, is still *recoverable* (refetch).  This module quantifies that
+with payload-level fault injection: a population of
+:class:`~repro.core.policy.LineProtection` lines goes through
+write/clean/read generations while soft errors flip stored bits, and
+every read's end-to-end outcome is classified.
+
+Not a figure from the paper — an extension experiment (DESIGN.md §6)
+that validates the protection-domain reasoning the paper relies on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.core.policy import (
+    LineProtection,
+    ProtectionPolicy,
+    RecoveryAction,
+)
+
+
+@dataclass(frozen=True)
+class ReliabilityConfig:
+    """Shape of one injection campaign."""
+
+    n_lines: int = 64
+    n_events: int = 5000
+    line_bytes: int = 64
+    #: Probability an event is a fault strike (vs. a write/clean/read).
+    fault_rate: float = 0.10
+    #: Probability a strike flips two bits of the same word (vs. one).
+    double_bit_fraction: float = 0.15
+    #: Probability a non-fault event is a write (dirtying the line).
+    write_fraction: float = 0.3
+    #: Probability a non-fault event is a cleaning write-back.
+    clean_fraction: float = 0.1
+    seed: int = 0
+
+
+@dataclass
+class ReliabilityResult:
+    """Outcome counts of one campaign."""
+
+    policy: str
+    reads: int = 0
+    faults_injected: int = 0
+    by_action: Dict[RecoveryAction, int] = field(default_factory=dict)
+
+    def record(self, action: RecoveryAction) -> None:
+        self.reads += 1
+        self.by_action[action] = self.by_action.get(action, 0) + 1
+
+    def rate(self, action: RecoveryAction) -> float:
+        return self.by_action.get(action, 0) / self.reads if self.reads else 0.0
+
+    @property
+    def unrecovered_rate(self) -> float:
+        """Fraction of reads ending in data loss or silent corruption."""
+        return self.rate(RecoveryAction.DATA_LOSS) + self.rate(
+            RecoveryAction.SILENT_CORRUPTION
+        )
+
+
+def reliability_campaign(
+    policy: ProtectionPolicy, config: ReliabilityConfig = ReliabilityConfig()
+) -> ReliabilityResult:
+    """Run one campaign of ``config.n_events`` against ``policy``.
+
+    Event mix: fault strikes flip 1 or 2 bits of a random line's stored
+    payload; writes dirty lines with fresh data; cleans write dirty
+    lines back; the remaining events are reads, whose recovery outcome
+    is recorded.
+    """
+    rng = random.Random(config.seed)
+    lines: List[LineProtection] = [
+        LineProtection(
+            policy,
+            bytes(rng.getrandbits(8) for _ in range(config.line_bytes)),
+            line_bytes=config.line_bytes,
+        )
+        for _ in range(config.n_lines)
+    ]
+    result = ReliabilityResult(policy=policy.name)
+
+    for _ in range(config.n_events):
+        line = lines[rng.randrange(config.n_lines)]
+        roll = rng.random()
+        if roll < config.fault_rate:
+            result.faults_injected += 1
+            byte_idx = rng.randrange(config.line_bytes)
+            line.flip(byte_idx, rng.randrange(8))
+            if rng.random() < config.double_bit_fraction:
+                # Second flip within the same 64-bit word.
+                word_start = (byte_idx // 8) * 8
+                line.flip(word_start + rng.randrange(8), rng.randrange(8))
+        elif roll < config.fault_rate + config.write_fraction:
+            line.write(
+                bytes(rng.getrandbits(8) for _ in range(config.line_bytes))
+            )
+        elif roll < (
+            config.fault_rate + config.write_fraction + config.clean_fraction
+        ):
+            if line.dirty:
+                line.clean()
+        else:
+            action, _ = line.access()
+            result.record(action)
+    return result
+
+
+def compare_policies(
+    policies: Sequence[ProtectionPolicy],
+    config: ReliabilityConfig = ReliabilityConfig(),
+) -> Dict[str, ReliabilityResult]:
+    """Run the same seeded campaign against each policy."""
+    return {p.name: reliability_campaign(p, config) for p in policies}

@@ -1,0 +1,96 @@
+"""Paper-style ASCII rendering of experiment results."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _fmt(cell: Cell, ndigits: int = 2) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.{ndigits}f}"
+    return str(cell)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    ndigits: int = 2,
+    title: str = "",
+) -> str:
+    """Render an aligned text table with a header rule."""
+    str_rows: List[List[str]] = [
+        [_fmt(c, ndigits) for c in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_bars(
+    values: Dict[str, float],
+    width: int = 50,
+    unit: str = "%",
+    title: str = "",
+) -> str:
+    """Render a horizontal ASCII bar chart (the paper's figures are bars).
+
+    Bars are scaled to the maximum value; zero/NaN-safe.
+    """
+    if not values:
+        return title
+    peak = max((v for v in values.values() if v == v), default=0.0)
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for name, value in values.items():
+        if value != value:  # NaN
+            bar, shown = "", "nan"
+        else:
+            filled = int(round(width * value / peak)) if peak > 0 else 0
+            bar = "█" * filled
+            shown = f"{value:.1f}{unit}"
+        lines.append(f"{name.ljust(label_w)} |{bar} {shown}")
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Dict[str, Dict[str, float]],
+    row_label: str = "benchmark",
+    ndigits: int = 2,
+    title: str = "",
+    average_row: bool = True,
+) -> str:
+    """Render {row: {column: value}} as a table, optionally with averages.
+
+    This matches how the paper presents its per-benchmark bar charts:
+    one row per benchmark, one column per configuration, plus the
+    arithmetic-mean row the text quotes.
+    """
+    rows = list(series.keys())
+    columns: List[str] = []
+    for per_row in series.values():
+        for col in per_row:
+            if col not in columns:
+                columns.append(col)
+    table_rows: List[List[Cell]] = []
+    for row in rows:
+        table_rows.append(
+            [row] + [series[row].get(col, float("nan")) for col in columns]
+        )
+    if average_row and rows:
+        avg: List[Cell] = ["average"]
+        for col in columns:
+            vals = [series[r][col] for r in rows if col in series[r]]
+            avg.append(sum(vals) / len(vals) if vals else float("nan"))
+        table_rows.append(avg)
+    return render_table([row_label] + columns, table_rows, ndigits, title)

@@ -1,0 +1,93 @@
+"""Multi-seed statistics for experiment robustness.
+
+The synthetic workloads are seeded; any headline number should be
+quoted with its across-seed spread.  :func:`multi_seed` reruns a
+metric over several seeds and returns mean, sample standard deviation
+and a normal-approximation confidence interval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.protected_cache import ProtectionConfig
+from repro.experiments.runner import RefRunOutput, RunConfig, run_refs
+
+
+@dataclass(frozen=True)
+class SeedStats:
+    """Across-seed summary of one scalar metric."""
+
+    values: tuple
+    mean: float
+    std: float
+    #: Half-width of the ~95% normal-approximation confidence interval.
+    ci95: float
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.3f} ± {self.ci95:.3f} (n={self.n})"
+
+
+def summarize(values: Sequence[float]) -> SeedStats:
+    """Mean / sample std / 95% CI of a sample."""
+    if not values:
+        raise ValueError("cannot summarise an empty sample")
+    n = len(values)
+    mean = sum(values) / n
+    if n > 1:
+        var = sum((v - mean) ** 2 for v in values) / (n - 1)
+        std = math.sqrt(var)
+        ci95 = 1.96 * std / math.sqrt(n)
+    else:
+        std, ci95 = 0.0, float("inf")
+    return SeedStats(values=tuple(values), mean=mean, std=std, ci95=ci95)
+
+
+def multi_seed(
+    metric: Callable[[RefRunOutput], float],
+    benchmark: str,
+    protection: Optional[ProtectionConfig],
+    config: RunConfig = RunConfig(),
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+) -> SeedStats:
+    """Rerun ``benchmark`` over ``seeds``; summarise ``metric``.
+
+    ``metric`` maps a :class:`RefRunOutput` to the scalar of interest,
+    e.g. ``lambda out: out.dirty_fraction``.
+    """
+    values: List[float] = []
+    for seed in seeds:
+        out = run_refs(benchmark, protection, replace(config, seed=seed))
+        values.append(metric(out))
+    return summarize(values)
+
+
+def dirty_fraction_stats(
+    benchmark: str,
+    protection: Optional[ProtectionConfig] = None,
+    config: RunConfig = RunConfig(),
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+) -> SeedStats:
+    """Across-seed dirty-residency statistics (the Figure 1/7 metric)."""
+    return multi_seed(
+        lambda out: out.dirty_fraction, benchmark, protection, config, seeds
+    )
+
+
+def writeback_fraction_stats(
+    benchmark: str,
+    protection: Optional[ProtectionConfig] = None,
+    config: RunConfig = RunConfig(),
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+) -> SeedStats:
+    """Across-seed write-back-traffic statistics (the Figure 5/6/8 metric)."""
+    return multi_seed(
+        lambda out: out.writeback_fraction, benchmark, protection, config,
+        seeds,
+    )

@@ -1,0 +1,67 @@
+"""Synthetic SPEC2000-like workloads.
+
+The paper evaluates 14 SPEC2000 benchmarks (7 floating-point, 7 integer)
+as precompiled Alpha binaries — unavailable here, so each benchmark is
+modelled by a synthetic generator reproducing the properties that drive
+the paper's figures: working-set size relative to the L2, store
+fraction, access pattern (streaming / blocked-generational / pointer
+chasing / Zipf reuse) and write-reuse behaviour.  See DESIGN.md §2 for
+the substitution argument.
+
+Two stream granularities:
+
+* :class:`MemRef` streams — just the memory references, consumed
+  directly by the residency/traffic experiments (fast path);
+* full :class:`repro.cpu.trace.Inst` streams via
+  :class:`repro.workloads.mix.InstructionMixer` — used by the IPC
+  experiments.
+"""
+
+from repro.workloads.generators import (
+    MemRef,
+    blocked_stream,
+    pointer_stream,
+    streaming_stream,
+    zipf_stream,
+)
+from repro.workloads.io import (
+    TraceFormatError,
+    TraceSummary,
+    load_trace,
+    save_trace,
+    summarize_trace,
+)
+from repro.workloads.mix import InstructionMixer, MixConfig
+from repro.workloads.phases import interleave, phase_alternate, with_pauses
+from repro.workloads.spec2000 import (
+    BENCHMARKS,
+    FP_BENCHMARKS,
+    INT_BENCHMARKS,
+    BenchmarkSpec,
+    get_benchmark,
+    make_ref_stream,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchmarkSpec",
+    "FP_BENCHMARKS",
+    "INT_BENCHMARKS",
+    "InstructionMixer",
+    "MemRef",
+    "MixConfig",
+    "TraceFormatError",
+    "TraceSummary",
+    "blocked_stream",
+    "get_benchmark",
+    "interleave",
+    "load_trace",
+    "phase_alternate",
+    "with_pauses",
+    "make_ref_stream",
+    "pointer_stream",
+    "save_trace",
+    "streaming_stream",
+    "summarize_trace",
+    "zipf_stream",
+]

@@ -1,0 +1,157 @@
+"""Reference-trace file I/O.
+
+Lets users persist synthetic streams or bring their own traces to the
+simulator.  Two formats, auto-detected on load:
+
+* **text** — one record per line, ``R``/``W``, hex address, gap;
+  ``#`` starts a comment.  Diff-friendly.
+* **binary** — fixed 11-byte little-endian records behind a magic
+  header; ~6× smaller and much faster to parse.
+
+Both round-trip :class:`~repro.workloads.generators.MemRef` exactly.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+from repro.workloads.generators import MemRef
+
+#: Magic prefix of the binary format.
+BINARY_MAGIC = b"RPTR\x01"
+#: One record: flags (bit0 = write), 8-byte address, 2-byte gap.
+_RECORD = struct.Struct("<BQH")
+
+PathLike = Union[str, Path]
+
+
+class TraceFormatError(ValueError):
+    """Raised on malformed trace files."""
+
+
+def save_trace_text(refs: Iterable[MemRef], path: PathLike) -> int:
+    """Write ``refs`` as text; returns the number of records written."""
+    n = 0
+    with open(path, "w") as fh:
+        fh.write("# repro reference trace: <R|W> <hex addr> <gap>\n")
+        for ref in refs:
+            fh.write(
+                f"{'W' if ref.is_write else 'R'} {ref.addr:#x} {ref.gap}\n"
+            )
+            n += 1
+    return n
+
+
+def save_trace_binary(refs: Iterable[MemRef], path: PathLike) -> int:
+    """Write ``refs`` in the binary format; returns the record count."""
+    n = 0
+    with open(path, "wb") as fh:
+        fh.write(BINARY_MAGIC)
+        pack = _RECORD.pack
+        for ref in refs:
+            if ref.gap > 0xFFFF:
+                raise TraceFormatError(f"gap {ref.gap} exceeds format limit")
+            fh.write(pack(int(ref.is_write), ref.addr, ref.gap))
+            n += 1
+    return n
+
+
+def save_trace(
+    refs: Iterable[MemRef], path: PathLike, fmt: str = "binary"
+) -> int:
+    """Write a trace in the requested format ('binary' or 'text')."""
+    if fmt == "binary":
+        return save_trace_binary(refs, path)
+    if fmt == "text":
+        return save_trace_text(refs, path)
+    raise TraceFormatError(f"unknown trace format {fmt!r}")
+
+
+def _load_text(fh: io.TextIOBase) -> Iterator[MemRef]:
+    for lineno, line in enumerate(fh, start=1):
+        line = line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) not in (2, 3):
+            raise TraceFormatError(f"line {lineno}: expected 2-3 fields")
+        kind, addr_s = parts[0].upper(), parts[1]
+        if kind not in ("R", "W"):
+            raise TraceFormatError(f"line {lineno}: bad op {parts[0]!r}")
+        try:
+            addr = int(addr_s, 0)
+            gap = int(parts[2]) if len(parts) == 3 else 0
+        except ValueError as exc:
+            raise TraceFormatError(f"line {lineno}: {exc}") from None
+        if addr < 0 or gap < 0:
+            raise TraceFormatError(f"line {lineno}: negative field")
+        yield MemRef(kind == "W", addr, gap)
+
+
+def _load_binary(fh: io.BufferedIOBase) -> Iterator[MemRef]:
+    unpack = _RECORD.unpack
+    size = _RECORD.size
+    while True:
+        chunk = fh.read(size)
+        if not chunk:
+            return
+        if len(chunk) != size:
+            raise TraceFormatError("truncated binary trace record")
+        flags, addr, gap = unpack(chunk)
+        yield MemRef(bool(flags & 1), addr, gap)
+
+
+def load_trace(path: PathLike) -> Iterator[MemRef]:
+    """Load a trace file, auto-detecting its format.
+
+    Returns a generator; the file stays open until it is exhausted.
+    """
+    fh = open(path, "rb")
+    head = fh.read(len(BINARY_MAGIC))
+    if head == BINARY_MAGIC:
+        return _load_binary(fh)
+    fh.close()
+    return _load_text(open(path, "r"))
+
+
+@dataclass
+class TraceSummary:
+    """Aggregate statistics of a trace (see :func:`summarize_trace`)."""
+
+    records: int = 0
+    writes: int = 0
+    total_gap: int = 0
+    footprint_lines: int = 0
+    line_bytes: int = 64
+
+    @property
+    def write_ratio(self) -> float:
+        return self.writes / self.records if self.records else 0.0
+
+    @property
+    def instructions(self) -> int:
+        """Total instruction count implied by the gaps."""
+        return self.records + self.total_gap
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self.footprint_lines * self.line_bytes
+
+
+def summarize_trace(
+    refs: Iterable[MemRef], line_bytes: int = 64
+) -> TraceSummary:
+    """One pass over ``refs`` computing the workload-shape statistics."""
+    summary = TraceSummary(line_bytes=line_bytes)
+    lines = set()
+    for ref in refs:
+        summary.records += 1
+        summary.writes += int(ref.is_write)
+        summary.total_gap += ref.gap
+        lines.add(ref.addr // line_bytes)
+    summary.footprint_lines = len(lines)
+    return summary

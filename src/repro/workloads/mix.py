@@ -1,0 +1,153 @@
+"""Turn memory-reference streams into full instruction streams.
+
+The IPC experiments need realistic instruction-level structure around
+the memory references: compute instructions with register dependences,
+a loop skeleton with predictable back-edges, and occasional
+data-dependent (hard-to-predict) branches.  :class:`InstructionMixer`
+synthesises that structure deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.cpu.trace import Inst, OpClass
+from repro.workloads.generators import MemRef
+
+
+@dataclass(frozen=True)
+class MixConfig:
+    """Shape of the non-memory instruction mix."""
+
+    #: Fraction of ALU filler that is floating point (suite dependent).
+    fp_fraction: float = 0.4
+    #: Of the FP/INT filler, fraction using the mult/div unit.
+    mul_fraction: float = 0.08
+    #: A branch roughly every this many instructions.
+    branch_period: int = 7
+    #: Fraction of branches that are data dependent (random outcome).
+    random_branch_fraction: float = 0.15
+    #: Taken probability of a data-dependent branch.
+    random_branch_bias: float = 0.6
+    #: Instructions in the synthetic loop body (controls I-cache reuse).
+    loop_body_insts: int = 256
+    #: Base address of the code region.
+    code_base: int = 0x0040_0000
+    #: Architectural register pool size.
+    registers: int = 32
+
+
+class InstructionMixer:
+    """Deterministic MemRef → Inst stream expansion."""
+
+    def __init__(self, config: MixConfig = MixConfig(), seed: int = 0) -> None:
+        self.config = config
+        self._rng = random.Random(seed)
+        self._emitted = 0
+        self._recent_dests = [0, 1, 2]
+        self._next_reg = 3
+        # Branches live at *fixed* code slots (every branch_period-th
+        # slot plus the loop back-edge), and each branch slot gets a
+        # fixed personality — as in real code: mostly strongly biased
+        # branches the predictor learns, plus a data-dependent minority
+        # it cannot.
+        self._branch_slots = set(
+            range(config.branch_period - 1, config.loop_body_insts,
+                  config.branch_period)
+        )
+        self._branch_slots.add(config.loop_body_insts - 1)
+        self._branch_bias = {}
+        for slot in self._branch_slots:
+            roll = self._rng.random()
+            if roll < config.random_branch_fraction:
+                self._branch_bias[slot] = config.random_branch_bias
+            elif roll < 0.5 + config.random_branch_fraction / 2:
+                self._branch_bias[slot] = 0.97
+            else:
+                self._branch_bias[slot] = 0.03
+
+    # -- internals ----------------------------------------------------------
+
+    def _pc(self) -> int:
+        cfg = self.config
+        slot = self._emitted % cfg.loop_body_insts
+        return cfg.code_base + slot * 4
+
+    def _alloc_dest(self) -> int:
+        reg = self._next_reg
+        self._next_reg = (self._next_reg + 1) % self.config.registers
+        self._recent_dests.append(reg)
+        if len(self._recent_dests) > 8:
+            self._recent_dests.pop(0)
+        return reg
+
+    def _pick_srcs(self, n: int = 2) -> tuple:
+        rng = self._rng
+        return tuple(
+            rng.choice(self._recent_dests) for _ in range(rng.randint(1, n))
+        )
+
+    def _filler(self) -> Inst:
+        """One compute instruction drawn from the configured mix."""
+        rng = self._rng
+        cfg = self.config
+        if rng.random() < cfg.fp_fraction:
+            op = OpClass.FP_MUL if rng.random() < cfg.mul_fraction else OpClass.FP_ALU
+        else:
+            op = OpClass.INT_MUL if rng.random() < cfg.mul_fraction else OpClass.INT_ALU
+        inst = Inst(
+            op, self._pc(), dest=self._alloc_dest(), srcs=self._pick_srcs()
+        )
+        self._emitted += 1
+        return inst
+
+    def _branch(self) -> Inst:
+        """Loop back-edge (always taken) or a slot-biased branch."""
+        rng = self._rng
+        cfg = self.config
+        pc = self._pc()
+        slot = self._emitted % cfg.loop_body_insts
+        if slot == cfg.loop_body_insts - 1:
+            taken, target = True, cfg.code_base
+        else:
+            taken = rng.random() < self._branch_bias[slot]
+            # Per-slot fixed target keeps the BTB effective; the target
+            # stays within the body so the fetch stream is unchanged.
+            target = pc + 4
+        inst = Inst(
+            OpClass.BRANCH, pc, srcs=self._pick_srcs(1), taken=taken, target=target
+        )
+        self._emitted += 1
+        return inst
+
+    def _mem(self, ref: MemRef) -> Inst:
+        op = OpClass.STORE if ref.is_write else OpClass.LOAD
+        dest = self._alloc_dest() if op is OpClass.LOAD else -1
+        inst = Inst(
+            op, self._pc(), addr=ref.addr, dest=dest, srcs=self._pick_srcs(1)
+        )
+        self._emitted += 1
+        return inst
+
+    # -- public API ------------------------------------------------------------
+
+    def _at_branch_slot(self) -> bool:
+        return (self._emitted % self.config.loop_body_insts) in self._branch_slots
+
+    def expand(self, refs: Iterable[MemRef]) -> Iterator[Inst]:
+        """Expand a reference stream into a full instruction stream.
+
+        Branch slots interleave naturally: whenever emission reaches a
+        branch slot, the branch is issued before the pending filler or
+        memory instruction, keeping branch PCs fixed across iterations.
+        """
+        for ref in refs:
+            for _ in range(ref.gap):
+                if self._at_branch_slot():
+                    yield self._branch()
+                yield self._filler()
+            if self._at_branch_slot():
+                yield self._branch()
+            yield self._mem(ref)

@@ -1,0 +1,87 @@
+"""Phase composition of reference streams.
+
+Real programs run in phases (SPEC2000's behaviour over a billion
+instructions is famously phased), and systems time-share the L2 between
+programs.  These combinators build such streams from the archetype
+generators:
+
+* :func:`phase_alternate` — switch between streams every ``phase_len``
+  references (one program's phases, or round-robin multiprogramming at
+  coarse quanta);
+* :func:`interleave` — fine-grained interleaving (SMT-style), one
+  reference from each stream in turn;
+* :func:`with_pauses` — inject idle gaps between phases, during which
+  the cleaning logic keeps sweeping but no references arrive (models
+  I/O waits; stresses the sweep's idle-gap handling).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Sequence
+
+from repro.workloads.generators import MemRef
+
+
+def phase_alternate(
+    streams: Sequence[Iterator[MemRef]],
+    phase_len: int,
+    rng: random.Random = None,
+    jitter: float = 0.0,
+) -> Iterator[MemRef]:
+    """Round-robin over ``streams`` in phases of ``phase_len`` references.
+
+    With ``jitter`` > 0 each phase's length is scaled by a uniform
+    factor in [1-jitter, 1+jitter] so phase boundaries do not beat
+    against periodic structures in the workloads.
+    """
+    if not streams:
+        raise ValueError("need at least one stream")
+    if phase_len <= 0:
+        raise ValueError("phase_len must be positive")
+    if not 0.0 <= jitter < 1.0:
+        raise ValueError("jitter must be in [0, 1)")
+    rng = rng or random.Random(0)
+    idx = 0
+    while True:
+        length = phase_len
+        if jitter:
+            length = max(1, int(phase_len * rng.uniform(1 - jitter,
+                                                        1 + jitter)))
+        stream = streams[idx % len(streams)]
+        for _ in range(length):
+            yield next(stream)
+        idx += 1
+
+
+def interleave(streams: Sequence[Iterator[MemRef]]) -> Iterator[MemRef]:
+    """One reference from each stream in turn (fine-grained sharing)."""
+    if not streams:
+        raise ValueError("need at least one stream")
+    while True:
+        for stream in streams:
+            yield next(stream)
+
+
+def with_pauses(
+    stream: Iterator[MemRef],
+    active_refs: int,
+    pause_cycles: int,
+) -> Iterator[MemRef]:
+    """Insert an idle gap of ``pause_cycles`` after every ``active_refs``.
+
+    The pause is attached to the next reference's ``gap`` field, so a
+    cycle-accounting consumer sees time pass with no memory activity —
+    the situation in which the paper's cleaning logic gets the whole
+    cache to itself.
+    """
+    if active_refs <= 0 or pause_cycles < 0:
+        raise ValueError("active_refs must be positive, pause_cycles >= 0")
+    count = 0
+    for ref in stream:
+        count += 1
+        if count > active_refs:
+            count = 1
+            yield MemRef(ref.is_write, ref.addr, ref.gap + pause_cycles)
+        else:
+            yield ref

@@ -1,0 +1,167 @@
+"""The 14 benchmark models of the paper's evaluation.
+
+Seven floating-point and seven integer SPEC2000 benchmarks, each mapped
+to a generator archetype (:mod:`repro.workloads.generators`) with
+parameters chosen to reproduce the qualitative behaviour the paper
+reports per benchmark:
+
+* applu/swim/mgrid/equake (FP) and mcf (INT) — footprints much larger
+  than the L2; the paper notes these "show little reduction with 4M
+  interval" because lines are evicted before long intervals elapse.
+* apsi/mesa (FP) and gap/parser (INT) — the paper's high-dirty-fraction
+  outliers in Figure 1: cache-resident working sets that accumulate
+  write-dead dirty lines.
+
+Working-set sizes are expressed *relative to the L2 capacity* so the
+suite scales coherently when experiments run the reduced geometry (see
+DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+from repro.workloads.generators import (
+    MemRef,
+    blocked_stream,
+    pointer_stream,
+    streaming_stream,
+    zipf_stream,
+)
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One synthetic benchmark: archetype + parameters.
+
+    ``ws_factor`` scales the working set as a multiple of the L2 size;
+    remaining knobs are passed through to the archetype generator.
+    """
+
+    name: str
+    suite: str  # "fp" or "int"
+    kind: str  # "streaming" | "blocked" | "pointer" | "zipf"
+    ws_factor: float
+    store_ratio: float
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def working_set_bytes(self, l2_bytes: int) -> int:
+        return max(4096, int(self.ws_factor * l2_bytes))
+
+
+#: 7 floating-point benchmarks (paper Figure 3 / 5 population).
+FP_BENCHMARKS: List[BenchmarkSpec] = [
+    BenchmarkSpec("applu", "fp", "streaming", 6.0, 0.35, {"arrays": 5}),
+    BenchmarkSpec("swim", "fp", "streaming", 8.0, 0.30, {"arrays": 4}),
+    BenchmarkSpec("mgrid", "fp", "streaming", 4.0, 0.25, {"arrays": 3}),
+    BenchmarkSpec(
+        "equake", "fp", "pointer", 4.0, 0.20, {"node_bytes": 64, "mean_gap": 1.5}
+    ),
+    BenchmarkSpec("art", "fp", "streaming", 2.0, 0.30, {"arrays": 3}),
+    BenchmarkSpec(
+        "mesa",
+        "fp",
+        "blocked",
+        0.70,
+        0.55,
+        {"tile_frac": 1 / 64, "reuse": 6},
+    ),
+    BenchmarkSpec(
+        "apsi",
+        "fp",
+        "blocked",
+        0.90,
+        0.50,
+        {"tile_frac": 1 / 32, "reuse": 4},
+    ),
+]
+
+#: 7 integer benchmarks (paper Figure 4 / 6 population).
+INT_BENCHMARKS: List[BenchmarkSpec] = [
+    BenchmarkSpec("mcf", "int", "pointer", 8.0, 0.12, {}),
+    BenchmarkSpec(
+        "gap",
+        "int",
+        "blocked",
+        0.80,
+        0.45,
+        {"tile_frac": 1 / 16, "reuse": 3},
+    ),
+    BenchmarkSpec(
+        "parser",
+        "int",
+        "zipf",
+        0.90,
+        0.25,
+        {"alpha": 0.8, "fresh_write_fraction": 0.85},
+    ),
+    BenchmarkSpec("gzip", "int", "streaming", 1.5, 0.25, {"arrays": 3}),
+    BenchmarkSpec(
+        "vpr",
+        "int",
+        "zipf",
+        0.50,
+        0.30,
+        {"alpha": 1.0, "fresh_write_fraction": 0.7},
+    ),
+    BenchmarkSpec(
+        "twolf",
+        "int",
+        "zipf",
+        0.40,
+        0.35,
+        {"alpha": 1.1, "fresh_write_fraction": 0.7},
+    ),
+    BenchmarkSpec("bzip2", "int", "streaming", 2.0, 0.35, {"arrays": 2}),
+]
+
+BENCHMARKS: Dict[str, BenchmarkSpec] = {
+    spec.name: spec for spec in FP_BENCHMARKS + INT_BENCHMARKS
+}
+
+
+def get_benchmark(name: str) -> BenchmarkSpec:
+    try:
+        return BENCHMARKS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown benchmark {name!r}; choose from {sorted(BENCHMARKS)}"
+        ) from None
+
+
+def make_ref_stream(
+    spec: BenchmarkSpec, l2_bytes: int, seed: int = 0
+) -> Iterator[MemRef]:
+    """Instantiate ``spec``'s endless memory-reference stream.
+
+    ``l2_bytes`` anchors the working-set scaling; ``seed`` makes the
+    stream reproducible.
+    """
+    rng = random.Random(hash((spec.name, seed)) & 0x7FFFFFFF)
+    ws = spec.working_set_bytes(l2_bytes)
+    params = dict(spec.params)
+    if spec.kind == "streaming":
+        return streaming_stream(
+            rng, ws_bytes=ws, store_ratio=spec.store_ratio, **params
+        )
+    if spec.kind == "blocked":
+        tile_frac = float(params.pop("tile_frac", 1 / 32))
+        tile_bytes = max(1024, int(l2_bytes * tile_frac))
+        return blocked_stream(
+            rng,
+            ws_bytes=ws,
+            tile_bytes=tile_bytes,
+            store_ratio=spec.store_ratio,
+            **params,
+        )
+    if spec.kind == "pointer":
+        return pointer_stream(
+            rng, ws_bytes=ws, store_ratio=spec.store_ratio, **params
+        )
+    if spec.kind == "zipf":
+        return zipf_stream(
+            rng, ws_bytes=ws, store_ratio=spec.store_ratio, **params
+        )
+    raise ValueError(f"unknown benchmark kind {spec.kind!r}")

@@ -1,0 +1,202 @@
+"""Tests for the generic set-associative cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import (
+    CacheConfig,
+    SetAssociativeCache,
+    WritebackReason,
+    WritePolicy,
+)
+
+
+def small_config(**kw):
+    defaults = dict(
+        name="l2",
+        size_bytes=4096,
+        ways=4,
+        line_bytes=64,
+        write_policy=WritePolicy.WRITE_BACK,
+        write_allocate=True,
+    )
+    defaults.update(kw)
+    return CacheConfig(**defaults)
+
+
+@pytest.fixture
+def cache():
+    return SetAssociativeCache(small_config())
+
+
+class TestConfigValidation:
+    def test_geometry(self):
+        cfg = small_config()
+        assert cfg.n_sets == 16
+        assert cfg.n_lines == 64
+
+    def test_non_pow2_line_rejected(self):
+        with pytest.raises(ValueError):
+            small_config(line_bytes=48)
+
+    def test_indivisible_size_rejected(self):
+        with pytest.raises(ValueError):
+            small_config(size_bytes=4096 + 64)
+
+    def test_non_pow2_sets_rejected(self):
+        with pytest.raises(ValueError):
+            small_config(size_bytes=3 * 64 * 4, ways=4)
+
+
+class TestAddressing:
+    def test_locate_roundtrip(self, cache):
+        for addr in (0, 64, 4096, 0xDEAD00, 0x12345678 & ~63):
+            set_idx, tag = cache.locate(addr)
+            assert cache.block_addr(set_idx, tag) == addr & ~63
+
+    def test_same_line_same_location(self, cache):
+        assert cache.locate(0x100) == cache.locate(0x13F)
+
+    def test_adjacent_lines_adjacent_sets(self, cache):
+        s0, _ = cache.locate(0)
+        s1, _ = cache.locate(64)
+        assert s1 == (s0 + 1) % cache.n_sets
+
+
+class TestReadPath:
+    def test_cold_miss_then_hit(self, cache):
+        r1 = cache.access(0x1000, is_write=False, cycle=1)
+        assert not r1.hit
+        assert r1.fill_addr == 0x1000
+        r2 = cache.access(0x1000, is_write=False, cycle=2)
+        assert r2.hit
+        assert cache.stats.read_misses == 1
+        assert cache.stats.read_hits == 1
+
+    def test_fill_addr_is_block_aligned(self, cache):
+        r = cache.access(0x1234, is_write=False, cycle=1)
+        assert r.fill_addr == 0x1234 & ~63
+
+    def test_probe_does_not_mutate(self, cache):
+        assert not cache.probe(0x40)
+        assert cache.stats.accesses == 0
+
+    def test_conflict_eviction_lru(self, cache):
+        # 5 lines mapping to the same set of a 4-way cache.
+        addrs = [0x0 + i * 4096 for i in range(5)]
+        for i, a in enumerate(addrs):
+            cache.access(a, is_write=False, cycle=i)
+        assert not cache.probe(addrs[0])  # LRU victim
+        assert all(cache.probe(a) for a in addrs[1:])
+
+
+class TestWriteBackPath:
+    def test_write_makes_line_dirty(self, cache):
+        cache.access(0x200, is_write=True, cycle=1)
+        assert cache.find_line(0x200).dirty
+        assert cache.dirty.dirty_count == 1
+
+    def test_dirty_eviction_emits_writeback(self, cache):
+        cache.access(0x0, is_write=True, cycle=1)
+        result = None
+        for i in range(1, 5):
+            result = cache.access(i * 4096, is_write=False, cycle=1 + i)
+        assert len(result.writebacks) == 1
+        wb = result.writebacks[0]
+        assert wb.addr == 0x0
+        assert wb.reason is WritebackReason.REPLACEMENT
+        assert cache.stats.writebacks_replacement == 1
+        assert cache.dirty.dirty_count == 0
+
+    def test_clean_eviction_is_silent(self, cache):
+        for i in range(5):
+            r = cache.access(i * 4096, is_write=False, cycle=i)
+        assert r.writebacks == []
+
+    def test_write_miss_allocates(self, cache):
+        r = cache.access(0x300, is_write=True, cycle=1)
+        assert not r.hit
+        assert r.fill_addr is not None
+        assert cache.find_line(0x300).dirty
+
+    def test_rewrite_sets_written_bit(self, cache):
+        cache.access(0x40, is_write=True, cycle=1)
+        cache.access(0x40, is_write=True, cycle=2)
+        line = cache.find_line(0x40)
+        assert line.dirty and line.written
+        assert cache.dirty.dirty_count == 1  # still one dirty line
+
+
+class TestWriteThroughPath:
+    @pytest.fixture
+    def wt(self):
+        return SetAssociativeCache(
+            small_config(
+                write_policy=WritePolicy.WRITE_THROUGH, write_allocate=False
+            )
+        )
+
+    def test_write_hit_never_dirties(self, wt):
+        wt.access(0x80, is_write=False, cycle=1)  # fill
+        r = wt.access(0x80, is_write=True, cycle=2)
+        assert r.hit and r.wrote_through
+        assert not wt.find_line(0x80).dirty
+        assert wt.dirty.dirty_count == 0
+
+    def test_write_miss_no_allocate(self, wt):
+        r = wt.access(0x80, is_write=True, cycle=1)
+        assert not r.hit
+        assert r.wrote_through
+        assert r.fill_addr is None
+        assert not wt.probe(0x80)
+
+    def test_no_writebacks_ever(self, wt):
+        import random
+
+        rng = random.Random(0)
+        for i in range(2000):
+            r = wt.access(rng.randrange(1 << 20), rng.random() < 0.5, i)
+            assert r.writebacks == []
+        assert wt.stats.writebacks_total == 0
+
+
+class TestFlush:
+    def test_flush_writes_back_all_dirty(self, cache):
+        for i in range(6):
+            cache.access(i * 64, is_write=True, cycle=i)
+        wbs = cache.flush(cycle=100)
+        assert len(wbs) == 6
+        assert cache.dirty.dirty_count == 0
+        assert cache.dirty_line_count() == 0
+        assert all(not l.valid for ways in cache.sets for l in ways)
+
+    def test_flush_empty_cache(self, cache):
+        assert cache.flush(0) == []
+
+
+class TestDirtyAccounting:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 1 << 16), st.booleans()),
+            min_size=1,
+            max_size=400,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_integrator_matches_scan(self, ops):
+        """Incremental dirty count always equals a full scan."""
+        cache = SetAssociativeCache(small_config())
+        for cycle, (addr, is_write) in enumerate(ops):
+            cache.access(addr, is_write, cycle)
+        assert cache.dirty.dirty_count == cache.dirty_line_count()
+
+    def test_writeback_of_clean_line_rejected(self, cache):
+        from repro.cache.cache import AccessResult
+
+        cache.access(0, is_write=False, cycle=0)  # clean fill at set 0, way 0
+        with pytest.raises(ValueError):
+            cache._writeback_line(
+                0, 0, 1, AccessResult(hit=True, is_write=False),
+                WritebackReason.REPLACEMENT,
+            )

@@ -1,0 +1,149 @@
+"""Tests for the full memory hierarchy plumbing."""
+
+import pytest
+
+from repro.cache import HierarchyConfig, MemoryHierarchy
+from repro.cache.cache import CacheConfig, WritePolicy
+from repro.core import ProtectedL2, ProtectionConfig
+
+
+def tiny_hierarchy(l2=None):
+    """A shrunken hierarchy for fast, predictable tests."""
+    cfg = HierarchyConfig(
+        l1i=CacheConfig(
+            "l1i", 1024, 2, 32,
+            write_policy=WritePolicy.WRITE_THROUGH, write_allocate=False,
+        ),
+        l1d=CacheConfig(
+            "l1d", 1024, 2, 32,
+            write_policy=WritePolicy.WRITE_THROUGH, write_allocate=False,
+        ),
+        l2=CacheConfig("l2", 8192, 4, 64, hit_latency=10),
+        write_buffer_entries=4,
+    )
+    if l2 is not None:
+        return MemoryHierarchy(config=cfg, l2=l2)
+    return MemoryHierarchy(config=cfg)
+
+
+@pytest.fixture
+def h():
+    return tiny_hierarchy()
+
+
+class TestLoadPath:
+    def test_l1_hit_is_one_cycle(self, h):
+        fill = h.load(0x1000, 1)  # miss, fills L1 and L2
+        lat = h.load(0x1000, 1 + fill + 1)  # after the fill completes
+        assert lat == h.l1d.config.hit_latency
+
+    def test_l1_miss_l2_hit(self, h):
+        fill = h.load(0x1000, 1)
+        # Same L2 line (64B), different L1 line (32B): L1 miss, L2 hit.
+        lat = h.load(0x1020, 1 + fill + 1)
+        assert lat == 1 + 10
+
+    def test_load_during_inflight_fill_merges(self, h):
+        fill = h.load(0x1000, 1)
+        merged = h.load(0x1008, 2)  # same block, fill still in flight
+        assert merged == pytest.approx(1 + (1 + fill) - 2)
+
+    def test_cold_miss_goes_to_memory(self, h):
+        lat = h.load(0x1000, 1)
+        assert lat > 100  # memory latency dominates
+
+    def test_load_counts(self, h):
+        h.load(0, 1)
+        h.load(0, 2)
+        assert h.stats.loads == 2
+
+
+class TestStorePath:
+    def test_store_retires_quickly(self, h):
+        lat = h.store(0x2000, 1)
+        assert lat == h.l1d.config.hit_latency
+
+    def test_store_never_dirties_l1(self, h):
+        h.load(0x2000, 1)
+        h.store(0x2000, 2)
+        assert h.l1d.dirty.dirty_count == 0
+
+    def test_buffered_store_forwards_to_load(self, h):
+        h.store(0x3000, 1)
+        lat = h.load(0x3008, 2)  # same L2 block, still in write buffer
+        assert lat == h.l1d.config.hit_latency + 1
+
+    def test_buffer_overflow_reaches_l2(self, h):
+        for i in range(5):  # 4-entry buffer
+            h.store(i * 64, i + 1)
+        assert h.l2.stats.write_misses + h.l2.stats.write_hits == 1
+        assert h.l2.dirty.dirty_count == 1
+
+    def test_drain_write_buffer_flushes_all(self, h):
+        for i in range(3):
+            h.store(i * 64, i + 1)
+        h.drain_write_buffer(10)
+        assert len(h.write_buffer) == 0
+        assert h.l2.dirty.dirty_count == 3
+
+    def test_store_coalescing_reduces_l2_writes(self, h):
+        for i in range(8):
+            h.store(0x4000 + i * 8, i + 1)  # one 64B block
+        h.drain_write_buffer(100)
+        assert h.l2.stats.write_hits + h.l2.stats.write_misses == 1
+
+
+class TestIfetchPath:
+    def test_ifetch_uses_l1i(self, h):
+        fill = h.ifetch(0x400000, 1)
+        lat = h.ifetch(0x400000, 1 + fill + 1)
+        assert lat == h.l1i.config.hit_latency
+        assert h.stats.ifetches == 2
+
+    def test_ifetch_fills_unified_l2(self, h):
+        h.ifetch(0x400000, 1)
+        assert h.l2.probe(0x400000)
+
+
+class TestMonotonicClock:
+    def test_out_of_order_timestamps_clamped(self, h):
+        h.load(0, 100)
+        h.load(64, 50)  # earlier timestamp must not break bookkeeping
+        assert h.clock == 100
+
+    def test_clock_advances(self, h):
+        h.load(0, 5)
+        h.load(64, 7)
+        assert h.clock == 7
+
+
+class TestWritebackPropagation:
+    def test_l2_dirty_eviction_reaches_memory(self, h):
+        # Dirty one L2 set, then storm it with reads to force eviction.
+        h.store(0x0, 1)
+        h.drain_write_buffer(2)
+        before = h.memory.stats.writes
+        for i in range(1, 6):
+            h.load(i * 2048, 2 + i)  # same L2 set (8KB/4w/64B: 32 sets)
+        assert h.memory.stats.writes > before
+
+    def test_protected_l2_cleaning_writes_reach_memory(self):
+        l2 = ProtectedL2(
+            CacheConfig("l2", 8192, 4, 64, hit_latency=10),
+            ProtectionConfig(cleaning_interval=64, ecc_entries_per_set=None),
+        )
+        h = tiny_hierarchy(l2=l2)
+        h.store(0x0, 1)
+        h.drain_write_buffer(2)
+        assert l2.dirty.dirty_count == 1
+        before = h.memory.stats.writes
+        # Idle loads elsewhere let the sweep find and clean the line.
+        for i in range(200):
+            h.load(0x100000 + (i % 4) * 64, 10 + i * 10)
+        assert l2.dirty.dirty_count == 0
+        assert h.memory.stats.writes > before
+
+    def test_writeback_fraction_metric(self, h):
+        assert h.writeback_fraction() == 0.0
+        h.store(0, 1)
+        assert h.writeback_fraction() == 0.0  # buffered, not written back

@@ -1,0 +1,77 @@
+"""Tests for CacheLine state, especially the paper's written-bit rule."""
+
+from repro.cache import CacheLine
+
+
+class TestFill:
+    def test_fill_sets_tag_and_valid(self):
+        line = CacheLine()
+        line.fill(tag=0x42, cycle=10, stamp=3)
+        assert line.valid
+        assert line.tag == 0x42
+        assert line.fill_cycle == 10
+
+    def test_fill_resets_dirty_and_written(self):
+        line = CacheLine()
+        line.fill(1, 0, 0)
+        line.record_write()
+        line.record_write()
+        assert line.dirty and line.written
+        line.fill(2, 5, 1)
+        assert not line.dirty
+        assert not line.written
+
+    def test_new_line_is_invalid(self):
+        assert not CacheLine().valid
+
+
+class TestWrittenBitRule:
+    """Paper: dirty set on the first write, written on writes beyond it."""
+
+    def test_first_write_sets_dirty_only(self):
+        line = CacheLine()
+        line.fill(1, 0, 0)
+        turned_dirty = line.record_write()
+        assert turned_dirty
+        assert line.dirty
+        assert not line.written
+
+    def test_second_write_sets_written(self):
+        line = CacheLine()
+        line.fill(1, 0, 0)
+        line.record_write()
+        turned_dirty = line.record_write()
+        assert not turned_dirty
+        assert line.dirty
+        assert line.written
+
+    def test_written_implies_dirty(self):
+        """The paper notes: when written is one, dirty is also one."""
+        line = CacheLine()
+        line.fill(1, 0, 0)
+        for _ in range(5):
+            line.record_write()
+            if line.written:
+                assert line.dirty
+
+    def test_write_after_clean_starts_a_new_generation(self):
+        line = CacheLine()
+        line.fill(1, 0, 0)
+        line.record_write()
+        line.record_write()
+        # Cleaning logic writes the line back:
+        line.dirty = False
+        line.written = False
+        assert line.record_write()  # dirty again
+        assert not line.written  # but write-once so far
+
+
+class TestInvalidate:
+    def test_invalidate_clears_state(self):
+        line = CacheLine()
+        line.fill(7, 0, 0)
+        line.record_write()
+        line.invalidate()
+        assert not line.valid
+        assert not line.dirty
+        assert not line.written

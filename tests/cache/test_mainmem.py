@@ -1,0 +1,87 @@
+"""Tests for the main-memory / split-transaction bus model."""
+
+import pytest
+
+from repro.cache import MainMemory, MemoryConfig
+
+
+@pytest.fixture
+def mem():
+    return MainMemory(MemoryConfig(bus_width_bytes=8, latency_cycles=100))
+
+
+class TestTransferCycles:
+    def test_exact_multiple(self):
+        assert MemoryConfig().transfer_cycles(64) == 8
+
+    def test_rounds_up(self):
+        assert MemoryConfig().transfer_cycles(65) == 9
+
+    def test_small_transfer(self):
+        assert MemoryConfig().transfer_cycles(1) == 1
+
+
+class TestRead:
+    def test_uncontended_read_latency(self, mem):
+        done = mem.read(cycle=0, size_bytes=64)
+        # 8 beats of transfer + 100 cycles access.
+        assert done == 108
+
+    def test_reads_queue_behind_each_other(self, mem):
+        mem.read(0, 64)
+        done2 = mem.read(0, 64)
+        assert done2 == 8 + 100 + 8  # starts after first transfer's beats
+
+    def test_queue_delay_recorded(self, mem):
+        mem.read(0, 64)
+        mem.read(0, 64)
+        assert mem.stats.read_queue_cycles == 8
+
+    def test_idle_bus_no_queueing(self, mem):
+        mem.read(0, 64)
+        done = mem.read(1000, 64)
+        assert done == 1108
+        assert mem.stats.read_queue_cycles == 0
+
+
+class TestWrite:
+    def test_posted_write_returns_bus_release(self, mem):
+        release = mem.write(cycle=0, size_bytes=64)
+        assert release == 8  # no access latency charged to the writer
+
+    def test_write_delays_subsequent_read(self, mem):
+        """The contention mechanism behind the paper's IPC experiment."""
+        mem.write(0, 64)
+        done = mem.read(0, 64)
+        assert done == 8 + 108
+
+    def test_many_writebacks_stack_up(self, mem):
+        for _ in range(10):
+            mem.write(0, 64)
+        done = mem.read(0, 64)
+        assert done == 80 + 108
+
+
+class TestStats:
+    def test_byte_accounting(self, mem):
+        mem.read(0, 64)
+        mem.write(0, 64)
+        mem.write(0, 64)
+        assert mem.stats.bytes_read == 64
+        assert mem.stats.bytes_written == 128
+        assert mem.stats.transactions == 3
+
+    def test_busy_cycles(self, mem):
+        mem.read(0, 64)
+        mem.write(0, 64)
+        assert mem.stats.busy_cycles == 16
+
+    def test_utilization(self, mem):
+        mem.read(0, 64)
+        assert mem.utilization(16) == pytest.approx(0.5)
+        assert mem.utilization(0) == 0.0
+
+    def test_utilization_capped_at_one(self, mem):
+        for _ in range(100):
+            mem.write(0, 64)
+        assert mem.utilization(10) == 1.0

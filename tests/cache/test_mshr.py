@@ -1,0 +1,85 @@
+"""Tests for MSHR in-flight miss tracking."""
+
+import pytest
+
+from repro.cache import MemoryHierarchy
+from repro.cache.mshr import MshrFile
+
+
+class TestMshrFile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MshrFile(entries=0)
+
+    def test_no_pending_initially(self):
+        m = MshrFile()
+        assert m.pending_ready(5, cycle=0) is None
+
+    def test_pending_until_ready(self):
+        m = MshrFile()
+        m.allocate(block=5, ready=100, cycle=0)
+        assert m.pending_ready(5, cycle=50) == 100
+        assert m.pending_ready(5, cycle=100) is None
+
+    def test_merge_counted(self):
+        m = MshrFile()
+        m.allocate(7, ready=100, cycle=0)
+        m.pending_ready(7, cycle=10)
+        m.pending_ready(7, cycle=20)
+        assert m.stats.merges == 2
+
+    def test_prune_on_allocate(self):
+        m = MshrFile(entries=2)
+        m.allocate(1, ready=10, cycle=0)
+        m.allocate(2, ready=20, cycle=0)
+        # Both done by cycle 30: no overflow for a third entry.
+        m.allocate(3, ready=50, cycle=30)
+        assert m.stats.overflows == 0
+        assert len(m) == 1
+
+    def test_overflow_displaces_soonest(self):
+        m = MshrFile(entries=2)
+        m.allocate(1, ready=100, cycle=0)
+        m.allocate(2, ready=200, cycle=0)
+        m.allocate(3, ready=300, cycle=0)
+        assert m.stats.overflows == 1
+        assert m.pending_ready(1, 0) is None  # displaced
+        assert m.pending_ready(2, 0) == 200
+
+    def test_reallocate_same_block_not_overflow(self):
+        m = MshrFile(entries=1)
+        m.allocate(1, ready=100, cycle=0)
+        m.allocate(1, ready=120, cycle=10)
+        assert m.stats.overflows == 0
+
+
+class TestHierarchyMergedMisses:
+    def test_second_load_waits_for_inflight_fill(self):
+        """A load right behind a miss to the same block must not see a
+        1-cycle hit — the data is still on its way from memory."""
+        h = MemoryHierarchy()
+        first = h.load(0x10000, cycle=10)
+        assert first > 100  # cold miss to memory
+        second = h.load(0x10008, cycle=11)  # same 64B block, next cycle
+        assert second > 50  # waits for the fill, not an instant hit
+        assert second <= first
+        assert h.l1d_mshr.stats.merges == 1
+
+    def test_load_after_fill_completes_hits(self):
+        h = MemoryHierarchy()
+        lat = h.load(0x10000, cycle=10)
+        warm = h.load(0x10008, cycle=10 + lat + 1)
+        assert warm == h.l1d.config.hit_latency
+
+    def test_ifetch_merging(self):
+        h = MemoryHierarchy()
+        h.ifetch(0x400000, cycle=1)
+        merged = h.ifetch(0x400020, cycle=2)  # same 64B block
+        assert merged > 50
+        assert h.l1i_mshr.stats.merges == 1
+
+    def test_distinct_blocks_do_not_merge(self):
+        h = MemoryHierarchy()
+        h.load(0x10000, cycle=1)
+        h.load(0x20000, cycle=2)
+        assert h.l1d_mshr.stats.merges == 0

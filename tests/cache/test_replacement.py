@@ -1,0 +1,84 @@
+"""Tests for replacement policies."""
+
+import pytest
+
+from repro.cache import CacheLine, FifoPolicy, LruPolicy, RandomPolicy, make_policy
+
+
+def make_set(n=4, valid=True):
+    lines = []
+    for i in range(n):
+        line = CacheLine()
+        if valid:
+            line.fill(tag=i, cycle=0, stamp=i)
+        lines.append(line)
+    return lines
+
+
+class TestInvalidPreference:
+    @pytest.mark.parametrize("policy", [LruPolicy(), FifoPolicy(), RandomPolicy(0)])
+    def test_invalid_way_chosen_first(self, policy):
+        ways = make_set(4)
+        ways[2].invalidate()
+        assert policy.choose_victim(ways) == 2
+
+    @pytest.mark.parametrize("policy", [LruPolicy(), FifoPolicy(), RandomPolicy(0)])
+    def test_first_invalid_way_wins(self, policy):
+        ways = make_set(4, valid=False)
+        assert policy.choose_victim(ways) == 0
+
+
+class TestLru:
+    def test_oldest_stamp_evicted(self):
+        ways = make_set(4)
+        ways[1].lru_stamp = 100
+        ways[3].lru_stamp = 50
+        ways[0].lru_stamp = 75
+        ways[2].lru_stamp = 60
+        assert LruPolicy().choose_victim(ways) == 3
+
+    def test_access_refreshes_stamp(self):
+        ways = make_set(4)
+        policy = LruPolicy()
+        policy.on_access(ways[0], stamp=999)
+        assert policy.choose_victim(ways) != 0
+
+    def test_recency_order_respected_over_sequence(self):
+        ways = make_set(4)
+        policy = LruPolicy()
+        for stamp, way in enumerate([2, 0, 3, 1]):
+            policy.on_access(ways[way], stamp=10 + stamp)
+        assert policy.choose_victim(ways) == 2
+
+
+class TestFifo:
+    def test_earliest_fill_evicted_despite_touches(self):
+        ways = make_set(4)  # fifo_stamp = fill order 0..3
+        policy = FifoPolicy()
+        policy.on_access(ways[0], stamp=1000)  # touch does not move FIFO
+        assert policy.choose_victim(ways) == 0
+
+
+class TestRandom:
+    def test_deterministic_for_seed(self):
+        ways = make_set(4)
+        a = [RandomPolicy(7).choose_victim(ways) for _ in range(20)]
+        b = [RandomPolicy(7).choose_victim(ways) for _ in range(20)]
+        assert a == b
+
+    def test_in_range(self):
+        ways = make_set(4)
+        policy = RandomPolicy(1)
+        for _ in range(50):
+            assert 0 <= policy.choose_victim(ways) < 4
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert isinstance(make_policy("lru"), LruPolicy)
+        assert isinstance(make_policy("FIFO"), FifoPolicy)
+        assert isinstance(make_policy("Random"), RandomPolicy)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown replacement"):
+            make_policy("plru")

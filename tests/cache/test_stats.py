@@ -1,0 +1,107 @@
+"""Tests for cache statistics and the dirty-residency integrator."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache import CacheStats, DirtyIntegrator
+
+
+class TestCacheStats:
+    def test_totals(self):
+        s = CacheStats(read_hits=3, read_misses=1, write_hits=2, write_misses=4)
+        assert s.accesses == 10
+        assert s.hits == 5
+        assert s.misses == 5
+        assert s.miss_rate == 0.5
+
+    def test_empty_miss_rate(self):
+        assert CacheStats().miss_rate == 0.0
+
+    def test_writeback_total_sums_all_causes(self):
+        s = CacheStats(
+            writebacks_replacement=1,
+            writebacks_cleaning=2,
+            writebacks_ecc_eviction=3,
+            writebacks_eager=4,
+        )
+        assert s.writebacks_total == 10
+
+    def test_as_dict_is_complete(self):
+        d = CacheStats().as_dict()
+        assert d["writebacks_cleaning"] == 0
+        assert "writebacks_eager" in d
+        assert len(d) == 11
+
+    def test_mean_dirty_episode(self):
+        s = CacheStats(dirty_episodes=4, dirty_episode_cycles=200)
+        assert s.mean_dirty_episode_cycles == 50.0
+        assert CacheStats().mean_dirty_episode_cycles == 0.0
+
+
+class TestDirtyIntegrator:
+    def test_constant_count_integrates_linearly(self):
+        di = DirtyIntegrator(total_lines=100)
+        di.add_dirty(0, 10)
+        assert di.average_dirty_lines(50) == pytest.approx(10.0)
+        assert di.average_dirty_fraction(50) == pytest.approx(0.1)
+
+    def test_step_change_weighted_by_duration(self):
+        di = DirtyIntegrator(total_lines=10)
+        di.add_dirty(0, 2)  # 2 dirty on [0, 60)
+        di.add_dirty(60, 2)  # 4 dirty on [60, 100)
+        avg = di.average_dirty_lines(100)
+        assert avg == pytest.approx((2 * 60 + 4 * 40) / 100)
+
+    def test_negative_count_rejected(self):
+        di = DirtyIntegrator(total_lines=4)
+        with pytest.raises(ValueError):
+            di.add_dirty(0, -1)
+
+    def test_peak_tracked(self):
+        di = DirtyIntegrator(total_lines=10)
+        di.add_dirty(0, 3)
+        di.add_dirty(5, 4)
+        di.add_dirty(9, -6)
+        assert di.peak_dirty == 7
+
+    def test_reset_preserves_count_but_clears_area(self):
+        di = DirtyIntegrator(total_lines=10)
+        di.add_dirty(0, 5)
+        di.update(100)
+        di.reset(cycle=100, dirty_count=5)
+        assert di.area == 0.0
+        assert di.average_dirty_lines(200) == pytest.approx(5.0)
+
+    def test_zero_elapsed_returns_current_count(self):
+        di = DirtyIntegrator(total_lines=10)
+        di.add_dirty(0, 4)
+        assert di.average_dirty_lines(0) == 4.0
+
+    def test_update_is_idempotent_for_same_cycle(self):
+        di = DirtyIntegrator(total_lines=10)
+        di.add_dirty(0, 1)
+        di.update(10)
+        area = di.area
+        di.update(10)
+        assert di.area == area
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 100), st.integers(0, 3)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_average_bounded_by_extremes(self, deltas):
+        """Time-weighted average always lies within [min, max] count."""
+        di = DirtyIntegrator(total_lines=1000)
+        cycle, count = 0, 0
+        counts = [0]
+        for dt, inc in deltas:
+            cycle += dt
+            di.add_dirty(cycle, inc)
+            count += inc
+            counts.append(count)
+        avg = di.average_dirty_lines(cycle + 10)
+        assert min(counts) - 1e-9 <= avg <= max(counts) + 1e-9

@@ -1,0 +1,94 @@
+"""Tests for the coalescing write buffer."""
+
+import pytest
+
+from repro.cache import WriteBuffer
+
+
+@pytest.fixture
+def wb():
+    return WriteBuffer(entries=4, block_bytes=64)
+
+
+class TestValidation:
+    def test_zero_entries_rejected(self):
+        with pytest.raises(ValueError):
+            WriteBuffer(entries=0)
+
+    def test_non_pow2_block_rejected(self):
+        with pytest.raises(ValueError):
+            WriteBuffer(block_bytes=48)
+
+
+class TestCoalescing:
+    def test_same_block_coalesces(self, wb):
+        assert wb.push(0x100) is None
+        assert wb.push(0x108) is None  # same 64B block
+        assert len(wb) == 1
+        assert wb.stats.coalesced == 1
+
+    def test_different_blocks_occupy_entries(self, wb):
+        wb.push(0x000)
+        wb.push(0x040)
+        wb.push(0x080)
+        assert len(wb) == 3
+        assert wb.stats.coalesced == 0
+
+    def test_contains_by_block(self, wb):
+        wb.push(0x100)
+        assert wb.contains(0x13F)
+        assert not wb.contains(0x140)
+
+    def test_coalescing_refreshes_fifo_position(self, wb):
+        for i in range(4):
+            wb.push(i * 64)
+        wb.push(0x8)  # coalesce into the oldest block 0
+        drained = wb.push(0x400)  # overflow
+        assert drained == 0x40  # block 0 was refreshed; block 1 drains
+
+
+class TestOverflow:
+    def test_overflow_drains_oldest(self, wb):
+        for i in range(4):
+            assert wb.push(i * 64) is None
+        drained = wb.push(4 * 64)
+        assert drained == 0
+        assert len(wb) == 4
+        assert wb.stats.drains == 1
+
+    def test_full_flag(self, wb):
+        for i in range(4):
+            wb.push(i * 64)
+        assert wb.full
+
+
+class TestDraining:
+    def test_drain_one_fifo_order(self, wb):
+        wb.push(0x80)
+        wb.push(0x40)
+        assert wb.drain_one() == 0x80
+        assert wb.drain_one() == 0x40
+        assert wb.drain_one() is None
+
+    def test_drain_all(self, wb):
+        blocks = [0x200, 0x100, 0x300]
+        for b in blocks:
+            wb.push(b)
+        assert wb.drain_all() == blocks
+        assert len(wb) == 0
+
+    def test_drain_counts(self, wb):
+        wb.push(0)
+        wb.push(64)
+        wb.drain_all()
+        assert wb.stats.drains == 2
+
+
+class TestStats:
+    def test_stores_seen(self, wb):
+        wb.push(0)
+        wb.push(8)
+        wb.push(64)
+        assert wb.stats.stores_seen == 3
+        assert wb.stats.inserts == 2
+        assert wb.stats.coalesced == 1

@@ -1,0 +1,13 @@
+"""Shared test configuration.
+
+Hypothesis is pinned to a deterministic, CI-friendly profile: derandomised
+(stable shrinking across runs) and without deadlines (simulation-heavy
+properties have legitimately variable runtimes).
+"""
+
+from hypothesis import settings
+
+settings.register_profile(
+    "repro", deadline=None, derandomize=True, max_examples=60
+)
+settings.load_profile("repro")

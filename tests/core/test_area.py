@@ -1,0 +1,114 @@
+"""Tests for the area model — must reproduce the paper's numbers exactly."""
+
+import pytest
+
+from repro.cache.hierarchy import default_l2_config
+from repro.cache.cache import CacheConfig
+from repro.core import (
+    conventional_overhead,
+    li_et_al_overhead,
+    proposed_overhead,
+    reduction,
+)
+
+
+@pytest.fixture
+def l2():
+    return default_l2_config()  # 1MB / 4-way / 64B
+
+
+class TestConventional:
+    def test_data_ecc_is_128kb(self, l2):
+        conv = conventional_overhead(l2)
+        assert conv.component_kib("data ECC") == 128.0
+
+    def test_tag_status_is_4kb(self, l2):
+        conv = conventional_overhead(l2)
+        assert conv.component_kib("tag+status protection") == 4.0
+
+    def test_total_is_132kb(self, l2):
+        assert conventional_overhead(l2).total_kib == 132.0
+
+    def test_overhead_ratio_is_12_5_percent_of_data(self, l2):
+        conv = conventional_overhead(l2)
+        data_bits = l2.size_bytes * 8
+        assert conv.components["data ECC"] / data_bits == 0.125
+
+
+class TestProposed:
+    """The paper's 54KB = 16 + 2 + 2 + 2 + 32 accounting."""
+
+    def test_data_parity_is_16kb(self, l2):
+        assert proposed_overhead(l2).component_kib("data parity") == 16.0
+
+    def test_written_bits_are_2kb(self, l2):
+        assert proposed_overhead(l2).component_kib("written bits") == 2.0
+
+    def test_tag_parity_is_2kb(self, l2):
+        assert proposed_overhead(l2).component_kib("tag parity") == 2.0
+
+    def test_status_parity_is_2kb(self, l2):
+        assert proposed_overhead(l2).component_kib("status parity") == 2.0
+
+    def test_ecc_array_is_32kb(self, l2):
+        assert proposed_overhead(l2).component_kib("ECC array") == 32.0
+
+    def test_total_is_54kb(self, l2):
+        assert proposed_overhead(l2).total_kib == 54.0
+
+    def test_two_entries_per_set_doubles_ecc_array(self, l2):
+        b = proposed_overhead(l2, ecc_entries_per_set=2)
+        assert b.component_kib("ECC array") == 64.0
+
+
+class TestReduction:
+    def test_paper_headline_59_percent(self, l2):
+        conv = conventional_overhead(l2)
+        ours = proposed_overhead(l2)
+        assert reduction(conv, ours) == pytest.approx(0.5909, abs=0.0005)
+
+    def test_zero_conventional_rejected(self, l2):
+        conv = conventional_overhead(l2)
+        empty = type(conv)(scheme="x", components={})
+        with pytest.raises(ValueError):
+            reduction(empty, conv)
+
+
+class TestLiEtAl:
+    """Related-work comparator: Li et al. [11] keep a full ECC array."""
+
+    def test_total_is_150kb(self, l2):
+        assert li_et_al_overhead(l2).total_kib == 150.0
+
+    def test_provides_no_area_reduction(self, l2):
+        """The paper's related-work claim, verified by arithmetic."""
+        conv = conventional_overhead(l2)
+        li = li_et_al_overhead(l2)
+        assert reduction(conv, li) < 0  # strictly more area
+
+    def test_keeps_both_code_arrays(self, l2):
+        li = li_et_al_overhead(l2)
+        assert li.component_kib("data parity") == 16.0
+        assert li.component_kib("data ECC") == 128.0
+
+
+class TestGeneralisation:
+    def test_scales_with_cache_size(self):
+        small = CacheConfig("l2", 512 * 1024, 4, 64)
+        conv = conventional_overhead(small)
+        ours = proposed_overhead(small)
+        assert conv.total_kib == 66.0
+        assert ours.total_kib == 27.0
+        assert reduction(conv, ours) == pytest.approx(0.5909, abs=0.0005)
+
+    def test_different_line_size(self):
+        cfg = CacheConfig("l3", 1024 * 1024, 8, 128)
+        conv = conventional_overhead(cfg)
+        # ECC is always 12.5% of data, regardless of line size.
+        assert conv.component_kib("data ECC") == 128.0
+
+    def test_rows_include_total(self, l2):
+        rows = proposed_overhead(l2).rows()
+        assert rows[-1][0] == "total"
+        assert rows[-1][2] == 54.0
+        assert len(rows) == 6

@@ -1,0 +1,85 @@
+"""Tests for the cleaning-logic sweep scheduler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CleaningLogic
+
+
+class TestValidation:
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            CleaningLogic(n_sets=16, interval_cycles=0)
+
+    def test_rejects_bad_sets(self):
+        with pytest.raises(ValueError):
+            CleaningLogic(n_sets=0, interval_cycles=100)
+
+    def test_clock_must_not_go_backwards(self):
+        cl = CleaningLogic(n_sets=4, interval_cycles=100)
+        list(cl.due_sets(50))
+        with pytest.raises(ValueError):
+            list(cl.due_sets(40))
+
+
+class TestSchedule:
+    def test_each_line_checked_once_per_interval(self):
+        """After exactly one interval, every set was visited once."""
+        cl = CleaningLogic(n_sets=8, interval_cycles=800)
+        visited = []
+        for cycle in range(0, 801, 10):
+            visited.extend(cl.due_sets(cycle))
+        assert sorted(visited) == list(range(8))
+
+    def test_sets_visited_in_order(self):
+        cl = CleaningLogic(n_sets=4, interval_cycles=400)
+        visited = []
+        for cycle in range(0, 1601, 25):
+            visited.extend(cl.due_sets(cycle))
+        assert visited[:8] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_no_checks_before_first_slot(self):
+        cl = CleaningLogic(n_sets=4, interval_cycles=400)
+        assert list(cl.due_sets(99)) == []
+        assert list(cl.due_sets(100)) == [0]
+
+    def test_interval_smaller_than_sets(self):
+        """Multiple sets can come due in a single cycle."""
+        cl = CleaningLogic(n_sets=8, interval_cycles=4)
+        due = list(cl.due_sets(1))
+        assert due == [0, 1]
+
+    def test_cycles_per_set_check(self):
+        cl = CleaningLogic(n_sets=4096, interval_cycles=1 << 20)
+        assert cl.cycles_per_set_check == 256.0
+
+    @given(
+        st.integers(2, 64),
+        st.integers(10, 5000),
+        st.lists(st.integers(1, 300), min_size=1, max_size=50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_no_long_run_drift(self, n_sets, interval, steps):
+        """Total checks == elapsed * n_sets / interval, exactly (floored),
+        independent of the call pattern — provided no gap hits the
+        two-full-sweep cap."""
+        cl = CleaningLogic(n_sets=n_sets, interval_cycles=interval)
+        cap_gap = interval  # keeps every advance safely under the sweep cap
+        cycle = 0
+        total = 0
+        for dt in steps:
+            cycle += min(dt, cap_gap)
+            total += len(list(cl.due_sets(cycle)))
+        assert total == (cycle * n_sets) // interval
+
+    def test_idle_gap_capped_at_two_sweeps(self):
+        cl = CleaningLogic(n_sets=4, interval_cycles=4)
+        due = list(cl.due_sets(1_000_000))
+        assert len(due) == 8  # 2 * n_sets
+
+    def test_checks_counter(self):
+        cl = CleaningLogic(n_sets=4, interval_cycles=40)
+        for cycle in range(0, 101, 10):
+            list(cl.due_sets(cycle))
+        assert cl.checks == 10

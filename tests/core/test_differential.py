@@ -1,0 +1,201 @@
+"""Differential testing: ProtectedL2 vs an independent reference model.
+
+The reference model below re-implements the paper's semantics in the
+most naive way possible — full scans, explicit state dictionaries, no
+incremental bookkeeping — and both models are driven with identical
+random traffic (accesses interleaved with cleaning sweeps at explicit
+cycle points).  Any divergence in residency, dirtiness, written bits or
+write-back traffic is a bug in one of them.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import CacheConfig
+from repro.core import ProtectedL2, ProtectionConfig
+from repro.core.scrub import check_invariants
+
+
+class RefModel:
+    """Naive reference implementation of the protected L2.
+
+    LRU replacement, the written-bit rule, interval cleaning with a
+    set-walking pointer, and a per-set single-entry ECC array with FIFO
+    eviction — all spelled out longhand.
+    """
+
+    def __init__(self, n_sets, ways, line_bytes, interval, ecc_entries):
+        self.n_sets = n_sets
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.interval = interval
+        self.ecc_entries = ecc_entries
+        # Per set: list of dicts, one per resident line (order irrelevant).
+        self.lines = [[] for _ in range(n_sets)]
+        # Per set: block addrs owning ECC entries, oldest first.
+        self.ecc = [[] for _ in range(n_sets)]
+        self.time = 0
+        self.writebacks = {"replacement": 0, "cleaning": 0, "ecc": 0}
+        # Cleaning pointer state.
+        self.clean_ptr = 0
+        self.tick_balance = 0
+        self.last_cycle = 0
+
+    def locate(self, addr):
+        block = addr // self.line_bytes
+        return block % self.n_sets, block
+
+    def _find(self, set_idx, block):
+        for entry in self.lines[set_idx]:
+            if entry["block"] == block:
+                return entry
+        return None
+
+    def advance(self, cycle):
+        self.tick_balance += (cycle - self.last_cycle) * self.n_sets
+        self.last_cycle = cycle
+        cap = 2 * self.n_sets
+        issued = 0
+        while self.tick_balance >= self.interval and issued < cap:
+            self.tick_balance -= self.interval
+            self._clean_set(self.clean_ptr)
+            self.clean_ptr = (self.clean_ptr + 1) % self.n_sets
+            issued += 1
+        if issued == cap:
+            self.tick_balance %= self.interval
+
+    def _clean_set(self, set_idx):
+        for entry in self.lines[set_idx]:
+            if not entry["dirty"]:
+                continue
+            if entry["written"]:
+                entry["written"] = False
+            else:
+                entry["dirty"] = False
+                self.writebacks["cleaning"] += 1
+                if entry["block"] in self.ecc[set_idx]:
+                    self.ecc[set_idx].remove(entry["block"])
+
+    def access(self, addr, is_write):
+        self.time += 1
+        set_idx, block = self.locate(addr)
+        entry = self._find(set_idx, block)
+        if entry is None:
+            entry = self._fill(set_idx, block)
+        entry["lru"] = self.time
+        if is_write:
+            self._write(set_idx, entry)
+
+    def _fill(self, set_idx, block):
+        lines = self.lines[set_idx]
+        if len(lines) >= self.ways:
+            victim = min(lines, key=lambda e: e["lru"])
+            lines.remove(victim)
+            if victim["dirty"]:
+                self.writebacks["replacement"] += 1
+                if victim["block"] in self.ecc[set_idx]:
+                    self.ecc[set_idx].remove(victim["block"])
+        entry = {"block": block, "dirty": False, "written": False,
+                 "lru": self.time}
+        lines.append(entry)
+        return entry
+
+    def _write(self, set_idx, entry):
+        if entry["dirty"]:
+            entry["written"] = True
+            return
+        if self.ecc_entries is not None:
+            if len(self.ecc[set_idx]) >= self.ecc_entries:
+                evicted_block = self.ecc[set_idx].pop(0)
+                victim = self._find(set_idx, evicted_block)
+                assert victim is not None and victim["dirty"]
+                victim["dirty"] = False
+                victim["written"] = False
+                self.writebacks["ecc"] += 1
+            self.ecc[set_idx].append(entry["block"])
+        entry["dirty"] = True
+
+    # -- state snapshots for comparison -----------------------------------
+
+    def snapshot(self):
+        out = {}
+        for set_idx, lines in enumerate(self.lines):
+            for e in lines:
+                out[e["block"]] = (e["dirty"], e["written"])
+        return out
+
+    def dirty_count(self):
+        return sum(
+            1 for lines in self.lines for e in lines if e["dirty"]
+        )
+
+
+def snapshot_impl(cache: ProtectedL2):
+    out = {}
+    for set_idx, ways in enumerate(cache.sets):
+        for line in ways:
+            if line.valid:
+                block = cache.block_addr(set_idx, line.tag) // (
+                    cache.config.line_bytes
+                )
+                out[block] = (line.dirty, line.written)
+    return out
+
+
+def run_both(seed, n_ops, interval, ecc_entries, addr_space=1 << 15):
+    cfg = CacheConfig("l2", 4096, 4, 64)  # 16 sets x 4 ways
+    impl = ProtectedL2(
+        cfg,
+        ProtectionConfig(
+            cleaning_interval=interval, ecc_entries_per_set=ecc_entries
+        ),
+    )
+    ref = RefModel(cfg.n_sets, cfg.ways, cfg.line_bytes, interval,
+                   ecc_entries)
+    rng = random.Random(seed)
+    cycle = 0
+    for _ in range(n_ops):
+        cycle += rng.randint(1, 30)
+        addr = rng.randrange(addr_space)
+        is_write = rng.random() < 0.4
+        impl.advance(cycle)
+        ref.advance(cycle)
+        impl.access(addr, is_write, cycle)
+        ref.access(addr, is_write)
+    return impl, ref
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_with_ecc_array(self, seed):
+        impl, ref = run_both(seed, n_ops=800, interval=200, ecc_entries=1)
+        assert snapshot_impl(impl) == ref.snapshot()
+        assert impl.dirty.dirty_count == ref.dirty_count()
+        assert impl.stats.writebacks_replacement == ref.writebacks["replacement"]
+        assert impl.stats.writebacks_cleaning == ref.writebacks["cleaning"]
+        assert impl.stats.writebacks_ecc_eviction == ref.writebacks["ecc"]
+        check_invariants(impl)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_cleaning_only(self, seed):
+        impl, ref = run_both(seed, n_ops=800, interval=500, ecc_entries=None)
+        assert snapshot_impl(impl) == ref.snapshot()
+        assert impl.stats.writebacks_cleaning == ref.writebacks["cleaning"]
+        check_invariants(impl)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_two_ecc_entries(self, seed):
+        impl, ref = run_both(seed, n_ops=600, interval=300, ecc_entries=2)
+        assert snapshot_impl(impl) == ref.snapshot()
+        assert impl.stats.writebacks_ecc_eviction == ref.writebacks["ecc"]
+        check_invariants(impl)
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=25, deadline=None)
+    def test_property_random_seeds(self, seed):
+        impl, ref = run_both(seed, n_ops=300, interval=150, ecc_entries=1)
+        assert snapshot_impl(impl) == ref.snapshot()
+        assert impl.dirty.dirty_count == ref.dirty_count()

@@ -1,0 +1,77 @@
+"""Tests for the eager-writeback ablation baseline."""
+
+import pytest
+
+from repro.cache import CacheConfig, WritebackReason
+from repro.core import EagerL2
+
+
+def make_eager(**kw):
+    defaults = dict(name="l2", size_bytes=4096, ways=4, line_bytes=64)
+    defaults.update(kw)
+    return EagerL2(CacheConfig(**defaults))
+
+
+def same_set_addrs(cache, n):
+    stride = cache.n_sets * cache.config.line_bytes
+    return [i * stride for i in range(n)]
+
+
+class TestValidation:
+    def test_requires_lru(self):
+        with pytest.raises(ValueError):
+            EagerL2(CacheConfig("l2", 4096, 4, 64, replacement="fifo"))
+
+
+class TestEagerCleaning:
+    def test_dirty_lru_line_written_back_once_set_fills(self):
+        l2 = make_eager()
+        addrs = same_set_addrs(l2, 4)
+        l2.access(addrs[0], is_write=True, cycle=0)
+        eager = []
+        for i, a in enumerate(addrs[1:], start=1):
+            res = l2.access(a, is_write=False, cycle=i)
+            eager += [
+                wb for wb in res.writebacks
+                if wb.reason is WritebackReason.EAGER
+            ]
+        # The fill of the 4th way made the set full with addrs[0] as the
+        # dirty LRU line, triggering its eager write-back immediately.
+        assert len(eager) == 1
+        assert eager[0].addr == addrs[0]
+        assert not l2.find_line(addrs[0]).dirty
+        assert l2.probe(addrs[0])  # still resident
+
+    def test_not_eager_while_set_has_invalid_ways(self):
+        l2 = make_eager()
+        a = same_set_addrs(l2, 1)[0]
+        l2.access(a, is_write=True, cycle=0)
+        res = l2.access(a, is_write=False, cycle=1)
+        assert res.writebacks == []
+        assert l2.find_line(a).dirty
+
+    def test_mru_dirty_line_not_written_back(self):
+        l2 = make_eager()
+        addrs = same_set_addrs(l2, 4)
+        for i, a in enumerate(addrs):
+            l2.access(a, is_write=False, cycle=i)
+        res = l2.access(addrs[3], is_write=True, cycle=10)  # MRU dirty
+        assert res.writebacks == []
+        assert l2.find_line(addrs[3]).dirty
+
+    def test_eager_counts_separate_from_replacement(self):
+        l2 = make_eager()
+        addrs = same_set_addrs(l2, 4)
+        l2.access(addrs[0], is_write=True, cycle=0)
+        for i, a in enumerate(addrs[1:], start=1):
+            l2.access(a, is_write=False, cycle=i)
+        l2.access(addrs[1], is_write=False, cycle=10)
+        assert l2.stats.writebacks_eager == 1
+        assert l2.stats.writebacks_replacement == 0
+
+    def test_lru_dirty_line_helper(self):
+        l2 = make_eager()
+        addrs = same_set_addrs(l2, 4)
+        for i, a in enumerate(addrs):
+            l2.access(a, is_write=False, cycle=i)
+        assert l2.lru_dirty_line(0) is None

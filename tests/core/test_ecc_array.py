@@ -1,0 +1,108 @@
+"""Tests for the shared ECC array bookkeeping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SharedEccArray
+
+
+@pytest.fixture
+def arr():
+    return SharedEccArray(n_sets=8, entries_per_set=1)
+
+
+class TestValidation:
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            SharedEccArray(0, 1)
+        with pytest.raises(ValueError):
+            SharedEccArray(8, 0)
+
+
+class TestAllocation:
+    def test_free_entry_allocates_without_eviction(self, arr):
+        assert arr.allocate(0, way=2) is None
+        assert arr.holds(0, 2)
+        assert arr.used_entries() == 1
+
+    def test_second_allocation_evicts_first(self, arr):
+        arr.allocate(0, 1)
+        evicted = arr.allocate(0, 3)
+        assert evicted == 1
+        assert not arr.holds(0, 1)
+        assert arr.holds(0, 3)
+        assert arr.stats.evictions == 1
+
+    def test_sets_are_independent(self, arr):
+        arr.allocate(0, 1)
+        assert arr.allocate(1, 1) is None
+
+    def test_double_allocation_for_same_way_rejected(self, arr):
+        arr.allocate(0, 1)
+        with pytest.raises(ValueError):
+            arr.allocate(0, 1)
+
+    def test_fifo_eviction_order_with_two_entries(self):
+        arr = SharedEccArray(n_sets=2, entries_per_set=2)
+        arr.allocate(0, 0)
+        arr.allocate(0, 1)
+        assert arr.allocate(0, 2) == 0  # oldest goes first
+        assert arr.allocate(0, 3) == 1
+
+    def test_total_entries(self):
+        assert SharedEccArray(4096, 1).total_entries == 4096
+        assert SharedEccArray(4096, 2).total_entries == 8192
+
+
+class TestRelease:
+    def test_release_frees_entry(self, arr):
+        arr.allocate(3, 2)
+        assert arr.release(3, 2)
+        assert arr.free_entries(3) == 1
+        assert arr.allocate(3, 0) is None
+
+    def test_release_absent_is_noop(self, arr):
+        assert not arr.release(3, 2)
+        assert arr.stats.releases == 0
+
+    def test_owners_snapshot_is_a_copy(self, arr):
+        arr.allocate(0, 1)
+        owners = arr.owners(0)
+        owners.append(99)
+        assert arr.owners(0) == [1]
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(0, 7), st.integers(0, 3)),
+            max_size=200,
+        ),
+        st.integers(1, 3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, ops, entries):
+        """Random alloc/release sequences respect per-set capacity and
+        keep owners unique."""
+        arr = SharedEccArray(n_sets=8, entries_per_set=entries)
+        for is_alloc, set_idx, way in ops:
+            if is_alloc:
+                if not arr.holds(set_idx, way):
+                    arr.allocate(set_idx, way)
+            else:
+                arr.release(set_idx, way)
+            owners = arr.owners(set_idx)
+            assert len(owners) <= entries
+            assert len(owners) == len(set(owners))
+        assert arr.used_entries() <= arr.total_entries
+
+
+class TestStats:
+    def test_counts(self, arr):
+        arr.allocate(0, 0)
+        arr.allocate(0, 1)  # evicts way 0
+        arr.release(0, 1)
+        assert arr.stats.allocations == 2
+        assert arr.stats.evictions == 1
+        assert arr.stats.releases == 1

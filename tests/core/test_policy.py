@@ -1,0 +1,174 @@
+"""Tests for protection policies and payload-level line protection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    LineProtection,
+    NonUniformPolicy,
+    ProtectionDomain,
+    UniformEccPolicy,
+    UniformParityPolicy,
+)
+from repro.core.policy import RecoveryAction
+
+PAYLOADS = st.binary(min_size=64, max_size=64)
+
+
+class TestDomains:
+    def test_uniform_ecc_always_ecc(self):
+        p = UniformEccPolicy()
+        assert p.domains_for(False) == (ProtectionDomain.ECC,)
+        assert p.domains_for(True) == (ProtectionDomain.ECC,)
+
+    def test_uniform_parity_always_parity(self):
+        p = UniformParityPolicy()
+        assert p.domains_for(True) == (ProtectionDomain.PARITY,)
+
+    def test_non_uniform_adds_ecc_when_dirty(self):
+        p = NonUniformPolicy()
+        assert p.domains_for(False) == (ProtectionDomain.PARITY,)
+        assert ProtectionDomain.ECC in p.domains_for(True)
+        assert ProtectionDomain.PARITY in p.domains_for(True)
+
+    def test_recovery_domain_prefers_ecc(self):
+        p = NonUniformPolicy()
+        assert p.recovery_domain(True) is ProtectionDomain.ECC
+        assert p.recovery_domain(False) is ProtectionDomain.PARITY
+
+
+class TestCheckBits:
+    """The bit counts behind the paper's area arithmetic."""
+
+    def test_uniform_ecc_64_bits_per_line(self):
+        assert UniformEccPolicy().check_bits_per_line(64, dirty=False) == 64
+
+    def test_parity_8_bits_per_line(self):
+        assert UniformParityPolicy().check_bits_per_line(64, dirty=True) == 8
+
+    def test_non_uniform_clean_vs_dirty(self):
+        p = NonUniformPolicy()
+        assert p.check_bits_per_line(64, dirty=False) == 8
+        assert p.check_bits_per_line(64, dirty=True) == 72
+
+
+class TestLineProtectionStates:
+    def test_starts_clean_with_parity_only(self):
+        lp = LineProtection(NonUniformPolicy(), bytes(64))
+        assert not lp.dirty
+        assert lp.parity_checks is not None
+        assert lp.ecc_checks is None
+
+    def test_write_dirties_and_adds_ecc(self):
+        lp = LineProtection(NonUniformPolicy(), bytes(64))
+        lp.write(bytes([7] * 64))
+        assert lp.dirty
+        assert lp.ecc_checks is not None
+
+    def test_clean_drops_ecc_and_returns_data(self):
+        lp = LineProtection(NonUniformPolicy(), bytes(64))
+        lp.write(bytes([7] * 64))
+        data = lp.clean()
+        assert data == bytes([7] * 64)
+        assert not lp.dirty
+        assert lp.ecc_checks is None
+
+    def test_wrong_payload_size_rejected(self):
+        with pytest.raises(ValueError):
+            LineProtection(NonUniformPolicy(), bytes(32))
+        lp = LineProtection(NonUniformPolicy(), bytes(64))
+        with pytest.raises(ValueError):
+            lp.write(bytes(63))
+
+    def test_flip_bounds_checked(self):
+        lp = LineProtection(NonUniformPolicy(), bytes(64))
+        with pytest.raises(ValueError):
+            lp.flip(64, 0)
+        with pytest.raises(ValueError):
+            lp.flip(0, 8)
+
+
+class TestRecoveryPaths:
+    """The end-to-end semantics Section 3.1 argues for."""
+
+    @given(PAYLOADS)
+    @settings(max_examples=40)
+    def test_clean_read_no_fault(self, payload):
+        lp = LineProtection(NonUniformPolicy(), payload)
+        action, data = lp.access()
+        assert action is RecoveryAction.CLEAN_READ
+        assert data == payload
+
+    def test_clean_line_fault_is_refetched(self):
+        """Parity detects; pristine data comes from the next level."""
+        payload = bytes(range(64))
+        lp = LineProtection(NonUniformPolicy(), payload)
+        lp.flip(3, 5)
+        action, data = lp.access()
+        assert action is RecoveryAction.REFETCHED
+        assert data == payload
+
+    def test_dirty_line_single_fault_corrected(self):
+        lp = LineProtection(NonUniformPolicy(), bytes(64))
+        lp.write(bytes([0xAA] * 64))
+        lp.flip(10, 1)
+        action, data = lp.access()
+        assert action is RecoveryAction.CORRECTED_IN_PLACE
+        assert data == bytes([0xAA] * 64)
+
+    def test_dirty_line_double_fault_is_data_loss(self):
+        """The scheme's accepted risk: 2-bit errors on dirty data."""
+        lp = LineProtection(NonUniformPolicy(), bytes(64))
+        lp.write(bytes([0xAA] * 64))
+        lp.flip(10, 1)
+        lp.flip(10, 2)  # same 64-bit word
+        action, _ = lp.access()
+        assert action is RecoveryAction.DATA_LOSS
+
+    def test_clean_line_double_fault_under_parity_is_silent(self):
+        """Parity's blind spot: even numbers of flips in one word."""
+        payload = bytes(range(64))
+        lp = LineProtection(NonUniformPolicy(), payload)
+        lp.flip(0, 1)
+        lp.flip(0, 2)
+        action, _ = lp.access()
+        assert action is RecoveryAction.SILENT_CORRUPTION
+
+    def test_parity_only_dirty_line_fault_is_data_loss(self):
+        """Under parity alone, a detected error on DIRTY data cannot be
+        refetched (memory is stale) — the paper's core argument for ECC
+        on dirty lines."""
+        lp = LineProtection(UniformParityPolicy(), bytes(64))
+        lp.write(bytes([0x55] * 64))
+        lp.flip(0, 0)
+        action, _ = lp.access()
+        assert action is RecoveryAction.DATA_LOSS
+
+    def test_uniform_ecc_refetches_nothing(self):
+        """Baseline: ECC corrects on clean lines too (no refetch path)."""
+        payload = bytes(range(64))
+        lp = LineProtection(UniformEccPolicy(), payload)
+        lp.flip(3, 5)
+        action, data = lp.access()
+        assert action is RecoveryAction.CORRECTED_IN_PLACE
+        assert data == payload
+
+    def test_correction_repairs_stored_payload(self):
+        lp = LineProtection(NonUniformPolicy(), bytes(64))
+        lp.write(bytes([1] * 64))
+        lp.flip(0, 0)
+        lp.access()
+        action, _ = lp.access()  # second read sees repaired data
+        assert action is RecoveryAction.CLEAN_READ
+
+    def test_write_after_clean_reenters_dirty_protection(self):
+        lp = LineProtection(NonUniformPolicy(), bytes(64))
+        lp.write(bytes([1] * 64))
+        lp.clean()
+        lp.write(bytes([2] * 64))
+        assert lp.ecc_checks is not None
+        lp.flip(5, 5)
+        action, data = lp.access()
+        assert action is RecoveryAction.CORRECTED_IN_PLACE
+        assert data == bytes([2] * 64)

@@ -1,0 +1,139 @@
+"""Tests for the related-work comparators: hot-line protection [9] and
+in-cache replication [10]."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.cache.cache import CacheConfig
+from repro.core.hotlines import HotLineTable, coverage_for_stream
+from repro.core.icr import IcrCache
+from repro.workloads import MemRef
+from repro.workloads.generators import zipf_stream
+
+
+class TestHotLineTable:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HotLineTable(0)
+
+    def test_first_touch_uncovered(self):
+        t = HotLineTable(4)
+        assert t.touch(1) is False
+        assert t.touch(1) is True
+
+    def test_mru_eviction(self):
+        t = HotLineTable(2)
+        t.touch(1)
+        t.touch(2)
+        t.touch(1)  # refresh 1
+        t.touch(3)  # evicts 2
+        assert t.covers(1)
+        assert not t.covers(2)
+        assert t.covers(3)
+
+    def test_coverage_statistic(self):
+        t = HotLineTable(8)
+        for _ in range(10):
+            t.touch(42)
+        assert t.stats.coverage == pytest.approx(9 / 10)
+
+    def test_hot_set_within_table_fully_covered(self):
+        """A working set that fits the table converges to ~100% coverage."""
+        t = HotLineTable(entries=8)
+        rng = random.Random(0)
+        for _ in range(2000):
+            t.touch(rng.randrange(8))
+        assert t.stats.coverage > 0.95
+
+    def test_streaming_defeats_hot_line_protection(self):
+        """The contrast the paper draws: sweeps cover almost nothing."""
+        t = HotLineTable(entries=64)
+        for block in range(5000):
+            t.touch(block % 2048)  # footprint >> table
+        assert t.stats.coverage < 0.05
+
+    def test_coverage_for_stream_helper(self):
+        refs = [MemRef(False, 0x40, 0)] * 5
+        stats = coverage_for_stream(refs, entries=4)
+        assert stats.accesses == 5
+        assert stats.coverage == pytest.approx(4 / 5)
+
+    def test_zipf_partial_coverage(self):
+        """Skewed reuse gives [9] its good case — but never 100%."""
+        rng = random.Random(1)
+        refs = itertools.islice(
+            zipf_stream(rng, ws_bytes=64 * 1024, alpha=1.1,
+                        store_ratio=0.2, base=0),
+            8000,
+        )
+        stats = coverage_for_stream(refs, entries=64)
+        assert 0.2 < stats.coverage < 0.99
+
+
+def make_icr(dead_interval=100):
+    return IcrCache(CacheConfig("l1d", 2048, 4, 32),
+                    dead_interval=dead_interval)
+
+
+class TestIcrCache:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IcrCache(CacheConfig("l1d", 2048, 4, 32), dead_interval=0)
+
+    def test_replica_created_in_dead_line(self):
+        icr = make_icr(dead_interval=100)
+        icr.access(0x0, False, cycle=1)  # fills way 0
+        # Remaining invalid ways are dead hosts; a replica appears.
+        assert icr.stats.replicas_created == 1
+        assert icr.access(0x0, False, cycle=2) is True  # now covered
+
+    def test_live_partners_block_replication(self):
+        icr = make_icr(dead_interval=10_000)
+        stride = icr.n_sets * icr.config.line_bytes
+        # Fill all 4 ways of set 0 with live lines, touching them often.
+        for i in range(4):
+            icr.access(i * stride, False, cycle=1 + i)
+        created_before = icr.stats.replicas_created
+        for cycle in range(10, 200, 10):
+            for i in range(4):
+                icr.access(i * stride, False, cycle=cycle)
+        # All ways live: only replicas into then-invalid ways at fill
+        # time exist; no new hosts become available.
+        assert icr.stats.replicas_created == created_before
+
+    def test_dead_line_becomes_host_after_decay(self):
+        icr = make_icr(dead_interval=50)
+        stride = icr.n_sets * icr.config.line_bytes
+        for i in range(4):
+            icr.access(i * stride, False, cycle=1)
+        # Long quiet period: lines 1..3 decay; line 0 stays hot.
+        covered = icr.access(0x0, False, cycle=1000)
+        # Replica created now (was none for way 0 among live partners).
+        assert icr.stats.replicas_created >= 1
+        assert icr.access(0x0, False, cycle=1001) or covered
+
+    def test_refill_displaces_hosted_replica(self):
+        icr = make_icr(dead_interval=100)
+        icr.access(0x0, False, cycle=1)  # way 0 + replica in way 1
+        stride = icr.n_sets * icr.config.line_bytes
+        # Fill the set with new lines; replica hosts get reused.
+        for i in range(1, 5):
+            icr.access(i * stride, False, cycle=2 + i)
+        assert icr.stats.replicas_displaced >= 1
+
+    def test_write_updates_replica(self):
+        icr = make_icr()
+        icr.access(0x0, True, cycle=1)
+        icr.access(0x0, True, cycle=2)  # covered write
+        assert icr.stats.replica_updates >= 1
+
+    def test_replicated_fraction_bounds(self):
+        icr = make_icr()
+        rng = random.Random(0)
+        for cycle in range(3000):
+            icr.access(rng.randrange(1 << 14) & ~3, rng.random() < 0.3,
+                       cycle)
+        assert 0.0 <= icr.replicated_fraction() <= 1.0
+        assert 0.0 <= icr.stats.coverage <= 1.0

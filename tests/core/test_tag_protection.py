@@ -1,0 +1,63 @@
+"""Tests for tag-array protection semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.tag_protection import ProtectedTag, TagOutcome
+
+
+class TestValidation:
+    def test_tag_out_of_range(self):
+        with pytest.raises(ValueError):
+            ProtectedTag(tag=1 << 24)
+
+    def test_flip_out_of_range(self):
+        t = ProtectedTag(tag=0x1234)
+        with pytest.raises(ValueError):
+            t.flip(24)
+
+
+class TestOutcomes:
+    def test_pristine_tag_ok(self):
+        t = ProtectedTag(tag=0xABCD)
+        assert t.check(dirty=False) is TagOutcome.OK
+        assert t.check(dirty=True) is TagOutcome.OK
+
+    @given(st.integers(0, (1 << 24) - 1), st.integers(0, 23))
+    def test_single_flip_clean_is_recoverable(self, tag, bit):
+        t = ProtectedTag(tag=tag)
+        t.flip(bit)
+        assert t.check(dirty=False) is TagOutcome.INVALIDATED_REFETCH
+
+    @given(st.integers(0, (1 << 24) - 1), st.integers(0, 23))
+    def test_single_flip_dirty_is_data_loss(self, tag, bit):
+        """A dirty line whose tag is corrupt cannot be written back."""
+        t = ProtectedTag(tag=tag)
+        t.flip(bit)
+        assert t.check(dirty=True) is TagOutcome.DATA_LOSS
+
+    @given(
+        st.integers(0, (1 << 24) - 1),
+        st.lists(st.integers(0, 23), min_size=2, max_size=2, unique=True),
+    )
+    def test_double_flip_is_silent_alias(self, tag, bits):
+        t = ProtectedTag(tag=tag)
+        for b in bits:
+            t.flip(b)
+        assert t.check(dirty=False) is TagOutcome.SILENT_ALIAS
+
+    def test_flip_and_flip_back_is_ok(self):
+        t = ProtectedTag(tag=0x555555)
+        t.flip(3)
+        t.flip(3)
+        assert t.check(dirty=True) is TagOutcome.OK
+
+
+class TestRepair:
+    def test_repair_restores_ok(self):
+        t = ProtectedTag(tag=0x00F00D)
+        t.flip(7)
+        assert t.check(dirty=False) is TagOutcome.INVALIDATED_REFETCH
+        t.repair()
+        assert t.check(dirty=False) is TagOutcome.OK

@@ -1,0 +1,102 @@
+"""Tests for the two-level branch predictor and BTB."""
+
+import random
+
+import pytest
+
+from repro.cpu import BranchPredictor, BranchPredictorConfig
+
+
+class TestConfig:
+    def test_rejects_bad_pht_bits(self):
+        with pytest.raises(ValueError):
+            BranchPredictorConfig(pht_bits=0)
+
+    def test_rejects_history_wider_than_pht(self):
+        with pytest.raises(ValueError):
+            BranchPredictorConfig(pht_bits=8, history_bits=9)
+
+    def test_rejects_non_pow2_btb(self):
+        with pytest.raises(ValueError):
+            BranchPredictorConfig(btb_entries=1000)
+
+
+class TestDirectionPrediction:
+    def test_always_taken_branch_learned(self):
+        bp = BranchPredictor()
+        for _ in range(100):
+            bp.predict_and_update(0x1000, taken=True, target=0x2000)
+        assert bp.stats.mispredict_rate < 0.05
+
+    def test_always_not_taken_branch_learned(self):
+        bp = BranchPredictor()
+        mis = [bp.predict_and_update(0x1000, False, 0) for _ in range(100)]
+        # Counters start weakly-taken: a couple of early mispredicts only.
+        assert sum(mis) <= 3
+        assert mis[-1] is False
+
+    def test_strongly_biased_static_branches(self):
+        rng = random.Random(0)
+        bp = BranchPredictor()
+        pcs = [0x4000 + i * 16 for i in range(30)]
+        bias = [rng.choice([0.95, 0.05]) for _ in pcs]
+        for _ in range(300):
+            for pc, b in zip(pcs, bias):
+                bp.predict_and_update(pc, rng.random() < b, pc + 64)
+        assert bp.stats.mispredict_rate < 0.12
+
+    def test_alternating_pattern_learned_via_history(self):
+        """T,N,T,N... is perfectly predictable with >=1 history bit."""
+        bp = BranchPredictor()
+        mis = 0
+        for i in range(400):
+            mis += bp.predict_and_update(0x1000, taken=(i % 2 == 0),
+                                         target=0x2000)
+        assert mis / 400 < 0.1
+
+    def test_random_branch_near_chance(self):
+        rng = random.Random(1)
+        bp = BranchPredictor()
+        for _ in range(2000):
+            bp.predict_and_update(0x1000, rng.random() < 0.5, 0x2000)
+        assert 0.3 < bp.stats.mispredict_rate < 0.7
+
+
+class TestBtb:
+    def test_taken_without_btb_entry_is_mispredict(self):
+        bp = BranchPredictor()
+        # Train direction taken at a different pc to warm the counters.
+        for _ in range(10):
+            bp.predict_and_update(0x1000, True, 0x2000)
+        before = bp.stats.btb_misses
+        bp.predict_and_update(0x9999000, True, 0x2000)
+        assert bp.stats.btb_misses == before + 1
+
+    def test_target_mismatch_is_mispredict(self):
+        bp = BranchPredictor()
+        for _ in range(10):
+            bp.predict_and_update(0x1000, True, 0x2000)
+        before = bp.stats.mispredictions
+        bp.predict_and_update(0x1000, True, 0x3000)  # new target
+        assert bp.stats.mispredictions == before + 1
+        # The BTB now holds the new target.
+        assert not bp.predict_and_update(0x1000, True, 0x3000)
+
+    def test_not_taken_needs_no_target(self):
+        bp = BranchPredictor()
+        for _ in range(10):
+            bp.predict_and_update(0x5000, False, 0)
+        before = bp.stats.mispredictions
+        bp.predict_and_update(0x5000, False, 0)
+        assert bp.stats.mispredictions == before
+
+
+class TestStats:
+    def test_prediction_count(self):
+        bp = BranchPredictor()
+        for i in range(25):
+            bp.predict_and_update(0x100 + i * 4, True, 0x200)
+        assert bp.stats.predictions == 25
+
+    def test_empty_rate(self):
+        assert BranchPredictor().stats.mispredict_rate == 0.0

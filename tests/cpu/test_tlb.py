@@ -1,0 +1,65 @@
+"""Tests for the TLB model."""
+
+import pytest
+
+from repro.cpu import Tlb, TlbConfig
+
+
+class TestConfig:
+    def test_table1_defaults_valid(self):
+        Tlb(TlbConfig(entries=64, ways=4))
+        Tlb(TlbConfig(entries=128, ways=4))
+
+    def test_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            TlbConfig(entries=63, ways=4)
+
+    def test_rejects_non_pow2_sets(self):
+        with pytest.raises(ValueError):
+            TlbConfig(entries=12, ways=4)
+
+    def test_rejects_non_pow2_page(self):
+        with pytest.raises(ValueError):
+            TlbConfig(page_bytes=5000)
+
+
+class TestTranslate:
+    def test_first_access_misses(self):
+        tlb = Tlb(TlbConfig(entries=8, ways=2, miss_penalty=30))
+        assert tlb.translate(0x1000) == 30
+
+    def test_second_access_hits(self):
+        tlb = Tlb(TlbConfig(entries=8, ways=2, miss_penalty=30))
+        tlb.translate(0x1000)
+        assert tlb.translate(0x1ABC) == 0  # same 4K page
+
+    def test_different_pages_differ(self):
+        tlb = Tlb(TlbConfig(entries=8, ways=2))
+        tlb.translate(0x1000)
+        assert tlb.translate(0x2000) > 0
+
+    def test_lru_eviction_within_set(self):
+        tlb = Tlb(TlbConfig(entries=4, ways=2, page_bytes=4096))
+        # Pages mapping to set 0 of a 2-set TLB: vpn % 2 == 0.
+        pages = [0x0000, 0x2000, 0x4000]
+        tlb.translate(pages[0])
+        tlb.translate(pages[1])
+        tlb.translate(pages[2])  # evicts pages[0]
+        assert tlb.translate(pages[0]) > 0
+        assert tlb.translate(pages[2]) == 0
+
+    def test_touch_refreshes_lru(self):
+        tlb = Tlb(TlbConfig(entries=4, ways=2, page_bytes=4096))
+        tlb.translate(0x0000)
+        tlb.translate(0x2000)
+        tlb.translate(0x0000)  # refresh
+        tlb.translate(0x4000)  # evicts 0x2000, not 0x0000
+        assert tlb.translate(0x0000) == 0
+
+    def test_stats(self):
+        tlb = Tlb(TlbConfig(entries=8, ways=2))
+        tlb.translate(0)
+        tlb.translate(0)
+        assert tlb.stats.hits == 1
+        assert tlb.stats.misses == 1
+        assert tlb.stats.miss_rate == 0.5

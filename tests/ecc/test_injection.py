@@ -1,0 +1,109 @@
+"""Tests for the fault-injection harness."""
+
+import random
+
+import pytest
+
+from repro.ecc import (
+    CheckOutcome,
+    FaultInjector,
+    ParityCodec,
+    SecDedCodec,
+    flip_bit,
+)
+from repro.ecc.codec import CodewordError
+
+
+class TestFlipBit:
+    def test_flip_and_restore(self):
+        w = 0xDEAD
+        assert flip_bit(flip_bit(w, 3), 3) == w
+
+    def test_flip_changes_exactly_one_bit(self):
+        w = 0
+        assert bin(flip_bit(w, 17)).count("1") == 1
+
+    def test_flip_rejects_out_of_range(self):
+        with pytest.raises(CodewordError):
+            flip_bit(0, 64)
+        with pytest.raises(CodewordError):
+            flip_bit(0, -1)
+
+    def test_flip_custom_width(self):
+        assert flip_bit(0, 7, width=8) == 0x80
+        with pytest.raises(CodewordError):
+            flip_bit(0, 8, width=8)
+
+
+class TestInject:
+    def test_zero_flips_is_clean(self):
+        inj = FaultInjector(SecDedCodec(), seed=1)
+        outcome, word, check = inj.inject(0x1234, 0)
+        assert outcome is CheckOutcome.OK
+        assert word == 0x1234
+
+    def test_single_flip_always_corrected_secded(self):
+        inj = FaultInjector(SecDedCodec(), seed=2)
+        for _ in range(200):
+            outcome, _, _ = inj.inject(inj.rng.getrandbits(64), 1)
+            assert outcome is CheckOutcome.CORRECTED
+
+    def test_double_flip_always_detected_secded(self):
+        inj = FaultInjector(SecDedCodec(), seed=3)
+        for _ in range(200):
+            outcome, _, _ = inj.inject(inj.rng.getrandbits(64), 2)
+            assert outcome is CheckOutcome.DETECTED
+
+    def test_single_flip_detected_parity(self):
+        inj = FaultInjector(ParityCodec(), seed=4)
+        for _ in range(100):
+            outcome, _, _ = inj.inject(inj.rng.getrandbits(64), 1)
+            assert outcome is CheckOutcome.DETECTED
+
+    def test_double_flip_undetected_parity(self):
+        """Two data flips slip through parity -> silent corruption."""
+        inj = FaultInjector(ParityCodec(), seed=5)
+        rng = random.Random(6)
+        outcomes = set()
+        for _ in range(100):
+            word = rng.getrandbits(64)
+            outcome, _, _ = inj.inject(word, 2)
+            outcomes.add(outcome)
+        assert CheckOutcome.UNDETECTED in outcomes
+
+    def test_deterministic_with_seed(self):
+        a = FaultInjector(SecDedCodec(), seed=42).campaign(50, 1)
+        b = FaultInjector(SecDedCodec(), seed=42).campaign(50, 1)
+        assert a.by_outcome == b.by_outcome
+
+
+class TestCampaign:
+    def test_counts_sum_to_trials(self):
+        stats = FaultInjector(SecDedCodec(), seed=7).campaign(100, 1)
+        assert stats.trials == 100
+        assert sum(stats.by_outcome.values()) == 100
+
+    def test_secded_1flip_rate(self):
+        stats = FaultInjector(SecDedCodec(), seed=8).campaign(300, 1)
+        assert stats.rate(CheckOutcome.CORRECTED) == 1.0
+
+    def test_secded_2flip_rate(self):
+        stats = FaultInjector(SecDedCodec(), seed=9).campaign(300, 2)
+        assert stats.rate(CheckOutcome.DETECTED) == 1.0
+
+    def test_secded_3flip_never_silently_ok(self):
+        """Triple errors may miscorrect, but that is labelled UNDETECTED."""
+        stats = FaultInjector(SecDedCodec(), seed=10).campaign(300, 3)
+        covered = (
+            stats.rate(CheckOutcome.DETECTED)
+            + stats.rate(CheckOutcome.UNDETECTED)
+            + stats.rate(CheckOutcome.CORRECTED)
+        )
+        assert covered == pytest.approx(1.0)
+        # A genuine 3-bit repair to the original word is impossible:
+        # CORRECTED can only appear if the repair restored ground truth.
+        assert stats.rate(CheckOutcome.CORRECTED) == 0.0
+
+    def test_empty_campaign_rates_are_zero(self):
+        stats = FaultInjector(SecDedCodec(), seed=11).campaign(0, 1)
+        assert stats.rate(CheckOutcome.OK) == 0.0

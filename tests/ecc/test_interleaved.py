@@ -1,0 +1,112 @@
+"""Tests for interleaved parity and burst (multi-bit-upset) injection."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc import (
+    CheckOutcome,
+    FaultInjector,
+    InterleavedParityCodec,
+    ParityCodec,
+    SecDedCodec,
+)
+from repro.ecc.codec import WORD_MASK, CodewordError
+
+WORDS = st.integers(min_value=0, max_value=WORD_MASK)
+
+
+class TestInterleavedConstruction:
+    def test_check_bits_match_ways(self):
+        assert InterleavedParityCodec(ways=8).check_bits_per_word == 8
+        assert InterleavedParityCodec(ways=4).check_bits_per_word == 4
+
+    def test_ways_validated(self):
+        with pytest.raises(ValueError):
+            InterleavedParityCodec(ways=0)
+        with pytest.raises(ValueError):
+            InterleavedParityCodec(ways=65)
+
+    def test_ways_one_equals_plain_parity(self):
+        plain, inter = ParityCodec(), InterleavedParityCodec(ways=1)
+        for word in (0, 1, 0xDEADBEEF, WORD_MASK):
+            assert plain.encode(word) == inter.encode(word)
+
+
+class TestInterleavedDetection:
+    @given(WORDS)
+    def test_clean_word_passes(self, word):
+        codec = InterleavedParityCodec(8)
+        assert codec.check(word, codec.encode(word)).ok
+
+    @given(WORDS, st.integers(0, 63))
+    def test_single_flip_detected(self, word, bit):
+        codec = InterleavedParityCodec(8)
+        check = codec.encode(word)
+        result = codec.check(word ^ (1 << bit), check)
+        assert result.outcome is CheckOutcome.DETECTED
+
+    @given(WORDS, st.integers(0, 56), st.integers(2, 8))
+    @settings(max_examples=200)
+    def test_any_burst_up_to_ways_detected(self, word, start, length):
+        """Every <=8-adjacent-bit burst hits distinct parity domains."""
+        codec = InterleavedParityCodec(8)
+        check = codec.encode(word)
+        corrupted = word
+        for b in range(start, start + length):
+            corrupted ^= 1 << b
+        result = codec.check(corrupted, check)
+        assert result.outcome is CheckOutcome.DETECTED
+
+    def test_plain_parity_misses_even_bursts(self):
+        """The contrast: 1-bit parity is blind to 2-adjacent flips."""
+        codec = ParityCodec()
+        word = 0x123456789ABCDEF0
+        check = codec.encode(word)
+        corrupted = word ^ 0b11  # 2-bit burst
+        assert codec.check(corrupted, check).outcome is CheckOutcome.OK
+
+    def test_burst_of_ways_plus_one_can_escape(self):
+        """A 16-bit burst puts 2 flips in every domain of an 8-way code."""
+        codec = InterleavedParityCodec(8)
+        word = 0
+        check = codec.encode(word)
+        corrupted = word ^ ((1 << 16) - 1)  # 16 adjacent flips
+        assert codec.check(corrupted, check).outcome is CheckOutcome.OK
+
+
+class TestBurstInjection:
+    def test_burst_length_validated(self):
+        inj = FaultInjector(ParityCodec(), seed=0)
+        with pytest.raises(CodewordError):
+            inj.inject_burst(0, 0)
+        with pytest.raises(CodewordError):
+            inj.inject_burst(0, 65)
+
+    def test_interleaved_detects_all_small_bursts(self):
+        inj = FaultInjector(InterleavedParityCodec(8), seed=1)
+        for length in (2, 4, 8):
+            stats = inj.campaign(200, length, burst=True)
+            assert stats.rate(CheckOutcome.DETECTED) == 1.0, length
+
+    def test_plain_parity_misses_even_burst_campaign(self):
+        inj = FaultInjector(ParityCodec(), seed=2)
+        stats = inj.campaign(200, 2, burst=True)
+        assert stats.rate(CheckOutcome.UNDETECTED) == 1.0
+
+    def test_secded_on_bursts(self):
+        """SECDED detects 2-bursts but can be fooled by longer ones."""
+        inj = FaultInjector(SecDedCodec(), seed=3)
+        two = inj.campaign(200, 2, burst=True)
+        assert two.rate(CheckOutcome.DETECTED) == 1.0
+        four = inj.campaign(300, 4, burst=True)
+        # 4-bit bursts may miscorrect or slip through: never silently OK
+        # *and* repaired correctly, but UNDETECTED occurs.
+        assert four.rate(CheckOutcome.CORRECTED) == 0.0
+
+    def test_burst_deterministic(self):
+        a = FaultInjector(SecDedCodec(), seed=9).campaign(100, 3, burst=True)
+        b = FaultInjector(SecDedCodec(), seed=9).campaign(100, 3, burst=True)
+        assert a.by_outcome == b.by_outcome

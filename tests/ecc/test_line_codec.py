@@ -1,0 +1,122 @@
+"""Tests for whole-line encoding (LineCodec over parity and SECDED)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc import CheckOutcome, LineCodec, ParityCodec, SecDedCodec
+from repro.ecc.codec import CodewordError
+
+PAYLOADS = st.binary(min_size=64, max_size=64)
+
+
+@pytest.fixture
+def secded_line():
+    return LineCodec(SecDedCodec(), line_bytes=64)
+
+
+@pytest.fixture
+def parity_line():
+    return LineCodec(ParityCodec(), line_bytes=64)
+
+
+class TestGeometry:
+    def test_words_per_line(self, secded_line):
+        assert secded_line.words_per_line == 8
+
+    def test_check_bits_per_line_secded(self, secded_line):
+        # 8 check bits per word x 8 words = 64 bits = 12.5% of 512.
+        assert secded_line.check_bits_per_line == 64
+
+    def test_check_bits_per_line_parity(self, parity_line):
+        assert parity_line.check_bits_per_line == 8
+
+    def test_rejects_unaligned_line_size(self):
+        with pytest.raises(CodewordError):
+            LineCodec(ParityCodec(), line_bytes=60)
+
+    def test_other_line_sizes(self):
+        lc = LineCodec(SecDedCodec(), line_bytes=32)
+        assert lc.words_per_line == 4
+
+
+class TestSplitJoin:
+    @given(PAYLOADS)
+    def test_roundtrip(self, payload):
+        lc = LineCodec(ParityCodec(), 64)
+        assert lc.join_line(lc.split_line(payload)) == payload
+
+    def test_split_is_little_endian(self, parity_line):
+        payload = bytes([1] + [0] * 63)
+        words = parity_line.split_line(payload)
+        assert words[0] == 1
+        assert words[1:] == [0] * 7
+
+    def test_split_rejects_wrong_size(self, parity_line):
+        with pytest.raises(CodewordError):
+            parity_line.split_line(b"\x00" * 63)
+
+    def test_join_rejects_wrong_count(self, parity_line):
+        with pytest.raises(CodewordError):
+            parity_line.join_line([0] * 7)
+
+
+class TestCheckLine:
+    @given(PAYLOADS)
+    def test_clean_line_ok(self, payload):
+        lc = LineCodec(SecDedCodec(), 64)
+        worst, repaired, results = lc.check_line(payload, lc.encode_line(payload))
+        assert worst is CheckOutcome.OK
+        assert repaired == payload
+        assert len(results) == 8
+
+    @given(PAYLOADS, st.integers(0, 63), st.integers(0, 7))
+    @settings(max_examples=200)
+    def test_single_flip_corrected_by_secded(self, payload, byte, bit):
+        lc = LineCodec(SecDedCodec(), 64)
+        checks = lc.encode_line(payload)
+        bad = bytearray(payload)
+        bad[byte] ^= 1 << bit
+        worst, repaired, _ = lc.check_line(bytes(bad), checks)
+        assert worst is CheckOutcome.CORRECTED
+        assert repaired == payload
+
+    def test_flips_in_two_words_both_corrected(self, secded_line):
+        payload = bytes(range(64))
+        checks = secded_line.encode_line(payload)
+        bad = bytearray(payload)
+        bad[0] ^= 1  # word 0
+        bad[60] ^= 0x80  # word 7
+        worst, repaired, _ = secded_line.check_line(bytes(bad), checks)
+        assert worst is CheckOutcome.CORRECTED
+        assert repaired == payload
+
+    def test_double_flip_same_word_detected(self, secded_line):
+        payload = bytes(64)
+        checks = secded_line.encode_line(payload)
+        bad = bytearray(payload)
+        bad[0] ^= 0b11  # two bits of word 0
+        worst, repaired, _ = secded_line.check_line(bytes(bad), checks)
+        assert worst is CheckOutcome.DETECTED
+
+    def test_detected_beats_corrected_in_severity(self, secded_line):
+        payload = bytes(64)
+        checks = secded_line.encode_line(payload)
+        bad = bytearray(payload)
+        bad[0] ^= 1  # single flip, word 0 -> corrected
+        bad[8] ^= 0b11  # double flip, word 1 -> detected
+        worst, _, _ = secded_line.check_line(bytes(bad), checks)
+        assert worst is CheckOutcome.DETECTED
+
+    def test_parity_detects_but_does_not_repair(self, parity_line):
+        payload = bytes(64)
+        checks = parity_line.encode_line(payload)
+        bad = bytearray(payload)
+        bad[5] ^= 4
+        worst, repaired, _ = parity_line.check_line(bytes(bad), checks)
+        assert worst is CheckOutcome.DETECTED
+        assert repaired == bytes(bad)  # parity cannot fix anything
+
+    def test_wrong_check_count_rejected(self, parity_line):
+        with pytest.raises(CodewordError):
+            parity_line.check_line(bytes(64), [0] * 7)

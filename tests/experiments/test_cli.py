@@ -1,0 +1,142 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_entries, _parse_interval, main
+
+
+class TestParsers:
+    def test_interval_suffixes(self):
+        assert _parse_interval("1M") == 1 << 20
+        assert _parse_interval("256k") == 256 << 10
+        assert _parse_interval("4096") == 4096
+        assert _parse_interval("none") is None
+
+    def test_bad_interval(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_interval("abc")
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_interval("-5")
+
+    def test_entries(self):
+        import argparse
+
+        assert _parse_entries("2") == 2
+        assert _parse_entries("none") is None
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_entries("0")
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "mcf" in out and "mesa" in out
+        assert "0.7x L2" in out
+
+    def test_area(self, capsys):
+        assert main(["area"]) == 0
+        out = capsys.readouterr().out
+        assert "59.1%" in out
+        assert "32.00" in out  # the ECC array
+
+    def test_run_benchmark(self, capsys):
+        code = main([
+            "run", "--benchmark", "swim",
+            "--refs", "4000", "--warmup", "1000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "avg dirty %" in out
+        assert "ECC-WB %" in out
+
+    def test_run_without_protection(self, capsys):
+        code = main([
+            "run", "--benchmark", "swim", "--interval", "none",
+            "--ecc-entries", "none", "--refs", "3000", "--warmup", "500",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Clean-WB %" in out
+
+    def test_inject(self, capsys):
+        assert main(["inject", "--codec", "secded", "--trials", "50",
+                     "--flips", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "corrected" in out
+
+    def test_inject_parity(self, capsys):
+        assert main(["inject", "--codec", "parity", "--trials", "50",
+                     "--flips", "1"]) == 0
+        assert "detected" in capsys.readouterr().out
+
+    def test_trace_roundtrip(self, tmp_path, capsys):
+        out_file = tmp_path / "t.bin"
+        assert main(["trace", "--benchmark", "mcf", "--out", str(out_file),
+                     "-n", "500"]) == 0
+        assert out_file.exists()
+        assert "wrote 500 refs" in capsys.readouterr().out
+
+        assert main(["run", "--trace", str(out_file),
+                     "--refs", "400", "--warmup", "100"]) == 0
+        assert "avg dirty %" in capsys.readouterr().out
+
+    def test_ipc(self, capsys):
+        code = main([
+            "ipc", "--benchmark", "mesa", "--insts", "8000",
+            "--refs", "4000", "--warmup", "0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "IPC loss" in out
+
+    def test_figures_single(self, capsys):
+        code = main(["figures", "--fig", "1",
+                     "--refs", "3000", "--warmup", "1000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "average" in out
+
+    def test_figures_area(self, capsys):
+        assert main(["figures", "--fig", "area"]) == 0
+        assert "59.1%" in capsys.readouterr().out
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--benchmark", "gcc"])
+
+    def test_stats(self, capsys):
+        code = main([
+            "stats", "--benchmark", "mcf", "--n-seeds", "2",
+            "--refs", "3000", "--warmup", "1000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "spread over 2 seeds" in out
+        assert "dirty fraction" in out
+
+    def test_ablate_decay(self, capsys):
+        code = main([
+            "ablate", "decay", "--benchmarks", "swim",
+            "--refs", "3000", "--warmup", "1000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "decay dirty %" in out
+
+    def test_ablate_ecc_entries(self, capsys):
+        code = main([
+            "ablate", "ecc-entries", "--benchmarks", "swim",
+            "--refs", "3000", "--warmup", "1000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "entries/set" in out
+        assert "54.00" in out
+
+    def test_ablate_unknown_study_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["ablate", "voltage"])

@@ -1,0 +1,61 @@
+"""Tests for the related-work coverage experiments."""
+
+import pytest
+
+from repro.experiments import (
+    RunConfig,
+    icr_coverage,
+    kim_somani_coverage,
+    related_work_table,
+)
+from repro.experiments.related import hotline_area_kib
+
+FAST = RunConfig(n_refs=8_000, warmup_refs=0)
+
+
+class TestHotlineArea:
+    def test_area_scales_with_entries(self):
+        assert hotline_area_kib(2048) == 2 * hotline_area_kib(1024)
+
+    def test_per_entry_cost(self):
+        # 64 ECC bits + 32 tag bits = 12 bytes per 64B-line entry.
+        assert hotline_area_kib(1024) == pytest.approx(12.0)
+
+
+class TestKimSomani:
+    def test_points_per_grid_entry(self):
+        pts = kim_somani_coverage("mesa", entries_grid=(64, 256),
+                                  config=FAST)
+        assert len(pts) == 2
+        assert pts[0].scheme == "kim-somani"
+
+    def test_coverage_monotone_in_entries(self):
+        pts = kim_somani_coverage("parser", entries_grid=(16, 1024),
+                                  config=FAST)
+        assert pts[0].coverage_pct <= pts[1].coverage_pct + 1e-9
+
+    def test_pointer_chase_defeats_hot_lines(self):
+        (pt,) = kim_somani_coverage("mcf", entries_grid=(256,), config=FAST)
+        assert pt.coverage_pct < 60.0
+
+
+class TestIcr:
+    def test_coverage_point_shape(self):
+        pt = icr_coverage("mesa", config=FAST)
+        assert pt.scheme == "icr"
+        assert 0.0 <= pt.coverage_pct <= 100.0
+        assert pt.area_kib == 0.0
+
+    def test_resident_benchmark_gets_some_replication(self):
+        pt = icr_coverage("mesa", config=FAST, dead_interval=256)
+        assert pt.coverage_pct > 5.0
+
+
+class TestTable:
+    def test_ours_is_total_coverage(self):
+        res = related_work_table(benchmarks=["swim"], config=FAST)
+        assert res["swim"]["ours"] == 100.0
+
+    def test_columns(self):
+        res = related_work_table(benchmarks=["mesa"], config=FAST)
+        assert set(res["mesa"]) == {"kim-somani@1K", "icr", "ours"}

@@ -1,0 +1,64 @@
+"""Tests for the multi-seed statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.experiments import RunConfig
+from repro.experiments.stats import (
+    dirty_fraction_stats,
+    multi_seed,
+    summarize,
+    writeback_fraction_stats,
+)
+
+FAST = RunConfig(n_refs=6_000, warmup_refs=2_000)
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.mean == 2.0
+        assert s.std == pytest.approx(1.0)
+        assert s.ci95 == pytest.approx(1.96 / math.sqrt(3))
+        assert s.n == 3
+
+    def test_single_value(self):
+        s = summarize([5.0])
+        assert s.mean == 5.0
+        assert s.std == 0.0
+        assert math.isinf(s.ci95)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_constant_sample(self):
+        s = summarize([2.0] * 10)
+        assert s.std == 0.0
+        assert s.ci95 == 0.0
+
+
+class TestMultiSeed:
+    def test_dirty_stats_across_seeds(self):
+        s = dirty_fraction_stats("mcf", None, FAST, seeds=(0, 1, 2))
+        assert s.n == 3
+        assert 0.0 <= s.mean <= 1.0
+        # mcf's residency is workload-stable: seeds agree closely.
+        assert s.std < 0.1
+
+    def test_writeback_stats(self):
+        s = writeback_fraction_stats("swim", None, FAST, seeds=(0, 1))
+        assert s.n == 2
+        assert s.mean >= 0.0
+
+    def test_metric_callable(self):
+        s = multi_seed(
+            lambda out: out.l2_miss_rate, "swim", None, FAST, seeds=(0, 1)
+        )
+        assert 0.0 <= s.mean <= 1.0
+
+    def test_values_preserved(self):
+        s = dirty_fraction_stats("swim", None, FAST, seeds=(3, 4))
+        assert len(s.values) == 2
+        assert s.mean == pytest.approx(sum(s.values) / 2)

@@ -1,0 +1,57 @@
+"""Smoke tests: every example script runs to completion.
+
+The heavier examples are trimmed via their module-level knobs where
+possible; all are executed through ``runpy`` exactly as a user would run
+them, with stdout captured and sanity-checked.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "soft_error_recovery.py",
+    "custom_trace.py",
+    "quickstart.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), script
+
+
+def test_soft_error_recovery_output(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["soft_error_recovery.py"])
+    runpy.run_path(
+        str(EXAMPLES / "soft_error_recovery.py"), run_name="__main__"
+    )
+    out = capsys.readouterr().out
+    assert "refetched" in out
+    assert "corrected" in out
+    assert "data-loss" in out
+
+
+def test_quickstart_reports_area_saving(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["quickstart.py"])
+    runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "59% smaller" in out
+    assert "protected" in out
+
+
+def test_all_examples_exist_and_are_documented():
+    """Every example has a module docstring and a main() guard."""
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 8
+    for script in scripts:
+        text = script.read_text()
+        assert text.lstrip().startswith(('#!/usr/bin/env python\n"""', '"""')), script
+        assert '__name__ == "__main__"' in text, script

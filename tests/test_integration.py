@@ -1,0 +1,134 @@
+"""End-to-end integration: the paper's narrative on a fast configuration.
+
+One test class per claim chain, mirroring the paper's Sections 3–5.
+These run smaller workloads than the benchmarks (seconds, not minutes)
+but exercise every subsystem together: workloads → hierarchy →
+protected L2 → statistics, plus codecs → payload recovery.
+"""
+
+import pytest
+
+from repro.core import (
+    NonUniformPolicy,
+    ProtectionConfig,
+    UniformEccPolicy,
+    conventional_overhead,
+    proposed_overhead,
+    reduction,
+)
+from repro.cache.hierarchy import default_l2_config
+from repro.experiments import (
+    ReliabilityConfig,
+    RunConfig,
+    compare_policies,
+    run_ipc,
+    run_refs,
+)
+
+CONFIG = RunConfig(n_refs=25_000, warmup_refs=8_000)
+OUTLIERS = ("mesa", "parser")
+STREAMERS = ("swim", "mcf")
+
+
+class TestSection3_1_NonUniformPremise:
+    """Not all lines are dirty — so uniform ECC is wasteful."""
+
+    def test_substantial_clean_population(self):
+        """Streaming benchmarks keep most of the cache clean."""
+        for name in STREAMERS:
+            out = run_refs(name, None, CONFIG)
+            assert out.dirty_fraction < 0.5, name
+
+    def test_outliers_exist_as_the_paper_says(self):
+        """The outliers accumulate clearly more dirty residency than the
+        streaming group even at this short trace length (their absolute
+        Figure-1 levels need the full bench workload sizes)."""
+        streaming_avg = sum(
+            run_refs(n, None, CONFIG).dirty_fraction for n in STREAMERS
+        ) / len(STREAMERS)
+        for name in OUTLIERS:
+            out = run_refs(name, None, CONFIG)
+            assert out.dirty_fraction > 1.5 * streaming_avg, name
+
+
+class TestSection3_2_Cleaning:
+    """Cleaning reduces dirty lines without much extra traffic."""
+
+    @pytest.mark.parametrize("name", OUTLIERS)
+    def test_cleaning_reduces_dirty_residency(self, name):
+        base = run_refs(name, None, CONFIG)
+        cleaned = run_refs(
+            name,
+            ProtectionConfig(cleaning_interval=1 << 18,
+                             ecc_entries_per_set=None),
+            CONFIG,
+        )
+        assert cleaned.dirty_fraction < 0.6 * base.dirty_fraction
+
+    @pytest.mark.parametrize("name", STREAMERS)
+    def test_traffic_stays_near_baseline_at_1m(self, name):
+        """For streaming codes the cleaning write-back replaces the
+        eventual replacement write-back."""
+        base = run_refs(name, None, CONFIG)
+        cleaned = run_refs(
+            name,
+            ProtectionConfig(cleaning_interval=1 << 20,
+                             ecc_entries_per_set=None),
+            CONFIG,
+        )
+        assert cleaned.writeback_fraction <= base.writeback_fraction * 1.25
+
+
+class TestSection3_3_EccArray:
+    """The shared array bounds dirty lines structurally."""
+
+    @pytest.mark.parametrize("name", OUTLIERS + STREAMERS)
+    def test_quarter_cap_holds(self, name):
+        out = run_refs(
+            name,
+            ProtectionConfig(cleaning_interval=1 << 20,
+                             ecc_entries_per_set=1),
+            CONFIG,
+        )
+        assert out.peak_dirty_fraction <= 0.25 + 1e-9, name
+
+    def test_ecc_eviction_traffic_appears_on_outliers(self):
+        out = run_refs(
+            "parser",
+            ProtectionConfig(cleaning_interval=1 << 20,
+                             ecc_entries_per_set=1),
+            CONFIG,
+        )
+        assert out.writeback_split["ECC-WB"] > 0
+
+
+class TestSection5_2_AreaAndPerformance:
+    def test_headline_area_reduction(self):
+        l2 = default_l2_config()
+        red = reduction(conventional_overhead(l2), proposed_overhead(l2))
+        assert red == pytest.approx(0.59, abs=0.005)
+
+    def test_ipc_loss_small(self):
+        org = run_ipc("mesa", None, CONFIG, n_insts=40_000)
+        ours = run_ipc(
+            "mesa",
+            ProtectionConfig(cleaning_interval=1 << 20,
+                             ecc_entries_per_set=1),
+            CONFIG,
+            n_insts=40_000,
+        )
+        loss = (org.ipc - ours.ipc) / org.ipc
+        assert abs(loss) < 0.05  # well under any meaningful slowdown
+
+
+class TestReliabilityStory:
+    """Clean lines survive on parity; dirty lines need the ECC."""
+
+    def test_non_uniform_tracks_uniform_ecc(self):
+        res = compare_policies(
+            [UniformEccPolicy(), NonUniformPolicy()],
+            ReliabilityConfig(n_lines=32, n_events=6000, seed=21),
+        )
+        ours = res["non-uniform"].unrecovered_rate
+        conv = res["uniform-ecc"].unrecovered_rate
+        assert ours <= conv * 1.5 + 0.02

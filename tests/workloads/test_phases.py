@@ -1,0 +1,117 @@
+"""Tests for phase composition of reference streams."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.workloads import MemRef
+from repro.workloads.phases import interleave, phase_alternate, with_pauses
+
+
+def const_stream(addr, is_write=False, gap=1):
+    while True:
+        yield MemRef(is_write, addr, gap)
+
+
+def take(stream, n):
+    return list(itertools.islice(stream, n))
+
+
+class TestPhaseAlternate:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            next(phase_alternate([], 10))
+        with pytest.raises(ValueError):
+            next(phase_alternate([const_stream(0)], 0))
+        with pytest.raises(ValueError):
+            next(phase_alternate([const_stream(0)], 10, jitter=1.5))
+
+    def test_round_robin_phases(self):
+        a, b = const_stream(0xA0), const_stream(0xB0)
+        refs = take(phase_alternate([a, b], phase_len=3), 12)
+        addrs = [r.addr for r in refs]
+        assert addrs == [0xA0] * 3 + [0xB0] * 3 + [0xA0] * 3 + [0xB0] * 3
+
+    def test_single_stream_passthrough(self):
+        refs = take(phase_alternate([const_stream(0x10)], 5), 20)
+        assert all(r.addr == 0x10 for r in refs)
+
+    def test_jitter_varies_phase_lengths(self):
+        a, b = const_stream(0xA0), const_stream(0xB0)
+        refs = take(
+            phase_alternate([a, b], phase_len=10,
+                            rng=random.Random(3), jitter=0.5),
+            200,
+        )
+        # Measure run lengths of consecutive equal addresses.
+        runs, current = [], 1
+        for prev, cur in zip(refs, refs[1:]):
+            if cur.addr == prev.addr:
+                current += 1
+            else:
+                runs.append(current)
+                current = 1
+        assert len(set(runs)) > 1  # not all phases equal
+
+
+class TestInterleave:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            next(interleave([]))
+
+    def test_strict_alternation(self):
+        refs = take(interleave([const_stream(1), const_stream(2),
+                                const_stream(3)]), 9)
+        assert [r.addr for r in refs] == [1, 2, 3] * 3
+
+
+class TestWithPauses:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            next(with_pauses(const_stream(0), 0, 10))
+        with pytest.raises(ValueError):
+            next(with_pauses(const_stream(0), 5, -1))
+
+    def test_pause_lands_on_gap(self):
+        refs = take(with_pauses(const_stream(0, gap=1), active_refs=3,
+                                pause_cycles=100), 8)
+        gaps = [r.gap for r in refs]
+        assert gaps == [1, 1, 1, 101, 1, 1, 101, 1]
+
+    def test_total_time_includes_pauses(self):
+        refs = take(with_pauses(const_stream(0, gap=0), 2, 50), 6)
+        assert sum(r.gap for r in refs) == 2 * 50
+
+
+class TestCleaningDuringPauses:
+    def test_idle_gaps_let_cleaning_finish(self):
+        """A paused workload gives the sweep time to clean everything."""
+        from repro.cache import MemoryHierarchy
+        from repro.experiments import SCALED_GEOMETRY
+        from repro.core import ProtectedL2, ProtectionConfig
+
+        geometry = SCALED_GEOMETRY
+        l2 = ProtectedL2(
+            geometry.hierarchy_config().l2,
+            ProtectionConfig(cleaning_interval=2048,
+                             ecc_entries_per_set=None),
+        )
+        h = MemoryHierarchy(config=geometry.hierarchy_config(), l2=l2)
+
+        import itertools as it
+
+        def writes():
+            addr = 0
+            while True:
+                yield MemRef(True, addr, 0)
+                addr += 8
+
+        stream = with_pauses(writes(), active_refs=500, pause_cycles=20_000)
+        cycle = 0
+        for ref in it.islice(stream, 2000):
+            cycle += 1 + ref.gap
+            h.store(ref.addr, cycle)
+        # Let one long pause elapse with a final idle advance.
+        h.load(1 << 30, cycle + 50_000)
+        assert l2.dirty.dirty_count <= 2  # everything older got cleaned

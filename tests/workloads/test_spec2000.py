@@ -1,0 +1,82 @@
+"""Tests for the benchmark suite registry and stream instantiation."""
+
+import itertools
+
+import pytest
+
+from repro.workloads import (
+    BENCHMARKS,
+    FP_BENCHMARKS,
+    INT_BENCHMARKS,
+    get_benchmark,
+    make_ref_stream,
+)
+
+L2 = 64 * 1024
+
+
+class TestRegistry:
+    def test_seven_plus_seven(self):
+        assert len(FP_BENCHMARKS) == 7
+        assert len(INT_BENCHMARKS) == 7
+        assert len(BENCHMARKS) == 14
+
+    def test_paper_benchmarks_present(self):
+        """Every benchmark the paper names must exist."""
+        for name in ("applu", "swim", "mgrid", "equake", "mcf",
+                     "apsi", "mesa", "gap", "parser"):
+            assert name in BENCHMARKS
+
+    def test_suites_labelled(self):
+        assert all(s.suite == "fp" for s in FP_BENCHMARKS)
+        assert all(s.suite == "int" for s in INT_BENCHMARKS)
+
+    def test_get_benchmark(self):
+        assert get_benchmark("mcf").kind == "pointer"
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            get_benchmark("gcc")
+
+    def test_outliers_have_cache_resident_working_sets(self):
+        """The paper's four high-dirty benchmarks fit in the L2."""
+        for name in ("apsi", "mesa", "gap", "parser"):
+            assert get_benchmark(name).ws_factor < 1.0
+
+    def test_streaming_benchmarks_exceed_cache(self):
+        for name in ("applu", "swim", "mgrid", "mcf"):
+            assert get_benchmark(name).ws_factor > 1.0
+
+    def test_working_set_scales_with_l2(self):
+        spec = get_benchmark("swim")
+        assert spec.working_set_bytes(2 * L2) == 2 * spec.working_set_bytes(L2)
+
+
+class TestStreams:
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_every_benchmark_yields_refs(self, name):
+        spec = get_benchmark(name)
+        # Enough refs to get past a blocked benchmark's read-only first pass.
+        refs = list(itertools.islice(make_ref_stream(spec, L2, seed=1), 3000))
+        assert len(refs) == 3000
+        assert all(r.addr >= 0 for r in refs)
+        assert any(r.is_write for r in refs)
+        assert any(not r.is_write for r in refs)
+
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_streams_are_deterministic(self, name):
+        spec = get_benchmark(name)
+        a = list(itertools.islice(make_ref_stream(spec, L2, seed=3), 200))
+        b = list(itertools.islice(make_ref_stream(spec, L2, seed=3), 200))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        spec = get_benchmark("mcf")
+        a = list(itertools.islice(make_ref_stream(spec, L2, seed=1), 200))
+        b = list(itertools.islice(make_ref_stream(spec, L2, seed=2), 200))
+        assert a != b
+
+    def test_footprint_tracks_ws_factor(self):
+        """A >1x working set touches more than the cache's line count."""
+        spec = get_benchmark("swim")
+        refs = itertools.islice(make_ref_stream(spec, L2, seed=0), 80_000)
+        lines = {r.addr // 64 for r in refs}
+        assert len(lines) * 64 > L2
