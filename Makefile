@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures examples clean
+.PHONY: install test bench figures figures-par examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -15,6 +15,12 @@ bench:
 
 figures:
 	$(PYTHON) -m repro figures
+
+# Parallel figure regeneration through the sweep pool with the on-disk
+# result cache (see EXPERIMENTS.md "Parallel sweeps").
+JOBS ?= 4
+figures-par:
+	$(PYTHON) -m repro figures --jobs $(JOBS)
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; done

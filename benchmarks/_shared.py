@@ -6,15 +6,19 @@ DESIGN.md §4) and writes the rendered table under
 ``benchmarks/results/`` so EXPERIMENTS.md can cite the exact output.
 
 The cleaning-interval sweep behind Figures 3–6 is memoised here so the
-four figure benches do not re-simulate the same 70 runs.
+four figure benches do not re-simulate the same 70 runs.  The sweeps go
+through :class:`repro.experiments.SweepEngine`; set ``REPRO_JOBS=N`` to
+fan the grid over N worker processes and ``REPRO_SWEEP_CACHE=1`` to
+reuse the on-disk result cache across bench invocations.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 from typing import Dict
 
-from repro.experiments import RunConfig, interval_sweep
+from repro.experiments import RunConfig, SweepEngine, interval_sweep
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -24,10 +28,19 @@ BENCH_CONFIG = RunConfig(n_refs=120_000, warmup_refs=40_000)
 _SWEEPS: Dict[str, dict] = {}
 
 
+def make_engine() -> SweepEngine:
+    """Sweep engine configured from the environment (see module docs)."""
+    return SweepEngine(
+        jobs=int(os.environ.get("REPRO_JOBS", "1")),
+        cache=os.environ.get("REPRO_SWEEP_CACHE", "") not in ("", "0"),
+    )
+
+
 def get_sweep(suite: str) -> dict:
     """Memoised interval sweep for a suite ('fp' or 'int')."""
     if suite not in _SWEEPS:
-        _SWEEPS[suite] = interval_sweep(suite, BENCH_CONFIG)
+        _SWEEPS[suite] = interval_sweep(suite, BENCH_CONFIG,
+                                        engine=make_engine())
     return _SWEEPS[suite]
 
 

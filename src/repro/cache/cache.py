@@ -112,6 +112,7 @@ class SetAssociativeCache:
         self.ways = config.ways
         self._offset_bits = config.line_bytes.bit_length() - 1
         self._index_mask = self.n_sets - 1
+        self._index_bits = self.n_sets.bit_length() - 1
         self.sets: List[List[CacheLine]] = [
             [CacheLine() for _ in range(config.ways)] for _ in range(self.n_sets)
         ]
@@ -124,11 +125,11 @@ class SetAssociativeCache:
     def locate(self, addr: int) -> Tuple[int, int]:
         """Return (set index, tag) for a byte address."""
         block = addr >> self._offset_bits
-        return block & self._index_mask, block >> (self.n_sets.bit_length() - 1)
+        return block & self._index_mask, block >> self._index_bits
 
     def block_addr(self, set_idx: int, tag: int) -> int:
         """Reconstruct the byte address of a block from (set, tag)."""
-        block = (tag << (self.n_sets.bit_length() - 1)) | set_idx
+        block = (tag << self._index_bits) | set_idx
         return block << self._offset_bits
 
     # -- queries -----------------------------------------------------------
@@ -163,33 +164,42 @@ class SetAssociativeCache:
 
     def access(self, addr: int, is_write: bool, cycle: int) -> AccessResult:
         """Perform one read or write at ``cycle``; cycles must not decrease."""
-        set_idx, tag = self.locate(addr)
+        # Hot loop: every simulated reference lands here, so the set/tag
+        # arithmetic is inlined (no ``locate`` call) and attribute
+        # lookups are hoisted into locals before the way scan.
+        block = addr >> self._offset_bits
+        set_idx = block & self._index_mask
+        tag = block >> self._index_bits
         ways = self.sets[set_idx]
-        self._stamp += 1
+        stamp = self._stamp + 1
+        self._stamp = stamp
+        stats = self.stats
         result = AccessResult(hit=False, is_write=is_write)
 
-        for way, line in enumerate(ways):
+        way = 0
+        for line in ways:
             if line.valid and line.tag == tag:
                 result.hit = True
-                self.policy.on_access(line, self._stamp)
+                self.policy.on_access(line, stamp)
                 line.last_touch_cycle = cycle
                 if is_write:
-                    self.stats.write_hits += 1
+                    stats.write_hits += 1
                     self._handle_write(line, set_idx, way, cycle, result)
                 else:
-                    self.stats.read_hits += 1
+                    stats.read_hits += 1
                 return result
+            way += 1
 
         # Miss path.
         if is_write:
-            self.stats.write_misses += 1
+            stats.write_misses += 1
             if not self.config.write_allocate:
                 # No-allocate write miss: forward the write downstream.
                 result.wrote_through = True
-                self.stats.write_throughs += 1
+                stats.write_throughs += 1
                 return result
         else:
-            self.stats.read_misses += 1
+            stats.read_misses += 1
 
         way = self._fill(set_idx, tag, cycle, result)
         if is_write:

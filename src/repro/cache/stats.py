@@ -8,7 +8,7 @@ integral incrementally as lines change state.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 
@@ -85,6 +85,8 @@ class CacheStats:
             "write_throughs": self.write_throughs,
             "fills": self.fills,
             "evictions": self.evictions,
+            "dirty_episodes": self.dirty_episodes,
+            "dirty_episode_cycles": self.dirty_episode_cycles,
         }
 
 
@@ -103,7 +105,6 @@ class DirtyIntegrator:
     last_cycle: int = 0
     start_cycle: int = 0
     peak_dirty: int = 0
-    _frozen: bool = field(default=False, repr=False)
 
     def reset(self, cycle: int, dirty_count: int) -> None:
         """Restart integration at ``cycle`` (e.g. after warm-up)."""

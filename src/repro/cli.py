@@ -93,6 +93,33 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _add_pool_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the sweep grid (1 = sequential)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help="result-cache directory (default $REPRO_CACHE_DIR or "
+             "~/.cache/repro-sweeps)",
+    )
+
+
+def _engine(args):
+    """Build the sweep engine a command's pool flags describe."""
+    from repro.experiments.pool import SweepEngine
+
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    cache = False if args.no_cache else (args.cache_dir or True)
+    return SweepEngine(jobs=args.jobs, cache=cache,
+                       progress=sys.stderr.isatty())
+
+
 def _add_protection_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--interval", type=_parse_interval, default="1M", metavar="CYCLES",
@@ -106,13 +133,15 @@ def _add_protection_args(parser: argparse.ArgumentParser) -> None:
 
 def cmd_figures(args) -> int:
     config = _run_config(args)
+    engine = _engine(args)
     if args.json:
         from repro.experiments import regenerate_all, save_json
 
         doc = regenerate_all(config, include_ipc=not args.no_ipc,
-                             ipc_insts=args.refs * 2)
+                             ipc_insts=args.refs * 2, engine=engine)
         save_json(doc, args.json)
         print(f"wrote {args.json}")
+        _print_sweep_stats(engine)
         return 0
     wanted = args.fig
     if wanted in ("all", "table1"):
@@ -120,7 +149,7 @@ def cmd_figures(args) -> int:
         print(table1())
         print()
     if wanted in ("all", "1"):
-        f1 = figure1(config)
+        f1 = figure1(config, engine=engine)
         print(render_series({k: {"dirty %": v} for k, v in f1.items()},
                             title="Figure 1: % dirty lines (conventional)"))
         print()
@@ -129,7 +158,7 @@ def cmd_figures(args) -> int:
             wanted, ["fp", "int"]
         )
         for suite in suites:
-            sweep = interval_sweep(suite, config)
+            sweep = interval_sweep(suite, config, engine=engine)
             if wanted in ("all", "3", "4"):
                 fig = "3" if suite == "fp" else "4"
                 print(render_series(
@@ -143,23 +172,33 @@ def cmd_figures(args) -> int:
                     title=f"Figure {fig}: writeback % vs interval ({suite})"))
                 print()
     if wanted in ("all", "7"):
-        f7 = figure7(config)
+        f7 = figure7(config, engine=engine)
         print(render_series({k: {"dirty %": v} for k, v in f7.items()},
                             title="Figure 7: % dirty lines (full scheme)"))
         print()
     if wanted in ("all", "8"):
-        print(render_series(figure8(config),
+        print(render_series(figure8(config, engine=engine),
                             title="Figure 8: writeback split (full scheme)"))
         print()
     if wanted in ("all", "ipc"):
         rows = {}
         for suite in ("fp", "int"):
-            rows.update(ipc_loss(config, suite=suite, n_insts=args.refs * 2))
+            rows.update(ipc_loss(config, suite=suite, n_insts=args.refs * 2,
+                                 engine=engine))
         print(render_series(rows, ndigits=3, title="IPC: org vs ours"))
         print()
     if wanted in ("all", "area"):
-        return cmd_area(args)
+        rc = cmd_area(args)
+        _print_sweep_stats(engine)
+        return rc
+    _print_sweep_stats(engine)
     return 0
+
+
+def _print_sweep_stats(engine) -> None:
+    """Surface per-sweep wall-time/throughput accounting."""
+    if engine.stats.cells:
+        print(engine.summary())
 
 
 def cmd_run(args) -> int:
@@ -289,6 +328,8 @@ _ABLATIONS = {
 
 def cmd_ablate(args) -> int:
     """Run one ablation study and print its table."""
+    import inspect
+
     import repro.experiments as experiments
 
     config = _run_config(args)
@@ -296,6 +337,10 @@ def cmd_ablate(args) -> int:
     kwargs = {"config": config}
     if args.benchmarks:
         kwargs["benchmarks"] = args.benchmarks
+    engine = None
+    if "engine" in inspect.signature(func).parameters:
+        engine = _engine(args)
+        kwargs["engine"] = engine
     result = func(**kwargs)
     if args.study == "ecc-entries":
         rows = [
@@ -310,6 +355,8 @@ def cmd_ablate(args) -> int:
         ))
     else:
         print(render_series(result, title=f"ablation: {args.study}"))
+    if engine is not None:
+        _print_sweep_stats(engine)
     return 0
 
 
@@ -344,6 +391,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-ipc", action="store_true",
                    help="skip the (slow) IPC runs in --json mode")
     _add_run_args(p)
+    _add_pool_args(p)
     p.set_defaults(func=cmd_figures)
 
     p = sub.add_parser("run", help="one reference-mode run")
@@ -395,6 +443,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--benchmarks", nargs="*", metavar="NAME",
                    help="restrict to these benchmarks")
     _add_run_args(p)
+    _add_pool_args(p)
     p.set_defaults(func=cmd_ablate)
 
     p = sub.add_parser("list", help="list the benchmark suite")

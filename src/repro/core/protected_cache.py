@@ -25,6 +25,7 @@ from repro.cache.cache import (
     CacheConfig,
     SetAssociativeCache,
     WritebackReason,
+    WritePolicy,
 )
 from repro.cache.line import CacheLine
 from repro.core.cleaning import CleaningLogic
@@ -116,6 +117,11 @@ class ProtectedL2(SetAssociativeCache):
         cycle: int,
         result: AccessResult,
     ) -> None:
+        if self.config.write_policy is WritePolicy.WRITE_THROUGH:
+            # Write-through lines never turn dirty, so they need neither
+            # cleaning nor an ECC entry — forward like the base cache.
+            super()._handle_write(line, set_idx, way, cycle, result)
+            return
         if not line.dirty and self.ecc_array is not None:
             # The line is about to turn dirty and must own an ECC entry.
             self._claim_ecc_entry(set_idx, way, cycle, result)

@@ -66,6 +66,14 @@ from repro.experiments.export import (
     regenerate_all,
     save_json,
 )
+from repro.experiments.pool import (
+    Cell,
+    ResultCache,
+    SweepEngine,
+    SweepStats,
+    cell_key,
+    code_version,
+)
 from repro.experiments.report import render_bars, render_series, render_table
 from repro.experiments.stats import (
     SeedStats,
@@ -76,7 +84,13 @@ from repro.experiments.stats import (
 )
 
 __all__ = [
+    "Cell",
     "Geometry",
+    "ResultCache",
+    "SweepEngine",
+    "SweepStats",
+    "cell_key",
+    "code_version",
     "ReliabilityConfig",
     "ReliabilityResult",
     "ablate_best_interval",

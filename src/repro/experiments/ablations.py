@@ -24,14 +24,18 @@ from repro.cache.cache import AccessResult, CacheConfig, WritebackReason
 from repro.cache.energy import EnergyParams, estimate_energy
 from repro.cache.hierarchy import MemoryHierarchy
 from repro.core.area import proposed_overhead
-from repro.core.eager import EagerL2
 from repro.core.protected_cache import ProtectedL2, ProtectionConfig
+from repro.experiments.pool import Cell, SweepEngine
 from repro.experiments.runner import (
     RunConfig,
     interval_label,
-    run_refs,
     run_refs_with_hierarchy,
 )
+
+
+def _engine(engine: Optional[SweepEngine]) -> SweepEngine:
+    """Default engine: sequential, uncached — identical to direct runs."""
+    return engine if engine is not None else SweepEngine()
 from repro.workloads.spec2000 import BENCHMARKS
 
 
@@ -51,22 +55,29 @@ def ablate_ecc_entries(
     entries_grid: tuple = (1, 2, 4),
     config: RunConfig = RunConfig(),
     cleaning_interval: int = 1 << 20,
+    engine: Optional[SweepEngine] = None,
 ) -> List[EccEntriesPoint]:
     """Sweep the shared-ECC-array size, averaged over ``benchmarks``."""
     names = benchmarks or sorted(BENCHMARKS)
     points: List[EccEntriesPoint] = []
     paper_l2 = CacheConfig("l2", 1024 * 1024, 4, 64)
+    cells = [
+        Cell(
+            name,
+            ProtectionConfig(
+                cleaning_interval=cleaning_interval,
+                ecc_entries_per_set=entries,
+            ),
+            config,
+        )
+        for entries in entries_grid
+        for name in names
+    ]
+    outputs = iter(_engine(engine).run_cells(cells))
     for entries in entries_grid:
         dirty, ecc_wb, total_wb = 0.0, 0.0, 0.0
         for name in names:
-            out = run_refs(
-                name,
-                ProtectionConfig(
-                    cleaning_interval=cleaning_interval,
-                    ecc_entries_per_set=entries,
-                ),
-                config,
-            )
+            out = next(outputs)
             dirty += out.dirty_fraction
             ecc_wb += out.writeback_split["ECC-WB"]
             total_wb += out.writeback_fraction
@@ -89,6 +100,7 @@ def ablate_best_interval(
     config: RunConfig = RunConfig(),
     traffic_budget_pct: float = 1.0,
     benchmarks: Optional[List[str]] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Per-benchmark best cleaning interval under a traffic budget.
 
@@ -97,18 +109,27 @@ def ablate_best_interval(
     uncleaned baseline, and reports it with its dirty residency.
     """
     names = benchmarks or sorted(BENCHMARKS)
-    out: Dict[str, Dict[str, float]] = {}
+    intervals = config.geometry.paper_intervals
+    cells: List[Cell] = []
     for name in names:
-        org = run_refs(name, None, config)
-        best_label, best = None, None
-        for paper_interval in config.geometry.paper_intervals:
-            res = run_refs(
+        cells.append(Cell(name, None, config))
+        cells.extend(
+            Cell(
                 name,
                 ProtectionConfig(
                     cleaning_interval=paper_interval, ecc_entries_per_set=None
                 ),
                 config,
             )
+            for paper_interval in intervals
+        )
+    outputs = iter(_engine(engine).run_cells(cells))
+    out: Dict[str, Dict[str, float]] = {}
+    for name in names:
+        org = next(outputs)
+        best_label, best = None, None
+        for paper_interval in intervals:
+            res = next(outputs)
             over_budget = (
                 100.0 * (res.writeback_fraction - org.writeback_fraction)
                 > traffic_budget_pct
@@ -132,26 +153,26 @@ def ablate_eager_writeback(
     config: RunConfig = RunConfig(),
     benchmarks: Optional[List[str]] = None,
     cleaning_interval: int = 1 << 20,
+    engine: Optional[SweepEngine] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Eager write-back [7] vs the paper's written-bit cleaning."""
     names = benchmarks or sorted(BENCHMARKS)
     out: Dict[str, Dict[str, float]] = {}
-    l2_cfg = config.geometry.hierarchy_config().l2
+    cells: List[Cell] = []
     for name in names:
-        eager_l2 = EagerL2(l2_cfg, seed=config.seed)
-        eager = run_refs_with_hierarchy(
-            name,
-            MemoryHierarchy(config=config.geometry.hierarchy_config(),
-                            l2=eager_l2),
-            config,
+        cells.append(Cell(name, None, config, variant="eager"))
+        cells.append(
+            Cell(
+                name,
+                ProtectionConfig(
+                    cleaning_interval=cleaning_interval,
+                    ecc_entries_per_set=None,
+                ),
+                config,
+            )
         )
-        cleaned = run_refs(
-            name,
-            ProtectionConfig(
-                cleaning_interval=cleaning_interval, ecc_entries_per_set=None
-            ),
-            config,
-        )
+    outputs = _engine(engine).run_cells(cells)
+    for name, eager, cleaned in zip(names, outputs[0::2], outputs[1::2]):
         out[name] = {
             "eager dirty %": 100.0 * eager.dirty_fraction,
             "eager wb %": 100.0 * eager.writeback_fraction,
@@ -235,6 +256,7 @@ def ablate_cleaning_policy(
     config: RunConfig = RunConfig(),
     benchmarks: Optional[List[str]] = None,
     cleaning_interval: int = 1 << 20,
+    engine: Optional[SweepEngine] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Written-bit cleaning vs decay-based cleaning [Kaxiras et al., 12].
 
@@ -243,31 +265,17 @@ def ablate_cleaning_policy(
     read-hot write-dead lines — which the written bit reclaims — stay
     dirty under decay.
     """
-    from repro.core.decay import DecayCleaningL2
-
     names = benchmarks or sorted(BENCHMARKS)
     out: Dict[str, Dict[str, float]] = {}
-    geometry = config.geometry
-    scaled = geometry.scaled_interval(cleaning_interval)
+    protection = ProtectionConfig(
+        cleaning_interval=cleaning_interval, ecc_entries_per_set=None
+    )
+    cells: List[Cell] = []
     for name in names:
-        written = run_refs(
-            name,
-            ProtectionConfig(
-                cleaning_interval=cleaning_interval, ecc_entries_per_set=None
-            ),
-            config,
-        )
-        decay_l2 = DecayCleaningL2(
-            geometry.hierarchy_config().l2,
-            ProtectionConfig(cleaning_interval=scaled,
-                             ecc_entries_per_set=None),
-            seed=config.seed,
-        )
-        decay = run_refs_with_hierarchy(
-            name,
-            MemoryHierarchy(config=geometry.hierarchy_config(), l2=decay_l2),
-            config,
-        )
+        cells.append(Cell(name, protection, config))
+        cells.append(Cell(name, protection, config, variant="decay"))
+    outputs = _engine(engine).run_cells(cells)
+    for name, written, decay in zip(names, outputs[0::2], outputs[1::2]):
         out[name] = {
             "written dirty %": 100.0 * written.dirty_fraction,
             "written wb %": 100.0 * written.writeback_fraction,
@@ -458,6 +466,7 @@ def ablate_written_bit(
     config: RunConfig = RunConfig(),
     benchmarks: Optional[List[str]] = None,
     cleaning_interval: int = 1 << 20,
+    engine: Optional[SweepEngine] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Quantify what the written bit buys.
 
@@ -467,28 +476,15 @@ def ablate_written_bit(
     """
     names = benchmarks or sorted(BENCHMARKS)
     out: Dict[str, Dict[str, float]] = {}
-    geometry = config.geometry
-    scaled = geometry.scaled_interval(cleaning_interval)
+    protection = ProtectionConfig(
+        cleaning_interval=cleaning_interval, ecc_entries_per_set=None
+    )
+    cells: List[Cell] = []
     for name in names:
-        with_bit = run_refs(
-            name,
-            ProtectionConfig(
-                cleaning_interval=cleaning_interval, ecc_entries_per_set=None
-            ),
-            config,
-        )
-        l2 = _NoWrittenBitL2(
-            geometry.hierarchy_config().l2,
-            ProtectionConfig(
-                cleaning_interval=scaled, ecc_entries_per_set=None
-            ),
-            seed=config.seed,
-        )
-        without = run_refs_with_hierarchy(
-            name,
-            MemoryHierarchy(config=geometry.hierarchy_config(), l2=l2),
-            config,
-        )
+        cells.append(Cell(name, protection, config))
+        cells.append(Cell(name, protection, config, variant="no-written-bit"))
+    outputs = _engine(engine).run_cells(cells)
+    for name, with_bit, without in zip(names, outputs[0::2], outputs[1::2]):
         out[name] = {
             "with dirty %": 100.0 * with_bit.dirty_fraction,
             "with wb %": 100.0 * with_bit.writeback_fraction,

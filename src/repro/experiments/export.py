@@ -22,6 +22,7 @@ from repro.experiments.figures import (
     interval_sweep,
     ipc_loss,
 )
+from repro.experiments.pool import SweepEngine
 from repro.experiments.runner import RunConfig
 
 PathLike = Union[str, Path]
@@ -46,23 +47,26 @@ def regenerate_all(
     config: RunConfig = RunConfig(),
     include_ipc: bool = True,
     ipc_insts: Optional[int] = None,
+    engine: Optional["SweepEngine"] = None,
 ) -> Dict[str, Any]:
     """Regenerate every figure/table of the paper; return one document.
 
     The document maps figure names to their data plus a ``config``
     provenance block.  This is the expensive full sweep (~all of the
-    paper's evaluation); size it via ``config``.
+    paper's evaluation); size it via ``config``, and pass a
+    :class:`~repro.experiments.pool.SweepEngine` to parallelise and
+    cache the grid.
     """
     doc: Dict[str, Any] = {"config": config_metadata(config)}
 
-    doc["figure1"] = figure1(config)
+    doc["figure1"] = figure1(config, engine=engine)
     for suite, (fig_d, fig_t) in (("fp", ("figure3", "figure5")),
                                   ("int", ("figure4", "figure6"))):
-        sweep = interval_sweep(suite, config)
+        sweep = interval_sweep(suite, config, engine=engine)
         doc[fig_d] = figure3_4(suite, config, sweep=sweep)
         doc[fig_t] = figure5_6(suite, config, sweep=sweep)
-    doc["figure7"] = figure7(config)
-    doc["figure8"] = figure8(config)
+    doc["figure7"] = figure7(config, engine=engine)
+    doc["figure8"] = figure8(config, engine=engine)
 
     conv, ours, red = area_table()
     doc["area"] = {
@@ -77,7 +81,8 @@ def regenerate_all(
         doc["ipc"] = {}
         for suite in ("fp", "int"):
             doc["ipc"].update(
-                ipc_loss(config, suite=suite, n_insts=ipc_insts)
+                ipc_loss(config, suite=suite, n_insts=ipc_insts,
+                         engine=engine)
             )
     return doc
 

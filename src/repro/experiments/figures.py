@@ -27,11 +27,10 @@ from repro.core.area import (
 )
 from repro.core.protected_cache import ProtectionConfig
 from repro.cpu.config import ProcessorConfig
+from repro.experiments.pool import Cell, SweepEngine
 from repro.experiments.runner import (
     RunConfig,
     interval_label,
-    run_ipc,
-    run_refs,
 )
 from repro.workloads.spec2000 import (
     BENCHMARKS,
@@ -59,19 +58,32 @@ def table1(processor: Optional[ProcessorConfig] = None) -> str:
     return (processor or ProcessorConfig()).describe()
 
 
-def figure1(config: RunConfig = RunConfig()) -> Dict[str, float]:
+def _engine(engine: Optional[SweepEngine]) -> SweepEngine:
+    """Default engine: sequential, uncached — identical to direct runs."""
+    return engine if engine is not None else SweepEngine()
+
+
+def figure1(
+    config: RunConfig = RunConfig(),
+    engine: Optional[SweepEngine] = None,
+) -> Dict[str, float]:
     """Fig. 1: % dirty lines per cycle in the conventional L2, per benchmark.
 
     The paper reports a 51.6% average with apsi/mesa/gap/parser high.
     """
+    specs = _suite(None)
+    cells = [Cell(spec.name, None, config) for spec in specs]
+    outputs = _engine(engine).run_cells(cells)
     return {
-        spec.name: 100.0 * run_refs(spec.name, None, config).dirty_fraction
-        for spec in _suite(None)
+        spec.name: 100.0 * out.dirty_fraction
+        for spec, out in zip(specs, outputs)
     }
 
 
 def interval_sweep(
-    suite: str, config: RunConfig = RunConfig()
+    suite: str,
+    config: RunConfig = RunConfig(),
+    engine: Optional[SweepEngine] = None,
 ) -> Dict[str, Dict[str, "object"]]:
     """The cleaning-interval sweep behind Figures 3–6.
 
@@ -79,21 +91,25 @@ def interval_sweep(
     (cleaning only, no ECC-array constraint) plus the unmodified
     baseline ('org').  Returns {benchmark: {label: RefRunOutput}} so the
     dirty-residency figures (3/4) and the traffic figures (5/6) can both
-    be projected from one set of simulations.
+    be projected from one set of simulations.  All cells of the grid are
+    independent, so an ``engine`` with ``jobs > 1`` fans them out.
     """
-    out: Dict[str, Dict[str, object]] = {}
     grid = config.geometry.paper_intervals
+    cells: List[Cell] = []
+    slots: List[Tuple[str, str]] = []
     for spec in _suite(suite):
-        row: Dict[str, object] = {}
         for paper_interval in grid:
             protection = ProtectionConfig(
                 cleaning_interval=paper_interval, ecc_entries_per_set=None
             )
-            row[interval_label(paper_interval)] = run_refs(
-                spec.name, protection, config
-            )
-        row["org"] = run_refs(spec.name, None, config)
-        out[spec.name] = row
+            cells.append(Cell(spec.name, protection, config))
+            slots.append((spec.name, interval_label(paper_interval)))
+        cells.append(Cell(spec.name, None, config))
+        slots.append((spec.name, "org"))
+    outputs = _engine(engine).run_cells(cells)
+    out: Dict[str, Dict[str, object]] = {}
+    for (bench, label), res in zip(slots, outputs):
+        out.setdefault(bench, {})[label] = res
     return out
 
 
@@ -101,13 +117,14 @@ def figure3_4(
     suite: str,
     config: RunConfig = RunConfig(),
     sweep: Optional[Dict[str, Dict[str, "object"]]] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Figs. 3/4: dirty % per cleaning interval (cleaning only, no ECC array).
 
     Returns {benchmark: {interval label or 'org': dirty %}}.  Pass a
     precomputed :func:`interval_sweep` to avoid re-simulating.
     """
-    sweep = sweep if sweep is not None else interval_sweep(suite, config)
+    sweep = sweep if sweep is not None else interval_sweep(suite, config, engine)
     return {
         bench: {label: 100.0 * res.dirty_fraction for label, res in row.items()}
         for bench, row in sweep.items()
@@ -118,9 +135,10 @@ def figure5_6(
     suite: str,
     config: RunConfig = RunConfig(),
     sweep: Optional[Dict[str, Dict[str, "object"]]] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Figs. 5/6: write-backs as % of all loads/stores, per interval + org."""
-    sweep = sweep if sweep is not None else interval_sweep(suite, config)
+    sweep = sweep if sweep is not None else interval_sweep(suite, config, engine)
     return {
         bench: {
             label: 100.0 * res.writeback_fraction for label, res in row.items()
@@ -136,19 +154,32 @@ def _ours() -> ProtectionConfig:
     )
 
 
-def figure7(config: RunConfig = RunConfig()) -> Dict[str, float]:
+def figure7(
+    config: RunConfig = RunConfig(),
+    engine: Optional[SweepEngine] = None,
+) -> Dict[str, float]:
     """Fig. 7: dirty % under the full scheme (the paper sees <25% everywhere)."""
+    specs = _suite(None)
+    outputs = _engine(engine).run_cells(
+        [Cell(spec.name, _ours(), config) for spec in specs]
+    )
     return {
-        spec.name: 100.0 * run_refs(spec.name, _ours(), config).dirty_fraction
-        for spec in _suite(None)
+        spec.name: 100.0 * out.dirty_fraction
+        for spec, out in zip(specs, outputs)
     }
 
 
-def figure8(config: RunConfig = RunConfig()) -> Dict[str, Dict[str, float]]:
+def figure8(
+    config: RunConfig = RunConfig(),
+    engine: Optional[SweepEngine] = None,
+) -> Dict[str, Dict[str, float]]:
     """Fig. 8: write-back % split into WB / Clean-WB / ECC-WB, plus total."""
+    specs = _suite(None)
+    outputs = _engine(engine).run_cells(
+        [Cell(spec.name, _ours(), config) for spec in specs]
+    )
     out: Dict[str, Dict[str, float]] = {}
-    for spec in _suite(None):
-        res = run_refs(spec.name, _ours(), config)
+    for spec, res in zip(specs, outputs):
         row = {k: 100.0 * v for k, v in res.writeback_split.items()}
         row["total"] = 100.0 * res.writeback_fraction
         out[spec.name] = row
@@ -172,15 +203,22 @@ def ipc_loss(
     config: RunConfig = RunConfig(),
     suite: Optional[str] = None,
     n_insts: Optional[int] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Section 5.2: IPC of org vs ours and the % loss, per benchmark.
 
     The paper reports 0.14% (FP) / 0.65% (INT) average loss.
     """
+    specs = _suite(suite)
+    cells: List[Cell] = []
+    for spec in specs:
+        cells.append(Cell(spec.name, None, config, mode="ipc", n_insts=n_insts))
+        cells.append(
+            Cell(spec.name, _ours(), config, mode="ipc", n_insts=n_insts)
+        )
+    outputs = _engine(engine).run_cells(cells)
     out: Dict[str, Dict[str, float]] = {}
-    for spec in _suite(suite):
-        org = run_ipc(spec.name, None, config, n_insts=n_insts)
-        ours = run_ipc(spec.name, _ours(), config, n_insts=n_insts)
+    for spec, org, ours in zip(specs, outputs[0::2], outputs[1::2]):
         loss = (
             100.0 * (org.ipc - ours.ipc) / org.ipc if org.ipc > 0 else 0.0
         )

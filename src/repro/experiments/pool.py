@@ -1,0 +1,499 @@
+"""Parallel sweep engine with a content-addressed on-disk result cache.
+
+The paper's evaluation is a large grid of *independent* simulations —
+benchmark × cleaning interval × protection configuration for Figures
+1/3–8 plus the ablations.  Every cell of that grid is a pure function of
+its inputs (the synthetic workloads are seeded, the simulator has no
+global state), so the grid can be
+
+* **fanned out** over a :mod:`multiprocessing` pool (``jobs > 1``), and
+* **memoised** on disk, keyed by a content hash of everything the cell
+  depends on: geometry, protection knobs, workload, run configuration,
+  simulation variant, and a hash of the simulator's own source code, so
+  a code change invalidates every cached result automatically.
+
+Determinism: a :class:`Cell` carries its seed inside its
+:class:`~repro.experiments.runner.RunConfig` and each worker builds a
+private hierarchy from scratch, so results are bit-for-bit identical
+whatever the worker count or completion order — the pool reassembles
+outputs by submission index, never by arrival.
+
+Typical use::
+
+    engine = SweepEngine(jobs=4, cache=True, progress=True)
+    sweep = interval_sweep("fp", config, engine=engine)
+    print(engine.summary())     # cells run / cached, wall time, refs/s
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.core.protected_cache import ProtectionConfig
+from repro.experiments.runner import (
+    RunConfig,
+    run_ipc,
+    run_refs,
+    run_refs_with_hierarchy,
+)
+
+#: Simulation variants a cell can request.  ``standard`` is a plain or
+#: protected L2 built by the runner; the rest are the ablation L2s.
+VARIANTS = ("standard", "eager", "decay", "no-written-bit")
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independent simulation of the evaluation grid.
+
+    ``protection.cleaning_interval`` is paper-nominal, exactly as the
+    figure drivers pass it to :func:`~repro.experiments.runner.run_refs`.
+    ``variant`` selects the L2 under test (see :data:`VARIANTS`);
+    ``n_insts`` applies to ``mode="ipc"`` only.
+    """
+
+    benchmark: str
+    protection: Optional[ProtectionConfig]
+    config: RunConfig
+    mode: str = "refs"  # "refs" | "ipc"
+    variant: str = "standard"
+    n_insts: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("refs", "ipc"):
+            raise ValueError(f"unknown cell mode {self.mode!r}")
+        if self.variant not in VARIANTS:
+            raise ValueError(f"unknown cell variant {self.variant!r}")
+
+    @property
+    def label(self) -> str:
+        parts = [self.benchmark]
+        if self.protection is None:
+            parts.append("org")
+        else:
+            parts.append(
+                f"i={self.protection.cleaning_interval}"
+                f"/e={self.protection.ecc_entries_per_set}"
+            )
+        if self.variant != "standard":
+            parts.append(self.variant)
+        if self.mode != "refs":
+            parts.append(self.mode)
+        return ":".join(parts)
+
+    def describe(self) -> Dict[str, Any]:
+        """Canonical JSON-able view of everything the result depends on."""
+        geometry = self.config.geometry
+        return {
+            "benchmark": self.benchmark,
+            "mode": self.mode,
+            "variant": self.variant,
+            "n_insts": self.n_insts,
+            "protection": (
+                None
+                if self.protection is None
+                else {
+                    "cleaning_interval": self.protection.cleaning_interval,
+                    "ecc_entries_per_set": self.protection.ecc_entries_per_set,
+                }
+            ),
+            "run": {
+                "n_refs": self.config.n_refs,
+                "warmup_refs": self.config.warmup_refs,
+                "seed": self.config.seed,
+            },
+            "geometry": {
+                "name": geometry.name,
+                "l1_bytes": geometry.l1_bytes,
+                "l2_bytes": geometry.l2_bytes,
+                "interval_scale": geometry.interval_scale,
+                "paper_intervals": list(geometry.paper_intervals),
+            },
+        }
+
+
+# -- code-version fingerprint -------------------------------------------------
+
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """Hash of every ``repro`` source file (memoised per process).
+
+    Folding this into every cache key means any edit to the simulator —
+    cache model, workloads, CPU, experiment runner — invalidates all
+    cached results, so the cache can never serve numbers produced by a
+    different version of the code.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        import repro
+
+        root = Path(repro.__file__).parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(path.read_bytes())
+        _CODE_VERSION = digest.hexdigest()
+    return _CODE_VERSION
+
+
+def cell_key(cell: Cell, version: Optional[str] = None) -> str:
+    """Content-addressed cache key of one cell."""
+    payload = {
+        "cell": cell.describe(),
+        "code": version if version is not None else code_version(),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# -- the on-disk result cache -------------------------------------------------
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-sweeps``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-sweeps"
+
+
+class ResultCache:
+    """Pickle-per-key store under one directory, sharded by key prefix."""
+
+    def __init__(self, directory: Union[str, Path, None] = None) -> None:
+        self.directory = Path(directory) if directory else default_cache_dir()
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[Any]:
+        """The cached result for ``key``, or None (misses and corrupt
+        entries look the same: the cell is simply recomputed)."""
+        path = self.path(key)
+        try:
+            with path.open("rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None
+
+    def put(self, key: str, value: Any) -> None:
+        path = self.path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        with tmp.open("wb") as fh:
+            pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)  # atomic: concurrent writers can't tear
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*/*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        n = 0
+        for path in self.directory.glob("*/*.pkl"):
+            path.unlink(missing_ok=True)
+            n += 1
+        return n
+
+
+# -- cell execution (top level so worker processes can pickle it) -------------
+
+def execute_cell(cell: Cell) -> Any:
+    """Run one cell to completion; pure function of the cell."""
+    if cell.variant == "standard":
+        if cell.mode == "ipc":
+            return run_ipc(
+                cell.benchmark, cell.protection, cell.config,
+                n_insts=cell.n_insts,
+            )
+        return run_refs(cell.benchmark, cell.protection, cell.config)
+    return _run_variant(cell)
+
+
+def _run_variant(cell: Cell) -> Any:
+    """Ablation L2s; imports are local to avoid an import cycle with
+    :mod:`repro.experiments.ablations`."""
+    from repro.cache.hierarchy import MemoryHierarchy
+
+    geometry = cell.config.geometry
+    hier_cfg = geometry.hierarchy_config()
+    if cell.variant == "eager":
+        from repro.core.eager import EagerL2
+
+        l2 = EagerL2(hier_cfg.l2, seed=cell.config.seed)
+    else:
+        if cell.protection is None or cell.protection.cleaning_interval is None:
+            raise ValueError(f"variant {cell.variant!r} needs a cleaning interval")
+        scaled = ProtectionConfig(
+            cleaning_interval=geometry.scaled_interval(
+                cell.protection.cleaning_interval
+            ),
+            ecc_entries_per_set=cell.protection.ecc_entries_per_set,
+        )
+        if cell.variant == "decay":
+            from repro.core.decay import DecayCleaningL2
+
+            l2 = DecayCleaningL2(hier_cfg.l2, scaled, seed=cell.config.seed)
+        else:  # no-written-bit
+            from repro.experiments.ablations import _NoWrittenBitL2
+
+            l2 = _NoWrittenBitL2(hier_cfg.l2, scaled, seed=cell.config.seed)
+    hierarchy = MemoryHierarchy(config=hier_cfg, l2=l2)
+    return run_refs_with_hierarchy(
+        cell.benchmark, hierarchy, cell.config, cell.protection
+    )
+
+
+def _execute_indexed(item):
+    """Pool payload: (index, cell) -> (index, result, worker wall-time)."""
+    index, cell = item
+    t0 = time.perf_counter()
+    output = execute_cell(cell)
+    return index, output, time.perf_counter() - t0
+
+
+def _work_units(output: Any) -> int:
+    """Simulated work of one result, for throughput reporting."""
+    refs = getattr(output, "refs", None)
+    if refs is not None:
+        return int(refs)
+    result = getattr(output, "result", None)
+    if result is not None:
+        return int(getattr(result, "instructions", 0))
+    return 0
+
+
+# -- statistics ---------------------------------------------------------------
+
+@dataclass
+class CellRecord:
+    """Per-cell accounting surfaced in reports."""
+
+    label: str
+    key: str
+    wall_s: float
+    refs: int
+    cached: bool
+
+    @property
+    def refs_per_s(self) -> float:
+        return self.refs / self.wall_s if self.wall_s > 0 else 0.0
+
+
+@dataclass
+class SweepStats:
+    """Aggregate accounting of every cell an engine has run."""
+
+    records: List[CellRecord] = field(default_factory=list)
+    wall_s: float = 0.0
+
+    @property
+    def cells(self) -> int:
+        return len(self.records)
+
+    @property
+    def cached(self) -> int:
+        return sum(1 for r in self.records if r.cached)
+
+    @property
+    def executed(self) -> int:
+        return self.cells - self.cached
+
+    @property
+    def refs(self) -> int:
+        return sum(r.refs for r in self.records if not r.cached)
+
+    @property
+    def refs_per_s(self) -> float:
+        busy = sum(r.wall_s for r in self.records if not r.cached)
+        return self.refs / busy if busy > 0 else 0.0
+
+    def summary(self) -> str:
+        line = (
+            f"sweep: {self.cells} cells "
+            f"({self.executed} executed, {self.cached} cached), "
+            f"{self.wall_s:.1f}s wall"
+        )
+        if self.executed:
+            line += (
+                f", {self.refs} refs at {self.refs_per_s:,.0f} refs/s per worker"
+            )
+        return line
+
+
+# -- the engine ---------------------------------------------------------------
+
+class SweepEngine:
+    """Runs grids of :class:`Cell` in parallel with result caching.
+
+    ``jobs``
+        Worker processes; ``1`` (the default) runs inline in this
+        process, which is also the reference for determinism tests.
+    ``cache``
+        ``None``/``False`` — no caching (the default, so library calls
+        behave exactly like direct ``run_refs``); ``True`` — cache under
+        :func:`default_cache_dir`; a path or :class:`ResultCache` — use
+        that store.
+    ``progress``
+        Emit a one-line progress ticker to stderr as cells complete.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Union[ResultCache, str, Path, bool, None] = None,
+        progress: bool = False,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        if cache is None or cache is False:
+            self.cache: Optional[ResultCache] = None
+        elif cache is True:
+            self.cache = ResultCache()
+        elif isinstance(cache, ResultCache):
+            self.cache = cache
+        else:
+            self.cache = ResultCache(cache)
+        self.progress = progress
+        self.stats = SweepStats()
+
+    # -- public API --------------------------------------------------------
+
+    def run_cells(self, cells: Sequence[Cell]) -> List[Any]:
+        """Run every cell; outputs are returned in submission order."""
+        cells = list(cells)
+        if not cells:
+            return []
+        t0 = time.perf_counter()
+        version = code_version()
+        keys = [cell_key(cell, version) for cell in cells]
+        outputs: List[Any] = [None] * len(cells)
+        pending: List[int] = []
+
+        hits = 0
+        for i, key in enumerate(keys):
+            hit = self.cache.get(key) if self.cache is not None else None
+            if hit is not None:
+                outputs[i] = hit
+                hits += 1
+                self._record(cells[i], key, 0.0, hit, cached=True)
+                self._tick(hits, len(cells), cells[i], True)
+            else:
+                pending.append(i)
+
+        if pending:
+            if self.jobs == 1 or len(pending) == 1:
+                self._run_inline(cells, keys, outputs, pending)
+            else:
+                self._run_pool(cells, keys, outputs, pending)
+        self.stats.wall_s += time.perf_counter() - t0
+        self._tick_done()
+        return outputs
+
+    def run(self, cell: Cell) -> Any:
+        """Run a single cell (through the cache, inline)."""
+        return self.run_cells([cell])[0]
+
+    def run_refs(
+        self,
+        benchmark: str,
+        protection: Optional[ProtectionConfig],
+        config: RunConfig,
+    ) -> Any:
+        """Drop-in for :func:`repro.experiments.runner.run_refs`."""
+        return self.run(Cell(benchmark, protection, config))
+
+    def run_ipc(
+        self,
+        benchmark: str,
+        protection: Optional[ProtectionConfig],
+        config: RunConfig,
+        n_insts: Optional[int] = None,
+    ) -> Any:
+        """Drop-in for :func:`repro.experiments.runner.run_ipc`."""
+        return self.run(
+            Cell(benchmark, protection, config, mode="ipc", n_insts=n_insts)
+        )
+
+    def summary(self) -> str:
+        """Human-readable accounting of everything run so far."""
+        return self.stats.summary()
+
+    # -- internals ---------------------------------------------------------
+
+    def _run_inline(self, cells, keys, outputs, pending) -> None:
+        done = len(cells) - len(pending)
+        for i in pending:
+            t0 = time.perf_counter()
+            output = execute_cell(cells[i])
+            wall = time.perf_counter() - t0
+            outputs[i] = output
+            self._store(keys[i], output)
+            self._record(cells[i], keys[i], wall, output, cached=False)
+            done += 1
+            self._tick(done, len(cells), cells[i], False, wall)
+
+    def _run_pool(self, cells, keys, outputs, pending) -> None:
+        import multiprocessing
+
+        done = len(cells) - len(pending)
+        with multiprocessing.Pool(processes=min(self.jobs, len(pending))) as pool:
+            for i, output, wall in pool.imap_unordered(
+                _execute_indexed, [(i, cells[i]) for i in pending]
+            ):
+                outputs[i] = output
+                self._store(keys[i], output)
+                self._record(cells[i], keys[i], wall, output, cached=False)
+                done += 1
+                self._tick(done, len(cells), cells[i], False, wall)
+
+    def _store(self, key: str, output: Any) -> None:
+        if self.cache is not None:
+            self.cache.put(key, output)
+
+    def _record(self, cell, key, wall, output, cached) -> None:
+        self.stats.records.append(
+            CellRecord(
+                label=cell.label,
+                key=key,
+                wall_s=wall,
+                refs=_work_units(output),
+                cached=cached,
+            )
+        )
+
+    def _tick(self, done, total, cell, cached, wall: float = 0.0) -> None:
+        if not self.progress:
+            return
+        status = "cache" if cached else f"{wall:.2f}s"
+        sys.stderr.write(f"\r[{done}/{total}] {cell.label} ({status})\033[K")
+        sys.stderr.flush()
+
+    def _tick_done(self) -> None:
+        if self.progress:
+            sys.stderr.write("\n")
+            sys.stderr.flush()
+
+
+__all__ = [
+    "Cell",
+    "CellRecord",
+    "ResultCache",
+    "SweepEngine",
+    "SweepStats",
+    "cell_key",
+    "code_version",
+    "default_cache_dir",
+    "execute_cell",
+]

@@ -27,12 +27,17 @@ from typing import Dict, List, Optional, Tuple
 from repro.cache.cache import SetAssociativeCache
 from repro.cache.hierarchy import (
     HierarchyConfig,
+    HierarchyStats,
     MemoryHierarchy,
     default_l1d_config,
     default_l1i_config,
     default_l2_config,
 )
+from repro.cache.mainmem import MemoryStats
+from repro.cache.mshr import MshrStats
 from repro.cache.stats import CacheStats
+from repro.cache.write_buffer import WriteBufferStats
+from repro.core.ecc_array import EccArrayStats
 from repro.core.protected_cache import ProtectedL2, ProtectionConfig
 from repro.core.scrub import check_invariants
 from repro.cpu.ooo import OoOCore, RunResult
@@ -179,17 +184,36 @@ def _build_hierarchy(
 
 
 def _reset_measurement(hierarchy: MemoryHierarchy, cycle: int) -> None:
-    """Zero every counter after warm-up, keeping cache contents."""
-    hierarchy.l2.stats = CacheStats()
+    """Zero every counter after warm-up, keeping cache contents.
+
+    Every stats holder in the hierarchy is reset — caches, the
+    write buffer, both MSHR files, main memory, and the protected L2's
+    ECC array and cleaning logic — so warm-up traffic cannot pollute
+    any measured quantity.  Dirty lines inherited from warm-up have
+    their episode start clamped to the measurement start, otherwise
+    ``mean_dirty_episode_cycles`` would charge warm-up cycles into the
+    measured window.
+    """
     hierarchy.l1d.stats = CacheStats()
     hierarchy.l1i.stats = CacheStats()
-    hierarchy.stats.loads = 0
-    hierarchy.stats.stores = 0
-    hierarchy.stats.ifetches = 0
-    hierarchy.memory.stats.busy_cycles = 0
-    hierarchy.memory.stats.reads = 0
-    hierarchy.memory.stats.writes = 0
-    hierarchy.l2.dirty.reset(cycle, hierarchy.l2.dirty.dirty_count)
+    hierarchy.stats = HierarchyStats()
+    hierarchy.memory.stats = MemoryStats()
+    hierarchy.write_buffer.stats = WriteBufferStats()
+    hierarchy.l1d_mshr.stats = MshrStats()
+    hierarchy.l1i_mshr.stats = MshrStats()
+    for cache in hierarchy.levels:
+        cache.stats = CacheStats()
+        ecc_array = getattr(cache, "ecc_array", None)
+        if ecc_array is not None:
+            ecc_array.stats = EccArrayStats()
+        cleaning = getattr(cache, "cleaning", None)
+        if cleaning is not None:
+            cleaning.checks = 0
+        for ways in cache.sets:
+            for line in ways:
+                if line.valid and line.dirty and line.dirty_since < cycle:
+                    line.dirty_since = cycle
+        cache.dirty.reset(cycle, cache.dirty.dirty_count)
 
 
 def run_refs(

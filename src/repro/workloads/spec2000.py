@@ -20,6 +20,7 @@ DESIGN.md §5).
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List
 
@@ -139,7 +140,12 @@ def make_ref_stream(
     ``l2_bytes`` anchors the working-set scaling; ``seed`` makes the
     stream reproducible.
     """
-    rng = random.Random(hash((spec.name, seed)) & 0x7FFFFFFF)
+    # Derive the per-benchmark RNG seed with crc32, not hash(): str hash
+    # is randomized per process (PYTHONHASHSEED), which would make the
+    # "reproducible" stream differ between interpreter invocations.
+    rng = random.Random(
+        (zlib.crc32(spec.name.encode("ascii")) ^ (seed * 0x9E3779B9)) & 0x7FFFFFFF
+    )
     ws = spec.working_set_bytes(l2_bytes)
     params = dict(spec.params)
     if spec.kind == "streaming":

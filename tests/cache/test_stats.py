@@ -31,7 +31,15 @@ class TestCacheStats:
         d = CacheStats().as_dict()
         assert d["writebacks_cleaning"] == 0
         assert "writebacks_eager" in d
-        assert len(d) == 11
+        assert "dirty_episodes" in d
+        assert "dirty_episode_cycles" in d
+        assert len(d) == 13
+
+    def test_as_dict_carries_exposure_counters(self):
+        s = CacheStats(dirty_episodes=3, dirty_episode_cycles=450)
+        d = s.as_dict()
+        assert d["dirty_episodes"] == 3
+        assert d["dirty_episode_cycles"] == 450
 
     def test_mean_dirty_episode(self):
         s = CacheStats(dirty_episodes=4, dirty_episode_cycles=200)

@@ -211,3 +211,44 @@ class TestInvariantsUnderRandomTraffic:
         l2.dirty.dirty_count += 1
         with pytest.raises(IntegrityError):
             check_invariants(l2)
+
+
+class TestWriteThroughProtectedL2:
+    """Regression: a write-through ProtectedL2 must forward writes like
+    the base cache instead of silently dirtying lines and claiming ECC
+    entries."""
+
+    def make_wt_l2(self):
+        from repro.cache.cache import WritePolicy
+
+        return ProtectedL2(
+            l2_config(write_policy=WritePolicy.WRITE_THROUGH),
+            ProtectionConfig(cleaning_interval=None, ecc_entries_per_set=1),
+        )
+
+    def test_write_hit_forwards_and_stays_clean(self):
+        l2 = self.make_wt_l2()
+        l2.access(0x40, is_write=False, cycle=1)  # fill
+        res = l2.access(0x40, is_write=True, cycle=2)
+        assert res.wrote_through
+        line = l2.find_line(0x40)
+        assert not line.dirty
+        assert not line.written
+        assert l2.stats.write_throughs == 1
+
+    def test_no_ecc_entry_claimed(self):
+        l2 = self.make_wt_l2()
+        for i in range(8):
+            addr = 0x40 * i
+            l2.access(addr, is_write=False, cycle=i)
+            l2.access(addr, is_write=True, cycle=100 + i)
+        assert l2.ecc_array.used_entries() == 0
+        assert l2.ecc_array.stats.allocations == 0
+        assert l2.dirty.dirty_count == 0
+        check_invariants(l2)
+
+    def test_write_back_policy_unaffected(self):
+        l2 = make_l2(ecc=1)
+        l2.access(0x40, is_write=True, cycle=1)
+        assert l2.find_line(0x40).dirty
+        assert l2.ecc_array.used_entries() == 1

@@ -1,0 +1,124 @@
+"""Regression tests: warm-up traffic must not pollute measured stats."""
+
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.core import ProtectedL2, ProtectionConfig
+from repro.experiments import RunConfig, SCALED_GEOMETRY, run_refs
+from repro.experiments.runner import _reset_measurement, build_l2
+
+
+def make_hierarchy(protection=ProtectionConfig(cleaning_interval=4096,
+                                               ecc_entries_per_set=1)):
+    l2 = build_l2(SCALED_GEOMETRY, protection)
+    return MemoryHierarchy(config=SCALED_GEOMETRY.hierarchy_config(), l2=l2)
+
+
+def warm(hierarchy, n=3000, until_cycle=50_000):
+    """Drive mixed warm-up traffic that touches every stats holder."""
+    cycle = 0
+    for i in range(n):
+        cycle += max(1, until_cycle // n)
+        addr = (i * 1664525 + 1013904223) % (1 << 22) & ~7
+        if i % 3 == 0:
+            hierarchy.store(addr, cycle)
+        else:
+            hierarchy.load(addr, cycle)
+    return cycle
+
+
+class TestResetMeasurement:
+    def test_write_buffer_stats_reset(self):
+        hierarchy = make_hierarchy()
+        cycle = warm(hierarchy)
+        assert hierarchy.write_buffer.stats.stores_seen > 0
+        _reset_measurement(hierarchy, cycle)
+        wb = hierarchy.write_buffer.stats
+        assert wb.inserts == 0
+        assert wb.coalesced == 0
+        assert wb.drains == 0
+
+    def test_mshr_stats_reset(self):
+        hierarchy = make_hierarchy()
+        cycle = warm(hierarchy)
+        assert hierarchy.l1d_mshr.stats.allocations > 0
+        _reset_measurement(hierarchy, cycle)
+        for mshr in (hierarchy.l1d_mshr, hierarchy.l1i_mshr):
+            assert mshr.stats.allocations == 0
+            assert mshr.stats.merges == 0
+            assert mshr.stats.overflows == 0
+
+    def test_ecc_array_and_cleaning_stats_reset(self):
+        hierarchy = make_hierarchy()
+        cycle = warm(hierarchy)
+        l2 = hierarchy.l2
+        assert l2.ecc_array.stats.allocations > 0
+        assert l2.cleaning.checks > 0
+        _reset_measurement(hierarchy, cycle)
+        assert l2.ecc_array.stats.allocations == 0
+        assert l2.ecc_array.stats.releases == 0
+        assert l2.ecc_array.stats.evictions == 0
+        assert l2.cleaning.checks == 0
+
+    def test_memory_stats_fully_reset(self):
+        hierarchy = make_hierarchy()
+        cycle = warm(hierarchy)
+        _reset_measurement(hierarchy, cycle)
+        mem = hierarchy.memory.stats
+        assert mem.reads == 0
+        assert mem.writes == 0
+        assert mem.bytes_read == 0
+        assert mem.bytes_written == 0
+        assert mem.busy_cycles == 0
+        assert mem.read_queue_cycles == 0
+
+    def test_reset_keeps_cache_contents(self):
+        hierarchy = make_hierarchy()
+        cycle = warm(hierarchy)
+        resident = sum(
+            1 for ways in hierarchy.l2.sets for l in ways if l.valid
+        )
+        assert resident > 0
+        _reset_measurement(hierarchy, cycle)
+        assert resident == sum(
+            1 for ways in hierarchy.l2.sets for l in ways if l.valid
+        )
+
+    def test_measured_window_write_buffer_accounting_is_exact(self):
+        """Every measured store is exactly one buffer event — warm-up
+        stores must not leak into the ablation's coalescing rate."""
+        hierarchy = make_hierarchy(None)
+        from repro.experiments.runner import run_refs_with_hierarchy
+
+        config = RunConfig(n_refs=8_000, warmup_refs=6_000)
+        run_refs_with_hierarchy("mesa", hierarchy, config)
+        assert (
+            hierarchy.write_buffer.stats.stores_seen
+            == hierarchy.stats.stores
+        )
+
+
+class TestDirtyEpisodeClamp:
+    def test_warmup_episode_start_clamped_to_reset(self):
+        hierarchy = make_hierarchy(None)
+        l2 = hierarchy.l2
+        l2.access(0x1000, is_write=True, cycle=100)
+        line = l2.find_line(0x1000)
+        assert line.dirty and line.dirty_since == 100
+
+        _reset_measurement(hierarchy, 10_000)
+        assert line.dirty_since == 10_000
+
+        l2.flush(cycle=10_500)
+        assert l2.stats.dirty_episodes == 1
+        # 500 measured cycles, not the 10,400 including warm-up.
+        assert l2.stats.dirty_episode_cycles == 500
+
+    def test_mean_episode_bounded_by_measured_window(self):
+        """With the clamp, no episode can be longer than the window."""
+        config = RunConfig(n_refs=2_000, warmup_refs=30_000)
+        out = run_refs(
+            "mesa",
+            ProtectionConfig(cleaning_interval=1 << 16,
+                             ecc_entries_per_set=1),
+            config,
+        )
+        assert out.mean_dirty_episode_cycles <= out.cycles

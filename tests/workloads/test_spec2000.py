@@ -68,6 +68,38 @@ class TestStreams:
         b = list(itertools.islice(make_ref_stream(spec, L2, seed=3), 200))
         assert a == b
 
+    @pytest.mark.parametrize("name", ["mesa", "mcf"])
+    def test_streams_are_deterministic_across_processes(self, name):
+        """Regression: the stream seed once came from ``hash(name)``,
+        which PYTHONHASHSEED randomizes per interpreter — the same
+        (benchmark, seed) pair produced different traces in different
+        processes, silently breaking run reproducibility and the sweep
+        engine's result cache."""
+        import os
+        import pathlib
+        import subprocess
+        import sys
+
+        import repro
+
+        src_dir = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+        snippet = (
+            "import itertools\n"
+            "from repro.workloads import get_benchmark, make_ref_stream\n"
+            f"refs = itertools.islice("
+            f"make_ref_stream(get_benchmark({name!r}), {L2}, seed=3), 200)\n"
+            "print(';'.join(f'{r.addr}:{int(r.is_write)}' for r in refs))\n"
+        )
+        outs = []
+        for hashseed in ("1", "2"):
+            env = dict(os.environ, PYTHONHASHSEED=hashseed, PYTHONPATH=src_dir)
+            proc = subprocess.run(
+                [sys.executable, "-c", snippet],
+                capture_output=True, text=True, check=True, env=env,
+            )
+            outs.append(proc.stdout)
+        assert outs[0] == outs[1]
+
     def test_different_seeds_differ(self):
         spec = get_benchmark("mcf")
         a = list(itertools.islice(make_ref_stream(spec, L2, seed=1), 200))
