@@ -2,12 +2,25 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures figures-par examples clean
+.PHONY: install lint test test-all bench figures figures-par examples clean
 
 install:
 	$(PYTHON) setup.py develop
 
+# Lint with ruff when available; skip (successfully) when the
+# environment doesn't ship it, so `make lint` is safe everywhere but
+# still propagates real findings where ruff exists (e.g. CI).
+lint:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests; \
+	else \
+		echo "ruff not installed; skipping lint"; \
+	fi
+
 test:
+	$(PYTHON) -m pytest tests/ -m "not slow"
+
+test-all:
 	$(PYTHON) -m pytest tests/
 
 bench:

@@ -10,11 +10,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.cache.line import CacheLine
 from repro.cache.replacement import ReplacementPolicy, make_policy
 from repro.cache.stats import CacheStats, DirtyIntegrator
+from repro.telemetry.tracing import EventTracer
 
 
 class WritePolicy(enum.Enum):
@@ -119,6 +120,9 @@ class SetAssociativeCache:
         self.stats = CacheStats()
         self.dirty = DirtyIntegrator(total_lines=config.n_lines)
         self._stamp = 0
+        #: Opt-in structured event tracing; ``None`` keeps every
+        #: emission site to one attribute test on cold paths only.
+        self._tracer: Optional[EventTracer] = None
 
     # -- address helpers ---------------------------------------------------
 
@@ -152,6 +156,46 @@ class SetAssociativeCache:
         return sum(
             1 for ways in self.sets for l in ways if l.valid and l.dirty
         )
+
+    # -- telemetry -----------------------------------------------------------
+
+    @property
+    def labels(self) -> Dict[str, str]:
+        return {
+            "component": "cache",
+            "name": self.config.name,
+            "policy": self.config.write_policy.value,
+        }
+
+    def as_dict(self) -> Dict[str, float]:
+        """Counters plus derived dirty-population metrics."""
+        d = self.stats.as_dict()
+        d["dirty_lines"] = self.dirty.dirty_count
+        d["peak_dirty_lines"] = self.dirty.peak_dirty
+        d["avg_dirty_fraction"] = self.dirty.average_dirty_fraction(
+            self.dirty.last_cycle
+        )
+        return d
+
+    def reset(self, cycle: int = 0) -> None:
+        """Measurement boundary: zero counters, keep cache contents.
+
+        Dirty lines inherited from before the boundary have their
+        episode start clamped to ``cycle``, otherwise pre-boundary
+        cycles would be charged into measured dirty-episode lengths;
+        the residency integrator restarts with the surviving dirty
+        population.
+        """
+        self.stats.reset(cycle)
+        for ways in self.sets:
+            for line in ways:
+                if line.valid and line.dirty and line.dirty_since < cycle:
+                    line.dirty_since = cycle
+        self.dirty.reset(cycle, self.dirty.dirty_count)
+
+    def attach_tracer(self, tracer: Optional[EventTracer]) -> None:
+        """Attach (or with ``None`` detach) a structured event tracer."""
+        self._tracer = tracer
 
     # -- main access path ----------------------------------------------------
 
@@ -252,9 +296,19 @@ class SetAssociativeCache:
         self.stats.dirty_episode_cycles += max(0, cycle - line.dirty_since)
         line.dirty = False
         line.written = False
-        result.writebacks.append(
-            Writeback(addr=self.block_addr(set_idx, line.tag), reason=reason)
-        )
+        addr = self.block_addr(set_idx, line.tag)
+        result.writebacks.append(Writeback(addr=addr, reason=reason))
+        tracer = self._tracer
+        if tracer is not None:
+            name = self.config.name
+            tracer.emit(
+                "writeback", cycle, cache=name, set=set_idx, way=way,
+                addr=addr, reason=reason.value,
+            )
+            tracer.emit(
+                "dirty_transition", cycle, cache=name, set=set_idx, way=way,
+                addr=addr, dirty=False, reason=reason.value,
+            )
         if reason is WritebackReason.CLEANING:
             self.stats.writebacks_cleaning += 1
         elif reason is WritebackReason.ECC_EVICTION:
@@ -279,9 +333,24 @@ class SetAssociativeCache:
             result.wrote_through = True
             self.stats.write_throughs += 1
             return
+        self._mark_dirty(line, set_idx, way, cycle)
+
+    def _mark_dirty(
+        self, line: CacheLine, set_idx: int, way: int, cycle: int
+    ) -> None:
+        """Record a write on a write-back line, tracking the clean->dirty
+        transition exactly once per episode."""
         if line.record_write():
             line.dirty_since = cycle
             self.dirty.add_dirty(cycle, +1)
+            tracer = self._tracer
+            if tracer is not None:
+                tracer.emit(
+                    "dirty_transition", cycle, cache=self.config.name,
+                    set=set_idx, way=way,
+                    addr=self.block_addr(set_idx, line.tag),
+                    dirty=True, reason="write",
+                )
 
     # -- maintenance ---------------------------------------------------------
 

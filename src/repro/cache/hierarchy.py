@@ -19,7 +19,7 @@ demand accesses, never delaying one.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.cache.cache import (
     CacheConfig,
@@ -29,6 +29,8 @@ from repro.cache.cache import (
 from repro.cache.mainmem import MainMemory, MemoryConfig
 from repro.cache.mshr import MshrFile
 from repro.cache.write_buffer import WriteBuffer
+from repro.telemetry.metrics import MetricsRegistry, StatsSourceMixin
+from repro.telemetry.tracing import EventTracer
 
 
 def default_l1i_config() -> CacheConfig:
@@ -104,7 +106,9 @@ class HierarchyConfig:
 
 
 @dataclass
-class HierarchyStats:
+class HierarchyStats(StatsSourceMixin):
+    labels = {"component": "hierarchy"}
+
     loads: int = 0
     stores: int = 0
     ifetches: int = 0
@@ -112,6 +116,16 @@ class HierarchyStats:
     @property
     def loads_stores(self) -> int:
         return self.loads + self.stores
+
+    def flatten(self) -> Dict[str, int]:
+        """Raw counters plus derived totals — the registry feed."""
+        d = StatsSourceMixin.as_dict(self)
+        d["loads_stores"] = self.loads_stores
+        d["refs"] = self.loads_stores + self.ifetches
+        return d
+
+    def as_dict(self) -> Dict[str, int]:
+        return self.flatten()
 
 
 class MemoryHierarchy:
@@ -150,6 +164,44 @@ class MemoryHierarchy:
         #: integration, cleaning sweeps, bus occupancy) needs time to
         #: only move forward.
         self._clock = 0
+        #: Every stats holder in the system, one snapshot/reset boundary.
+        self.registry = MetricsRegistry()
+        self._register_telemetry()
+        self.tracer: Optional[EventTracer] = None
+
+    def _register_telemetry(self) -> None:
+        """Register every component's stats into the hierarchy registry."""
+        reg = self.registry
+        reg.register_source("hierarchy", self.stats)
+        reg.register_source("l1i", self.l1i)
+        reg.register_source("l1d", self.l1d)
+        for cache in self.levels:
+            name = cache.config.name
+            reg.register_source(name, cache)
+            ecc_array = getattr(cache, "ecc_array", None)
+            if ecc_array is not None:
+                reg.register_source(f"{name}.ecc_array", ecc_array)
+            cleaning = getattr(cache, "cleaning", None)
+            if cleaning is not None:
+                reg.register_source(f"{name}.cleaning", cleaning)
+        reg.register_source("write_buffer", self.write_buffer)
+        reg.register_source("l1d_mshr", self.l1d_mshr)
+        reg.register_source("l1i_mshr", self.l1i_mshr)
+        reg.register_source("memory", self.memory)
+
+    def attach_tracer(self, tracer: Optional[EventTracer]) -> None:
+        """Attach (or with ``None`` detach) a tracer to every cache level."""
+        self.tracer = tracer
+        for cache in (self.l1i, self.l1d, *self.levels):
+            cache.attach_tracer(tracer)
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Point-in-time counters of every component (plain data)."""
+        return self.registry.snapshot()
+
+    def reset_measurement(self, cycle: int) -> None:
+        """Zero every counter at ``cycle``, keeping all cache contents."""
+        self.registry.reset(cycle)
 
     def _mono(self, cycle: int) -> int:
         if cycle > self._clock:

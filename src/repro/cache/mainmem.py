@@ -11,6 +11,9 @@ paper makes when measuring IPC loss), but they still consume bus slots.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict
+
+from repro.telemetry.metrics import StatsSourceMixin
 
 
 @dataclass
@@ -27,7 +30,9 @@ class MemoryConfig:
 
 
 @dataclass
-class MemoryStats:
+class MemoryStats(StatsSourceMixin):
+    labels = {"component": "memory"}
+
     reads: int = 0
     writes: int = 0
     bytes_read: int = 0
@@ -44,10 +49,19 @@ class MemoryStats:
 class MainMemory:
     """Latency/occupancy model of main memory and its bus."""
 
+    labels = {"component": "memory"}
+
     def __init__(self, config: MemoryConfig = MemoryConfig()) -> None:
         self.config = config
         self.stats = MemoryStats()
         self._bus_free_at = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return self.stats.as_dict()
+
+    def reset(self, cycle: int = 0) -> None:
+        """Zero the counters; bus occupancy carries across the boundary."""
+        self.stats.reset(cycle)
 
     @property
     def bus_free_at(self) -> int:

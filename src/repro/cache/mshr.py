@@ -16,9 +16,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.telemetry.metrics import StatsSourceMixin
+
 
 @dataclass
-class MshrStats:
+class MshrStats(StatsSourceMixin):
+    labels = {"component": "mshr"}
+
     allocations: int = 0
     #: Accesses that merged with an in-flight fill.
     merges: int = 0
@@ -27,7 +31,14 @@ class MshrStats:
 
 
 class MshrFile:
-    """Bounded table of block address -> fill-completion cycle."""
+    """Bounded table of block address -> fill-completion cycle.
+
+    Doubles as a :class:`~repro.telemetry.metrics.StatsSource`
+    (delegating to its :class:`MshrStats`) so a registry reset covers
+    it without replacing the stats object.
+    """
+
+    labels = {"component": "mshr"}
 
     def __init__(self, entries: int = 8) -> None:
         if entries <= 0:
@@ -35,6 +46,15 @@ class MshrFile:
         self.entries = entries
         self._pending: Dict[int, int] = {}
         self.stats = MshrStats()
+
+    def as_dict(self) -> Dict[str, int]:
+        d = self.stats.as_dict()
+        d["occupancy"] = len(self._pending)
+        return d
+
+    def reset(self, cycle: int = 0) -> None:
+        """Zero the counters; in-flight fills stay in flight."""
+        self.stats.reset(cycle)
 
     def __len__(self) -> int:
         return len(self._pending)

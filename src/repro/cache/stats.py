@@ -9,12 +9,20 @@ integral incrementally as lines change state.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+
+from repro.telemetry.metrics import StatsSourceMixin
 
 
 @dataclass
-class CacheStats:
-    """Event counters for one cache."""
+class CacheStats(StatsSourceMixin):
+    """Event counters for one cache.
+
+    A :class:`~repro.telemetry.metrics.StatsSource`: ``as_dict`` /
+    ``reset`` / ``labels`` come from the mixin, so a registry can hold
+    and reset this object without knowing it is cache-specific.
+    """
+
+    labels = {"component": "cache-stats"}
 
     read_hits: int = 0
     read_misses: int = 0
@@ -71,23 +79,8 @@ class CacheStats:
             return 0.0
         return self.dirty_episode_cycles / self.dirty_episodes
 
-    def as_dict(self) -> Dict[str, int]:
-        """Flat dict view for reporting."""
-        return {
-            "read_hits": self.read_hits,
-            "read_misses": self.read_misses,
-            "write_hits": self.write_hits,
-            "write_misses": self.write_misses,
-            "writebacks_replacement": self.writebacks_replacement,
-            "writebacks_cleaning": self.writebacks_cleaning,
-            "writebacks_ecc_eviction": self.writebacks_ecc_eviction,
-            "writebacks_eager": self.writebacks_eager,
-            "write_throughs": self.write_throughs,
-            "fills": self.fills,
-            "evictions": self.evictions,
-            "dirty_episodes": self.dirty_episodes,
-            "dirty_episode_cycles": self.dirty_episode_cycles,
-        }
+    # ``as_dict``/``reset`` come from :class:`StatsSourceMixin`: one
+    # flat entry per dataclass field (13 counters).
 
 
 @dataclass

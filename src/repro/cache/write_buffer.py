@@ -10,11 +10,15 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
+
+from repro.telemetry.metrics import StatsSourceMixin
 
 
 @dataclass
-class WriteBufferStats:
+class WriteBufferStats(StatsSourceMixin):
+    labels = {"component": "write-buffer"}
+
     inserts: int = 0
     coalesced: int = 0
     drains: int = 0
@@ -23,6 +27,11 @@ class WriteBufferStats:
     def stores_seen(self) -> int:
         return self.inserts + self.coalesced
 
+    def as_dict(self) -> Dict[str, int]:
+        d = StatsSourceMixin.as_dict(self)
+        d["stores_seen"] = self.stores_seen
+        return d
+
 
 class WriteBuffer:
     """Fully-associative FIFO write buffer with store coalescing.
@@ -30,6 +39,8 @@ class WriteBuffer:
     Addresses are tracked at ``block_bytes`` granularity (the L2 line
     size, so one drain is one L2 write access).
     """
+
+    labels = {"component": "write-buffer"}
 
     def __init__(self, entries: int = 16, block_bytes: int = 64) -> None:
         if entries <= 0:
@@ -45,6 +56,15 @@ class WriteBuffer:
 
     def __len__(self) -> int:
         return len(self._pending)
+
+    def as_dict(self) -> Dict[str, int]:
+        d = self.stats.as_dict()
+        d["occupancy"] = len(self._pending)
+        return d
+
+    def reset(self, cycle: int = 0) -> None:
+        """Zero the counters; buffered stores stay buffered."""
+        self.stats.reset(cycle)
 
     @property
     def full(self) -> bool:

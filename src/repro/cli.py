@@ -14,8 +14,10 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional
 
 from repro.core.protected_cache import ProtectionConfig
 from repro.experiments import (
@@ -30,10 +32,16 @@ from repro.experiments import (
     ipc_loss,
     render_series,
     render_table,
-    run_ipc,
     run_refs,
     run_trace,
     table1,
+)
+from repro.experiments.report import render_snapshot
+from repro.experiments.runner import interval_label
+from repro.telemetry import (
+    EventTracer,
+    PhaseProfiler,
+    mean_snapshots,
 )
 from repro.workloads import (
     BENCHMARKS,
@@ -45,32 +53,58 @@ from repro.workloads import (
 )
 
 
-def _parse_interval(text: str) -> Optional[int]:
-    """'1M'/'256K'/'none' -> cycles (paper-nominal) or None."""
-    text = text.strip().lower()
-    if text in ("none", "off", "0"):
-        return None
-    multiplier = 1
-    if text.endswith("m"):
-        multiplier, text = 1 << 20, text[:-1]
-    elif text.endswith("k"):
-        multiplier, text = 1 << 10, text[:-1]
-    try:
-        value = int(text) * multiplier
-    except ValueError:
-        raise argparse.ArgumentTypeError(f"bad interval {text!r}") from None
-    if value <= 0:
-        raise argparse.ArgumentTypeError("interval must be positive")
-    return value
+def _typed_arg(
+    kind: str,
+    none_values: tuple = ("none", "off"),
+    suffixes: Optional[Dict[str, int]] = None,
+) -> Callable[[str], Optional[int]]:
+    """Build an argparse ``type``: a positive int, 'none'-able, with
+    optional magnitude suffixes (``1M``, ``256K``).
+
+    All of the CLI's nullable numeric options share this grammar; the
+    factory keeps their parsing and error messages identical.
+    """
+
+    def parse(text: str) -> Optional[int]:
+        raw = text.strip().lower()
+        if raw in none_values:
+            return None
+        multiplier = 1
+        if suffixes:
+            for suffix, mult in suffixes.items():
+                if raw.endswith(suffix):
+                    multiplier, raw = mult, raw[: -len(suffix)]
+                    break
+        try:
+            value = int(raw) * multiplier
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"bad {kind} {text!r}"
+            ) from None
+        if value <= 0:
+            raise argparse.ArgumentTypeError(
+                f"{kind} must be positive or 'none'"
+            )
+        return value
+
+    parse.__name__ = f"_parse_{kind}"
+    return parse
 
 
-def _parse_entries(text: str) -> Optional[int]:
-    if text.strip().lower() in ("none", "off"):
-        return None
-    value = int(text)
-    if value <= 0:
-        raise argparse.ArgumentTypeError("entries must be positive or 'none'")
-    return value
+#: '1M'/'256K'/'none' -> cycles (paper-nominal) or None.
+_parse_interval = _typed_arg(
+    "interval",
+    none_values=("none", "off", "0"),
+    suffixes={"m": 1 << 20, "k": 1 << 10},
+)
+
+#: Shared-ECC entries per set, or None for unconstrained.
+_parse_entries = _typed_arg("entries")
+
+#: Event-tracer ring-buffer capacity ('64K' style suffixes allowed).
+_parse_capacity = _typed_arg(
+    "capacity", suffixes={"m": 1 << 20, "k": 1 << 10}
+)
 
 
 def _protection(args) -> Optional[ProtectionConfig]:
@@ -118,6 +152,19 @@ def _engine(args):
     cache = False if args.no_cache else (args.cache_dir or True)
     return SweepEngine(jobs=args.jobs, cache=cache,
                        progress=sys.stderr.isatty())
+
+
+def _add_trace_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write structured events as JSON Lines to PATH "
+             "(tracing is off without this)",
+    )
+    parser.add_argument(
+        "--trace-capacity", type=_parse_capacity, default=65536,
+        metavar="N",
+        help="event ring-buffer capacity (oldest events drop beyond it)",
+    )
 
 
 def _add_protection_args(parser: argparse.ArgumentParser) -> None:
@@ -201,14 +248,36 @@ def _print_sweep_stats(engine) -> None:
         print(engine.summary())
 
 
+def _make_tracer(args) -> Optional[EventTracer]:
+    """The tracer ``--trace-out`` asks for, or None (tracing is opt-in)."""
+    if not getattr(args, "trace_out", None):
+        return None
+    return EventTracer(capacity=args.trace_capacity)
+
+
+def _export_trace(tracer: Optional[EventTracer], args) -> None:
+    if tracer is None:
+        return
+    n = tracer.export_jsonl(args.trace_out)
+    print(f"wrote {n} events to {args.trace_out} ({tracer.summary()})")
+
+
 def cmd_run(args) -> int:
     config = _run_config(args)
     protection = _protection(args)
+    tracer = _make_tracer(args)
+    profiler = PhaseProfiler()
     if args.trace:
         out = run_trace(load_trace(args.trace), protection, config,
-                        label=args.trace)
+                        label=args.trace, tracer=tracer, profiler=profiler)
+    elif tracer is not None:
+        # Tracing needs a live simulation — bypass the result cache.
+        out = run_refs(args.benchmark, protection, config,
+                       tracer=tracer, profiler=profiler)
     else:
-        out = run_refs(args.benchmark, protection, config)
+        engine = _engine(args)
+        out = engine.run_refs(args.benchmark, protection, config)
+        profiler.merge(engine.profiler)
     rows = [
         ["benchmark", out.benchmark],
         ["measured refs", out.refs],
@@ -222,15 +291,29 @@ def cmd_run(args) -> int:
         ["L2 miss rate", out.l2_miss_rate],
         ["bus utilisation", out.bus_utilization],
     ]
+    if protection is not None and protection.cleaning_interval is not None:
+        # The interval is paper-nominal; show both the label and the
+        # cycles this geometry actually ran it at.
+        geometry = config.geometry
+        rows.insert(1, [
+            "cleaning interval",
+            f"{interval_label(protection.cleaning_interval)} "
+            f"({geometry.scaled_interval(protection.cleaning_interval)} "
+            f"scaled cycles)",
+        ])
     print(render_table(["metric", "value"], rows))
+    _export_trace(tracer, args)
+    if args.profile:
+        print(profiler.summary())
     return 0
 
 
 def cmd_ipc(args) -> int:
     config = _run_config(args)
-    org = run_ipc(args.benchmark, None, config, n_insts=args.insts)
-    ours = run_ipc(args.benchmark, _protection(args), config,
-                   n_insts=args.insts)
+    engine = _engine(args)
+    org = engine.run_ipc(args.benchmark, None, config, n_insts=args.insts)
+    ours = engine.run_ipc(args.benchmark, _protection(args), config,
+                          n_insts=args.insts)
     loss = 100 * (org.ipc - ours.ipc) / org.ipc if org.ipc else 0.0
     print(render_table(
         ["metric", "org", "ours"],
@@ -244,6 +327,7 @@ def cmd_ipc(args) -> int:
         title=f"{args.benchmark}: {args.insts} instructions",
     ))
     print(f"IPC loss: {loss:.2f}%")
+    _print_sweep_stats(engine)
     return 0
 
 
@@ -261,7 +345,8 @@ def cmd_inject(args) -> int:
     from repro.ecc import FaultInjector, ParityCodec, SecDedCodec
 
     codec = SecDedCodec() if args.codec == "secded" else ParityCodec()
-    injector = FaultInjector(codec, seed=args.seed)
+    tracer = _make_tracer(args)
+    injector = FaultInjector(codec, seed=args.seed, tracer=tracer)
     stats = injector.campaign(args.trials, args.flips)
     rows = [[o.value, n, n / stats.trials]
             for o, n in sorted(stats.by_outcome.items(), key=lambda kv: kv[0].value)]
@@ -269,6 +354,7 @@ def cmd_inject(args) -> int:
         ["outcome", "count", "rate"], rows, ndigits=4,
         title=f"{args.codec}: {args.trials} trials x {args.flips} flips",
     ))
+    _export_trace(tracer, args)
     return 0
 
 
@@ -288,18 +374,45 @@ def cmd_trace(args) -> int:
 
 
 def cmd_stats(args) -> int:
-    """Multi-seed spread of the residency and traffic metrics."""
-    from repro.experiments.stats import (
-        dirty_fraction_stats,
-        writeback_fraction_stats,
-    )
+    """Multi-seed spread of the key metrics, from registry snapshots."""
+    from repro.experiments.pool import Cell
+    from repro.experiments.stats import SeedStats, summarize
 
     config = _run_config(args)
     protection = _protection(args)
-    seeds = tuple(range(args.n_seeds))
-    dirty = dirty_fraction_stats(args.benchmark, protection, config, seeds)
-    traffic = writeback_fraction_stats(args.benchmark, protection, config,
-                                       seeds)
+    engine = _engine(args)
+    cells = [
+        Cell(args.benchmark, protection, replace(config, seed=seed))
+        for seed in range(args.n_seeds)
+    ]
+    outs = engine.run_cells(cells)
+    dirty = summarize([out.dirty_fraction for out in outs])
+    traffic = summarize([out.writeback_fraction for out in outs])
+    snapshots = [out.snapshot for out in outs if out.snapshot is not None]
+    mean_snap = mean_snapshots(snapshots)
+
+    if args.format == "json":
+        def _stats_doc(s: SeedStats) -> Dict[str, object]:
+            import math
+
+            return {"mean": s.mean, "std": s.std,
+                    "ci95": s.ci95 if math.isfinite(s.ci95) else None,
+                    "values": list(s.values)}
+
+        doc = {
+            "benchmark": args.benchmark,
+            "n_seeds": args.n_seeds,
+            "metrics": {
+                "dirty_fraction": _stats_doc(dirty),
+                "writeback_fraction": _stats_doc(traffic),
+            },
+            "mean_snapshot": mean_snap,
+            "snapshots": snapshots,
+            "profile": engine.profiler.as_dict(),
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+
     rows = [
         ["dirty fraction", dirty.mean, dirty.std, dirty.ci95],
         ["writeback fraction", traffic.mean, traffic.std, traffic.ci95],
@@ -310,6 +423,13 @@ def cmd_stats(args) -> int:
         ndigits=4,
         title=f"{args.benchmark}: spread over {args.n_seeds} seeds",
     ))
+    if mean_snap:
+        print()
+        print(render_snapshot(
+            mean_snap,
+            title=f"registry counters (mean of {len(snapshots)} seeds)",
+        ))
+    _print_sweep_stats(engine)
     return 0
 
 
@@ -398,8 +518,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--benchmark", default="mesa",
                    choices=sorted(BENCHMARKS))
     p.add_argument("--trace", help="run a trace file instead of a benchmark")
+    p.add_argument("--profile", action="store_true",
+                   help="print per-phase wall-time accounting")
     _add_protection_args(p)
     _add_run_args(p)
+    _add_pool_args(p)
+    _add_trace_args(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("ipc", help="org-vs-ours IPC comparison")
@@ -408,6 +532,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--insts", type=int, default=120_000)
     _add_protection_args(p)
     _add_run_args(p)
+    _add_pool_args(p)
     p.set_defaults(func=cmd_ipc)
 
     p = sub.add_parser("area", help="Section 5.2 area accounting")
@@ -419,6 +544,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=1000)
     p.add_argument("--flips", type=int, default=1)
     p.add_argument("--seed", type=int, default=0)
+    _add_trace_args(p)
     p.set_defaults(func=cmd_inject)
 
     p = sub.add_parser("trace", help="export a synthetic trace")
@@ -434,8 +560,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--benchmark", default="mesa",
                    choices=sorted(BENCHMARKS))
     p.add_argument("--n-seeds", type=int, default=5)
+    p.add_argument("--format", choices=["table", "json"], default="table",
+                   help="table (default) or a JSON document with per-seed "
+                        "registry snapshots")
     _add_protection_args(p)
     _add_run_args(p)
+    _add_pool_args(p)
     p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("ablate", help="run one ablation study")

@@ -15,7 +15,7 @@ they mutate cache state.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Dict, Iterator
 
 
 class CleaningLogic:
@@ -41,10 +41,20 @@ class CleaningLogic:
         #: Total set checks issued (for reporting).
         self.checks = 0
 
+    #: :class:`~repro.telemetry.metrics.StatsSource` identity.
+    labels = {"component": "cleaning-fsm"}
+
     @property
     def cycles_per_set_check(self) -> float:
         """Average cycles between consecutive set visits."""
         return self.interval_cycles / self.n_sets
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"checks": self.checks, "next_set": self.next_set}
+
+    def reset(self, cycle: int = 0) -> None:
+        """Zero the check counter; the sweep latch keeps its position."""
+        self.checks = 0
 
     def due_sets(self, cycle: int) -> Iterator[int]:
         """Yield every set due for a check in (last cycle, ``cycle``].

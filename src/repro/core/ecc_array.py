@@ -16,11 +16,15 @@ write-backs are performed by :class:`repro.core.protected_cache.ProtectedL2`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
+
+from repro.telemetry.metrics import StatsSourceMixin
 
 
 @dataclass
-class EccArrayStats:
+class EccArrayStats(StatsSourceMixin):
+    labels = {"component": "ecc-array"}
+
     allocations: int = 0
     releases: int = 0
     #: Entry evictions = forced ECC-WB write-backs.
@@ -29,6 +33,8 @@ class EccArrayStats:
 
 class SharedEccArray:
     """Per-set ECC entry ownership with FIFO entry replacement."""
+
+    labels = {"component": "ecc-array"}
 
     def __init__(self, n_sets: int, entries_per_set: int = 1) -> None:
         if n_sets <= 0 or entries_per_set <= 0:
@@ -57,6 +63,15 @@ class SharedEccArray:
 
     def used_entries(self) -> int:
         return sum(len(o) for o in self._owners)
+
+    def as_dict(self) -> Dict[str, int]:
+        d = self.stats.as_dict()
+        d["used_entries"] = self.used_entries()
+        return d
+
+    def reset(self, cycle: int = 0) -> None:
+        """Zero the counters; entry ownership is state, not statistics."""
+        self.stats.reset(cycle)
 
     # -- mutations ---------------------------------------------------------
 

@@ -125,9 +125,7 @@ class ProtectedL2(SetAssociativeCache):
         if not line.dirty and self.ecc_array is not None:
             # The line is about to turn dirty and must own an ECC entry.
             self._claim_ecc_entry(set_idx, way, cycle, result)
-        if line.record_write():
-            line.dirty_since = cycle
-            self.dirty.add_dirty(cycle, +1)
+        self._mark_dirty(line, set_idx, way, cycle)
 
     def _claim_ecc_entry(
         self, set_idx: int, way: int, cycle: int, result: AccessResult
@@ -139,6 +137,17 @@ class ProtectedL2(SetAssociativeCache):
         """
         assert self.ecc_array is not None
         evicted_way = self.ecc_array.allocate(set_idx, way)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(
+                "ecc_claim", cycle, cache=self.config.name, set=set_idx,
+                way=way,
+            )
+            if evicted_way is not None:
+                tracer.emit(
+                    "ecc_evict", cycle, cache=self.config.name, set=set_idx,
+                    evicted_way=evicted_way, for_way=way,
+                )
         if evicted_way is None:
             return
         victim = self.sets[set_idx][evicted_way]
@@ -167,6 +176,16 @@ class ProtectedL2(SetAssociativeCache):
                 raise AssertionError(
                     f"dirty line (set {set_idx}, way {way}) had no ECC entry"
                 )
+
+    # -- telemetry --------------------------------------------------------------
+
+    def reset(self, cycle: int = 0) -> None:
+        """Measurement boundary covering the scheme's own counters too."""
+        super().reset(cycle)
+        if self.ecc_array is not None:
+            self.ecc_array.reset(cycle)
+        if self.cleaning is not None:
+            self.cleaning.reset(cycle)
 
     # -- reporting --------------------------------------------------------------
 

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.telemetry.metrics import StatsSourceMixin
+
 
 @dataclass(frozen=True)
 class BranchPredictorConfig:
@@ -36,7 +38,9 @@ class BranchPredictorConfig:
 
 
 @dataclass
-class BranchStats:
+class BranchStats(StatsSourceMixin):
+    labels = {"component": "branch-predictor"}
+
     predictions: int = 0
     mispredictions: int = 0
     btb_misses: int = 0

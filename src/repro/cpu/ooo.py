@@ -102,6 +102,22 @@ class OoOCore:
         self.predictor = BranchPredictor(branch_config or BranchPredictorConfig())
         self.itlb = Tlb(itlb_config or TlbConfig(entries=64, ways=4))
         self.dtlb = Tlb(dtlb_config or TlbConfig(entries=128, ways=4))
+        self._register_telemetry()
+
+    def _register_telemetry(self) -> None:
+        """Register the core's stats into the hierarchy's registry.
+
+        A later core on the same hierarchy replaces an earlier one's
+        sources — the registry reflects whichever core is driving it.
+        """
+        reg = self.hierarchy.registry
+        for name, source in (
+            ("core.branch", self.predictor.stats),
+            ("core.itlb", self.itlb),
+            ("core.dtlb", self.dtlb),
+        ):
+            reg.unregister_source(name)
+            reg.register_source(name, source)
 
         fu_pool = self.config.functional_units.pool()
         #: Per op class, the next-free cycle of each unit instance.

@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List
+
+from repro.telemetry.metrics import StatsSourceMixin
 
 
 @dataclass(frozen=True)
@@ -29,7 +31,9 @@ class TlbConfig:
 
 
 @dataclass
-class TlbStats:
+class TlbStats(StatsSourceMixin):
+    labels = {"component": "tlb"}
+
     hits: int = 0
     misses: int = 0
 
@@ -52,6 +56,20 @@ class Tlb:
         ]
         self._stamp = 0
         self.stats = TlbStats()
+
+    # -- telemetry -----------------------------------------------------------
+
+    @property
+    def labels(self) -> Dict[str, str]:
+        return {"component": "tlb", "entries": str(self.config.entries)}
+
+    def as_dict(self) -> Dict[str, float]:
+        d = self.stats.as_dict()
+        d["miss_rate"] = self.stats.miss_rate
+        return d
+
+    def reset(self, cycle: int = 0) -> None:
+        self.stats.reset(cycle)
 
     def translate(self, addr: int) -> int:
         """Look up ``addr``; return 0 on a hit, miss_penalty on a miss."""

@@ -15,6 +15,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.ecc.codec import WORD_BITS, Codec, CodewordError
 from repro.ecc.events import CheckOutcome
+from repro.telemetry.tracing import EventTracer
 
 
 def flip_bit(word: int, bit: int, width: int = WORD_BITS) -> int:
@@ -49,9 +50,16 @@ class FaultInjector:
     classifies the outcome against ground truth.
     """
 
-    def __init__(self, codec: Codec, seed: int = 0) -> None:
+    def __init__(
+        self,
+        codec: Codec,
+        seed: int = 0,
+        tracer: Optional[EventTracer] = None,
+    ) -> None:
         self.codec = codec
         self.rng = random.Random(seed)
+        #: Opt-in structured tracing of per-trial outcomes.
+        self.tracer = tracer
 
     def inject(
         self, word: int, n_flips: int, rng: Optional[random.Random] = None
@@ -124,11 +132,19 @@ class FaultInjector:
         ``n_flips`` *adjacent* data bits flip (multi-bit upset).
         """
         stats = CampaignStats()
-        for _ in range(trials):
+        tracer = self.tracer
+        codec_name = type(self.codec).__name__
+        for trial in range(trials):
             word = self.rng.getrandbits(WORD_BITS)
             if burst:
                 outcome, _, _ = self.inject_burst(word, n_flips)
             else:
                 outcome, _, _ = self.inject(word, n_flips)
             stats.record(outcome)
+            if tracer is not None:
+                # Campaigns have no cycle clock; the trial index is time.
+                tracer.emit(
+                    "error_outcome", trial, codec=codec_name, trial=trial,
+                    flips=n_flips, outcome=outcome.value,
+                )
         return stats

@@ -44,6 +44,7 @@ from repro.experiments.runner import (
     run_refs,
     run_refs_with_hierarchy,
 )
+from repro.telemetry.profiling import PhaseProfiler
 
 #: Simulation variants a cell can request.  ``standard`` is a plain or
 #: protected L2 built by the runner; the rest are the ablation L2s.
@@ -367,6 +368,8 @@ class SweepEngine:
             self.cache = ResultCache(cache)
         self.progress = progress
         self.stats = SweepStats()
+        #: Wall-time accounting by engine phase (cache-lookup / execute).
+        self.profiler = PhaseProfiler()
 
     # -- public API --------------------------------------------------------
 
@@ -382,15 +385,16 @@ class SweepEngine:
         pending: List[int] = []
 
         hits = 0
-        for i, key in enumerate(keys):
-            hit = self.cache.get(key) if self.cache is not None else None
-            if hit is not None:
-                outputs[i] = hit
-                hits += 1
-                self._record(cells[i], key, 0.0, hit, cached=True)
-                self._tick(hits, len(cells), cells[i], True)
-            else:
-                pending.append(i)
+        with self.profiler.phase("cache-lookup", events=len(cells)):
+            for i, key in enumerate(keys):
+                hit = self.cache.get(key) if self.cache is not None else None
+                if hit is not None:
+                    outputs[i] = hit
+                    hits += 1
+                    self._record(cells[i], key, 0.0, hit, cached=True)
+                    self._tick(hits, len(cells), cells[i], True)
+                else:
+                    pending.append(i)
 
         if pending:
             if self.jobs == 1 or len(pending) == 1:
@@ -428,7 +432,10 @@ class SweepEngine:
 
     def summary(self) -> str:
         """Human-readable accounting of everything run so far."""
-        return self.stats.summary()
+        text = self.stats.summary()
+        if len(self.profiler):
+            text += "\n" + self.profiler.summary()
+        return text
 
     # -- internals ---------------------------------------------------------
 
@@ -463,12 +470,17 @@ class SweepEngine:
             self.cache.put(key, output)
 
     def _record(self, cell, key, wall, output, cached) -> None:
+        refs = _work_units(output)
+        if not cached:
+            # Worker wall-time: under a pool this sums across processes,
+            # so the events/s line reads as per-worker throughput.
+            self.profiler.add("execute", wall, refs)
         self.stats.records.append(
             CellRecord(
                 label=cell.label,
                 key=key,
                 wall_s=wall,
-                refs=_work_units(output),
+                refs=refs,
                 cached=cached,
             )
         )

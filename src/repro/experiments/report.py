@@ -63,6 +63,34 @@ def render_bars(
     return "\n".join(lines)
 
 
+def render_snapshot(
+    snapshot: Dict[str, Dict[str, float]],
+    title: str = "",
+    skip_zero: bool = True,
+    ndigits: int = 4,
+) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as a counter table.
+
+    One row per (component, counter); histogram summaries expand into
+    dotted sub-keys.  Zero-valued counters are omitted by default so the
+    table shows what actually happened.
+    """
+    rows: List[Sequence[Cell]] = []
+    for group, values in snapshot.items():
+        for key, value in values.items():
+            if isinstance(value, dict):  # histogram summary
+                items = [(f"{key}.{sub}", v) for sub, v in value.items()]
+            else:
+                items = [(key, value)]
+            for name, v in items:
+                if skip_zero and not v:
+                    continue
+                rows.append([group, name, v])
+    return render_table(
+        ["component", "counter", "value"], rows, ndigits=ndigits, title=title
+    )
+
+
 def render_series(
     series: Dict[str, Dict[str, float]],
     row_label: str = "benchmark",

@@ -27,21 +27,17 @@ from typing import Dict, List, Optional, Tuple
 from repro.cache.cache import SetAssociativeCache
 from repro.cache.hierarchy import (
     HierarchyConfig,
-    HierarchyStats,
     MemoryHierarchy,
     default_l1d_config,
     default_l1i_config,
     default_l2_config,
 )
-from repro.cache.mainmem import MemoryStats
-from repro.cache.mshr import MshrStats
-from repro.cache.stats import CacheStats
-from repro.cache.write_buffer import WriteBufferStats
-from repro.core.ecc_array import EccArrayStats
 from repro.core.protected_cache import ProtectedL2, ProtectionConfig
 from repro.core.scrub import check_invariants
 from repro.cpu.ooo import OoOCore, RunResult
 from repro.cpu.config import ProcessorConfig
+from repro.telemetry.profiling import PhaseProfiler
+from repro.telemetry.tracing import EventTracer
 from repro.workloads.mix import InstructionMixer, MixConfig
 from repro.workloads.spec2000 import BenchmarkSpec, get_benchmark, make_ref_stream
 
@@ -62,8 +58,49 @@ class Geometry:
     #: The paper's nominal cleaning intervals, in cycles.
     paper_intervals: Tuple[int, ...] = (65536, 262144, 1048576, 4194304)
 
-    def scaled_interval(self, paper_interval: int) -> int:
+    def _naive_scaled(self, paper_interval: int) -> int:
         return max(1, int(paper_interval * self.interval_scale))
+
+    def _grid_scaled(self) -> Tuple[int, ...]:
+        """Scaled values of the nominal grid, forced strictly increasing.
+
+        Extreme scale factors can collapse neighbouring grid points onto
+        the same scaled value (e.g. everything to 1), after which a
+        scaled interval could no longer be mapped back to one nominal
+        label.  Collapsed points are nudged up by the minimum needed to
+        keep the grid injective; ordinary scales (1, 1/32, ...) are
+        unaffected.
+        """
+        scaled: List[int] = []
+        prev = 0
+        for p in self.paper_intervals:
+            s = max(prev + 1, self._naive_scaled(p))
+            scaled.append(s)
+            prev = s
+        return tuple(scaled)
+
+    def scaled_interval(self, paper_interval: int) -> int:
+        if paper_interval in self.paper_intervals:
+            idx = self.paper_intervals.index(paper_interval)
+            return self._grid_scaled()[idx]
+        return self._naive_scaled(paper_interval)
+
+    def nominal_interval(self, scaled: int) -> int:
+        """Inverse of :meth:`scaled_interval`: paper-nominal cycles.
+
+        Grid points map back exactly; off-grid values are inverted
+        arithmetically (best effort for ad-hoc intervals).
+        """
+        grid = self._grid_scaled()
+        if scaled in grid:
+            return self.paper_intervals[grid.index(scaled)]
+        if self.interval_scale > 0:
+            return max(1, round(scaled / self.interval_scale))
+        return scaled
+
+    def interval_label_for(self, scaled: int) -> str:
+        """The paper's nominal label for a *scaled* interval (``64K``...)."""
+        return interval_label(self.nominal_interval(scaled))
 
     def interval_grid(self) -> List[Tuple[str, int]]:
         """(paper label, scaled cycles) for the sweep figures."""
@@ -136,6 +173,8 @@ class RefRunOutput:
     bus_utilization: float
     #: Mean dirty-episode length (first write to write-back), cycles.
     mean_dirty_episode_cycles: float = 0.0
+    #: ``MetricsRegistry.snapshot()`` of the hierarchy at run end.
+    snapshot: Optional[Dict[str, Dict[str, float]]] = None
 
 
 @dataclass
@@ -147,6 +186,8 @@ class IpcRunOutput:
     result: RunResult
     writeback_fraction: float
     dirty_fraction: float
+    #: ``MetricsRegistry.snapshot()`` of the hierarchy at run end.
+    snapshot: Optional[Dict[str, Dict[str, float]]] = None
 
     @property
     def ipc(self) -> float:
@@ -186,44 +227,28 @@ def _build_hierarchy(
 def _reset_measurement(hierarchy: MemoryHierarchy, cycle: int) -> None:
     """Zero every counter after warm-up, keeping cache contents.
 
-    Every stats holder in the hierarchy is reset — caches, the
-    write buffer, both MSHR files, main memory, and the protected L2's
-    ECC array and cleaning logic — so warm-up traffic cannot pollute
-    any measured quantity.  Dirty lines inherited from warm-up have
-    their episode start clamped to the measurement start, otherwise
-    ``mean_dirty_episode_cycles`` would charge warm-up cycles into the
-    measured window.
+    Every stats holder in the hierarchy registered itself into
+    ``hierarchy.registry`` at construction, so the measurement boundary
+    is one registry call; component-specific boundary work (the
+    dirty-episode clamp, restarting the residency integrator) lives in
+    each component's own ``reset``.
     """
-    hierarchy.l1d.stats = CacheStats()
-    hierarchy.l1i.stats = CacheStats()
-    hierarchy.stats = HierarchyStats()
-    hierarchy.memory.stats = MemoryStats()
-    hierarchy.write_buffer.stats = WriteBufferStats()
-    hierarchy.l1d_mshr.stats = MshrStats()
-    hierarchy.l1i_mshr.stats = MshrStats()
-    for cache in hierarchy.levels:
-        cache.stats = CacheStats()
-        ecc_array = getattr(cache, "ecc_array", None)
-        if ecc_array is not None:
-            ecc_array.stats = EccArrayStats()
-        cleaning = getattr(cache, "cleaning", None)
-        if cleaning is not None:
-            cleaning.checks = 0
-        for ways in cache.sets:
-            for line in ways:
-                if line.valid and line.dirty and line.dirty_since < cycle:
-                    line.dirty_since = cycle
-        cache.dirty.reset(cycle, cache.dirty.dirty_count)
+    hierarchy.reset_measurement(cycle)
 
 
 def run_refs(
     benchmark: str,
     protection: Optional[ProtectionConfig],
     config: RunConfig = RunConfig(),
+    tracer: Optional[EventTracer] = None,
+    profiler: Optional[PhaseProfiler] = None,
 ) -> RefRunOutput:
     """Reference-mode run of one benchmark under one protection config."""
     hierarchy = _build_hierarchy(config, protection)
-    return run_refs_with_hierarchy(benchmark, hierarchy, config, protection)
+    return run_refs_with_hierarchy(
+        benchmark, hierarchy, config, protection,
+        tracer=tracer, profiler=profiler,
+    )
 
 
 def run_refs_with_hierarchy(
@@ -231,6 +256,8 @@ def run_refs_with_hierarchy(
     hierarchy: MemoryHierarchy,
     config: RunConfig = RunConfig(),
     protection: Optional[ProtectionConfig] = None,
+    tracer: Optional[EventTracer] = None,
+    profiler: Optional[PhaseProfiler] = None,
 ) -> RefRunOutput:
     """Reference-mode run against a caller-supplied hierarchy.
 
@@ -239,7 +266,10 @@ def run_refs_with_hierarchy(
     """
     spec: BenchmarkSpec = get_benchmark(benchmark)
     stream = make_ref_stream(spec, config.geometry.l2_bytes, seed=config.seed)
-    return run_ref_stream(stream, hierarchy, config, benchmark, protection)
+    return run_ref_stream(
+        stream, hierarchy, config, benchmark, protection,
+        tracer=tracer, profiler=profiler,
+    )
 
 
 def run_ref_stream(
@@ -248,6 +278,8 @@ def run_ref_stream(
     config: RunConfig = RunConfig(),
     label: str = "trace",
     protection: Optional[ProtectionConfig] = None,
+    tracer: Optional[EventTracer] = None,
+    profiler: Optional[PhaseProfiler] = None,
 ) -> RefRunOutput:
     """Drive a hierarchy with an explicit reference stream.
 
@@ -255,27 +287,46 @@ def run_ref_stream(
     statistics discarded; the next ``config.n_refs`` are measured.  A
     shorter stream (e.g. a user trace file) simply ends early — the
     measured counts are whatever it contained.
+
+    ``tracer`` (opt-in) records structured events from every cache
+    level; ``profiler`` (opt-in) accounts wall time to the warm-up and
+    measurement phases.
     """
+    if tracer is not None:
+        hierarchy.attach_tracer(tracer)
+    if profiler is None:
+        # A throwaway profiler keeps the code single-path; the cost is
+        # two perf_counter pairs per run, not per reference.
+        profiler = PhaseProfiler()
     # Sequences must behave like generators: islice over a list would
     # *replay* the warm-up references in the measured window.
     stream = iter(stream)
     cycle = 0
     load, store = hierarchy.load, hierarchy.store
-    for ref in itertools.islice(stream, config.warmup_refs):
-        cycle += 1 + ref.gap
-        if ref.is_write:
-            store(ref.addr, cycle)
-        else:
-            load(ref.addr, cycle)
+    with profiler.phase("warmup") as rec:
+        for ref in itertools.islice(stream, config.warmup_refs):
+            cycle += 1 + ref.gap
+            if ref.is_write:
+                store(ref.addr, cycle)
+            else:
+                load(ref.addr, cycle)
+        rec.events += (
+            hierarchy.stats.loads_stores + hierarchy.stats.ifetches
+        )
 
     _reset_measurement(hierarchy, cycle)
     start_cycle = cycle
-    for ref in itertools.islice(stream, config.n_refs):
-        cycle += 1 + ref.gap
-        if ref.is_write:
-            store(ref.addr, cycle)
-        else:
-            load(ref.addr, cycle)
+    with profiler.phase("measure") as rec:
+        for ref in itertools.islice(stream, config.n_refs):
+            cycle += 1 + ref.gap
+            if ref.is_write:
+                store(ref.addr, cycle)
+            else:
+                load(ref.addr, cycle)
+        # Stats were zeroed at the boundary, so this is the measured count.
+        rec.events += (
+            hierarchy.stats.loads_stores + hierarchy.stats.ifetches
+        )
 
     check_invariants(hierarchy.l2)
     l2 = hierarchy.l2
@@ -298,6 +349,7 @@ def run_ref_stream(
         l2_miss_rate=l2.stats.miss_rate,
         bus_utilization=hierarchy.memory.utilization(elapsed),
         mean_dirty_episode_cycles=l2.stats.mean_dirty_episode_cycles,
+        snapshot=hierarchy.snapshot(),
     )
 
 
@@ -306,10 +358,15 @@ def run_trace(
     protection: Optional[ProtectionConfig],
     config: RunConfig = RunConfig(),
     label: str = "trace",
+    tracer: Optional[EventTracer] = None,
+    profiler: Optional[PhaseProfiler] = None,
 ) -> RefRunOutput:
     """Reference-mode run of an arbitrary trace (e.g. from a file)."""
     hierarchy = _build_hierarchy(config, protection)
-    return run_ref_stream(stream, hierarchy, config, label, protection)
+    return run_ref_stream(
+        stream, hierarchy, config, label, protection,
+        tracer=tracer, profiler=profiler,
+    )
 
 
 def run_ipc(
@@ -340,4 +397,5 @@ def run_ipc(
         result=result,
         writeback_fraction=hierarchy.writeback_fraction(),
         dirty_fraction=l2.dirty.average_dirty_fraction(hierarchy.clock),
+        snapshot=hierarchy.snapshot(),
     )

@@ -1,0 +1,53 @@
+"""Unified telemetry for the simulator: metrics, tracing, profiling.
+
+* :mod:`repro.telemetry.metrics` — the :class:`StatsSource` protocol all
+  component stats follow, plus a :class:`MetricsRegistry` giving one
+  ``snapshot()`` / ``reset(cycle)`` boundary for a whole hierarchy.
+* :mod:`repro.telemetry.tracing` — opt-in ring-buffered structured
+  event tracing (dirty transitions, ECC-array traffic, cleaning
+  write-backs, injected-error outcomes) with JSONL export.
+* :mod:`repro.telemetry.profiling` — per-phase wall time and
+  events-per-second accounting for runs and sweeps.
+
+This package is dependency-free within ``repro``: every simulator
+component may import it without cycles.
+"""
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    StatsSource,
+    StatsSourceMixin,
+    flatten_snapshot,
+    mean_snapshots,
+)
+from repro.telemetry.profiling import PhaseProfiler, PhaseRecord
+from repro.telemetry.tracing import (
+    EVENT_FIELDS,
+    SCHEMA_VERSION,
+    EventTracer,
+    TraceSchemaError,
+    load_jsonl,
+    validate_event,
+)
+
+__all__ = [
+    "Counter",
+    "EVENT_FIELDS",
+    "EventTracer",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PhaseProfiler",
+    "PhaseRecord",
+    "SCHEMA_VERSION",
+    "StatsSource",
+    "StatsSourceMixin",
+    "TraceSchemaError",
+    "flatten_snapshot",
+    "load_jsonl",
+    "mean_snapshots",
+    "validate_event",
+]

@@ -1,0 +1,329 @@
+"""Metrics registry: one place every component's counters live.
+
+The simulator used to keep six ad-hoc stats dataclasses, each with its
+own reset convention — the drift that produced the PR 1
+``_reset_measurement`` bug.  This module defines the one contract every
+stats holder follows (:class:`StatsSource`) and a
+:class:`MetricsRegistry` that components register into, so a
+measurement boundary is a single ``registry.reset(cycle)`` and a report
+is a single ``registry.snapshot()``.
+
+The registry also carries free-standing instruments (counters, gauges,
+histograms) for quantities that do not belong to any component's stats
+dataclass, e.g. event-tracer drop counts or per-phase work totals.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Union,
+    runtime_checkable,
+)
+
+Number = Union[int, float]
+
+
+@runtime_checkable
+class StatsSource(Protocol):
+    """The contract every stats holder in the simulator follows.
+
+    ``labels``
+        Identity of the source (component kind, instance name) for
+        report grouping; values are strings.
+    ``as_dict()``
+        Flat name -> number view of every counter, including derived
+        quantities worth reporting.
+    ``reset(cycle)``
+        Zero every counter in place.  ``cycle`` is the simulation time
+        of the measurement boundary; sources with time-based state
+        (integrators, episode clocks) restart from it, plain event
+        counters ignore it.
+    """
+
+    @property
+    def labels(self) -> Mapping[str, str]: ...
+
+    def as_dict(self) -> Dict[str, Number]: ...
+
+    def reset(self, cycle: int = 0) -> None: ...
+
+
+class StatsSourceMixin:
+    """Default :class:`StatsSource` behaviour for stats dataclasses.
+
+    ``as_dict`` enumerates the dataclass fields; ``reset`` restores each
+    field to its declared default.  Subclasses override ``labels`` (a
+    class attribute) and may extend ``as_dict`` with derived values.
+    """
+
+    labels: Mapping[str, str] = {}
+
+    def as_dict(self) -> Dict[str, Number]:
+        return {
+            f.name: getattr(self, f.name)
+            for f in dataclasses.fields(self)  # type: ignore[arg-type]
+        }
+
+    def reset(self, cycle: int = 0) -> None:
+        for f in dataclasses.fields(self):  # type: ignore[arg-type]
+            if f.default is not dataclasses.MISSING:
+                setattr(self, f.name, f.default)
+            elif f.default_factory is not dataclasses.MISSING:
+                setattr(self, f.name, f.default_factory())
+
+
+# -- free-standing instruments -------------------------------------------------
+
+
+class Counter:
+    """Monotonic event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def as_value(self) -> Number:
+        return self.value
+
+
+class Gauge:
+    """Last-written value (occupancy, level, fraction)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def as_value(self) -> Number:
+        return self.value
+
+
+class Histogram:
+    """Power-of-two-bucketed distribution of a nonnegative quantity.
+
+    Buckets are ``[0], [1], [2,3], [4,7], ...``: ``observe(v)`` lands in
+    bucket ``v.bit_length()``.  Tracks count / total / min / max exactly,
+    so the mean is exact and the shape is approximate — enough for
+    latency- and episode-length style telemetry without keeping samples.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.reset()
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[Number] = None
+        self.max: Optional[Number] = None
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value: Number) -> None:
+        if value < 0:
+            raise ValueError("histograms track nonnegative quantities")
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        bucket = int(value).bit_length()
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_value(self) -> Dict[str, Number]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": 0 if self.min is None else self.min,
+            "max": 0 if self.max is None else self.max,
+        }
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Named registry of stats sources and free-standing instruments.
+
+    Components register their stats holders under a dotted path name
+    (``"l2"``, ``"l2.ecc_array"``); experiments interact only with the
+    registry: ``snapshot()`` for a point-in-time view, ``reset(cycle)``
+    for a measurement boundary.  Extra work a component must do at the
+    boundary beyond zeroing counters (the dirty-episode clamp, restarting
+    an integrator) lives in that component's own ``reset`` — the
+    registry has no component-specific knowledge.
+    """
+
+    #: Reserved snapshot group for free-standing instruments.
+    METRICS_GROUP = "metrics"
+
+    def __init__(self) -> None:
+        self._sources: Dict[str, StatsSource] = {}
+        self._instruments: Dict[str, Instrument] = {}
+        self._reset_hooks: List[Callable[[int], None]] = []
+
+    # -- registration ------------------------------------------------------
+
+    def register_source(self, name: str, source: StatsSource) -> StatsSource:
+        """Register ``source`` under ``name``; duplicate names are bugs."""
+        if name == self.METRICS_GROUP:
+            raise ValueError(f"{name!r} is reserved for instruments")
+        if name in self._sources:
+            raise ValueError(f"stats source {name!r} already registered")
+        self._sources[name] = source
+        return source
+
+    def unregister_source(self, name: str) -> None:
+        self._sources.pop(name, None)
+
+    def on_reset(self, hook: Callable[[int], None]) -> None:
+        """Run ``hook(cycle)`` at every measurement boundary."""
+        self._reset_hooks.append(hook)
+
+    def _instrument(self, name: str, factory) -> Instrument:
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = self._instruments[name] = factory(name)
+        elif not isinstance(inst, factory):
+            raise ValueError(
+                f"instrument {name!r} is a {type(inst).__name__}, "
+                f"not a {factory.__name__}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        """Get-or-create the counter called ``name``."""
+        return self._instrument(name, Counter)  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        """Get-or-create the gauge called ``name``."""
+        return self._instrument(name, Gauge)  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> Histogram:
+        """Get-or-create the histogram called ``name``."""
+        return self._instrument(name, Histogram)  # type: ignore[return-value]
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def sources(self) -> Mapping[str, StatsSource]:
+        return dict(self._sources)
+
+    def labels(self) -> Dict[str, Mapping[str, str]]:
+        """Identity labels of every registered source."""
+        return {name: dict(src.labels) for name, src in self._sources.items()}
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Point-in-time view: {source name: {counter: value}}.
+
+        Free-standing instruments appear under the reserved
+        ``"metrics"`` group.  The result is plain data (JSON-able) and
+        detached from the live counters.
+        """
+        snap: Dict[str, Dict[str, Any]] = {
+            name: dict(source.as_dict())
+            for name, source in self._sources.items()
+        }
+        if self._instruments:
+            snap[self.METRICS_GROUP] = {
+                name: inst.as_value()
+                for name, inst in self._instruments.items()
+            }
+        return snap
+
+    def flatten(self) -> Dict[str, Number]:
+        """Dotted-key flat view: ``{"l2.read_hits": 3, ...}``."""
+        return flatten_snapshot(self.snapshot())
+
+    # -- the measurement boundary -----------------------------------------
+
+    def reset(self, cycle: int = 0) -> None:
+        """Zero every source and instrument at simulation time ``cycle``."""
+        for source in self._sources.values():
+            source.reset(cycle)
+        for inst in self._instruments.values():
+            inst.reset()
+        for hook in self._reset_hooks:
+            hook(cycle)
+
+
+def flatten_snapshot(
+    snapshot: Mapping[str, Mapping[str, Any]], sep: str = "."
+) -> Dict[str, Number]:
+    """Flatten a nested snapshot into dotted scalar keys."""
+    flat: Dict[str, Number] = {}
+    for group, values in snapshot.items():
+        for key, value in values.items():
+            if isinstance(value, Mapping):  # histogram summaries
+                for sub, v in value.items():
+                    flat[f"{group}{sep}{key}{sep}{sub}"] = v
+            else:
+                flat[f"{group}{sep}{key}"] = value
+    return flat
+
+
+def mean_snapshots(
+    snapshots: List[Mapping[str, Mapping[str, Any]]],
+) -> Dict[str, Dict[str, float]]:
+    """Element-wise mean of several snapshots (e.g. across seeds).
+
+    A counter missing from some snapshots averages as zero there;
+    histogram summaries are averaged field-wise.
+    """
+    out: Dict[str, Dict[str, Any]] = {}
+    n = len(snapshots)
+    if n == 0:
+        return out
+    for snap in snapshots:
+        for group, values in snap.items():
+            acc = out.setdefault(group, {})
+            for key, value in values.items():
+                if isinstance(value, Mapping):
+                    sub_acc = acc.setdefault(key, {})
+                    for sub, v in value.items():
+                        sub_acc[sub] = sub_acc.get(sub, 0.0) + v / n
+                else:
+                    acc[key] = acc.get(key, 0.0) + value / n
+    return out
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "StatsSource",
+    "StatsSourceMixin",
+    "flatten_snapshot",
+    "mean_snapshots",
+]

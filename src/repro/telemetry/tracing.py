@@ -1,0 +1,218 @@
+"""Structured event tracing: typed, ring-buffered, JSONL-exportable.
+
+Aggregate counters answer "how many Clean-WBs"; an error-protection
+study also needs "which line, which set, which FSM transition" (HARP
+and Cerberus both live on such logs).  :class:`EventTracer` records
+typed events into a bounded ring buffer and exports them as JSON Lines.
+
+Tracing is strictly opt-in: components hold ``_tracer = None`` until a
+tracer is attached, and every emission site is guarded by a single
+``is not None`` check on the *cold* paths only (dirty transitions,
+write-backs, ECC-array traffic — never the per-access hot loop), so a
+disabled tracer costs nothing measurable.
+
+Event schema (``SCHEMA_VERSION`` = 1) — every event carries ``type``
+and ``cycle`` plus its type's fields:
+
+``dirty_transition``
+    A line changed dirty state.  ``dirty=true`` on the write that
+    soiled it (``reason="write"``); ``dirty=false`` when it was cleaned
+    (``reason`` names the write-back cause).
+``writeback``
+    A dirty line pushed toward the next memory level; ``reason`` is one
+    of ``replacement | cleaning | ecc-eviction | eager | flush``
+    (``cleaning`` is the paper's cleaning-FSM write-back).
+``ecc_claim``
+    A line turning dirty claimed a shared-ECC-array entry.
+``ecc_evict``
+    A claim displaced another line's entry, forcing that line's
+    ECC-WB (``evicted_way``); ``for_way`` is the claimant.
+``error_outcome``
+    One fault-injection trial's classified decoder outcome;
+    ``cycle`` is the trial index.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
+
+SCHEMA_VERSION = 1
+
+#: Legal ``reason`` values (mirrors ``WritebackReason`` without the import).
+WRITEBACK_REASONS = frozenset(
+    {"replacement", "cleaning", "ecc-eviction", "eager", "flush"}
+)
+
+#: Required fields per event type (beyond ``type`` and ``cycle``).
+EVENT_FIELDS: Dict[str, Dict[str, type]] = {
+    "dirty_transition": {
+        "cache": str,
+        "set": int,
+        "way": int,
+        "addr": int,
+        "dirty": bool,
+        "reason": str,
+    },
+    "writeback": {
+        "cache": str,
+        "set": int,
+        "way": int,
+        "addr": int,
+        "reason": str,
+    },
+    "ecc_claim": {"cache": str, "set": int, "way": int},
+    "ecc_evict": {
+        "cache": str,
+        "set": int,
+        "evicted_way": int,
+        "for_way": int,
+    },
+    "error_outcome": {"codec": str, "trial": int, "flips": int, "outcome": str},
+}
+
+
+class TraceSchemaError(ValueError):
+    """An event does not conform to the trace schema."""
+
+
+def _check_type(value: Any, expected: type) -> bool:
+    if expected is int:
+        # bool is an int subclass; an int field must not hold a bool.
+        return isinstance(value, int) and not isinstance(value, bool)
+    return isinstance(value, expected)
+
+
+def validate_event(event: Mapping[str, Any]) -> None:
+    """Raise :class:`TraceSchemaError` unless ``event`` fits the schema."""
+    etype = event.get("type")
+    if etype not in EVENT_FIELDS:
+        raise TraceSchemaError(f"unknown event type {etype!r}")
+    cycle = event.get("cycle")
+    if not _check_type(cycle, int) or cycle < 0:
+        raise TraceSchemaError(f"{etype}: cycle must be a nonnegative int")
+    fields = EVENT_FIELDS[etype]
+    for name, expected in fields.items():
+        if name not in event:
+            raise TraceSchemaError(f"{etype}: missing field {name!r}")
+        if not _check_type(event[name], expected):
+            raise TraceSchemaError(
+                f"{etype}: field {name!r} must be {expected.__name__}, "
+                f"got {type(event[name]).__name__}"
+            )
+    extra = set(event) - set(fields) - {"type", "cycle"}
+    if extra:
+        raise TraceSchemaError(f"{etype}: unexpected fields {sorted(extra)}")
+    if "reason" in fields and etype == "writeback":
+        if event["reason"] not in WRITEBACK_REASONS:
+            raise TraceSchemaError(
+                f"writeback: unknown reason {event['reason']!r}"
+            )
+
+
+class EventTracer:
+    """Bounded ring buffer of trace events.
+
+    ``capacity``
+        Events retained; older events are dropped (and counted in
+        ``dropped``) once the buffer is full.  Per-type totals in
+        ``counts`` keep counting past the drop horizon.
+    ``types``
+        Optional allow-list of event types to record; ``None`` records
+        everything in :data:`EVENT_FIELDS`.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 65536,
+        types: Optional[Iterable[str]] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("tracer capacity must be positive")
+        self.capacity = capacity
+        self._buffer: "deque[Dict[str, Any]]" = deque(maxlen=capacity)
+        if types is not None:
+            unknown = set(types) - set(EVENT_FIELDS)
+            if unknown:
+                raise ValueError(f"unknown event types {sorted(unknown)}")
+            self.types: Optional[frozenset] = frozenset(types)
+        else:
+            self.types = None
+        self.counts: Dict[str, int] = {}
+        self.dropped = 0
+        self.enabled = True
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def total(self) -> int:
+        """Events emitted (recorded + dropped)."""
+        return sum(self.counts.values())
+
+    def emit(self, type: str, cycle: int, **fields: Any) -> None:
+        """Record one event; silently drops disabled/filtered types."""
+        if not self.enabled:
+            return
+        if self.types is not None and type not in self.types:
+            return
+        buffer = self._buffer
+        if len(buffer) == self.capacity:
+            self.dropped += 1
+        event = {"type": type, "cycle": cycle}
+        event.update(fields)
+        buffer.append(event)
+        self.counts[type] = self.counts.get(type, 0) + 1
+
+    def events(self) -> List[Dict[str, Any]]:
+        """The retained events, oldest first."""
+        return list(self._buffer)
+
+    def clear(self) -> None:
+        self._buffer.clear()
+        self.counts.clear()
+        self.dropped = 0
+
+    # -- JSONL -------------------------------------------------------------
+
+    def export_jsonl(self, path: Union[str, "os.PathLike"]) -> int:
+        """Write the retained events as JSON Lines; returns events written."""
+        n = 0
+        with open(path, "w", encoding="utf-8") as fh:
+            for event in self._buffer:
+                fh.write(json.dumps(event, separators=(",", ":")))
+                fh.write("\n")
+                n += 1
+        return n
+
+    def summary(self) -> str:
+        """One line: per-type counts plus drops."""
+        parts = [f"{t}={n}" for t, n in sorted(self.counts.items())]
+        line = f"trace: {self.total} events ({', '.join(parts) or 'none'})"
+        if self.dropped:
+            line += f", {self.dropped} dropped (ring capacity {self.capacity})"
+        return line
+
+
+def load_jsonl(path: Union[str, "os.PathLike"]) -> List[Dict[str, Any]]:
+    """Read a JSONL trace back into a list of event dicts."""
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+__all__ = [
+    "EVENT_FIELDS",
+    "EventTracer",
+    "SCHEMA_VERSION",
+    "TraceSchemaError",
+    "WRITEBACK_REASONS",
+    "load_jsonl",
+    "validate_event",
+]

@@ -1,8 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import _parse_entries, _parse_interval, main
+from repro.cli import _parse_capacity, _parse_entries, _parse_interval, main
 
 
 class TestParsers:
@@ -27,6 +29,14 @@ class TestParsers:
         assert _parse_entries("none") is None
         with pytest.raises(argparse.ArgumentTypeError):
             _parse_entries("0")
+
+    def test_capacity(self):
+        import argparse
+
+        assert _parse_capacity("64k") == 64 << 10
+        assert _parse_capacity("1000") == 1000
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_capacity("0")
 
 
 class TestCommands:
@@ -117,6 +127,50 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "spread over 2 seeds" in out
         assert "dirty fraction" in out
+
+    def test_stats_json(self, capsys):
+        code = main([
+            "stats", "--benchmark", "mcf", "--n-seeds", "2",
+            "--refs", "3000", "--warmup", "1000", "--format", "json",
+        ])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["benchmark"] == "mcf"
+        assert doc["n_seeds"] == 2
+        assert len(doc["metrics"]["dirty_fraction"]["values"]) == 2
+        assert "mean" in doc["metrics"]["writeback_fraction"]
+        # Registry snapshots ride along, mean plus per-seed.
+        assert doc["mean_snapshot"]["hierarchy"]["loads_stores"] == 3000
+        assert len(doc["snapshots"]) == 2
+        assert "profile" in doc
+
+    def test_run_trace_out(self, tmp_path, capsys):
+        from repro.telemetry.tracing import load_jsonl, validate_event
+
+        trace = tmp_path / "events.jsonl"
+        code = main([
+            "run", "--benchmark", "swim",
+            "--refs", "4000", "--warmup", "1000",
+            "--trace-out", str(trace), "--trace-capacity", "1k",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out and "events" in out
+        events = load_jsonl(trace)
+        assert events
+        for event in events:
+            validate_event(event)
+
+    def test_run_profile(self, capsys):
+        code = main([
+            "run", "--benchmark", "swim",
+            "--refs", "3000", "--warmup", "1000", "--profile",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "profile:" in out
+        # The engine path always profiles its cache probe.
+        assert "cache-lookup" in out
 
     def test_ablate_decay(self, capsys):
         code = main([

@@ -96,6 +96,105 @@ class TestResetMeasurement:
         )
 
 
+class TestRegistryResetParity:
+    """The registry boundary must behave exactly like PR 1's manual reset."""
+
+    @staticmethod
+    def _manual_reset(hierarchy, cycle):
+        """PR 1's hand-rolled ``_reset_measurement`` body, verbatim."""
+        from repro.cache.hierarchy import HierarchyStats
+        from repro.cache.mainmem import MemoryStats
+        from repro.cache.mshr import MshrStats
+        from repro.cache.stats import CacheStats
+        from repro.cache.write_buffer import WriteBufferStats
+        from repro.core.ecc_array import EccArrayStats
+
+        hierarchy.l1d.stats = CacheStats()
+        hierarchy.l1i.stats = CacheStats()
+        hierarchy.stats = HierarchyStats()
+        hierarchy.memory.stats = MemoryStats()
+        hierarchy.write_buffer.stats = WriteBufferStats()
+        hierarchy.l1d_mshr.stats = MshrStats()
+        hierarchy.l1i_mshr.stats = MshrStats()
+        for cache in hierarchy.levels:
+            cache.stats = CacheStats()
+            ecc_array = getattr(cache, "ecc_array", None)
+            if ecc_array is not None:
+                ecc_array.stats = EccArrayStats()
+            cleaning = getattr(cache, "cleaning", None)
+            if cleaning is not None:
+                cleaning.checks = 0
+            for ways in cache.sets:
+                for line in ways:
+                    if line.valid and line.dirty and line.dirty_since < cycle:
+                        line.dirty_since = cycle
+            cache.dirty.reset(cycle, cache.dirty.dirty_count)
+
+    def test_registry_reset_matches_manual_reset(self):
+        """Twin hierarchies, one per reset style, stay bit-identical."""
+        manual, registry = make_hierarchy(), make_hierarchy()
+        cycle_m = warm(manual)
+        cycle_r = warm(registry)
+        assert cycle_m == cycle_r
+
+        self._manual_reset(manual, cycle_m)
+        _reset_measurement(registry, cycle_r)
+
+        # Drive both through an identical measured window...
+        warm(manual, n=2000, until_cycle=40_000)
+        warm(registry, n=2000, until_cycle=40_000)
+
+        # ...and compare every live counter, component by component.
+        pairs = [
+            (manual.stats, registry.stats),
+            (manual.l1d.stats, registry.l1d.stats),
+            (manual.l1i.stats, registry.l1i.stats),
+            (manual.l2.stats, registry.l2.stats),
+            (manual.memory.stats, registry.memory.stats),
+            (manual.write_buffer.stats, registry.write_buffer.stats),
+            (manual.l1d_mshr.stats, registry.l1d_mshr.stats),
+            (manual.l1i_mshr.stats, registry.l1i_mshr.stats),
+            (manual.l2.ecc_array.stats, registry.l2.ecc_array.stats),
+        ]
+        for a, b in pairs:
+            assert a.as_dict() == b.as_dict()
+        assert manual.l2.cleaning.checks == registry.l2.cleaning.checks
+        assert manual.l2.dirty == registry.l2.dirty
+        assert manual.l2.as_dict() == registry.l2.as_dict()
+
+    def test_reset_is_idempotent(self):
+        """A second reset at the same boundary is a no-op on the snapshot."""
+        hierarchy = make_hierarchy()
+        cycle = warm(hierarchy)
+        _reset_measurement(hierarchy, cycle)
+        first = hierarchy.snapshot()
+        _reset_measurement(hierarchy, cycle)
+        assert hierarchy.snapshot() == first
+
+    def test_snapshot_after_reset_is_all_zero_counts(self):
+        hierarchy = make_hierarchy()
+        cycle = warm(hierarchy)
+        _reset_measurement(hierarchy, cycle)
+        snap = hierarchy.snapshot()
+        for group in ("hierarchy", "memory", "write_buffer",
+                      "l1d_mshr", "l1i_mshr"):
+            for key, value in snap[group].items():
+                if key == "occupancy":
+                    continue  # contents survive the boundary by design
+                assert value == 0, f"{group}.{key} = {value}"
+
+    def test_snapshot_across_warmup_boundary_counts_only_measured(self):
+        """Through the public run API: snapshots see the measured window."""
+        from repro.experiments.runner import run_refs_with_hierarchy
+
+        hierarchy = make_hierarchy(None)
+        config = RunConfig(n_refs=4_000, warmup_refs=3_000)
+        out = run_refs_with_hierarchy("mesa", hierarchy, config)
+        assert out.snapshot is not None
+        assert out.snapshot["hierarchy"]["loads_stores"] == 4_000
+        assert out.snapshot["hierarchy"]["refs"] == out.refs
+
+
 class TestDirtyEpisodeClamp:
     def test_warmup_episode_start_clamped_to_reset(self):
         hierarchy = make_hierarchy(None)

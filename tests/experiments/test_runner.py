@@ -1,6 +1,8 @@
 """Tests for the experiment runner."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cache.cache import SetAssociativeCache
 from repro.core import ProtectedL2, ProtectionConfig
@@ -44,6 +46,54 @@ class TestGeometry:
         assert interval_label(65536) == "64K"
         assert interval_label(1 << 20) == "1M"
         assert interval_label(1000) == "1000"
+
+
+# Scales span collapsing (1e-9 maps every nominal interval to 1 before
+# the grid nudge) through identity to expanding; the property must hold
+# across all of them, not just the two shipped geometries.
+_scales = st.one_of(
+    st.sampled_from([1.0, 1.0 / 32.0, 1.0 / 1024.0, 3.0]),
+    st.floats(min_value=1e-9, max_value=64.0,
+              allow_nan=False, allow_infinity=False),
+)
+
+_grids = st.one_of(
+    st.just(Geometry("d", 1024, 65536, 1.0).paper_intervals),
+    st.lists(st.integers(min_value=1, max_value=1 << 26),
+             min_size=1, max_size=6, unique=True).map(
+                 lambda xs: tuple(sorted(xs))),
+)
+
+
+class TestIntervalRoundTrip:
+    """Property: label(scale(p)) == label(p) over the whole grid."""
+
+    @given(scale=_scales, grid=_grids)
+    @settings(max_examples=200, deadline=None)
+    def test_label_round_trips_through_scaling(self, scale, grid):
+        g = Geometry("prop", 1024, 65536, interval_scale=scale,
+                     paper_intervals=grid)
+        for p in g.paper_intervals:
+            scaled = g.scaled_interval(p)
+            assert g.nominal_interval(scaled) == p
+            assert g.interval_label_for(scaled) == interval_label(p)
+
+    @given(scale=_scales, grid=_grids)
+    @settings(max_examples=200, deadline=None)
+    def test_scaled_grid_stays_injective(self, scale, grid):
+        """Distinct nominal points never share a scaled value."""
+        g = Geometry("prop", 1024, 65536, interval_scale=scale,
+                     paper_intervals=grid)
+        scaled = [cycles for _, cycles in g.interval_grid()]
+        assert len(set(scaled)) == len(scaled)
+        assert scaled == sorted(scaled)
+        assert all(s >= 1 for s in scaled)
+
+    def test_collapsing_scale_example(self):
+        """The documented failure mode: tiny scales collapse the grid."""
+        g = Geometry("tiny", 1024, 65536, interval_scale=1e-9)
+        labels = [g.interval_label_for(s) for _, s in g.interval_grid()]
+        assert labels == ["64K", "256K", "1M", "4M"]
 
 
 class TestBuildL2:

@@ -1,0 +1,206 @@
+"""Tests for the metrics registry and the StatsSource contract."""
+
+import pytest
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    StatsSource,
+    StatsSourceMixin,
+    flatten_snapshot,
+    mean_snapshots,
+)
+
+
+class TestStatsSourceProtocol:
+    def test_every_component_stats_class_conforms(self):
+        """The six stats classes (and the CPU's two) satisfy the protocol."""
+        from repro.cache.hierarchy import HierarchyStats
+        from repro.cache.mainmem import MemoryStats
+        from repro.cache.mshr import MshrStats
+        from repro.cache.stats import CacheStats
+        from repro.cache.write_buffer import WriteBufferStats
+        from repro.core.ecc_array import EccArrayStats
+        from repro.cpu.branch import BranchStats
+        from repro.cpu.tlb import TlbStats
+
+        for cls in (CacheStats, MshrStats, WriteBufferStats, EccArrayStats,
+                    MemoryStats, HierarchyStats, BranchStats, TlbStats):
+            obj = cls()
+            assert isinstance(obj, StatsSource), cls.__name__
+            d = obj.as_dict()
+            assert d and all(isinstance(v, (int, float)) for v in d.values())
+            assert obj.labels.get("component")
+
+    def test_mixin_reset_restores_defaults(self):
+        from repro.cache.stats import CacheStats
+
+        s = CacheStats()
+        s.read_hits = 7
+        s.fills = 3
+        s.reset(123)
+        assert s.read_hits == 0
+        assert s.fills == 0
+
+    def test_mixin_as_dict_enumerates_fields(self):
+        from repro.cache.mshr import MshrStats
+
+        s = MshrStats()
+        s.allocations = 5
+        assert s.as_dict()["allocations"] == 5
+
+
+class _FakeSource(StatsSourceMixin):
+    def __init__(self):
+        self.value = 0
+        self.reset_cycles = []
+
+    labels = {"component": "fake"}
+
+    def as_dict(self):
+        return {"value": self.value}
+
+    def reset(self, cycle=0):
+        self.value = 0
+        self.reset_cycles.append(cycle)
+
+
+class TestRegistry:
+    def test_register_snapshot_reset(self):
+        reg = MetricsRegistry()
+        src = reg.register_source("fake", _FakeSource())
+        src.value = 9
+        assert reg.snapshot() == {"fake": {"value": 9}}
+        reg.reset(42)
+        assert src.value == 0
+        assert src.reset_cycles == [42]
+
+    def test_duplicate_registration_rejected(self):
+        reg = MetricsRegistry()
+        reg.register_source("fake", _FakeSource())
+        with pytest.raises(ValueError):
+            reg.register_source("fake", _FakeSource())
+
+    def test_metrics_group_reserved(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.register_source("metrics", _FakeSource())
+
+    def test_instruments_get_or_create_and_snapshot(self):
+        reg = MetricsRegistry()
+        c = reg.counter("events")
+        assert reg.counter("events") is c
+        c.inc(3)
+        reg.gauge("level").set(0.5)
+        reg.histogram("lat").observe(7)
+        snap = reg.snapshot()
+        assert snap["metrics"]["events"] == 3
+        assert snap["metrics"]["level"] == 0.5
+        assert snap["metrics"]["lat"]["count"] == 1
+        reg.reset()
+        assert reg.counter("events").value == 0
+
+    def test_instrument_type_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_on_reset_hooks_run(self):
+        reg = MetricsRegistry()
+        seen = []
+        reg.on_reset(seen.append)
+        reg.reset(17)
+        assert seen == [17]
+
+    def test_flatten(self):
+        reg = MetricsRegistry()
+        src = reg.register_source("a", _FakeSource())
+        src.value = 2
+        reg.histogram("h").observe(1)
+        flat = reg.flatten()
+        assert flat["a.value"] == 2
+        assert flat["metrics.h.count"] == 1
+
+    def test_labels(self):
+        reg = MetricsRegistry()
+        reg.register_source("a", _FakeSource())
+        assert reg.labels() == {"a": {"component": "fake"}}
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter("n")
+        c.inc()
+        c.inc(4)
+        assert c.as_value() == 5
+
+    def test_gauge(self):
+        g = Gauge("g")
+        g.set(3.5)
+        assert g.as_value() == 3.5
+
+    def test_histogram_buckets_and_mean(self):
+        h = Histogram("h")
+        for v in (0, 1, 2, 3, 4, 100):
+            h.observe(v)
+        assert h.count == 6
+        assert h.min == 0 and h.max == 100
+        assert h.mean == pytest.approx(110 / 6)
+        # 0 -> bucket 0, 1 -> 1, 2..3 -> 2, 4 -> 3, 100 -> 7
+        assert h.buckets == {0: 1, 1: 1, 2: 2, 3: 1, 7: 1}
+
+    def test_histogram_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Histogram("h").observe(-1)
+
+
+class TestSnapshotHelpers:
+    def test_flatten_snapshot(self):
+        flat = flatten_snapshot({"g": {"a": 1, "h": {"count": 2}}})
+        assert flat == {"g.a": 1, "g.h.count": 2}
+
+    def test_mean_snapshots(self):
+        a = {"g": {"x": 2.0, "h": {"count": 4}}}
+        b = {"g": {"x": 4.0, "h": {"count": 0}}}
+        mean = mean_snapshots([a, b])
+        assert mean["g"]["x"] == pytest.approx(3.0)
+        assert mean["g"]["h"]["count"] == pytest.approx(2.0)
+
+    def test_mean_snapshots_empty(self):
+        assert mean_snapshots([]) == {}
+
+
+class TestHierarchyRegistry:
+    def test_hierarchy_registers_every_component(self):
+        from repro.cache.hierarchy import MemoryHierarchy
+
+        h = MemoryHierarchy()
+        names = set(h.registry.sources)
+        assert {"hierarchy", "l1i", "l1d", "l2", "write_buffer",
+                "l1d_mshr", "l1i_mshr", "memory"} <= names
+
+    def test_protected_levels_register_scheme_sources(self):
+        from repro.cache.hierarchy import MemoryHierarchy
+        from repro.experiments import SCALED_GEOMETRY
+        from repro.experiments.runner import build_l2
+        from repro.core import ProtectionConfig
+
+        l2 = build_l2(SCALED_GEOMETRY, ProtectionConfig())
+        h = MemoryHierarchy(config=SCALED_GEOMETRY.hierarchy_config(), l2=l2)
+        names = set(h.registry.sources)
+        assert {"l2.ecc_array", "l2.cleaning"} <= names
+
+    def test_snapshot_is_detached_plain_data(self):
+        import json
+
+        from repro.cache.hierarchy import MemoryHierarchy
+
+        h = MemoryHierarchy()
+        h.load(0x100, 1)
+        snap = h.snapshot()
+        json.dumps(snap)  # JSON-able
+        snap["hierarchy"]["loads"] = 999
+        assert h.stats.loads == 1  # mutation does not reach live counters

@@ -1,0 +1,178 @@
+"""Tests for structured event tracing and its JSONL schema."""
+
+import pytest
+
+from repro.telemetry.tracing import (
+    EVENT_FIELDS,
+    EventTracer,
+    TraceSchemaError,
+    load_jsonl,
+    validate_event,
+)
+
+
+class TestValidateEvent:
+    def good(self):
+        return {"type": "writeback", "cycle": 5, "cache": "l2", "set": 1,
+                "way": 0, "addr": 64, "reason": "cleaning"}
+
+    def test_good_event_passes(self):
+        validate_event(self.good())
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TraceSchemaError):
+            validate_event({"type": "nope", "cycle": 0})
+
+    def test_missing_field_rejected(self):
+        e = self.good()
+        del e["addr"]
+        with pytest.raises(TraceSchemaError):
+            validate_event(e)
+
+    def test_extra_field_rejected(self):
+        e = self.good()
+        e["color"] = "red"
+        with pytest.raises(TraceSchemaError):
+            validate_event(e)
+
+    def test_wrong_type_rejected(self):
+        e = self.good()
+        e["set"] = "one"
+        with pytest.raises(TraceSchemaError):
+            validate_event(e)
+
+    def test_bool_is_not_an_int(self):
+        e = self.good()
+        e["way"] = True
+        with pytest.raises(TraceSchemaError):
+            validate_event(e)
+
+    def test_negative_cycle_rejected(self):
+        e = self.good()
+        e["cycle"] = -1
+        with pytest.raises(TraceSchemaError):
+            validate_event(e)
+
+    def test_unknown_writeback_reason_rejected(self):
+        e = self.good()
+        e["reason"] = "gremlins"
+        with pytest.raises(TraceSchemaError):
+            validate_event(e)
+
+
+class TestEventTracer:
+    def test_emit_counts_and_events(self):
+        tr = EventTracer()
+        tr.emit("ecc_claim", 3, cache="l2", set=0, way=1)
+        assert tr.counts == {"ecc_claim": 1}
+        assert tr.events()[0]["cycle"] == 3
+
+    def test_ring_capacity_drops_oldest(self):
+        tr = EventTracer(capacity=3)
+        for i in range(5):
+            tr.emit("ecc_claim", i, cache="l2", set=0, way=0)
+        assert len(tr) == 3
+        assert tr.dropped == 2
+        assert tr.counts["ecc_claim"] == 5  # totals keep counting
+        assert [e["cycle"] for e in tr.events()] == [2, 3, 4]
+
+    def test_type_filter(self):
+        tr = EventTracer(types=["writeback"])
+        tr.emit("ecc_claim", 0, cache="l2", set=0, way=0)
+        assert len(tr) == 0
+        with pytest.raises(ValueError):
+            EventTracer(types=["martian"])
+
+    def test_disabled_tracer_records_nothing(self):
+        tr = EventTracer()
+        tr.enabled = False
+        tr.emit("ecc_claim", 0, cache="l2", set=0, way=0)
+        assert len(tr) == 0
+
+    def test_clear(self):
+        tr = EventTracer()
+        tr.emit("ecc_claim", 0, cache="l2", set=0, way=0)
+        tr.clear()
+        assert len(tr) == 0 and tr.counts == {} and tr.dropped == 0
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            EventTracer(capacity=0)
+
+    def test_summary_mentions_counts(self):
+        tr = EventTracer()
+        tr.emit("ecc_claim", 0, cache="l2", set=0, way=0)
+        assert "ecc_claim=1" in tr.summary()
+
+
+class TestRealRunSchema:
+    """Every event a real simulation emits must conform to the schema."""
+
+    def _run(self, tracer):
+        from repro.core import ProtectionConfig
+        from repro.experiments import RunConfig
+        from repro.experiments.runner import run_refs
+
+        config = RunConfig(n_refs=6_000, warmup_refs=2_000)
+        protection = ProtectionConfig(cleaning_interval=1 << 16,
+                                      ecc_entries_per_set=1)
+        return run_refs("swim", protection, config, tracer=tracer)
+
+    def test_emitted_events_validate(self):
+        tracer = EventTracer()
+        self._run(tracer)
+        events = tracer.events()
+        assert events, "a protected run must emit events"
+        for event in events:
+            validate_event(event)
+        # The scheme's characteristic events all appear.
+        assert {"dirty_transition", "writeback", "ecc_claim"} <= set(
+            tracer.counts
+        )
+
+    def test_jsonl_roundtrip_validates(self, tmp_path):
+        tracer = EventTracer()
+        self._run(tracer)
+        path = tmp_path / "trace.jsonl"
+        written = tracer.export_jsonl(path)
+        assert written == len(tracer)
+        loaded = load_jsonl(path)
+        assert loaded == tracer.events()
+        for event in loaded:
+            validate_event(event)
+
+    def test_jsonl_against_jsonschema(self, tmp_path):
+        """Cross-check our validator against the jsonschema library."""
+        jsonschema = pytest.importorskip("jsonschema")
+
+        tracer = EventTracer()
+        self._run(tracer)
+        type_map = {int: "integer", str: "string", bool: "boolean"}
+        schemas = {
+            etype: {
+                "type": "object",
+                "properties": {
+                    "type": {"const": etype},
+                    "cycle": {"type": "integer", "minimum": 0},
+                    **{
+                        name: {"type": type_map[t]}
+                        for name, t in fields.items()
+                    },
+                },
+                "required": ["type", "cycle", *fields],
+                "additionalProperties": False,
+            }
+            for etype, fields in EVENT_FIELDS.items()
+        }
+        for event in tracer.events():
+            jsonschema.validate(event, schemas[event["type"]])
+
+    def test_injection_campaign_events_validate(self):
+        from repro.ecc import FaultInjector, SecDedCodec
+
+        tracer = EventTracer()
+        injector = FaultInjector(SecDedCodec(), seed=3, tracer=tracer)
+        injector.campaign(25, 2)
+        assert tracer.counts == {"error_outcome": 25}
+        for event in tracer.events():
+            validate_event(event)
