@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test test-all bench figures figures-par examples clean
+.PHONY: install lint test test-all bench figures figures-par \
+	reliability-smoke examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -34,6 +35,13 @@ figures:
 JOBS ?= 4
 figures-par:
 	$(PYTHON) -m repro figures --jobs $(JOBS)
+
+# A fast end-to-end reliability campaign (docs/reliability.md): auto
+# stopping at a loose ±2% target so it finishes well under 30 s; run
+# in CI to keep the CLI verb, engine and stopping rule exercised.
+reliability-smoke:
+	$(PYTHON) -m repro reliability --trials auto --target 0.02 \
+		--trials-per-shard 250 --shards-per-round 4 --jobs 2 --no-cache
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; done

@@ -7,6 +7,7 @@ Commands
 ``ipc``       one CPU-mode run (org vs ours IPC comparison)
 ``area``      the Section 5.2 area accounting
 ``inject``    a fault-injection campaign against a codec
+``reliability``  a Monte Carlo fault-injection campaign across schemes
 ``trace``     export a benchmark's synthetic trace to a file
 ``list``      list the benchmark suite
 """
@@ -358,6 +359,104 @@ def cmd_inject(args) -> int:
     return 0
 
 
+def _parse_trials(text: str) -> Optional[int]:
+    """``auto`` (run until the stopping rule fires) or a positive int."""
+    raw = text.strip().lower()
+    if raw == "auto":
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad trials {text!r} (want 'auto' or a positive int)"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError("trials must be positive or 'auto'")
+    return value
+
+
+def cmd_reliability(args) -> int:
+    """Run (or resume) a Monte Carlo fault-injection campaign."""
+    from repro.experiments.reliability import measured_dirty_fractions
+    from repro.reliability import (
+        CampaignConfig,
+        CheckpointError,
+        FaultModelConfig,
+        StoppingRule,
+        run_campaign,
+    )
+
+    engine = _engine(args)
+    tracer = _make_tracer(args)
+
+    dirty_fractions = None
+    if args.benchmark:
+        config = _run_config(args)
+        dirty_fractions = measured_dirty_fractions(
+            args.benchmark, config, engine=engine
+        )
+        print(f"{args.benchmark}: measured dirty fractions "
+              + ", ".join(f"{k}={v:.3f}"
+                          for k, v in sorted(dirty_fractions.items())))
+
+    campaign = CampaignConfig(
+        schemes=tuple(args.schemes),
+        trials=args.trials,
+        trials_per_shard=args.trials_per_shard,
+        shards_per_round=args.shards_per_round,
+        stopping=StoppingRule(
+            target_half_width=args.target, max_trials=args.max_trials
+        ),
+        metric=args.metric,
+        seed=args.seed,
+        model=FaultModelConfig(
+            double_bit_fraction=args.double_bit_fraction
+        ),
+        dirty_fractions=dirty_fractions,
+        raw_fit_per_mbit=args.raw_fit,
+        n_lines=args.n_lines,
+    )
+    try:
+        result = run_campaign(
+            campaign,
+            engine=engine,
+            checkpoint=args.checkpoint,
+            tracer=tracer,
+        )
+    except CheckpointError as err:
+        raise SystemExit(str(err))
+    except KeyboardInterrupt:
+        if args.checkpoint:
+            print(f"\ninterrupted; completed shards are in "
+                  f"{args.checkpoint} — rerun the same command to resume")
+        else:
+            print("\ninterrupted (no --checkpoint: progress discarded)")
+        return 130
+
+    title = "Reliability campaign"
+    if args.benchmark:
+        title += f" ({args.benchmark} dirty fractions)"
+    print(render_table(
+        ["setting", "value"],
+        [
+            ["trials", "auto" if args.trials is None else args.trials],
+            ["target half-width",
+             f"±{args.target:.3g} on {args.metric} (95% Wilson)"],
+            ["seed", args.seed],
+            ["resumed / executed shards",
+             f"{result.resumed_shards} / {result.executed_shards}"],
+        ],
+        title=title,
+    ))
+    print()
+    from repro.experiments.report import render_campaign
+
+    print(render_campaign(result))
+    _export_trace(tracer, args)
+    _print_sweep_stats(engine)
+    return 0
+
+
 def cmd_trace(args) -> int:
     import itertools
 
@@ -546,6 +645,64 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     _add_trace_args(p)
     p.set_defaults(func=cmd_inject)
+
+    p = sub.add_parser(
+        "reliability",
+        help="Monte Carlo fault-injection campaign across schemes",
+    )
+    p.add_argument(
+        "--trials", type=_parse_trials, default="auto", metavar="N|auto",
+        help="trials per scheme; 'auto' runs until the Wilson half-width "
+             "target is met (default)",
+    )
+    p.add_argument(
+        "--schemes", nargs="+", default=["uniform-ecc", "non-uniform"],
+        choices=["uniform-ecc", "non-uniform", "parity-only"],
+        help="protection schemes to compare",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--target", type=float, default=0.01, metavar="HW",
+        help="Wilson 95%% half-width to reach on --metric (auto mode)",
+    )
+    p.add_argument(
+        "--metric", default="sdc",
+        choices=["masked", "corrected", "refetched", "due", "sdc",
+                 "failure"],
+        help="rate the stopping rule targets ('failure' = sdc + due)",
+    )
+    p.add_argument("--trials-per-shard", type=int, default=500)
+    p.add_argument("--shards-per-round", type=int, default=8)
+    p.add_argument("--max-trials", type=int, default=1_000_000,
+                   help="hard per-scheme trial budget in auto mode")
+    p.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="JSONL checkpoint: completed shards persist here and an "
+             "interrupted campaign resumes from it",
+    )
+    p.add_argument(
+        "--benchmark", default=None, choices=sorted(BENCHMARKS),
+        help="measure per-scheme dirty fractions from this benchmark "
+             "instead of using the paper's averages",
+    )
+    p.add_argument(
+        "--double-bit-fraction", type=float, default=0.05, metavar="P",
+        help="P(a strike upsets two bits of one codeword) — the "
+             "multi-bit tail interleaving suppresses",
+    )
+    p.add_argument("--raw-fit", type=float, default=1000.0,
+                   help="raw SRAM strike rate, FIT per Mbit")
+    p.add_argument("--n-lines", type=int, default=16384,
+                   help="lines of the protected structure (paper L2)")
+    # One --seed drives both the campaign and any --benchmark
+    # measurement run, so only the remaining run flags are added here.
+    p.add_argument("--refs", type=int, default=60_000,
+                   help="measured references for --benchmark")
+    p.add_argument("--warmup", type=int, default=20_000,
+                   help="warm-up references for --benchmark")
+    _add_pool_args(p)
+    _add_trace_args(p)
+    p.set_defaults(func=cmd_reliability)
 
     p = sub.add_parser("trace", help="export a synthetic trace")
     p.add_argument("--benchmark", required=True, choices=sorted(BENCHMARKS))

@@ -51,7 +51,9 @@ from repro.experiments.related import (
 from repro.experiments.reliability import (
     ReliabilityConfig,
     ReliabilityResult,
+    benchmark_campaigns,
     compare_policies,
+    measured_dirty_fractions,
     reliability_campaign,
 )
 from repro.experiments.avf import (
@@ -74,7 +76,13 @@ from repro.experiments.pool import (
     cell_key,
     code_version,
 )
-from repro.experiments.report import render_bars, render_series, render_table
+from repro.experiments.report import (
+    render_bars,
+    render_campaign,
+    render_campaign_comparison,
+    render_series,
+    render_table,
+)
 from repro.experiments.stats import (
     SeedStats,
     dirty_fraction_stats,
@@ -104,7 +112,11 @@ __all__ = [
     "ablate_write_buffer",
     "ablate_written_bit",
     "CoveragePoint",
+    "benchmark_campaigns",
     "compare_policies",
+    "measured_dirty_fractions",
+    "render_campaign",
+    "render_campaign_comparison",
     "config_metadata",
     "icr_coverage",
     "kim_somani_coverage",

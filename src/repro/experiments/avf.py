@@ -83,25 +83,26 @@ def exposure_comparison(
     config: RunConfig = RunConfig(),
     benchmarks: Optional[List[str]] = None,
     cleaning_interval: int = 1 << 20,
+    engine=None,
 ) -> Dict[str, Dict[str, float]]:
     """Dirty exposure of the conventional vs the protected L2.
 
     Returns, per benchmark: both exposures (in millions of dirty
     line-cycles), the exposure reduction factor, and the ratio of
-    expected residual uncorrectable events.
+    expected residual uncorrectable events.  An optional
+    :class:`~repro.experiments.pool.SweepEngine` routes the runs through
+    its worker pool and result cache.
     """
     names = benchmarks or sorted(BENCHMARKS)
     n_lines = config.geometry.hierarchy_config().l2.n_lines
+    protection = ProtectionConfig(
+        cleaning_interval=cleaning_interval, ecc_entries_per_set=1
+    )
+    run = engine.run_refs if engine is not None else run_refs
     out: Dict[str, Dict[str, float]] = {}
     for name in names:
-        org = run_refs(name, None, config)
-        ours = run_refs(
-            name,
-            ProtectionConfig(
-                cleaning_interval=cleaning_interval, ecc_entries_per_set=1
-            ),
-            config,
-        )
+        org = run(name, None, config)
+        ours = run(name, protection, config)
         e_org = dirty_exposure(org, n_lines)
         e_ours = dirty_exposure(ours, n_lines)
         u_org = expected_uncorrectable(org, n_lines)

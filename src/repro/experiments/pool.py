@@ -35,7 +35,7 @@ import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.core.protected_cache import ProtectionConfig
 from repro.experiments.runner import (
@@ -263,6 +263,15 @@ def _execute_indexed(item):
     return index, output, time.perf_counter() - t0
 
 
+def _map_indexed(payload):
+    """Pool payload for :meth:`SweepEngine.map_tasks`:
+    (func, index, item) -> (index, result, worker wall-time)."""
+    func, index, item = payload
+    t0 = time.perf_counter()
+    output = func(item)
+    return index, output, time.perf_counter() - t0
+
+
 def _work_units(output: Any) -> int:
     """Simulated work of one result, for throughput reporting."""
     refs = getattr(output, "refs", None)
@@ -429,6 +438,50 @@ class SweepEngine:
         return self.run(
             Cell(benchmark, protection, config, mode="ipc", n_insts=n_insts)
         )
+
+    def map_tasks(
+        self,
+        func: Callable[[Any], Any],
+        items: Sequence[Any],
+        phase: str = "map",
+    ) -> List[Any]:
+        """Run ``func`` over ``items`` with the engine's worker pool.
+
+        The generic sibling of :meth:`run_cells` for workloads that are
+        not simulation cells (e.g. fault-injection shards): same jobs
+        semantics (``jobs == 1`` runs inline, the determinism
+        reference), results returned in submission order regardless of
+        completion order, per-item worker wall time folded into the
+        profiler under ``phase``.  No result caching — callers with
+        durable state (campaign checkpoints) manage their own.
+
+        ``func`` must be a module-level callable and ``items``
+        picklable, so worker processes can receive them.
+        """
+        items = list(items)
+        if not items:
+            return []
+        t0 = time.perf_counter()
+        outputs: List[Any] = [None] * len(items)
+        if self.jobs == 1 or len(items) == 1:
+            for i, item in enumerate(items):
+                t1 = time.perf_counter()
+                outputs[i] = func(item)
+                self.profiler.add(phase, time.perf_counter() - t1, 1)
+        else:
+            import multiprocessing
+
+            with multiprocessing.Pool(
+                processes=min(self.jobs, len(items))
+            ) as pool:
+                for i, output, wall in pool.imap_unordered(
+                    _map_indexed,
+                    [(func, i, item) for i, item in enumerate(items)],
+                ):
+                    outputs[i] = output
+                    self.profiler.add(phase, wall, 1)
+        self.stats.wall_s += time.perf_counter() - t0
+        return outputs
 
     def summary(self) -> str:
         """Human-readable accounting of everything run so far."""

@@ -10,19 +10,32 @@ every read's end-to-end outcome is classified.
 
 Not a figure from the paper — an extension experiment (DESIGN.md §6)
 that validates the protection-domain reasoning the paper relies on.
+
+Two layers live here:
+
+* the original single-process event-mix campaign
+  (:func:`reliability_campaign` / :func:`compare_policies`), kept for
+  its simple, directly-inspectable fault loop; and
+* the bridge into :mod:`repro.reliability` — the sharded Monte Carlo
+  campaign engine — which replaces assumed dirty fractions with
+  *measured* per-benchmark residency (:func:`measured_dirty_fractions`)
+  and runs one statistically-stopped campaign per benchmark
+  (:func:`benchmark_campaigns`).
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.policy import (
     LineProtection,
     ProtectionPolicy,
     RecoveryAction,
 )
+from repro.core.protected_cache import ProtectionConfig
+from repro.experiments.runner import RunConfig, run_refs
 
 
 @dataclass(frozen=True)
@@ -120,3 +133,78 @@ def compare_policies(
 ) -> Dict[str, ReliabilityResult]:
     """Run the same seeded campaign against each policy."""
     return {p.name: reliability_campaign(p, config) for p in policies}
+
+
+# -- bridge into the sharded campaign engine -------------------------------
+
+
+def measured_dirty_fractions(
+    benchmark: str,
+    config: RunConfig = RunConfig(),
+    engine=None,
+    cleaning_interval: int = 1 << 20,
+    ecc_entries: int = 1,
+) -> Dict[str, float]:
+    """Per-scheme P(struck line is dirty), measured from one benchmark.
+
+    Runs the benchmark twice — unprotected (the conventional cache the
+    ``uniform-ecc`` and ``parity-only`` schemes model) and under the
+    paper's cleaning + shared-ECC protection (``non-uniform``) — and
+    returns each scheme's measured average dirty residency, ready for
+    :attr:`repro.reliability.CampaignConfig.dirty_fractions`.
+
+    ``engine`` is an optional :class:`~repro.experiments.pool.SweepEngine`
+    so the two runs share its cache and profiler with the campaign that
+    follows.
+    """
+    protection = ProtectionConfig(
+        cleaning_interval=cleaning_interval, ecc_entries_per_set=ecc_entries
+    )
+    if engine is not None:
+        org = engine.run_refs(benchmark, None, config)
+        ours = engine.run_refs(benchmark, protection, config)
+    else:
+        org = run_refs(benchmark, None, config)
+        ours = run_refs(benchmark, protection, config)
+    return {
+        "uniform-ecc": org.dirty_fraction,
+        "parity-only": org.dirty_fraction,
+        "non-uniform": ours.dirty_fraction,
+    }
+
+
+def benchmark_campaigns(
+    benchmarks: Sequence[str],
+    run_config: RunConfig = RunConfig(),
+    campaign_config=None,
+    engine=None,
+    checkpoint_dir: Optional[str] = None,
+):
+    """One statistically-stopped campaign per benchmark.
+
+    For each benchmark, measure its dirty fractions
+    (:func:`measured_dirty_fractions`), substitute them into
+    ``campaign_config``, and run the sharded campaign.  Returns
+    ``{benchmark: CampaignResult}`` — the per-benchmark
+    conventional-vs-paper comparison EXPERIMENTS.md tabulates.
+
+    ``checkpoint_dir``, when given, holds one resumable JSONL checkpoint
+    per benchmark (``<dir>/<benchmark>.jsonl``).
+    """
+    from pathlib import Path
+
+    from repro.reliability import CampaignConfig, run_campaign
+
+    if campaign_config is None:
+        campaign_config = CampaignConfig()
+    results = {}
+    for name in benchmarks:
+        fractions = measured_dirty_fractions(name, run_config, engine=engine)
+        cfg = replace(campaign_config, dirty_fractions=fractions)
+        checkpoint = (
+            str(Path(checkpoint_dir) / f"{name}.jsonl")
+            if checkpoint_dir
+            else None
+        )
+        results[name] = run_campaign(cfg, engine=engine, checkpoint=checkpoint)
+    return results

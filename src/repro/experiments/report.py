@@ -91,6 +91,75 @@ def render_snapshot(
     )
 
 
+def _fmt_hours(hours: float) -> str:
+    """MTTF cell: hours are unwieldy, so quote the natural magnitude."""
+    if hours == float("inf"):
+        return "inf"
+    if hours >= 1e6:
+        return f"{hours / 1e6:.2f}Mh"
+    if hours >= 1e3:
+        return f"{hours / 1e3:.1f}kh"
+    return f"{hours:.0f}h"
+
+
+def render_campaign(result, title: str = "") -> str:
+    """Per-scheme table for a reliability ``CampaignResult``.
+
+    One row per scheme: trial count, conditional outcome rates with
+    their Wilson 95% half-widths, AVF, the FIT split and MTTF — the
+    conventional-vs-paper comparison the campaign exists to make.
+    """
+    from repro.reliability.model import TrialOutcome
+
+    headers = [
+        "scheme", "trials", "sdc", "due", "corrected", "refetched",
+        "avf", "FIT(sdc)", "FIT(due)", "MTTF", "stop",
+    ]
+    rows: List[Sequence[Cell]] = []
+    for scheme in result.config.schemes:
+        s = result.schemes[scheme]
+        e = s.estimate
+
+        def ci(outcome: "TrialOutcome") -> str:
+            r = e.rates[outcome]
+            return f"{r.value:.4f}±{r.half_width:.4f}"
+
+        rows.append([
+            scheme,
+            s.trials,
+            ci(TrialOutcome.SDC),
+            ci(TrialOutcome.DUE),
+            ci(TrialOutcome.CORRECTED),
+            ci(TrialOutcome.REFETCHED),
+            f"{e.avf.value:.4f}±{e.avf.half_width:.4f}",
+            f"{e.fit_sdc[0]:.1f}",
+            f"{e.fit_due[0]:.1f}",
+            _fmt_hours(e.mttf_hours[0]),
+            s.stopped_by,
+        ])
+    return render_table(headers, rows, title=title)
+
+
+def render_campaign_comparison(
+    per_benchmark: Dict[str, "object"], title: str = ""
+) -> str:
+    """Per-benchmark AVF/MTTF series across schemes.
+
+    ``per_benchmark`` maps benchmark name to ``CampaignResult`` (the
+    output of :func:`repro.experiments.reliability.benchmark_campaigns`);
+    the table shows each scheme's AVF and MTTF side by side, plus the
+    average row the paper-style tables carry.
+    """
+    series: Dict[str, Dict[str, float]] = {}
+    for bench, result in per_benchmark.items():
+        row: Dict[str, float] = {}
+        for scheme, s in result.schemes.items():
+            row[f"{scheme} avf"] = s.estimate.avf.value
+            row[f"{scheme} MTTF Mh"] = s.estimate.mttf_hours[0] / 1e6
+        series[bench] = row
+    return render_series(series, ndigits=4, title=title)
+
+
 def render_series(
     series: Dict[str, Dict[str, float]],
     row_label: str = "benchmark",

@@ -1,0 +1,90 @@
+"""Monte Carlo fault-injection campaigns with statistical stopping.
+
+The paper's claim is comparative: non-uniform protection (parity on
+clean lines, shared SECDED on dirty lines) matches a uniformly-ECC
+cache's *effective* reliability at 59% less area.  Validating that
+credibly needs large-scale randomized injection with quantified
+confidence — HARP and Cerberus (PAPERS.md) both make the same point —
+not a handful of fixed-trial loops.  This package is that harness:
+
+* :mod:`repro.reliability.model` — the fault model: protection domains
+  (data / tag / status / check arrays), per-trial lifecycle, and the
+  outcome taxonomy (masked / corrected / refetch / DUE / SDC);
+* :mod:`repro.reliability.stopping` — Wilson score intervals and the
+  sequential stopping rule (run until the SDC-rate interval is tight);
+* :mod:`repro.reliability.estimates` — FIT / MTTF / AVF arithmetic with
+  confidence intervals propagated from the trial counts;
+* :mod:`repro.reliability.checkpoint` — JSONL shard checkpoints so an
+  interrupted campaign resumes exactly where it stopped;
+* :mod:`repro.reliability.campaign` — the engine: deterministic
+  per-shard seeding, fan-out over
+  :class:`repro.experiments.pool.SweepEngine` workers, telemetry.
+
+See ``docs/reliability.md`` for the end-to-end methodology.
+"""
+
+from repro.reliability.campaign import (
+    CampaignConfig,
+    CampaignEngine,
+    CampaignResult,
+    SchemeResult,
+    ShardResult,
+    ShardSpec,
+    run_campaign,
+    run_shard,
+    shard_seed,
+)
+from repro.reliability.checkpoint import (
+    CampaignCheckpoint,
+    CheckpointError,
+)
+from repro.reliability.estimates import (
+    HOURS_PER_BILLION,
+    RateEstimate,
+    ReliabilityEstimate,
+    fit_to_mttf_hours,
+    scheme_estimate,
+)
+from repro.reliability.model import (
+    FaultDomain,
+    FaultModelConfig,
+    SCHEMES,
+    TrialOutcome,
+    domain_bits,
+    run_trial,
+    scheme_policy,
+)
+from repro.reliability.stopping import (
+    StoppingRule,
+    wilson_half_width,
+    wilson_interval,
+)
+
+__all__ = [
+    "CampaignCheckpoint",
+    "CampaignConfig",
+    "CampaignEngine",
+    "CampaignResult",
+    "CheckpointError",
+    "FaultDomain",
+    "FaultModelConfig",
+    "HOURS_PER_BILLION",
+    "RateEstimate",
+    "ReliabilityEstimate",
+    "SCHEMES",
+    "SchemeResult",
+    "ShardResult",
+    "ShardSpec",
+    "StoppingRule",
+    "TrialOutcome",
+    "domain_bits",
+    "fit_to_mttf_hours",
+    "run_campaign",
+    "run_shard",
+    "run_trial",
+    "scheme_estimate",
+    "scheme_policy",
+    "shard_seed",
+    "wilson_half_width",
+    "wilson_interval",
+]

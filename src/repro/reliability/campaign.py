@@ -1,0 +1,601 @@
+"""The Monte Carlo campaign engine: shards, rounds, stopping, resume.
+
+A campaign estimates each protection scheme's outcome rates by running
+randomized injection trials (:mod:`repro.reliability.model`) in
+**shards** — fixed-size batches that are the unit of parallelism,
+checkpointing and reproducibility:
+
+* **Deterministic seeding.** Shard ``i`` of scheme ``s`` always runs
+  under ``shard_seed(seed, s, i)`` (a SHA-256 derivation), so any
+  subset of shards can run anywhere, in any order, on any number of
+  workers, and still produce the same trials.
+* **Fan-out.** Rounds of shards go through
+  :meth:`repro.experiments.pool.SweepEngine.map_tasks`, the same worker
+  pool the figure sweeps use (``--jobs N``).
+* **Checkpoint/resume.** Each completed shard's counts append to a
+  JSONL checkpoint (:mod:`repro.reliability.checkpoint`); an
+  interrupted campaign reloads them, finishes the partial round, and
+  continues — producing the bit-identical aggregate of an
+  uninterrupted run.
+* **Statistical stopping.** With ``trials=None`` the campaign runs
+  round by round until the target rate's Wilson half-width drops below
+  the goal (:mod:`repro.reliability.stopping`).  Stopping decisions are
+  made only at round boundaries from order-independent aggregates, so
+  the stopping point is identical at any ``--jobs`` value and across
+  interrupt/resume.
+
+Aggregates convert to FIT / MTTF / AVF with confidence intervals via
+:mod:`repro.reliability.estimates`; outcomes feed an optional
+:class:`~repro.telemetry.tracing.EventTracer` (``campaign_outcome``
+events) and :class:`~repro.telemetry.metrics.MetricsRegistry` counters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.experiments.pool import SweepEngine
+from repro.reliability.checkpoint import (
+    CampaignCheckpoint,
+    config_digest,
+)
+from repro.reliability.estimates import (
+    DEFAULT_RAW_FIT_PER_MBIT,
+    ReliabilityEstimate,
+    scheme_estimate,
+)
+from repro.reliability.model import (
+    FaultDomain,
+    FaultModelConfig,
+    TrialOutcome,
+    run_trial,
+    scheme_policy,
+)
+from repro.reliability.stopping import StoppingRule
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracing import EventTracer
+
+#: The paper's dirty-residency averages (Figures 1 and 7): what fraction
+#: of struck lines are dirty under each scheme when no benchmark-specific
+#: measurement is supplied.
+DEFAULT_DIRTY_FRACTIONS: Dict[str, float] = {
+    "uniform-ecc": 0.516,
+    "parity-only": 0.516,
+    "non-uniform": 0.196,
+}
+
+#: Per-trial outcome samples a shard carries back for event tracing.
+SAMPLES_PER_SHARD = 32
+
+
+def shard_seed(master_seed: int, scheme: str, index: int) -> int:
+    """The seed shard ``index`` of ``scheme`` always runs under.
+
+    SHA-256 of ``(master_seed, scheme, index)`` — independent of worker
+    count, execution order, interruption history and Python hash
+    randomization.
+    """
+    blob = f"{master_seed}:{scheme}:{index}".encode()
+    return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's full execution recipe (picklable for the pool)."""
+
+    scheme: str
+    index: int
+    trials: int
+    seed: int
+    model: FaultModelConfig
+    sample_limit: int = SAMPLES_PER_SHARD
+
+
+@dataclass
+class ShardResult:
+    """Outcome counts of one executed shard."""
+
+    scheme: str
+    index: int
+    trials: int
+    seed: int
+    #: ``{domain.value: {outcome.value: count}}`` — JSON-able.
+    outcomes: Dict[str, Dict[str, int]]
+    #: ``(trial offset, domain, dirty, outcome)`` head sample, for
+    #: tracing; not persisted in checkpoints.
+    samples: List[Tuple[int, str, bool, str]] = field(default_factory=list)
+
+    def outcome_totals(self) -> Dict[TrialOutcome, int]:
+        totals: Dict[TrialOutcome, int] = {}
+        for per_domain in self.outcomes.values():
+            for name, n in per_domain.items():
+                outcome = TrialOutcome(name)
+                totals[outcome] = totals.get(outcome, 0) + n
+        return totals
+
+    def as_record(self) -> Dict[str, Any]:
+        """The checkpoint line for this shard."""
+        return {
+            "scheme": self.scheme,
+            "index": self.index,
+            "trials": self.trials,
+            "seed": self.seed,
+            "outcomes": self.outcomes,
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "ShardResult":
+        return cls(
+            scheme=record["scheme"],
+            index=record["index"],
+            trials=record["trials"],
+            seed=record["seed"],
+            outcomes={
+                domain: dict(per)
+                for domain, per in record["outcomes"].items()
+            },
+        )
+
+
+def run_shard(spec: ShardSpec) -> ShardResult:
+    """Execute one shard to completion; pure function of the spec.
+
+    Module-level so :meth:`SweepEngine.map_tasks` workers can pickle it.
+    """
+    rng = random.Random(spec.seed)
+    policy = scheme_policy(spec.scheme)
+    outcomes: Dict[str, Dict[str, int]] = {}
+    samples: List[Tuple[int, str, bool, str]] = []
+    for trial in range(spec.trials):
+        outcome, domain, dirty = run_trial(policy, spec.model, rng)
+        per_domain = outcomes.setdefault(domain.value, {})
+        per_domain[outcome.value] = per_domain.get(outcome.value, 0) + 1
+        if len(samples) < spec.sample_limit:
+            samples.append((trial, domain.value, dirty, outcome.value))
+    return ShardResult(
+        scheme=spec.scheme,
+        index=spec.index,
+        trials=spec.trials,
+        seed=spec.seed,
+        outcomes=outcomes,
+        samples=samples,
+    )
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Shape of one campaign.
+
+    ``trials``
+        Total trials per scheme; ``None`` (the CLI's ``--trials auto``)
+        runs until ``stopping`` is satisfied on ``metric``.
+    ``metric``
+        The rate the stopping rule targets: an outcome name
+        (``sdc``, ``due``, ...) or ``failure`` (SDC + DUE).
+    ``dirty_fractions``
+        Per-scheme P(struck line is dirty); unlisted schemes fall back
+        to :data:`DEFAULT_DIRTY_FRACTIONS`, then to the model's own
+        value.  The CLI fills this from a measured benchmark run.
+    ``n_lines``
+        Lines of the protected structure (the paper's 1 MB / 64 B L2 =
+        16384) — only scales the FIT/MTTF conversion.
+    """
+
+    schemes: Tuple[str, ...] = ("uniform-ecc", "non-uniform")
+    trials: Optional[int] = None
+    trials_per_shard: int = 500
+    shards_per_round: int = 8
+    stopping: StoppingRule = StoppingRule()
+    metric: str = "sdc"
+    seed: int = 0
+    model: FaultModelConfig = FaultModelConfig()
+    dirty_fractions: Optional[Mapping[str, float]] = None
+    raw_fit_per_mbit: float = DEFAULT_RAW_FIT_PER_MBIT
+    n_lines: int = 16384
+
+    def __post_init__(self) -> None:
+        if not self.schemes:
+            raise ValueError("campaign needs at least one scheme")
+        if self.trials is not None and self.trials < 1:
+            raise ValueError("trials must be positive (or None for auto)")
+        if self.trials_per_shard < 1 or self.shards_per_round < 1:
+            raise ValueError("shard sizing must be positive")
+        if self.metric != "failure":
+            TrialOutcome(self.metric)  # raises on unknown names
+        for scheme in self.schemes:
+            scheme_policy(scheme)  # raises on unknown names
+
+    def dirty_fraction_for(self, scheme: str) -> float:
+        if self.dirty_fractions and scheme in self.dirty_fractions:
+            return self.dirty_fractions[scheme]
+        return DEFAULT_DIRTY_FRACTIONS.get(scheme, self.model.dirty_fraction)
+
+    def model_for(self, scheme: str) -> FaultModelConfig:
+        return replace(
+            self.model, dirty_fraction=self.dirty_fraction_for(scheme)
+        )
+
+    def metric_successes(self, counts: Mapping[TrialOutcome, int]) -> int:
+        if self.metric == "failure":
+            return counts.get(TrialOutcome.SDC, 0) + counts.get(
+                TrialOutcome.DUE, 0
+            )
+        return counts.get(TrialOutcome(self.metric), 0)
+
+    def describe(self) -> Dict[str, Any]:
+        """Canonical view of everything that shapes the shard schedule.
+
+        This is what the checkpoint digest covers.  Post-processing
+        knobs (``raw_fit_per_mbit``, ``n_lines``) are deliberately
+        excluded: re-quoting FIT under a different raw rate must not
+        invalidate a checkpoint.
+        """
+        return {
+            "schemes": list(self.schemes),
+            "trials": self.trials,
+            "trials_per_shard": self.trials_per_shard,
+            "shards_per_round": self.shards_per_round,
+            "stopping": {
+                "target_half_width": self.stopping.target_half_width,
+                "min_trials": self.stopping.min_trials,
+                "max_trials": self.stopping.max_trials,
+                "z": self.stopping.z,
+            },
+            "metric": self.metric,
+            "seed": self.seed,
+            "model": {
+                scheme: {
+                    "line_bytes": m.line_bytes,
+                    "tag_bits": m.tag_bits,
+                    "status_bits": m.status_bits,
+                    "dirty_fraction": m.dirty_fraction,
+                    "double_bit_fraction": m.double_bit_fraction,
+                    "read_fraction": m.read_fraction,
+                    "controller_refetch": m.controller_refetch,
+                }
+                for scheme in self.schemes
+                for m in (self.model_for(scheme),)
+            },
+        }
+
+
+@dataclass
+class SchemeResult:
+    """One scheme's aggregate over every completed shard."""
+
+    scheme: str
+    model: FaultModelConfig
+    trials: int
+    shards: int
+    outcome_counts: Dict[TrialOutcome, int]
+    domain_counts: Dict[FaultDomain, Dict[TrialOutcome, int]]
+    estimate: ReliabilityEstimate
+    #: Achieved Wilson half-width of the campaign's target metric.
+    half_width: float
+    #: Why the scheme stopped: ``target`` | ``budget`` | ``fixed``.
+    stopped_by: str
+
+    def rate(self, outcome: TrialOutcome) -> float:
+        return (
+            self.outcome_counts.get(outcome, 0) / self.trials
+            if self.trials
+            else 0.0
+        )
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign run produced."""
+
+    config: CampaignConfig
+    schemes: Dict[str, SchemeResult]
+    #: Shards replayed from the checkpoint vs executed this run.
+    resumed_shards: int
+    executed_shards: int
+
+    @property
+    def total_trials(self) -> int:
+        return sum(s.trials for s in self.schemes.values())
+
+
+class _SchemeState:
+    """Mutable per-scheme accumulation while the campaign runs."""
+
+    def __init__(self, scheme: str) -> None:
+        self.scheme = scheme
+        self.shard_results: Dict[int, ShardResult] = {}
+        self.stopped_by: Optional[str] = None
+
+    @property
+    def shards_done(self) -> int:
+        return len(self.shard_results)
+
+    @property
+    def trials(self) -> int:
+        return sum(r.trials for r in self.shard_results.values())
+
+    def outcome_counts(self) -> Dict[TrialOutcome, int]:
+        counts: Dict[TrialOutcome, int] = {}
+        for result in self.shard_results.values():
+            for outcome, n in result.outcome_totals().items():
+                counts[outcome] = counts.get(outcome, 0) + n
+        return counts
+
+    def domain_counts(self) -> Dict[FaultDomain, Dict[TrialOutcome, int]]:
+        counts: Dict[FaultDomain, Dict[TrialOutcome, int]] = {}
+        for result in self.shard_results.values():
+            for domain_name, per in result.outcomes.items():
+                domain = FaultDomain(domain_name)
+                acc = counts.setdefault(domain, {})
+                for name, n in per.items():
+                    outcome = TrialOutcome(name)
+                    acc[outcome] = acc.get(outcome, 0) + n
+        return counts
+
+    def next_indices(self, count: int) -> List[int]:
+        """The ``count`` lowest shard indices not yet completed."""
+        indices: List[int] = []
+        candidate = 0
+        while len(indices) < count:
+            if candidate not in self.shard_results:
+                indices.append(candidate)
+            candidate += 1
+        return indices
+
+
+class CampaignEngine:
+    """Drives a campaign: scheduling, checkpointing, stopping, telemetry.
+
+    ``engine``
+        The :class:`SweepEngine` that fans shards out (its ``jobs``
+        setting is the parallelism); a private sequential engine is
+        built when omitted.
+    ``checkpoint``
+        Path or :class:`CampaignCheckpoint` for durable shard results;
+        ``None`` runs without resume support.
+    ``tracer`` / ``registry``
+        Optional telemetry sinks: per-trial ``campaign_outcome`` events
+        (head-sampled per shard) and per-scheme outcome counters.
+    """
+
+    def __init__(
+        self,
+        config: CampaignConfig,
+        engine: Optional[SweepEngine] = None,
+        checkpoint: Union[CampaignCheckpoint, str, None] = None,
+        tracer: Optional[EventTracer] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.config = config
+        self.engine = engine or SweepEngine()
+        if checkpoint is None or isinstance(checkpoint, CampaignCheckpoint):
+            self.checkpoint = checkpoint
+        else:
+            self.checkpoint = CampaignCheckpoint(checkpoint)
+        self.tracer = tracer
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.resumed_shards = 0
+        self.executed_shards = 0
+
+    # -- scheduling --------------------------------------------------------
+
+    def _fixed_shard_plan(self) -> List[Tuple[int, int]]:
+        """(index, trials) for fixed-``trials`` mode (last shard short)."""
+        assert self.config.trials is not None
+        total, per = self.config.trials, self.config.trials_per_shard
+        n_shards = (total + per - 1) // per
+        plan = []
+        for index in range(n_shards):
+            trials = min(per, total - index * per)
+            plan.append((index, trials))
+        return plan
+
+    def _spec(self, scheme: str, index: int, trials: int) -> ShardSpec:
+        return ShardSpec(
+            scheme=scheme,
+            index=index,
+            trials=trials,
+            seed=shard_seed(self.config.seed, scheme, index),
+            model=self.config.model_for(scheme),
+        )
+
+    def _auto_round_specs(self, state: _SchemeState) -> List[ShardSpec]:
+        """Shards to reach the next round boundary for one scheme.
+
+        Stopping is only ever evaluated at multiples of
+        ``shards_per_round`` completed shards, so a resumed partial
+        round is first topped up to the boundary — that is what makes
+        interrupt/resume bit-identical to an uninterrupted run.
+        """
+        per_round = self.config.shards_per_round
+        into_round = state.shards_done % per_round
+        need = per_round - into_round if into_round else per_round
+        return [
+            self._spec(state.scheme, index, self.config.trials_per_shard)
+            for index in state.next_indices(need)
+        ]
+
+    def _check_auto_stop(self, state: _SchemeState) -> None:
+        """At a round boundary: mark the scheme stopped if warranted."""
+        if state.shards_done % self.config.shards_per_round:
+            return  # mid-round (resume top-up pending): no decision yet
+        counts = state.outcome_counts()
+        trials = state.trials
+        if trials == 0:
+            return
+        successes = self.config.metric_successes(counts)
+        rule = self.config.stopping
+        if trials >= rule.max_trials:
+            state.stopped_by = "budget"
+        elif rule.should_stop(successes, trials):
+            state.stopped_by = "target"
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self) -> CampaignResult:
+        """Run (or resume) the campaign to its stopping point."""
+        digest = config_digest(self.config.describe())
+        states = {
+            scheme: _SchemeState(scheme) for scheme in self.config.schemes
+        }
+        if self.checkpoint is not None:
+            for (scheme, index), record in self.checkpoint.load(
+                digest
+            ).items():
+                if scheme in states:
+                    states[scheme].shard_results[index] = (
+                        ShardResult.from_record(record)
+                    )
+                    self.resumed_shards += 1
+            self.checkpoint.write_header(digest, self.config.describe())
+
+        try:
+            if self.config.trials is not None:
+                self._run_fixed(states)
+            else:
+                self._run_auto(states)
+        finally:
+            if self.checkpoint is not None:
+                self.checkpoint.close()
+        return self._result(states)
+
+    def _run_fixed(self, states: Dict[str, _SchemeState]) -> None:
+        plan = self._fixed_shard_plan()
+        specs: List[ShardSpec] = []
+        for scheme in self.config.schemes:
+            state = states[scheme]
+            specs.extend(
+                self._spec(scheme, index, trials)
+                for index, trials in plan
+                if index not in state.shard_results
+            )
+            state.stopped_by = "fixed"
+        # Execute round-sized batches rather than one giant map_tasks
+        # call: shard records reach the checkpoint between batches, so
+        # an interrupt loses at most one round of work per scheme.
+        per_batch = self.config.shards_per_round * len(self.config.schemes)
+        for start in range(0, len(specs), per_batch):
+            self._execute(specs[start : start + per_batch], states)
+
+    def _run_auto(self, states: Dict[str, _SchemeState]) -> None:
+        for state in states.values():
+            self._check_auto_stop(state)
+        while True:
+            specs: List[ShardSpec] = []
+            for scheme in self.config.schemes:
+                state = states[scheme]
+                if state.stopped_by is None:
+                    specs.extend(self._auto_round_specs(state))
+            if not specs:
+                break
+            self._execute(specs, states)
+            for state in states.values():
+                if state.stopped_by is None:
+                    self._check_auto_stop(state)
+
+    def _execute(
+        self, specs: List[ShardSpec], states: Dict[str, _SchemeState]
+    ) -> None:
+        if not specs:
+            return
+        results = self.engine.map_tasks(
+            run_shard, specs, phase="campaign-shard"
+        )
+        for result in results:
+            states[result.scheme].shard_results[result.index] = result
+            self.executed_shards += 1
+            if self.checkpoint is not None:
+                self.checkpoint.append_shard(result.as_record())
+            self._emit_telemetry(result)
+
+    def _emit_telemetry(self, result: ShardResult) -> None:
+        base = f"campaign.{result.scheme}"
+        self.registry.counter(f"{base}.shards").inc()
+        self.registry.counter(f"{base}.trials").inc(result.trials)
+        for outcome, n in result.outcome_totals().items():
+            self.registry.counter(f"{base}.{outcome.value}").inc(n)
+        if self.tracer is not None:
+            start = result.index * self.config.trials_per_shard
+            for offset, domain, dirty, outcome in result.samples:
+                self.tracer.emit(
+                    "campaign_outcome",
+                    start + offset,
+                    scheme=result.scheme,
+                    domain=domain,
+                    dirty=dirty,
+                    outcome=outcome,
+                )
+
+    # -- results -----------------------------------------------------------
+
+    def _result(self, states: Dict[str, _SchemeState]) -> CampaignResult:
+        schemes: Dict[str, SchemeResult] = {}
+        for scheme in self.config.schemes:
+            state = states[scheme]
+            counts = state.outcome_counts()
+            trials = state.trials
+            model = self.config.model_for(scheme)
+            estimate = scheme_estimate(
+                scheme,
+                scheme_policy(scheme),
+                model,
+                counts,
+                n_lines=self.config.n_lines,
+                raw_fit_per_mbit=self.config.raw_fit_per_mbit,
+                z=self.config.stopping.z,
+            )
+            successes = self.config.metric_successes(counts)
+            schemes[scheme] = SchemeResult(
+                scheme=scheme,
+                model=model,
+                trials=trials,
+                shards=state.shards_done,
+                outcome_counts=counts,
+                domain_counts=state.domain_counts(),
+                estimate=estimate,
+                half_width=self.config.stopping.half_width(
+                    successes, trials
+                ),
+                stopped_by=state.stopped_by or "fixed",
+            )
+        return CampaignResult(
+            config=self.config,
+            schemes=schemes,
+            resumed_shards=self.resumed_shards,
+            executed_shards=self.executed_shards,
+        )
+
+
+def run_campaign(
+    config: CampaignConfig = CampaignConfig(),
+    engine: Optional[SweepEngine] = None,
+    checkpoint: Union[CampaignCheckpoint, str, None] = None,
+    tracer: Optional[EventTracer] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> CampaignResult:
+    """One-call campaign: build the engine, run it, return the result."""
+    return CampaignEngine(
+        config,
+        engine=engine,
+        checkpoint=checkpoint,
+        tracer=tracer,
+        registry=registry,
+    ).run()
+
+
+__all__ = [
+    "DEFAULT_DIRTY_FRACTIONS",
+    "CampaignConfig",
+    "CampaignEngine",
+    "CampaignResult",
+    "SAMPLES_PER_SHARD",
+    "SchemeResult",
+    "ShardResult",
+    "ShardSpec",
+    "run_campaign",
+    "run_shard",
+    "shard_seed",
+]

@@ -1,0 +1,156 @@
+"""FIT / MTTF / AVF arithmetic on top of campaign outcome counts.
+
+A campaign measures *conditional* rates — P(outcome | a strike hit the
+line's stored bits).  Turning those into device-level reliability
+numbers takes two scale factors, both explicit here:
+
+* the **raw strike rate**, quoted the way SRAM vendors do, in FIT per
+  Mbit (failures per 10⁹ device-hours per 2²⁰ bits of storage); and
+* the **stored bits** of the protected structure, which depend on the
+  scheme and on how dirty the cache runs (non-uniform protection simply
+  stores fewer bits when mostly clean).
+
+Then, per scheme::
+
+    strike_FIT  = raw_fit_per_mbit × total_bits / 2^20
+    FIT(x)      = strike_FIT × P(x | strike)        x ∈ {SDC, DUE}
+    MTTF        = 10⁹ / (FIT(SDC) + FIT(DUE)) hours
+    AVF         = P(SDC | strike) + P(DUE | strike)
+
+Confidence intervals: outcome probabilities carry Wilson 95% intervals
+from the trial counts; FIT bounds scale them linearly and the MTTF
+interval is the reciprocal of the FIT interval (monotone transform).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.core.policy import ProtectionPolicy
+from repro.reliability.model import (
+    FaultModelConfig,
+    TrialOutcome,
+    stored_bits_per_line,
+)
+from repro.reliability.stopping import Z95, wilson_interval
+
+#: FIT is failures per billion device-hours.
+HOURS_PER_BILLION = 1e9
+
+#: A typical raw SRAM soft-error rate at ground level; campaigns only
+#: use it as a scale factor, so comparisons never depend on it.
+DEFAULT_RAW_FIT_PER_MBIT = 1000.0
+
+
+@dataclass(frozen=True)
+class RateEstimate:
+    """A Bernoulli rate with its Wilson 95% interval."""
+
+    successes: int
+    trials: int
+    value: float
+    lo: float
+    hi: float
+
+    @property
+    def half_width(self) -> float:
+        return (self.hi - self.lo) / 2.0
+
+    def scaled(self, factor: float) -> Tuple[float, float, float]:
+        """(value, lo, hi) × factor — for the linear FIT conversion."""
+        return self.value * factor, self.lo * factor, self.hi * factor
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.value:.4f} ± {self.half_width:.4f}"
+
+
+def rate_estimate(successes: int, trials: int, z: float = Z95) -> RateEstimate:
+    lo, hi = wilson_interval(successes, trials, z)
+    value = successes / trials if trials else 0.0
+    return RateEstimate(
+        successes=successes, trials=trials, value=value, lo=lo, hi=hi
+    )
+
+
+def fit_to_mttf_hours(fit: float) -> float:
+    """MTTF in hours for a failure rate given in FIT."""
+    return HOURS_PER_BILLION / fit if fit > 0 else float("inf")
+
+
+@dataclass(frozen=True)
+class ReliabilityEstimate:
+    """Everything the campaign reports for one scheme."""
+
+    scheme: str
+    trials: int
+    #: Conditional P(outcome | strike), per outcome, with Wilson CIs.
+    rates: Mapping[TrialOutcome, RateEstimate]
+    #: P(SDC ∨ DUE | strike) — the architectural vulnerability factor.
+    avf: RateEstimate
+    #: Expected stored bits of the protected structure.
+    total_bits: float
+    #: Strikes per 10⁹ hours on those bits.
+    strike_fit: float
+    fit_sdc: Tuple[float, float, float]  # (value, lo, hi)
+    fit_due: Tuple[float, float, float]
+    mttf_hours: Tuple[float, float, float]  # (value, lo, hi)
+
+    def rate(self, outcome: TrialOutcome) -> RateEstimate:
+        return self.rates[outcome]
+
+
+def scheme_estimate(
+    scheme: str,
+    policy: ProtectionPolicy,
+    model: FaultModelConfig,
+    outcome_counts: Mapping[TrialOutcome, int],
+    n_lines: int,
+    raw_fit_per_mbit: float = DEFAULT_RAW_FIT_PER_MBIT,
+    z: float = Z95,
+) -> ReliabilityEstimate:
+    """Convert one scheme's aggregate counts into the full estimate."""
+    trials = sum(outcome_counts.get(o, 0) for o in TrialOutcome)
+    rates: Dict[TrialOutcome, RateEstimate] = {
+        o: rate_estimate(outcome_counts.get(o, 0), trials, z)
+        for o in TrialOutcome
+    }
+    failures = outcome_counts.get(TrialOutcome.SDC, 0) + outcome_counts.get(
+        TrialOutcome.DUE, 0
+    )
+    avf = rate_estimate(failures, trials, z)
+
+    total_bits = n_lines * stored_bits_per_line(
+        policy, model, model.dirty_fraction
+    )
+    strike_fit = raw_fit_per_mbit * total_bits / (1 << 20)
+    fit_sdc = rates[TrialOutcome.SDC].scaled(strike_fit)
+    fit_due = rates[TrialOutcome.DUE].scaled(strike_fit)
+    fit_total = avf.scaled(strike_fit)
+    mttf = (
+        fit_to_mttf_hours(fit_total[0]),
+        fit_to_mttf_hours(fit_total[2]),  # FIT hi → MTTF lo
+        fit_to_mttf_hours(fit_total[1]),  # FIT lo → MTTF hi
+    )
+    return ReliabilityEstimate(
+        scheme=scheme,
+        trials=trials,
+        rates=rates,
+        avf=avf,
+        total_bits=total_bits,
+        strike_fit=strike_fit,
+        fit_sdc=fit_sdc,
+        fit_due=fit_due,
+        mttf_hours=mttf,
+    )
+
+
+__all__ = [
+    "DEFAULT_RAW_FIT_PER_MBIT",
+    "HOURS_PER_BILLION",
+    "RateEstimate",
+    "ReliabilityEstimate",
+    "fit_to_mttf_hours",
+    "rate_estimate",
+    "scheme_estimate",
+]

@@ -1,0 +1,388 @@
+"""The campaign fault model: domains, outcome taxonomy, trial lifecycle.
+
+One **trial** models a single particle strike against one cache line of
+a given protection scheme and classifies its end-to-end architectural
+outcome.  The stored state a strike can corrupt is split into four
+**protection domains**, weighted by their stored-bit counts (a strike is
+a uniformly random bit of the SRAM arrays):
+
+``data``
+    The 512-bit payload, guarded by the scheme's data code (parity,
+    SECDED, or parity+SECDED-while-dirty).
+``tag``
+    The tag field plus its own parity bit ("as in Itanium", both
+    schemes); modelled by :class:`repro.core.tag_protection.ProtectedTag`.
+``status``
+    The valid / dirty / written state bits, covered by the same per-tag
+    parity bit as the tag.
+``check``
+    The stored check bits themselves (parity column, SECDED column or
+    shared-ECC-array entry) — a real array that real strikes hit.
+
+Outcome taxonomy (the superset of every domain's behaviours):
+
+``masked``
+    The fault is never architecturally observed: the line is
+    overwritten or evicted clean before any read, or the flipped bit
+    was microarchitectural only (e.g. the written bit).
+``corrected``
+    SECDED repaired the word in place; execution is unaffected.
+``refetched``
+    A detected error on a *clean* line; the pristine copy is refetched
+    from the next level (also spurious refetches from check-bit flips).
+``due``
+    Detected, Unrecoverable Error: the error is signalled but the only
+    up-to-date copy (or its address/state) is lost — a machine check.
+``sdc``
+    Silent Data Corruption: wrong data (or a wrongly-dropped dirty
+    line) with no error signalled.  Only the harness, knowing ground
+    truth, can label this.
+
+The per-trial lifecycle and every mapping below are documented, with
+the same vocabulary, in ``docs/reliability.md``.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Dict, Tuple, Type
+
+from repro.core.policy import (
+    LineProtection,
+    NonUniformPolicy,
+    ProtectionPolicy,
+    RecoveryAction,
+    UniformEccPolicy,
+    UniformParityPolicy,
+)
+from repro.core.tag_protection import ProtectedTag, TagOutcome
+
+
+class FaultDomain(enum.Enum):
+    """Which stored array the strike hit."""
+
+    DATA = "data"
+    TAG = "tag"
+    STATUS = "status"
+    CHECK = "check"
+
+
+#: Stable sampling order (ties the campaign's determinism contract).
+DOMAIN_ORDER: Tuple[FaultDomain, ...] = (
+    FaultDomain.DATA,
+    FaultDomain.TAG,
+    FaultDomain.STATUS,
+    FaultDomain.CHECK,
+)
+
+
+class TrialOutcome(enum.Enum):
+    """End-to-end architectural outcome of one injected strike."""
+
+    MASKED = "masked"
+    CORRECTED = "corrected"
+    REFETCHED = "refetched"
+    DUE = "due"
+    SDC = "sdc"
+
+    @property
+    def is_failure(self) -> bool:
+        """Counts against the scheme (the AVF numerator)."""
+        return self in (TrialOutcome.DUE, TrialOutcome.SDC)
+
+
+#: Protection schemes a campaign can compare.
+SCHEMES: Dict[str, Type[ProtectionPolicy]] = {
+    "uniform-ecc": UniformEccPolicy,
+    "non-uniform": NonUniformPolicy,
+    "parity-only": UniformParityPolicy,
+}
+
+
+def scheme_policy(name: str) -> ProtectionPolicy:
+    """Instantiate the policy a scheme name refers to."""
+    try:
+        return SCHEMES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scheme {name!r}; known: {sorted(SCHEMES)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class FaultModelConfig:
+    """Per-scheme parameters of the strike model.
+
+    ``dirty_fraction``
+        P(the struck line is dirty) — the scheme's measured dirty
+        residency (paper: 51.6% conventional, 19.6% full scheme), the
+        quantity the campaign can also measure per benchmark.
+    ``double_bit_fraction``
+        P(a strike upsets two bits of the same codeword) — the
+        multi-bit-upset tail.
+    ``read_fraction``
+        P(the struck line is demand-read before eviction/overwrite) —
+        the architectural-masking derate.  Unread *clean* lines mask
+        their faults; unread *dirty* lines are still checked on the
+        write-back path.
+    ``controller_refetch``
+        The campaign's controller consults the dirty bit on a
+        detected-uncorrectable error and refetches *clean* lines from
+        the next level (both schemes — the paper's "clean data can
+        always be refetched" argument, cf. ``repro.experiments.avf``).
+        ``False`` reproduces the stricter line-level semantics of
+        :meth:`repro.core.policy.LineProtection.access`, where only
+        parity-guarded lines take the refetch path.
+    """
+
+    line_bytes: int = 64
+    tag_bits: int = 24
+    #: valid + dirty + written (bit indices 0 / 1 / 2 below).
+    status_bits: int = 3
+    dirty_fraction: float = 0.5
+    double_bit_fraction: float = 0.05
+    read_fraction: float = 0.7
+    controller_refetch: bool = True
+
+    def __post_init__(self) -> None:
+        if self.line_bytes % 8 != 0 or self.line_bytes <= 0:
+            raise ValueError("line_bytes must be a positive multiple of 8")
+        for name in ("dirty_fraction", "double_bit_fraction", "read_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1]")
+        if self.status_bits < 2:
+            raise ValueError("status_bits must include valid and dirty")
+
+
+_VALID_BIT, _DIRTY_BIT = 0, 1  # status-bit layout; >=2 are heuristic bits
+
+
+def domain_bits(
+    policy: ProtectionPolicy, dirty: bool, config: FaultModelConfig
+) -> Dict[FaultDomain, int]:
+    """Stored bits per domain for a line of the given state.
+
+    These weights make the strike model area-proportional: a domain is
+    hit with probability (its bits) / (all stored bits of the line),
+    which is exactly how a uniform strike over the SRAM arrays lands.
+    """
+    return {
+        FaultDomain.DATA: config.line_bytes * 8,
+        FaultDomain.TAG: config.tag_bits + 1,  # + its parity bit
+        FaultDomain.STATUS: config.status_bits,
+        FaultDomain.CHECK: policy.check_bits_per_line(
+            config.line_bytes, dirty
+        ),
+    }
+
+
+def _choose_domain(
+    rng: random.Random, weights: Dict[FaultDomain, int]
+) -> FaultDomain:
+    total = sum(weights[d] for d in DOMAIN_ORDER)
+    roll = rng.random() * total
+    acc = 0.0
+    for domain in DOMAIN_ORDER:
+        acc += weights[domain]
+        if roll < acc:
+            return domain
+    return DOMAIN_ORDER[-1]  # pragma: no cover - float edge
+
+
+_ACTION_TO_OUTCOME = {
+    # A CLEAN_READ after injection means the codecs absorbed the flip
+    # without architectural effect (e.g. a stale-parity flip shadowed
+    # by ECC recovery): nothing was observed.
+    RecoveryAction.CLEAN_READ: TrialOutcome.MASKED,
+    RecoveryAction.CORRECTED_IN_PLACE: TrialOutcome.CORRECTED,
+    RecoveryAction.REFETCHED: TrialOutcome.REFETCHED,
+    RecoveryAction.DATA_LOSS: TrialOutcome.DUE,
+    RecoveryAction.SILENT_CORRUPTION: TrialOutcome.SDC,
+}
+
+_TAG_TO_OUTCOME = {
+    TagOutcome.OK: TrialOutcome.MASKED,
+    TagOutcome.INVALIDATED_REFETCH: TrialOutcome.REFETCHED,
+    TagOutcome.DATA_LOSS: TrialOutcome.DUE,
+    # The tag silently names another address: a dirty line writes back
+    # to the wrong place, a clean aliased hit returns wrong data.
+    TagOutcome.SILENT_ALIAS: TrialOutcome.SDC,
+}
+
+
+def _build_line(
+    policy: ProtectionPolicy, dirty: bool, config: FaultModelConfig,
+    rng: random.Random,
+) -> LineProtection:
+    payload = bytes(rng.getrandbits(8) for _ in range(config.line_bytes))
+    line = LineProtection(policy, payload, line_bytes=config.line_bytes)
+    if dirty:
+        line.write(bytes(rng.getrandbits(8) for _ in range(config.line_bytes)))
+    return line
+
+
+def _observe(
+    line: LineProtection, dirty: bool, config: FaultModelConfig,
+    rng: random.Random,
+) -> TrialOutcome:
+    """Read the struck line the way the machine eventually would.
+
+    With probability ``read_fraction`` the fault sits on the demand-read
+    path.  Otherwise a clean line is evicted or overwritten unread (the
+    fault is architecturally masked), while a dirty line still flows
+    through the checked write-back path — the same decode-and-recover
+    sequence as a read.
+    """
+    if not dirty and rng.random() >= config.read_fraction:
+        return TrialOutcome.MASKED
+    action, _ = line.access()
+    if (
+        config.controller_refetch
+        and not dirty
+        and action is RecoveryAction.DATA_LOSS
+    ):
+        # Detected-uncorrectable on a *clean* line: the line-level
+        # decoder gives up, but the controller knows the line is clean
+        # and refetches the pristine copy from the next level.
+        return TrialOutcome.REFETCHED
+    return _ACTION_TO_OUTCOME[action]
+
+
+def _inject_data(
+    policy: ProtectionPolicy, dirty: bool, flips: int,
+    config: FaultModelConfig, rng: random.Random,
+) -> TrialOutcome:
+    line = _build_line(policy, dirty, config, rng)
+    byte_idx = rng.randrange(config.line_bytes)
+    line.flip(byte_idx, rng.randrange(8))
+    if flips > 1:
+        # A multi-bit upset stays within one 64-bit codeword — the
+        # worst case for SECDED, which is exactly what must be counted.
+        word_start = (byte_idx // 8) * 8
+        line.flip(word_start + rng.randrange(8), rng.randrange(8))
+    return _observe(line, dirty, config, rng)
+
+
+def _inject_check(
+    policy: ProtectionPolicy, dirty: bool, flips: int,
+    config: FaultModelConfig, rng: random.Random,
+) -> TrialOutcome:
+    line = _build_line(policy, dirty, config, rng)
+    # Choose the struck check structure in proportion to its bits:
+    # 1 parity bit/word vs 8 SECDED bits/word when both are stored.
+    parity_bits = 1 if line.parity_checks is not None else 0
+    ecc_bits = 8 if line.ecc_checks is not None else 0
+    word = rng.randrange(config.line_bytes // 8)
+    strike_ecc = rng.random() * (parity_bits + ecc_bits) < ecc_bits
+    if strike_ecc:
+        assert line.ecc_checks is not None
+        line.ecc_checks[word] ^= 1 << rng.randrange(8)
+        if flips > 1:
+            line.ecc_checks[word] ^= 1 << rng.randrange(8)
+    else:
+        assert line.parity_checks is not None
+        line.parity_checks[word] ^= 1
+        if flips > 1:
+            # One parity bit per word: the second upset bit of the
+            # strike lands in the neighbouring word's parity column.
+            other = (word + 1) % (config.line_bytes // 8)
+            line.parity_checks[other] ^= 1
+    return _observe(line, dirty, config, rng)
+
+
+def _inject_tag(
+    dirty: bool, flips: int, config: FaultModelConfig, rng: random.Random
+) -> TrialOutcome:
+    tag = ProtectedTag(rng.getrandbits(config.tag_bits), config.tag_bits)
+    for bit in rng.sample(range(config.tag_bits), min(flips, config.tag_bits)):
+        tag.flip(bit)
+    # Tags are consulted on every subsequent access *and* at eviction
+    # (the write-back needs the address), so there is no unread masking.
+    return _TAG_TO_OUTCOME[tag.check(dirty)]
+
+
+def _inject_status(
+    dirty: bool, flips: int, config: FaultModelConfig, rng: random.Random
+) -> TrialOutcome:
+    """Status-bit strike; the bits share the tag's parity cover.
+
+    An odd number of flips is parity-detected: recoverable on a clean
+    line (invalidate + refetch), a DUE on a dirty line (its state is no
+    longer trustworthy, and the data cannot be safely dropped *or*
+    written back).  An even number is silent; the harm then depends on
+    which bits flipped:
+
+    * dirty bit on a dirty line — reads as clean, the modified data is
+      silently discarded at eviction: SDC;
+    * valid bit on a dirty line — the line vanishes with its data: SDC;
+    * anything else (dirty bit on a clean line → spurious write-back of
+      identical data; written bit → cleaning heuristic only): masked.
+    """
+    struck = rng.sample(
+        range(config.status_bits), min(flips, config.status_bits)
+    )
+    if len(struck) % 2 == 1:
+        return TrialOutcome.DUE if dirty else TrialOutcome.REFETCHED
+    if dirty and (_DIRTY_BIT in struck or _VALID_BIT in struck):
+        return TrialOutcome.SDC
+    return TrialOutcome.MASKED
+
+
+def run_trial(
+    policy: ProtectionPolicy,
+    config: FaultModelConfig,
+    rng: random.Random,
+) -> Tuple[TrialOutcome, FaultDomain, bool]:
+    """One strike: sample state, domain and multiplicity; classify.
+
+    Returns ``(outcome, struck domain, line was dirty)``.  Consumes rng
+    state in a fixed order, so a seeded rng replays the identical trial.
+    """
+    dirty = rng.random() < config.dirty_fraction
+    domain = _choose_domain(rng, domain_bits(policy, dirty, config))
+    flips = 2 if rng.random() < config.double_bit_fraction else 1
+    if domain is FaultDomain.DATA:
+        outcome = _inject_data(policy, dirty, flips, config, rng)
+    elif domain is FaultDomain.CHECK:
+        outcome = _inject_check(policy, dirty, flips, config, rng)
+    elif domain is FaultDomain.TAG:
+        outcome = _inject_tag(dirty, flips, config, rng)
+    else:
+        outcome = _inject_status(dirty, flips, config, rng)
+    return outcome, domain, dirty
+
+
+def stored_bits_per_line(
+    policy: ProtectionPolicy, config: FaultModelConfig, dirty_fraction: float
+) -> float:
+    """Expected stored bits per line, averaging check bits over state.
+
+    The FIT conversion scales the raw per-bit strike rate by this (×
+    the line count): non-uniform protection stores fewer vulnerable
+    bits when the cache is mostly clean, and that area saving is part
+    of the paper's reliability story.
+    """
+    per_state = {
+        state: sum(domain_bits(policy, state, config).values())
+        for state in (False, True)
+    }
+    return (
+        dirty_fraction * per_state[True]
+        + (1.0 - dirty_fraction) * per_state[False]
+    )
+
+
+__all__ = [
+    "DOMAIN_ORDER",
+    "FaultDomain",
+    "FaultModelConfig",
+    "SCHEMES",
+    "TrialOutcome",
+    "domain_bits",
+    "run_trial",
+    "scheme_policy",
+    "stored_bits_per_line",
+]

@@ -30,6 +30,11 @@ and ``cycle`` plus its type's fields:
 ``error_outcome``
     One fault-injection trial's classified decoder outcome;
     ``cycle`` is the trial index.
+``campaign_outcome``
+    One reliability-campaign trial's end-to-end outcome (scheme,
+    struck domain, line dirtiness, taxonomy class); ``cycle`` is the
+    campaign-global trial index.  Shards head-sample these, so a
+    campaign's trace is representative, not exhaustive.
 """
 
 from __future__ import annotations
@@ -71,6 +76,12 @@ EVENT_FIELDS: Dict[str, Dict[str, type]] = {
         "for_way": int,
     },
     "error_outcome": {"codec": str, "trial": int, "flips": int, "outcome": str},
+    "campaign_outcome": {
+        "scheme": str,
+        "domain": str,
+        "dirty": bool,
+        "outcome": str,
+    },
 }
 
 

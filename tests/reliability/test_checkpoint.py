@@ -1,0 +1,106 @@
+"""JSONL checkpoint durability and refusal semantics."""
+
+import json
+
+import pytest
+
+from repro.reliability.checkpoint import (
+    CHECKPOINT_VERSION,
+    CampaignCheckpoint,
+    CheckpointError,
+    config_digest,
+)
+
+
+def _shard(scheme="uniform-ecc", index=0, trials=10):
+    return {
+        "scheme": scheme,
+        "index": index,
+        "trials": trials,
+        "seed": 42,
+        "outcomes": {"data": {"masked": trials}},
+    }
+
+
+def test_digest_is_canonical():
+    a = config_digest({"x": 1, "y": [1, 2]})
+    b = config_digest({"y": [1, 2], "x": 1})  # key order irrelevant
+    c = config_digest({"x": 2, "y": [1, 2]})
+    assert a == b != c
+
+
+def test_missing_file_loads_empty(tmp_path):
+    ckpt = CampaignCheckpoint(tmp_path / "none.jsonl")
+    assert ckpt.load("whatever") == {}
+
+
+def test_roundtrip(tmp_path):
+    digest = config_digest({"seed": 0})
+    with CampaignCheckpoint(tmp_path / "c.jsonl") as ckpt:
+        ckpt.write_header(digest, {"seed": 0})
+        ckpt.append_shard(_shard(index=0))
+        ckpt.append_shard(_shard(index=1, scheme="non-uniform"))
+    done = CampaignCheckpoint(tmp_path / "c.jsonl").load(digest)
+    assert set(done) == {("uniform-ecc", 0), ("non-uniform", 1)}
+    assert done[("uniform-ecc", 0)]["trials"] == 10
+
+
+def test_header_written_once(tmp_path):
+    digest = config_digest({})
+    path = tmp_path / "c.jsonl"
+    for _ in range(2):
+        with CampaignCheckpoint(path) as ckpt:
+            ckpt.write_header(digest, {})
+    lines = path.read_text().splitlines()
+    assert len(lines) == 1
+
+
+def test_torn_final_line_is_skipped(tmp_path):
+    digest = config_digest({})
+    path = tmp_path / "c.jsonl"
+    with CampaignCheckpoint(path) as ckpt:
+        ckpt.write_header(digest, {})
+        ckpt.append_shard(_shard(index=0))
+    with open(path, "a") as fh:
+        fh.write('{"scheme": "uniform-ecc", "index": 1, "tr')  # killed here
+    done = CampaignCheckpoint(path).load(digest)
+    assert set(done) == {("uniform-ecc", 0)}
+
+
+def test_malformed_interior_line_is_an_error(tmp_path):
+    digest = config_digest({})
+    path = tmp_path / "c.jsonl"
+    with CampaignCheckpoint(path) as ckpt:
+        ckpt.write_header(digest, {})
+    with open(path, "a") as fh:
+        fh.write("not json\n")
+        fh.write(json.dumps(dict(_shard(), type="shard")) + "\n")
+    with pytest.raises(CheckpointError, match="malformed"):
+        CampaignCheckpoint(path).load(digest)
+
+
+def test_digest_mismatch_refuses_to_resume(tmp_path):
+    path = tmp_path / "c.jsonl"
+    with CampaignCheckpoint(path) as ckpt:
+        ckpt.write_header(config_digest({"seed": 0}), {"seed": 0})
+    with pytest.raises(CheckpointError, match="configuration changed"):
+        CampaignCheckpoint(path).load(config_digest({"seed": 1}))
+
+
+def test_version_mismatch_refuses_to_resume(tmp_path):
+    path = tmp_path / "c.jsonl"
+    header = {
+        "type": "header",
+        "version": CHECKPOINT_VERSION + 1,
+        "digest": "d",
+    }
+    path.write_text(json.dumps(header) + "\n")
+    with pytest.raises(CheckpointError, match="version"):
+        CampaignCheckpoint(path).load("d")
+
+
+def test_missing_header_is_an_error(tmp_path):
+    path = tmp_path / "c.jsonl"
+    path.write_text(json.dumps(dict(_shard(), type="shard")) + "\n")
+    with pytest.raises(CheckpointError, match="header"):
+        CampaignCheckpoint(path).load("d")

@@ -1,0 +1,72 @@
+"""FIT / MTTF / AVF arithmetic."""
+
+import pytest
+
+from repro.reliability.estimates import (
+    HOURS_PER_BILLION,
+    fit_to_mttf_hours,
+    rate_estimate,
+    scheme_estimate,
+)
+from repro.reliability.model import (
+    FaultModelConfig,
+    TrialOutcome,
+    scheme_policy,
+    stored_bits_per_line,
+)
+
+
+def test_rate_estimate_carries_its_interval():
+    r = rate_estimate(10, 1000)
+    assert r.value == 0.01
+    assert r.lo < 0.01 < r.hi
+    assert r.half_width == pytest.approx((r.hi - r.lo) / 2)
+    v, lo, hi = r.scaled(100.0)
+    assert (v, lo, hi) == (r.value * 100, r.lo * 100, r.hi * 100)
+
+
+def test_fit_to_mttf():
+    assert fit_to_mttf_hours(1000.0) == HOURS_PER_BILLION / 1000.0
+    assert fit_to_mttf_hours(0.0) == float("inf")
+
+
+def test_scheme_estimate_arithmetic():
+    model = FaultModelConfig(dirty_fraction=0.5)
+    policy = scheme_policy("uniform-ecc")
+    counts = {
+        TrialOutcome.MASKED: 700,
+        TrialOutcome.CORRECTED: 200,
+        TrialOutcome.DUE: 80,
+        TrialOutcome.SDC: 20,
+    }
+    est = scheme_estimate(
+        "uniform-ecc", policy, model, counts,
+        n_lines=1000, raw_fit_per_mbit=1000.0,
+    )
+    assert est.trials == 1000
+    assert est.avf.value == pytest.approx(0.1)
+
+    bits = 1000 * stored_bits_per_line(policy, model, 0.5)
+    assert est.total_bits == pytest.approx(bits)
+    assert est.strike_fit == pytest.approx(1000.0 * bits / (1 << 20))
+    assert est.fit_sdc[0] == pytest.approx(est.strike_fit * 0.02)
+    assert est.fit_due[0] == pytest.approx(est.strike_fit * 0.08)
+
+    # MTTF comes from total failure FIT, bounds anti-ordered (FIT hi
+    # gives MTTF lo).
+    fit_total = est.strike_fit * est.avf.value
+    assert est.mttf_hours[0] == pytest.approx(HOURS_PER_BILLION / fit_total)
+    assert est.mttf_hours[1] <= est.mttf_hours[0] <= est.mttf_hours[2]
+
+
+def test_zero_failures_give_infinite_mttf():
+    model = FaultModelConfig()
+    est = scheme_estimate(
+        "uniform-ecc",
+        scheme_policy("uniform-ecc"),
+        model,
+        {TrialOutcome.MASKED: 100},
+        n_lines=100,
+    )
+    assert est.mttf_hours[0] == float("inf")
+    assert est.mttf_hours[1] < float("inf")  # the Wilson hi bound is > 0
