@@ -2,11 +2,11 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test test-all bench figures figures-par \
-	reliability-smoke examples clean
+.PHONY: install lint test test-all bench bench-perf bench-baseline \
+	figures figures-par reliability-smoke examples clean
 
 install:
-	$(PYTHON) setup.py develop
+	$(PYTHON) -m pip install -e .[dev]
 
 # Lint with ruff when available; skip (successfully) when the
 # environment doesn't ship it, so `make lint` is safe everywhere but
@@ -26,6 +26,22 @@ test-all:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# The CI performance-regression gate: measure injection-kernel
+# throughput, then fail if it regressed past the committed baseline
+# (BENCH_reliability.json at the repo root) or the batch/reference
+# speedup fell under its floor.  See scripts/check_bench.py.
+bench-perf:
+	PYTHONPATH=src:benchmarks $(PYTHON) \
+		benchmarks/bench_reliability_throughput.py \
+		--out benchmarks/results/BENCH_reliability.json
+	$(PYTHON) scripts/check_bench.py
+
+# Refresh the committed baseline after an intentional kernel change.
+bench-baseline:
+	PYTHONPATH=src:benchmarks $(PYTHON) \
+		benchmarks/bench_reliability_throughput.py \
+		--out BENCH_reliability.json
 
 figures:
 	$(PYTHON) -m repro figures

@@ -1,0 +1,196 @@
+"""Injection-kernel throughput: the CI performance-regression gate.
+
+Measures trials/second of the reliability campaign's two shard kernels
+(``reference`` builds real codec objects per trial, ``batch`` classifies
+against pooled pre-encoded lines — see ``repro.reliability.kernel``) and
+an end-to-end campaign wall time, then writes the numbers to a JSON
+artifact.  CI runs this via ``make bench-perf`` and
+``scripts/check_bench.py`` fails the build when batch throughput drops
+below the committed baseline (``BENCH_reliability.json`` at the repo
+root) or the batch/reference speedup falls under its floor.
+
+Standalone:
+
+    PYTHONPATH=src python benchmarks/bench_reliability_throughput.py \
+        --out benchmarks/results/BENCH_reliability.json
+
+Under ``make bench`` (pytest-benchmark) only a reduced smoke version
+runs, so the figure benches stay fast.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Dict
+
+from _shared import RESULTS_DIR, write_result
+
+from repro.experiments import render_table
+from repro.reliability.campaign import (
+    CampaignConfig,
+    ShardSpec,
+    run_campaign,
+    run_shard,
+    shard_seed,
+)
+from repro.reliability.model import FaultModelConfig, SCHEMES
+
+#: Schema version of the emitted JSON (bump on shape changes).
+SCHEMA = 1
+
+
+def _measure(scheme: str, kernel: str, trials: int, seed: int) -> float:
+    """Wall seconds for one shard of ``trials`` under ``kernel``."""
+    spec = ShardSpec(
+        scheme=scheme,
+        index=0,
+        trials=trials,
+        seed=shard_seed(seed, scheme, 0),
+        model=FaultModelConfig(),
+        kernel=kernel,
+    )
+    start = time.perf_counter()
+    run_shard(spec)
+    return time.perf_counter() - start
+
+
+def measure_throughput(
+    reference_trials: int = 20_000,
+    batch_trials: int = 200_000,
+    campaign_trials: int = 100_000,
+    seed: int = 0,
+) -> Dict:
+    """The full measurement: per-scheme kernels + an end-to-end campaign."""
+    schemes = sorted(SCHEMES)
+    # Warm up both kernels once: the shared pool, the plan cache and the
+    # syndrome tables are one-time costs that should not skew the rates.
+    for scheme in schemes:
+        _measure(scheme, "reference", 200, seed)
+        _measure(scheme, "batch", 200, seed)
+
+    per_scheme: Dict[str, Dict[str, float]] = {}
+    ref_seconds = batch_seconds = 0.0
+    for scheme in schemes:
+        ref_s = _measure(scheme, "reference", reference_trials, seed)
+        batch_s = _measure(scheme, "batch", batch_trials, seed)
+        ref_seconds += ref_s
+        batch_seconds += batch_s
+        per_scheme[scheme] = {
+            "reference_trials_per_s": reference_trials / ref_s,
+            "batch_trials_per_s": batch_trials / batch_s,
+            "speedup": (batch_trials / batch_s) / (reference_trials / ref_s),
+        }
+
+    reference_rate = len(schemes) * reference_trials / ref_seconds
+    batch_rate = len(schemes) * batch_trials / batch_seconds
+
+    campaign_config = CampaignConfig(
+        schemes=("uniform-ecc", "non-uniform"),
+        trials=campaign_trials,
+        trials_per_shard=5_000,
+        seed=seed,
+        kernel="batch",
+    )
+    start = time.perf_counter()
+    result = run_campaign(campaign_config)
+    campaign_s = time.perf_counter() - start
+
+    return {
+        "schema": SCHEMA,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "schemes": per_scheme,
+        "reference_trials_per_s": reference_rate,
+        "batch_trials_per_s": batch_rate,
+        "speedup": batch_rate / reference_rate,
+        "campaign": {
+            "trials": result.total_trials,
+            "seconds": campaign_s,
+            "trials_per_s": result.total_trials / campaign_s,
+        },
+    }
+
+
+def _render(payload: Dict) -> str:
+    rows = [
+        [
+            scheme,
+            row["reference_trials_per_s"],
+            row["batch_trials_per_s"],
+            row["speedup"],
+        ]
+        for scheme, row in payload["schemes"].items()
+    ]
+    rows.append(
+        [
+            "ALL",
+            payload["reference_trials_per_s"],
+            payload["batch_trials_per_s"],
+            payload["speedup"],
+        ]
+    )
+    return render_table(
+        ["scheme", "reference trials/s", "batch trials/s", "speedup"],
+        rows,
+        ndigits=1,
+        title="Injection kernel throughput (see scripts/check_bench.py)",
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(RESULTS_DIR / "BENCH_reliability.json"),
+        help="where to write the JSON artifact",
+    )
+    parser.add_argument("--reference-trials", type=int, default=20_000)
+    parser.add_argument("--batch-trials", type=int, default=200_000)
+    parser.add_argument("--campaign-trials", type=int, default=100_000)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    payload = measure_throughput(
+        reference_trials=args.reference_trials,
+        batch_trials=args.batch_trials,
+        campaign_trials=args.campaign_trials,
+        seed=args.seed,
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    table = _render(payload)
+    write_result("reliability_throughput", table)
+    print(table)
+    print(
+        f"campaign: {payload['campaign']['trials']} trials in "
+        f"{payload['campaign']['seconds']:.2f}s "
+        f"({payload['campaign']['trials_per_s']:.0f} trials/s)"
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
+def bench_reliability_throughput(benchmark):
+    """Reduced smoke version for ``make bench``: batch beats reference."""
+    payload = benchmark.pedantic(
+        lambda: measure_throughput(
+            reference_trials=4_000,
+            batch_trials=40_000,
+            campaign_trials=20_000,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_result("reliability_throughput", _render(payload))
+    # Loose in-bench floor; the committed-baseline gate is the real one.
+    assert payload["speedup"] > 4
+
+
+if __name__ == "__main__":
+    sys.exit(main())

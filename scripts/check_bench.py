@@ -1,0 +1,124 @@
+"""Performance-regression gate over the kernel-throughput artifact.
+
+Compares the JSON written by ``benchmarks/bench_reliability_throughput.py``
+against the committed baseline (``BENCH_reliability.json`` at the repo
+root) and exits non-zero when either floor is violated:
+
+* **absolute throughput** — current batch trials/s must stay within
+  ``--tolerance`` (default 30%) of the baseline's, so a kernel
+  regression cannot land silently even if it stays "fast enough";
+* **speedup ratio** — batch must remain at least ``--min-speedup``
+  (default 10×) faster than the reference path *measured in the same
+  run*, a machine-independent bound that holds on slow CI runners where
+  absolute numbers drift.
+
+Usage (what ``make bench-perf`` runs):
+
+    python scripts/check_bench.py \
+        --current benchmarks/results/BENCH_reliability.json \
+        --baseline BENCH_reliability.json
+
+Refreshing the baseline after an intentional change: ``make
+bench-baseline``, then commit the updated root JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _load(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except FileNotFoundError:
+        sys.exit(f"FAIL: benchmark file not found: {path}")
+    except json.JSONDecodeError as exc:
+        sys.exit(f"FAIL: {path} is not valid JSON: {exc}")
+
+
+def check(
+    current: dict,
+    baseline: dict,
+    tolerance: float,
+    min_speedup: float,
+) -> list:
+    """Return a list of human-readable violations (empty == pass)."""
+    problems = []
+    floor = baseline["batch_trials_per_s"] * (1.0 - tolerance)
+    got = current["batch_trials_per_s"]
+    if got < floor:
+        problems.append(
+            f"batch throughput {got:,.0f} trials/s is below the floor "
+            f"{floor:,.0f} (baseline {baseline['batch_trials_per_s']:,.0f} "
+            f"minus {tolerance:.0%} tolerance)"
+        )
+    if current["speedup"] < min_speedup:
+        problems.append(
+            f"batch/reference speedup {current['speedup']:.1f}x is below "
+            f"the {min_speedup:.1f}x floor"
+        )
+    if current.get("schema") != baseline.get("schema"):
+        problems.append(
+            f"schema mismatch: current {current.get('schema')!r} vs "
+            f"baseline {baseline.get('schema')!r} — regenerate the "
+            "baseline with `make bench-baseline`"
+        )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    root = Path(__file__).resolve().parent.parent
+    parser.add_argument(
+        "--current",
+        default=str(root / "benchmarks" / "results" / "BENCH_reliability.json"),
+        help="JSON produced by this run's benchmark",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(root / "BENCH_reliability.json"),
+        help="committed baseline JSON",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional drop below the baseline (default 0.30)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=10.0,
+        help="required batch/reference speedup in the current run",
+    )
+    args = parser.parse_args(argv)
+
+    current = _load(args.current)
+    baseline = _load(args.baseline)
+    problems = check(current, baseline, args.tolerance, args.min_speedup)
+
+    print(
+        f"current : batch {current['batch_trials_per_s']:,.0f} trials/s, "
+        f"reference {current['reference_trials_per_s']:,.0f} trials/s, "
+        f"speedup {current['speedup']:.1f}x"
+    )
+    print(
+        f"baseline: batch {baseline['batch_trials_per_s']:,.0f} trials/s "
+        f"(floor at -{args.tolerance:.0%}: "
+        f"{baseline['batch_trials_per_s'] * (1 - args.tolerance):,.0f}), "
+        f"min speedup {args.min_speedup:.1f}x"
+    )
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}")
+        return 1
+    print("PASS: kernel throughput within the regression gate")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

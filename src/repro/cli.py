@@ -415,6 +415,7 @@ def cmd_reliability(args) -> int:
         dirty_fractions=dirty_fractions,
         raw_fit_per_mbit=args.raw_fit,
         n_lines=args.n_lines,
+        kernel=args.kernel,
     )
     try:
         result = run_campaign(
@@ -673,6 +674,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--trials-per-shard", type=int, default=500)
     p.add_argument("--shards-per-round", type=int, default=8)
+    p.add_argument(
+        "--kernel", choices=["batch", "reference"], default="batch",
+        help="shard execution kernel: 'batch' mutates pooled "
+             "pre-encoded lines via syndrome tables (~20x faster); "
+             "'reference' builds a live LineProtection per trial. "
+             "Bit-identical results either way",
+    )
     p.add_argument("--max-trials", type=int, default=1_000_000,
                    help="hard per-scheme trial budget in auto mode")
     p.add_argument(

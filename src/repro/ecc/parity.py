@@ -23,6 +23,12 @@ def _parity64(word: int) -> int:
     return word & 1
 
 
+#: Even parity of every byte value: ``BYTE_PARITY[b] == _parity64(b)``.
+#: The batched injection kernel folds a word's bytes with XOR and does a
+#: single table lookup instead of a six-shift reduction per word.
+BYTE_PARITY: tuple = tuple(_parity64(value) for value in range(256))
+
+
 class ParityCodec(Codec):
     """Single even-parity bit per 64-bit word (detect-only)."""
 

@@ -10,6 +10,10 @@ not a handful of fixed-trial loops.  This package is that harness:
 * :mod:`repro.reliability.model` — the fault model: protection domains
   (data / tag / status / check arrays), per-trial lifecycle, and the
   outcome taxonomy (masked / corrected / refetch / DUE / SDC);
+* :mod:`repro.reliability.kernel` — the batched injection kernel:
+  pooled pre-encoded codewords and syndrome-table decoding give ~20×
+  the reference path's trial throughput with bit-identical outcomes
+  (``--kernel batch|reference``);
 * :mod:`repro.reliability.stopping` — Wilson score intervals and the
   sequential stopping rule (run until the SDC-rate interval is tight);
 * :mod:`repro.reliability.estimates` — FIT / MTTF / AVF arithmetic with
@@ -24,6 +28,7 @@ See ``docs/reliability.md`` for the end-to-end methodology.
 """
 
 from repro.reliability.campaign import (
+    KERNELS,
     CampaignConfig,
     CampaignEngine,
     CampaignResult,
@@ -37,6 +42,11 @@ from repro.reliability.campaign import (
 from repro.reliability.checkpoint import (
     CampaignCheckpoint,
     CheckpointError,
+)
+from repro.reliability.kernel import (
+    POOL_SIZE,
+    LinePool,
+    run_trials_batch,
 )
 from repro.reliability.estimates import (
     HOURS_PER_BILLION,
@@ -69,6 +79,9 @@ __all__ = [
     "FaultDomain",
     "FaultModelConfig",
     "HOURS_PER_BILLION",
+    "KERNELS",
+    "LinePool",
+    "POOL_SIZE",
     "RateEstimate",
     "ReliabilityEstimate",
     "SCHEMES",
@@ -82,6 +95,7 @@ __all__ = [
     "run_campaign",
     "run_shard",
     "run_trial",
+    "run_trials_batch",
     "scheme_estimate",
     "scheme_policy",
     "shard_seed",

@@ -42,6 +42,7 @@ from repro.reliability.checkpoint import (
     CampaignCheckpoint,
     config_digest,
 )
+from repro.reliability.kernel import LinePool, run_trials_batch
 from repro.reliability.estimates import (
     DEFAULT_RAW_FIT_PER_MBIT,
     ReliabilityEstimate,
@@ -70,6 +71,15 @@ DEFAULT_DIRTY_FRACTIONS: Dict[str, float] = {
 #: Per-trial outcome samples a shard carries back for event tracing.
 SAMPLES_PER_SHARD = 32
 
+#: Shard execution kernels.  ``batch`` classifies strikes against
+#: pooled pre-encoded lines via syndrome-table lookups
+#: (:mod:`repro.reliability.kernel`); ``reference`` builds a live
+#: :class:`~repro.core.policy.LineProtection` per trial.  Both replay
+#: the identical random stream under one shard seed, so they produce
+#: bit-identical shard results — the kernel choice is a speed knob,
+#: never a results knob, and checkpoints are kernel-portable.
+KERNELS: Tuple[str, ...] = ("batch", "reference")
+
 
 def shard_seed(master_seed: int, scheme: str, index: int) -> int:
     """The seed shard ``index`` of ``scheme`` always runs under.
@@ -92,6 +102,9 @@ class ShardSpec:
     seed: int
     model: FaultModelConfig
     sample_limit: int = SAMPLES_PER_SHARD
+    #: ``batch`` or ``reference`` (see :data:`KERNELS`); either yields
+    #: the same :class:`ShardResult` for the same spec.
+    kernel: str = "batch"
 
 
 @dataclass
@@ -144,17 +157,35 @@ def run_shard(spec: ShardSpec) -> ShardResult:
     """Execute one shard to completion; pure function of the spec.
 
     Module-level so :meth:`SweepEngine.map_tasks` workers can pickle it.
+    Dispatches on ``spec.kernel``; the two kernels consume the shard
+    seed identically, so the returned counts do not depend on it.
     """
     rng = random.Random(spec.seed)
     policy = scheme_policy(spec.scheme)
-    outcomes: Dict[str, Dict[str, int]] = {}
-    samples: List[Tuple[int, str, bool, str]] = []
-    for trial in range(spec.trials):
-        outcome, domain, dirty = run_trial(policy, spec.model, rng)
-        per_domain = outcomes.setdefault(domain.value, {})
-        per_domain[outcome.value] = per_domain.get(outcome.value, 0) + 1
-        if len(samples) < spec.sample_limit:
-            samples.append((trial, domain.value, dirty, outcome.value))
+    if spec.kernel == "batch":
+        outcomes, samples = run_trials_batch(
+            policy,
+            spec.model,
+            spec.trials,
+            rng,
+            sample_limit=spec.sample_limit,
+        )
+    else:
+        pool = LinePool.shared(spec.model.line_bytes)
+        outcomes = {}
+        samples = []
+        for trial in range(spec.trials):
+            outcome, domain, dirty = run_trial(
+                policy, spec.model, rng, pool
+            )
+            per_domain = outcomes.setdefault(domain.value, {})
+            per_domain[outcome.value] = (
+                per_domain.get(outcome.value, 0) + 1
+            )
+            if len(samples) < spec.sample_limit:
+                samples.append(
+                    (trial, domain.value, dirty, outcome.value)
+                )
     return ShardResult(
         scheme=spec.scheme,
         index=spec.index,
@@ -182,6 +213,11 @@ class CampaignConfig:
     ``n_lines``
         Lines of the protected structure (the paper's 1 MB / 64 B L2 =
         16384) — only scales the FIT/MTTF conversion.
+    ``kernel``
+        Shard execution kernel (:data:`KERNELS`).  Excluded from the
+        checkpoint digest: both kernels produce bit-identical shard
+        results, so a checkpoint written under one resumes under the
+        other.
     """
 
     schemes: Tuple[str, ...] = ("uniform-ecc", "non-uniform")
@@ -195,10 +231,15 @@ class CampaignConfig:
     dirty_fractions: Optional[Mapping[str, float]] = None
     raw_fit_per_mbit: float = DEFAULT_RAW_FIT_PER_MBIT
     n_lines: int = 16384
+    kernel: str = "batch"
 
     def __post_init__(self) -> None:
         if not self.schemes:
             raise ValueError("campaign needs at least one scheme")
+        if self.kernel not in KERNELS:
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; known: {list(KERNELS)}"
+            )
         if self.trials is not None and self.trials < 1:
             raise ValueError("trials must be positive (or None for auto)")
         if self.trials_per_shard < 1 or self.shards_per_round < 1:
@@ -400,6 +441,7 @@ class CampaignEngine:
             trials=trials,
             seed=shard_seed(self.config.seed, scheme, index),
             model=self.config.model_for(scheme),
+            kernel=self.config.kernel,
         )
 
     def _auto_round_specs(self, state: _SchemeState) -> List[ShardSpec]:
@@ -588,6 +630,7 @@ def run_campaign(
 
 __all__ = [
     "DEFAULT_DIRTY_FRACTIONS",
+    "KERNELS",
     "CampaignConfig",
     "CampaignEngine",
     "CampaignResult",

@@ -29,7 +29,11 @@ import os
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
 
-CHECKPOINT_VERSION = 1
+#: Version 2: the per-trial random stream changed when payloads moved
+#: from the trial stream to the pre-encoded line pool (PR 4) — a v1
+#: checkpoint's shards would splice a different trial population into a
+#: resumed campaign, so resuming one is refused rather than corrupted.
+CHECKPOINT_VERSION = 2
 
 
 class CheckpointError(ValueError):

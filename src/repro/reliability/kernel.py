@@ -1,0 +1,439 @@
+"""The batched injection kernel: pooled codewords + syndrome tables.
+
+:func:`repro.reliability.model.run_trial` is the campaign's semantic
+oracle: it builds a real :class:`~repro.core.policy.LineProtection`
+(two codec objects, a full line encode, a full line decode) for every
+strike — ~100 µs/trial, which bounds how tight a campaign's confidence
+intervals can be (±0.1% needs ~10⁶ trials per scheme).
+
+This module is the fast path.  Three observations make it possible:
+
+1. **Outcomes are payload-independent.**  Parity and SECDED are
+   GF(2)-linear, so what a decoder sees is a pure function of the
+   injected *error pattern*: syndrome(stored) = syndrome(error), and
+   "repaired == golden" holds exactly when the correction cancels the
+   error.  No per-trial payload needs to exist.
+2. **Pre-encoded lines can be reused.**  A :class:`LinePool` holds a
+   fixed population of payloads with their parity and SECDED check
+   bytes in flat ``bytearray`` buffers, encoded once.  A trial flips
+   bits of a pooled line in place, classifies the strike, and flips
+   them back — no construction, no re-encode.
+3. **Decoding is eight table lookups.**  The per-byte
+   :data:`repro.ecc.hamming.SYNDROME_TABLES` give a word's SECDED check
+   bits as the XOR of eight 256-entry lookups;
+   :data:`repro.ecc.parity.BYTE_PARITY` does the same for parity.
+
+**Exact parity with the reference path.**  ``run_trials_batch`` draws
+the same random variates in the same order as ``run_trial`` (state,
+domain, multiplicity, pooled line index, flip positions, read roll),
+and both source payloads from the same pool — so under one shard seed
+the two kernels produce *identical* per-trial outcomes, not merely the
+same distribution.  The campaign's checkpoints are therefore
+kernel-portable: a file written under ``--kernel reference`` resumes
+under ``--kernel batch`` bit-identically (pinned in
+``tests/reliability/test_kernel.py``).
+
+Numpy is deliberately not used here: exact parity binds the kernel to
+the Mersenne-Twister draw order of :class:`random.Random`, which a
+vectorized RNG cannot replay.  The flat buffers keep the door open.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.policy import ProtectionDomain, ProtectionPolicy, RecoveryAction
+from repro.ecc.hamming import _POS_TO_DATABIT, SYNDROME_TABLES, encode_word
+from repro.ecc.parity import BYTE_PARITY, _parity64
+from repro.reliability.model import (
+    DOMAIN_ORDER,
+    FaultDomain,
+    FaultModelConfig,
+    TrialOutcome,
+    _ACTION_TO_OUTCOME,
+    _inject_status,
+    _inject_tag,
+    domain_bits,
+)
+
+#: Pooled lines per :class:`LinePool`.  Part of the determinism
+#: contract: both kernels draw line indices as ``randrange(POOL_SIZE)``,
+#: so changing this constant changes every seeded campaign.
+POOL_SIZE = 256
+
+#: Fixed seed for pool payload generation.  Pool contents are *not*
+#: part of the per-trial random stream (outcomes are payload
+#: independent); a constant keeps pools identical across processes.
+POOL_SEED = 0x9E3779B97F4A7C15
+
+
+class LinePool:
+    """A fixed population of pre-encoded cache lines in flat buffers.
+
+    ``payload`` holds ``size`` lines back to back; ``parity`` and
+    ``ecc`` hold one check byte per 64-bit word (parity uses only bit
+    0), regardless of which codes a given policy/state actually stores
+    — selection happens per trial, so one pool serves every scheme.
+    """
+
+    _shared: Dict[Tuple[int, int], "LinePool"] = {}
+
+    def __init__(
+        self,
+        line_bytes: int = 64,
+        size: int = POOL_SIZE,
+        seed: int = POOL_SEED,
+    ) -> None:
+        if line_bytes % 8 != 0 or line_bytes <= 0:
+            raise ValueError("line_bytes must be a positive multiple of 8")
+        if size < 1:
+            raise ValueError("pool needs at least one line")
+        self.line_bytes = line_bytes
+        self.size = size
+        #: ``randrange(size)`` draw width (see :func:`_randbelow`).
+        self.k_size = size.bit_length()
+        self.words_per_line = line_bytes // 8
+        rng = random.Random(seed)
+        self.payload = bytearray(rng.randbytes(size * line_bytes))
+        n_words = size * self.words_per_line
+        self.parity = bytearray(n_words)
+        self.ecc = bytearray(n_words)
+        view = memoryview(self.payload)
+        for j in range(n_words):
+            word = int.from_bytes(view[j * 8 : j * 8 + 8], "little")
+            self.parity[j] = _parity64(word)
+            self.ecc[j] = encode_word(word)
+
+    @classmethod
+    def shared(cls, line_bytes: int = 64, size: int = POOL_SIZE) -> "LinePool":
+        """Process-wide memoised pool (workers build theirs once)."""
+        key = (line_bytes, size)
+        pool = cls._shared.get(key)
+        if pool is None:
+            pool = cls._shared[key] = cls(line_bytes=line_bytes, size=size)
+        return pool
+
+    def payload_bytes(self, index: int) -> bytes:
+        """Copy of pooled line ``index``'s payload (for the slow path)."""
+        if not 0 <= index < self.size:
+            raise IndexError(f"pool index {index} out of range")
+        start = index * self.line_bytes
+        return bytes(self.payload[start : start + self.line_bytes])
+
+
+class _KernelPlan:
+    """Per-(policy, config) precomputation shared by every trial."""
+
+    __slots__ = (
+        "words", "cum", "total", "recovery", "parity_bits", "ecc_bits",
+        "k_line", "k_words",
+    )
+
+    def __init__(self, policy: ProtectionPolicy, config: FaultModelConfig):
+        self.words = config.line_bytes // 8
+        self.k_line = config.line_bytes.bit_length()
+        self.k_words = self.words.bit_length()
+        self.cum: Dict[bool, List[float]] = {}
+        self.total: Dict[bool, float] = {}
+        self.recovery: Dict[bool, ProtectionDomain] = {}
+        self.parity_bits: Dict[bool, int] = {}
+        self.ecc_bits: Dict[bool, int] = {}
+        for dirty in (False, True):
+            weights = domain_bits(policy, dirty, config)
+            # Same float accumulation order as model._choose_domain, so
+            # the roll-vs-cumulative comparisons are bit-identical.
+            acc, cum = 0.0, []
+            for domain in DOMAIN_ORDER:
+                acc += weights[domain]
+                cum.append(acc)
+            self.cum[dirty] = cum
+            self.total[dirty] = float(
+                sum(weights[d] for d in DOMAIN_ORDER)
+            )
+            self.recovery[dirty] = policy.recovery_domain(dirty)
+            domains = policy.domains_for(dirty)
+            self.parity_bits[dirty] = (
+                1 if ProtectionDomain.PARITY in domains else 0
+            )
+            self.ecc_bits[dirty] = (
+                8 if ProtectionDomain.ECC in domains else 0
+            )
+
+
+_PLANS: Dict[Tuple[str, FaultModelConfig], _KernelPlan] = {}
+
+
+def _plan_for(policy: ProtectionPolicy, config: FaultModelConfig) -> _KernelPlan:
+    key = (policy.name, config)
+    plan = _PLANS.get(key)
+    if plan is None:
+        plan = _PLANS[key] = _KernelPlan(policy, config)
+    return plan
+
+
+def _randbelow(getrandbits, k: int, n: int) -> int:
+    """Uniform int in ``[0, n)`` drawing exactly like ``randrange(n)``.
+
+    This is CPython's ``Random._randbelow_with_getrandbits`` rejection
+    scheme (``k = n.bit_length()``, unchanged since well before 3.9)
+    with the ``randrange`` argument plumbing peeled off — the hot loop's
+    single biggest cost.  Consuming the identical ``getrandbits`` calls
+    is what keeps the batched kernel on the reference path's
+    Mersenne-Twister stream (pinned by the parity tests, which compare
+    final rng state as well as outcomes).
+    """
+    r = getrandbits(k)
+    while r >= n:
+        r = getrandbits(k)
+    return r
+
+
+def _secded_action(
+    word_parity: int, enc: int, check: int, data_err: int
+) -> RecoveryAction:
+    """Classify one struck word under SECDED recovery.
+
+    Mirrors :meth:`repro.ecc.hamming.SecDedCodec.check` +
+    :meth:`repro.core.policy.LineProtection.access` (ECC domain) exactly:
+    ``enc`` is the table-encode of the *corrupted* word, ``check`` the
+    stored (possibly corrupted) check byte, ``data_err`` the injected
+    error mask within the word (0 for pure check-bit strikes) —
+    "repaired == golden" reduces to "the correction cancels the error".
+    """
+    syndrome = (check ^ enc) & 0x7F
+    overall = word_parity ^ BYTE_PARITY[check]
+    if syndrome == 0 and overall == 0:
+        return (
+            RecoveryAction.CLEAN_READ
+            if data_err == 0
+            else RecoveryAction.SILENT_CORRUPTION
+        )
+    if overall == 1:
+        if syndrome == 0 or syndrome & (syndrome - 1) == 0:
+            # A check bit itself is repaired; the data word is intact.
+            return (
+                RecoveryAction.CORRECTED_IN_PLACE
+                if data_err == 0
+                else RecoveryAction.SILENT_CORRUPTION
+            )
+        databit = _POS_TO_DATABIT.get(syndrome)
+        if databit is None:
+            return RecoveryAction.DATA_LOSS  # ≥3 flips: detected
+        return (
+            RecoveryAction.CORRECTED_IN_PLACE
+            if data_err == 1 << databit
+            else RecoveryAction.SILENT_CORRUPTION
+        )
+    return RecoveryAction.DATA_LOSS  # detected double-bit error
+
+
+def _finish(
+    action: RecoveryAction, dirty: bool, config: FaultModelConfig
+) -> TrialOutcome:
+    """The controller model of ``model._observe``, post-decode."""
+    if (
+        config.controller_refetch
+        and not dirty
+        and action is RecoveryAction.DATA_LOSS
+    ):
+        return TrialOutcome.REFETCHED
+    return _ACTION_TO_OUTCOME[action]
+
+
+def _data_trial(
+    pool: LinePool,
+    plan: _KernelPlan,
+    dirty: bool,
+    flips: int,
+    config: FaultModelConfig,
+    rng: random.Random,
+) -> TrialOutcome:
+    # Identical draw order to model._inject_data: line index, first
+    # flip, optional second flip (same word), then the read roll.
+    getrandbits = rng.getrandbits
+    idx = _randbelow(getrandbits, pool.k_size, pool.size)
+    byte_idx = _randbelow(getrandbits, plan.k_line, config.line_bytes)
+    bit1 = _randbelow(getrandbits, 4, 8)
+    word_start = byte_idx - byte_idx % 8
+    rel1 = byte_idx - word_start
+    if flips > 1:
+        rel2 = _randbelow(getrandbits, 4, 8)
+        bit2 = _randbelow(getrandbits, 4, 8)
+    if not dirty and rng.random() >= config.read_fraction:
+        return TrialOutcome.MASKED
+
+    err = 1 << (rel1 * 8 + bit1)
+    if flips > 1:
+        err ^= 1 << (rel2 * 8 + bit2)
+    recovery = plan.recovery[dirty]
+    if recovery is ProtectionDomain.PARITY:
+        # Only the struck word can mismatch; no decode needed beyond
+        # the error's own parity (the code is linear).
+        if _parity64(err):
+            action = (
+                RecoveryAction.DATA_LOSS
+                if dirty
+                else RecoveryAction.REFETCHED
+            )
+        elif err == 0:
+            action = RecoveryAction.CLEAN_READ
+        else:
+            action = RecoveryAction.SILENT_CORRUPTION
+        return _finish(action, dirty, config)
+
+    # SECDED recovery: flip the pooled word in place, decode it via the
+    # syndrome tables, restore the flips.
+    buf = pool.payload
+    base = idx * config.line_bytes + word_start
+    buf[base + rel1] ^= 1 << bit1
+    if flips > 1:
+        buf[base + rel2] ^= 1 << bit2
+    b0, b1, b2, b3, b4, b5, b6, b7 = buf[base : base + 8]
+    t = SYNDROME_TABLES
+    enc = (
+        t[0][b0] ^ t[1][b1] ^ t[2][b2] ^ t[3][b3]
+        ^ t[4][b4] ^ t[5][b5] ^ t[6][b6] ^ t[7][b7]
+    )
+    word_parity = BYTE_PARITY[b0 ^ b1 ^ b2 ^ b3 ^ b4 ^ b5 ^ b6 ^ b7]
+    check = pool.ecc[idx * plan.words + word_start // 8]
+    buf[base + rel1] ^= 1 << bit1
+    if flips > 1:
+        buf[base + rel2] ^= 1 << bit2
+    action = _secded_action(word_parity, enc, check, err)
+    return _finish(action, dirty, config)
+
+
+def _check_trial(
+    pool: LinePool,
+    plan: _KernelPlan,
+    dirty: bool,
+    flips: int,
+    config: FaultModelConfig,
+    rng: random.Random,
+) -> TrialOutcome:
+    # Identical draw order to model._inject_check: line index, struck
+    # word, column roll, flip bits (ECC column only), read roll.
+    getrandbits = rng.getrandbits
+    idx = _randbelow(getrandbits, pool.k_size, pool.size)
+    parity_bits = plan.parity_bits[dirty]
+    ecc_bits = plan.ecc_bits[dirty]
+    word = _randbelow(getrandbits, plan.k_words, plan.words)
+    strike_ecc = rng.random() * (parity_bits + ecc_bits) < ecc_bits
+    if strike_ecc:
+        check_err = 1 << _randbelow(getrandbits, 4, 8)
+        if flips > 1:
+            check_err ^= 1 << _randbelow(getrandbits, 4, 8)
+    if not dirty and rng.random() >= config.read_fraction:
+        return TrialOutcome.MASKED
+
+    recovery = plan.recovery[dirty]
+    if not strike_ecc:
+        if recovery is ProtectionDomain.ECC:
+            # Stale parity shadowed by intact ECC: nothing observed.
+            action = RecoveryAction.CLEAN_READ
+        else:
+            # The struck parity word(s) mismatch against intact data.
+            action = (
+                RecoveryAction.DATA_LOSS
+                if dirty
+                else RecoveryAction.REFETCHED
+            )
+        return _finish(action, dirty, config)
+
+    # Struck ECC column: a line storing ECC always recovers through it.
+    pos = idx * plan.words + word
+    pool.ecc[pos] ^= check_err
+    check = pool.ecc[pos]
+    pool.ecc[pos] ^= check_err
+    base = idx * config.line_bytes + word * 8
+    buf = pool.payload
+    b0, b1, b2, b3, b4, b5, b6, b7 = buf[base : base + 8]
+    t = SYNDROME_TABLES
+    enc = (
+        t[0][b0] ^ t[1][b1] ^ t[2][b2] ^ t[3][b3]
+        ^ t[4][b4] ^ t[5][b5] ^ t[6][b6] ^ t[7][b7]
+    )
+    word_parity = BYTE_PARITY[b0 ^ b1 ^ b2 ^ b3 ^ b4 ^ b5 ^ b6 ^ b7]
+    action = _secded_action(word_parity, enc, check, 0)
+    return _finish(action, dirty, config)
+
+
+def run_trials_batch(
+    policy: ProtectionPolicy,
+    config: FaultModelConfig,
+    n: int,
+    rng: random.Random,
+    pool: Optional[LinePool] = None,
+    sample_limit: int = 0,
+) -> Tuple[Dict[str, Dict[str, int]], List[Tuple[int, str, bool, str]]]:
+    """Run ``n`` trials against pooled lines; aggregate outcome counts.
+
+    Returns ``(outcomes, samples)`` in exactly the shapes
+    :func:`repro.reliability.campaign.run_shard` builds: outcome counts
+    keyed ``{domain.value: {outcome.value: count}}`` plus the first
+    ``sample_limit`` per-trial tuples for event tracing.  Consumes
+    ``rng`` in the same order as ``n`` calls of
+    :func:`repro.reliability.model.run_trial`, so the two kernels are
+    interchangeable under one seed.
+    """
+    if pool is None:
+        pool = LinePool.shared(config.line_bytes)
+    if pool.line_bytes != config.line_bytes:
+        raise ValueError("pool line size does not match the fault model")
+    plan = _plan_for(policy, config)
+    outcomes: Dict[str, Dict[str, int]] = {}
+    samples: List[Tuple[int, str, bool, str]] = []
+    rand = rng.random
+    dirty_fraction = config.dirty_fraction
+    double_bit_fraction = config.double_bit_fraction
+    # Hoisted per-domain count dicts and enum .value strings: the enum
+    # descriptor lookups are measurable at ~300 ns/trial budgets.
+    per_data = outcomes.setdefault(FaultDomain.DATA.value, {})
+    per_tag = outcomes.setdefault(FaultDomain.TAG.value, {})
+    per_status = outcomes.setdefault(FaultDomain.STATUS.value, {})
+    per_check = outcomes.setdefault(FaultDomain.CHECK.value, {})
+    value_of = {out: out.value for out in TrialOutcome}
+    clean_cum = plan.cum[False]
+    dirty_cum = plan.cum[True]
+    clean_total = plan.total[False]
+    dirty_total = plan.total[True]
+    for trial in range(n):
+        # Draw order per trial (the contract with run_trial): dirty
+        # roll, domain roll, flips roll, then the injector's own draws.
+        dirty = rand() < dirty_fraction
+        if dirty:
+            cum, roll = dirty_cum, rand() * dirty_total
+        else:
+            cum, roll = clean_cum, rand() * clean_total
+        flips = 2 if rand() < double_bit_fraction else 1
+        if roll < cum[0]:
+            domain_value, per_domain = "data", per_data
+            outcome = _data_trial(pool, plan, dirty, flips, config, rng)
+        elif roll < cum[1]:
+            domain_value, per_domain = "tag", per_tag
+            outcome = _inject_tag(dirty, flips, config, rng)
+        elif roll < cum[2]:
+            domain_value, per_domain = "status", per_status
+            outcome = _inject_status(dirty, flips, config, rng)
+        else:
+            domain_value, per_domain = "check", per_check
+            outcome = _check_trial(pool, plan, dirty, flips, config, rng)
+        key = value_of[outcome]
+        per_domain[key] = per_domain.get(key, 0) + 1
+        if len(samples) < sample_limit:
+            samples.append((trial, domain_value, dirty, key))
+    # Shards never saw some domain: drop its empty dict so aggregates
+    # match the reference path's lazily-created mapping exactly.
+    for domain_value in tuple(outcomes):
+        if not outcomes[domain_value]:
+            del outcomes[domain_value]
+    return outcomes, samples
+
+
+__all__ = [
+    "POOL_SEED",
+    "POOL_SIZE",
+    "LinePool",
+    "run_trials_batch",
+]

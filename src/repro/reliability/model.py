@@ -47,7 +47,7 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass
-from typing import Dict, Tuple, Type
+from typing import TYPE_CHECKING, Dict, Optional, Tuple, Type
 
 from repro.core.policy import (
     LineProtection,
@@ -58,6 +58,9 @@ from repro.core.policy import (
     UniformParityPolicy,
 )
 from repro.core.tag_protection import ProtectedTag, TagOutcome
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.reliability.kernel import LinePool
 
 
 class FaultDomain(enum.Enum):
@@ -215,12 +218,23 @@ _TAG_TO_OUTCOME = {
 
 def _build_line(
     policy: ProtectionPolicy, dirty: bool, config: FaultModelConfig,
-    rng: random.Random,
+    rng: random.Random, pool: "LinePool",
 ) -> LineProtection:
-    payload = bytes(rng.getrandbits(8) for _ in range(config.line_bytes))
+    """Construct a live line around a pooled payload.
+
+    The payload comes from the pre-generated :class:`LinePool`, not the
+    trial stream: both codes are GF(2)-linear, so a trial's outcome is a
+    pure function of the injected *error pattern* and never of the
+    payload bits.  Drawing only a pool index here (instead of 64–128
+    payload bytes) keeps the per-trial random stream identical between
+    this reference path and the batched kernel
+    (:func:`repro.reliability.kernel.run_trials_batch`), which is what
+    makes their outcome counts exactly equal under one shard seed.
+    """
+    payload = pool.payload_bytes(rng.randrange(pool.size))
     line = LineProtection(policy, payload, line_bytes=config.line_bytes)
     if dirty:
-        line.write(bytes(rng.getrandbits(8) for _ in range(config.line_bytes)))
+        line.write(payload)
     return line
 
 
@@ -253,9 +267,9 @@ def _observe(
 
 def _inject_data(
     policy: ProtectionPolicy, dirty: bool, flips: int,
-    config: FaultModelConfig, rng: random.Random,
+    config: FaultModelConfig, rng: random.Random, pool: "LinePool",
 ) -> TrialOutcome:
-    line = _build_line(policy, dirty, config, rng)
+    line = _build_line(policy, dirty, config, rng, pool)
     byte_idx = rng.randrange(config.line_bytes)
     line.flip(byte_idx, rng.randrange(8))
     if flips > 1:
@@ -268,9 +282,9 @@ def _inject_data(
 
 def _inject_check(
     policy: ProtectionPolicy, dirty: bool, flips: int,
-    config: FaultModelConfig, rng: random.Random,
+    config: FaultModelConfig, rng: random.Random, pool: "LinePool",
 ) -> TrialOutcome:
-    line = _build_line(policy, dirty, config, rng)
+    line = _build_line(policy, dirty, config, rng, pool)
     # Choose the struck check structure in proportion to its bits:
     # 1 parity bit/word vs 8 SECDED bits/word when both are stored.
     parity_bits = 1 if line.parity_checks is not None else 0
@@ -335,19 +349,30 @@ def run_trial(
     policy: ProtectionPolicy,
     config: FaultModelConfig,
     rng: random.Random,
+    pool: Optional["LinePool"] = None,
 ) -> Tuple[TrialOutcome, FaultDomain, bool]:
     """One strike: sample state, domain and multiplicity; classify.
 
     Returns ``(outcome, struck domain, line was dirty)``.  Consumes rng
     state in a fixed order, so a seeded rng replays the identical trial.
+    This is the **reference kernel**: every trial exercises the real
+    codec machinery end to end.  ``pool`` supplies the payloads (see
+    :func:`_build_line`); when omitted the process-wide shared pool is
+    used.  The batched kernel
+    (:func:`repro.reliability.kernel.run_trials_batch`) replays the
+    identical random stream ~30× faster.
     """
+    if pool is None:
+        from repro.reliability.kernel import LinePool
+
+        pool = LinePool.shared(config.line_bytes)
     dirty = rng.random() < config.dirty_fraction
     domain = _choose_domain(rng, domain_bits(policy, dirty, config))
     flips = 2 if rng.random() < config.double_bit_fraction else 1
     if domain is FaultDomain.DATA:
-        outcome = _inject_data(policy, dirty, flips, config, rng)
+        outcome = _inject_data(policy, dirty, flips, config, rng, pool)
     elif domain is FaultDomain.CHECK:
-        outcome = _inject_check(policy, dirty, flips, config, rng)
+        outcome = _inject_check(policy, dirty, flips, config, rng, pool)
     elif domain is FaultDomain.TAG:
         outcome = _inject_tag(dirty, flips, config, rng)
     else:

@@ -9,6 +9,7 @@ from repro.core.policy import (
     UniformEccPolicy,
     UniformParityPolicy,
 )
+from repro.reliability.kernel import LinePool
 from repro.reliability.model import (
     DOMAIN_ORDER,
     FaultDomain,
@@ -88,28 +89,33 @@ def _cfg(**kwargs):
     return FaultModelConfig(**defaults)
 
 
+def _pool() -> LinePool:
+    """The payload source the injectors draw pooled lines from."""
+    return LinePool.shared()
+
+
 class TestDataDomain:
     def test_secded_corrects_a_single_flip(self):
         out = _inject_data(
-            scheme_policy("uniform-ecc"), True, 1, _cfg(), random.Random(7)
+            scheme_policy("uniform-ecc"), True, 1, _cfg(), random.Random(7), _pool()
         )
         assert out is TrialOutcome.CORRECTED
 
     def test_parity_on_dirty_line_is_a_due(self):
         out = _inject_data(
-            scheme_policy("parity-only"), True, 1, _cfg(), random.Random(7)
+            scheme_policy("parity-only"), True, 1, _cfg(), random.Random(7), _pool()
         )
         assert out is TrialOutcome.DUE
 
     def test_parity_on_clean_line_refetches(self):
         out = _inject_data(
-            scheme_policy("parity-only"), False, 1, _cfg(), random.Random(7)
+            scheme_policy("parity-only"), False, 1, _cfg(), random.Random(7), _pool()
         )
         assert out is TrialOutcome.REFETCHED
 
     def test_double_bit_on_dirty_ecc_line_is_a_due(self):
         out = _inject_data(
-            scheme_policy("uniform-ecc"), True, 2, _cfg(), random.Random(7)
+            scheme_policy("uniform-ecc"), True, 2, _cfg(), random.Random(7), _pool()
         )
         assert out is TrialOutcome.DUE
 
@@ -117,11 +123,11 @@ class TestDataDomain:
         # Same strike, both controller models: with the dirty bit
         # consulted the clean line refetches; without, it is lost.
         refetch = _inject_data(
-            scheme_policy("uniform-ecc"), False, 2, _cfg(), random.Random(7)
+            scheme_policy("uniform-ecc"), False, 2, _cfg(), random.Random(7), _pool()
         )
         strict = _inject_data(
             scheme_policy("uniform-ecc"), False, 2,
-            _cfg(controller_refetch=False), random.Random(7),
+            _cfg(controller_refetch=False), random.Random(7), _pool(),
         )
         assert refetch is TrialOutcome.REFETCHED
         assert strict is TrialOutcome.DUE
@@ -129,7 +135,8 @@ class TestDataDomain:
     def test_unread_clean_line_masks_the_fault(self):
         config = _cfg(read_fraction=0.0)
         out = _inject_data(
-            scheme_policy("parity-only"), False, 1, config, random.Random(7)
+            scheme_policy("parity-only"), False, 1, config,
+            random.Random(7), _pool(),
         )
         assert out is TrialOutcome.MASKED
 
