@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install lint test test-all bench bench-perf bench-baseline \
-	figures figures-par reliability-smoke examples clean
+	figures figures-par reliability-smoke service-smoke examples clean
 
 install:
 	$(PYTHON) -m pip install -e .[dev]
@@ -58,6 +58,13 @@ figures-par:
 reliability-smoke:
 	$(PYTHON) -m repro reliability --trials auto --target 0.02 \
 		--trials-per-shard 250 --shards-per-round 4 --jobs 2 --no-cache
+
+# End-to-end job-service gate (docs/service.md): start the HTTP
+# server, submit one campaign twice (must dedupe onto one job), stream
+# its progress, and assert the served result document is bit-identical
+# to a direct repro.api call.
+service-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/service_smoke.py
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; done

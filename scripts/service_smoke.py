@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""CI smoke test for the repro job service.
+
+Starts the HTTP service on an ephemeral port, submits a small
+reliability campaign over the wire twice (the second submission must
+dedupe onto the first job), follows the NDJSON progress stream to
+completion, fetches the result document, and asserts it matches a
+direct :mod:`repro.api` call bit for bit.  Exits nonzero on any
+mismatch — this is the end-to-end gate that the service, the facade
+and the campaign engine agree.
+
+Usage: ``PYTHONPATH=src python scripts/service_smoke.py``
+"""
+
+import json
+import sys
+import tempfile
+
+from repro import api
+from repro.experiments.pool import SweepEngine
+from repro.service import ReproService, ServiceClient
+
+CAMPAIGN = {
+    "trials": 500,
+    "trials_per_shard": 125,
+    "shards_per_round": 4,
+    "seed": 9,
+}
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-service-smoke-") as data:
+        service = ReproService(port=0, data_dir=data, workers=2).start()
+        try:
+            client = ServiceClient(service.url)
+            health = client.health()
+            assert health["ok"] is True, health
+
+            first = client.submit("reliability", CAMPAIGN)
+            second = client.submit("reliability", CAMPAIGN)
+            assert first["job"]["id"] == second["job"]["id"], (
+                "identical submissions must map to one job"
+            )
+            assert [first["created"], second["created"]].count(True) == 1, (
+                "exactly one submission may create the job"
+            )
+            job_id = first["job"]["id"]
+            print(f"submitted campaign job {job_id[:16]}… (deduped)")
+
+            events = list(client.stream_events(job_id))
+            shards = sum(1 for e in events if e["type"] == "shard")
+            rounds = sum(1 for e in events if e["type"] == "round")
+            assert events[-1]["type"] == "state", events[-1]
+            assert events[-1]["state"] == "done", events[-1]
+            print(f"streamed {len(events)} events "
+                  f"({shards} shards, {rounds} rounds)")
+
+            served = client.result(job_id, timeout=300)
+            direct = api.reliability(
+                api.request_from_dict(api.ReliabilityRequest, CAMPAIGN),
+                engine=SweepEngine(),
+            )
+            expected = json.loads(json.dumps(direct.as_dict()))
+            # The served job ran against the service checkpoint; the
+            # campaign numbers must still be bit-identical.
+            assert served["campaign"] == expected["campaign"], (
+                "served campaign document diverged from the direct "
+                "facade call"
+            )
+            trials = served["campaign"]["total_trials"]
+            print(f"campaign document matches direct api call "
+                  f"({trials} trials)")
+        finally:
+            service.shutdown()
+    print("service smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,925 @@
+"""Typed facade over the experiment and campaign engines.
+
+Every operation the CLI exposes — single runs, IPC comparisons, the
+area accounting, figure regeneration, ablations, codec injection and
+Monte Carlo reliability campaigns — is callable here as a pure
+function: a **frozen request dataclass in, a result dataclass out, no
+printing**.  The CLI (:mod:`repro.cli`), the job service
+(:mod:`repro.service`) and the tests all consume this one layer, so a
+number rendered in a terminal table, returned over HTTP and asserted in
+a test is computed by the same code path.
+
+Contract
+--------
+* Requests are frozen dataclasses whose fields are JSON primitives
+  (ints, floats, strings, tuples), so they round-trip through
+  :func:`request_from_dict` / ``as_dict`` unchanged — that is the
+  service's wire format.
+* Invalid inputs (unknown benchmark, missing trace file, bad scheme)
+  raise :class:`ReproError`, never a bare traceback; the CLI maps it to
+  a nonzero exit code and the service to an HTTP 400.
+* :func:`request_key` gives every request a content-addressed identity
+  (folding in :func:`repro.experiments.pool.code_version`); plain
+  benchmark runs reuse the sweep cache's own
+  :func:`~repro.experiments.pool.cell_key`, so service-level dedupe and
+  the on-disk result cache agree about what "the same work" means.
+* Responses expose ``as_dict()`` returning plain JSON-able data — the
+  single serialization path shared by ``--format json`` and the
+  service.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+from repro.core.protected_cache import ProtectionConfig
+from repro.experiments.pool import Cell, SweepEngine, cell_key, code_version
+from repro.experiments.runner import RunConfig, interval_label
+
+__all__ = [
+    "AblateRequest",
+    "AblateResponse",
+    "AreaRequest",
+    "AreaResponse",
+    "FigureSection",
+    "FiguresRequest",
+    "FiguresResponse",
+    "InjectRequest",
+    "InjectResponse",
+    "IpcRequest",
+    "IpcResponse",
+    "KINDS",
+    "ReliabilityRequest",
+    "ReliabilityResponse",
+    "ReproError",
+    "RunRequest",
+    "RunResponse",
+    "ablate",
+    "area",
+    "campaign_doc",
+    "execute",
+    "figures",
+    "inject",
+    "ipc",
+    "reliability",
+    "request_from_dict",
+    "request_key",
+    "run",
+]
+
+
+class ReproError(Exception):
+    """A request that cannot be executed (bad input, missing file).
+
+    The facade's contract is that *invalid inputs* surface as this
+    single exception type — the CLI turns it into exit code 2 on
+    stderr, the service into an HTTP 400 — while genuine bugs still
+    raise whatever they raise.
+    """
+
+
+# -- request plumbing ---------------------------------------------------------
+
+
+def _as_dict(obj: Any) -> Any:
+    """JSON-able view of a (possibly nested) dataclass."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: _as_dict(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {str(k): _as_dict(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_as_dict(v) for v in obj]
+    if isinstance(obj, float) and obj != obj:  # NaN: JSON-hostile
+        return None
+    return obj
+
+
+def request_from_dict(cls: type, payload: Mapping[str, Any]) -> Any:
+    """Build a request dataclass from a plain dict (the wire format).
+
+    Unknown fields are a :class:`ReproError` — a misspelled option must
+    fail loudly, not silently fall back to a default.  Lists arriving
+    from JSON are converted to the tuples the frozen dataclasses carry.
+    """
+    if not isinstance(payload, Mapping):
+        raise ReproError(f"{cls.__name__} payload must be an object")
+    names = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(payload) - names)
+    if unknown:
+        raise ReproError(
+            f"unknown {cls.__name__} field(s): {', '.join(unknown)}"
+        )
+    kwargs = {
+        key: tuple(value) if isinstance(value, list) else value
+        for key, value in payload.items()
+    }
+    try:
+        return cls(**kwargs)
+    except (TypeError, ValueError) as err:
+        raise ReproError(f"bad {cls.__name__}: {err}") from None
+
+
+def request_key(kind: str, request: Any) -> str:
+    """Content-addressed identity of one request.
+
+    A plain benchmark run *is* a sweep-cache cell, so its key is the
+    cache's own :func:`~repro.experiments.pool.cell_key` — the service
+    dedupes exactly where the on-disk result cache would hit.  Every
+    other request hashes its canonical dict plus the source-tree
+    version, so a code change never serves stale work.
+    """
+    if kind == "run" and isinstance(request, RunRequest) and not request.trace:
+        return cell_key(
+            Cell(
+                request.benchmark,
+                request.protection_config(),
+                request.run_config(),
+            )
+        )
+    payload = {
+        "kind": kind,
+        "request": _as_dict(request),
+        "code": code_version(),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _run_config(refs: int, warmup: int, seed: int) -> RunConfig:
+    if refs < 1 or warmup < 0:
+        raise ReproError("refs must be positive and warmup non-negative")
+    return RunConfig(n_refs=refs, warmup_refs=warmup, seed=seed)
+
+
+def _benchmark(name: str) -> str:
+    from repro.workloads import get_benchmark
+
+    try:
+        get_benchmark(name)
+    except ValueError as err:
+        raise ReproError(str(err)) from None
+    return name
+
+
+def _engine(engine: Optional[SweepEngine]) -> SweepEngine:
+    return engine if engine is not None else SweepEngine()
+
+
+# -- run ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One reference-mode run of a benchmark or trace file."""
+
+    benchmark: str = "mesa"
+    #: Path of a trace file to replay instead of ``benchmark``.
+    trace: Optional[str] = None
+    #: Cleaning interval in paper-nominal cycles; None disables cleaning.
+    interval: Optional[int] = 1 << 20
+    #: Shared ECC entries per set; None means unconstrained.
+    ecc_entries: Optional[int] = 1
+    refs: int = 60_000
+    warmup: int = 20_000
+    seed: int = 0
+
+    def protection_config(self) -> Optional[ProtectionConfig]:
+        if self.interval is None and self.ecc_entries is None:
+            return None
+        return ProtectionConfig(
+            cleaning_interval=self.interval,
+            ecc_entries_per_set=self.ecc_entries,
+        )
+
+    def run_config(self) -> RunConfig:
+        return _run_config(self.refs, self.warmup, self.seed)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return _as_dict(self)
+
+
+@dataclass(frozen=True)
+class RunResponse:
+    """Measured quantities of one run, ready to render or serialize."""
+
+    request: RunRequest
+    benchmark: str
+    #: ``"1M (32768 scaled cycles)"``-style label, None when no cleaning.
+    cleaning_interval: Optional[str]
+    refs: int
+    cycles: int
+    dirty_fraction: float
+    peak_dirty_fraction: float
+    writeback_fraction: float
+    writeback_split: Dict[str, float]
+    l2_miss_rate: float
+    bus_utilization: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        return _as_dict(self)
+
+
+def run(
+    request: RunRequest,
+    engine: Optional[SweepEngine] = None,
+    tracer=None,
+    profiler=None,
+) -> RunResponse:
+    """Execute one reference-mode run.
+
+    ``tracer`` forces a live (uncached) simulation, since event traces
+    cannot come out of the result cache.
+    """
+    from repro.experiments.runner import run_refs, run_trace
+    from repro.workloads import load_trace
+
+    config = request.run_config()
+    protection = request.protection_config()
+    if request.trace:
+        path = Path(request.trace)
+        if not path.exists():
+            raise ReproError(f"trace file not found: {request.trace}")
+        try:
+            stream = load_trace(path)
+        except (OSError, ValueError) as err:
+            raise ReproError(
+                f"unreadable trace {request.trace}: {err}"
+            ) from None
+        out = run_trace(
+            stream, protection, config, label=request.trace,
+            tracer=tracer, profiler=profiler,
+        )
+    else:
+        _benchmark(request.benchmark)
+        if tracer is not None:
+            out = run_refs(
+                request.benchmark, protection, config,
+                tracer=tracer, profiler=profiler,
+            )
+        else:
+            eng = _engine(engine)
+            out = eng.run_refs(request.benchmark, protection, config)
+            if profiler is not None:
+                profiler.merge(eng.profiler)
+
+    label = None
+    if protection is not None and protection.cleaning_interval is not None:
+        geometry = config.geometry
+        label = (
+            f"{interval_label(protection.cleaning_interval)} "
+            f"({geometry.scaled_interval(protection.cleaning_interval)} "
+            f"scaled cycles)"
+        )
+    return RunResponse(
+        request=request,
+        benchmark=out.benchmark,
+        cleaning_interval=label,
+        refs=out.refs,
+        cycles=out.cycles,
+        dirty_fraction=out.dirty_fraction,
+        peak_dirty_fraction=out.peak_dirty_fraction,
+        writeback_fraction=out.writeback_fraction,
+        writeback_split=dict(out.writeback_split),
+        l2_miss_rate=out.l2_miss_rate,
+        bus_utilization=out.bus_utilization,
+    )
+
+
+# -- ipc ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IpcRequest:
+    """Org-vs-ours IPC comparison of one benchmark."""
+
+    benchmark: str = "mesa"
+    insts: int = 120_000
+    interval: Optional[int] = 1 << 20
+    ecc_entries: Optional[int] = 1
+    refs: int = 60_000
+    warmup: int = 20_000
+    seed: int = 0
+
+    def protection_config(self) -> Optional[ProtectionConfig]:
+        if self.interval is None and self.ecc_entries is None:
+            return None
+        return ProtectionConfig(
+            cleaning_interval=self.interval,
+            ecc_entries_per_set=self.ecc_entries,
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return _as_dict(self)
+
+
+@dataclass(frozen=True)
+class IpcResponse:
+    request: IpcRequest
+    benchmark: str
+    insts: int
+    org_ipc: float
+    ours_ipc: float
+    org_cycles: int
+    ours_cycles: int
+    org_writeback_fraction: float
+    ours_writeback_fraction: float
+    #: 100 × (org − ours) / org, the paper's headline metric.
+    ipc_loss_pct: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        return _as_dict(self)
+
+
+def ipc(
+    request: IpcRequest, engine: Optional[SweepEngine] = None
+) -> IpcResponse:
+    """Run the paired org/ours CPU-mode comparison."""
+    _benchmark(request.benchmark)
+    if request.insts < 1:
+        raise ReproError("insts must be positive")
+    config = _run_config(request.refs, request.warmup, request.seed)
+    eng = _engine(engine)
+    org = eng.run_ipc(request.benchmark, None, config, n_insts=request.insts)
+    ours = eng.run_ipc(
+        request.benchmark, request.protection_config(), config,
+        n_insts=request.insts,
+    )
+    loss = 100 * (org.ipc - ours.ipc) / org.ipc if org.ipc else 0.0
+    return IpcResponse(
+        request=request,
+        benchmark=request.benchmark,
+        insts=request.insts,
+        org_ipc=org.ipc,
+        ours_ipc=ours.ipc,
+        org_cycles=org.result.cycles,
+        ours_cycles=ours.result.cycles,
+        org_writeback_fraction=org.writeback_fraction,
+        ours_writeback_fraction=ours.writeback_fraction,
+        ipc_loss_pct=loss,
+    )
+
+
+# -- area ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AreaRequest:
+    """The Section 5.2 protection-area accounting."""
+
+    ecc_entries: int = 1
+
+    def as_dict(self) -> Dict[str, Any]:
+        return _as_dict(self)
+
+
+@dataclass(frozen=True)
+class AreaResponse:
+    request: AreaRequest
+    #: (component, KiB) rows, ``total`` last — conventional scheme.
+    conventional: Tuple[Tuple[str, float], ...]
+    #: Same for the paper's proposed scheme.
+    proposed: Tuple[Tuple[str, float], ...]
+    #: Fractional area reduction (the paper's 0.59).
+    reduction: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        return _as_dict(self)
+
+
+def area(request: AreaRequest = AreaRequest()) -> AreaResponse:
+    from repro.experiments import area_table
+
+    if request.ecc_entries < 1:
+        raise ReproError("ecc_entries must be positive")
+    conv, ours, red = area_table(ecc_entries_per_set=request.ecc_entries)
+    return AreaResponse(
+        request=request,
+        conventional=tuple((name, kib) for name, _, kib in conv.rows()),
+        proposed=tuple((name, kib) for name, _, kib in ours.rows()),
+        reduction=red,
+    )
+
+
+# -- inject -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InjectRequest:
+    """A codec-level fault-injection campaign.
+
+    ``codec`` is any name in the :mod:`repro.ecc` registry, so codes
+    added via :func:`repro.ecc.register_codec` are immediately
+    injectable without touching this layer.
+    """
+
+    codec: str = "secded"
+    trials: int = 1000
+    flips: int = 1
+    seed: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return _as_dict(self)
+
+
+@dataclass(frozen=True)
+class InjectResponse:
+    request: InjectRequest
+    trials: int
+    #: outcome name -> {"count": n, "rate": n / trials}.
+    outcomes: Dict[str, Dict[str, float]]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return _as_dict(self)
+
+
+def inject(request: InjectRequest, tracer=None) -> InjectResponse:
+    from repro.ecc import CodewordError, FaultInjector, get_codec
+
+    if request.trials < 1 or request.flips < 1:
+        raise ReproError("trials and flips must be positive")
+    try:
+        codec = get_codec(request.codec)
+    except CodewordError as err:
+        raise ReproError(str(err)) from None
+    injector = FaultInjector(codec, seed=request.seed, tracer=tracer)
+    stats = injector.campaign(request.trials, request.flips)
+    outcomes = {
+        outcome.value: {"count": n, "rate": n / stats.trials}
+        for outcome, n in sorted(
+            stats.by_outcome.items(), key=lambda kv: kv[0].value
+        )
+    }
+    return InjectResponse(
+        request=request, trials=stats.trials, outcomes=outcomes
+    )
+
+
+# -- figures ------------------------------------------------------------------
+
+FIGURE_CHOICES = (
+    "all", "table1", "1", "3", "4", "5", "6", "7", "8", "ipc", "area",
+)
+
+
+@dataclass(frozen=True)
+class FiguresRequest:
+    """Regenerate one (or all) of the paper's figures and tables."""
+
+    fig: str = "all"
+    refs: int = 60_000
+    warmup: int = 20_000
+    seed: int = 0
+    ecc_area_entries: int = 1
+
+    def as_dict(self) -> Dict[str, Any]:
+        return _as_dict(self)
+
+
+@dataclass(frozen=True)
+class FigureSection:
+    """One renderable block of figure output.
+
+    Exactly one of ``series`` (a ``{row: {column: value}}`` table) or
+    ``text`` (a pre-rendered block, e.g. Table 1) is set; ``area``
+    sections carry an :class:`AreaResponse` instead.
+    """
+
+    title: str
+    series: Optional[Dict[str, Dict[str, float]]] = None
+    text: Optional[str] = None
+    area: Optional[AreaResponse] = None
+    ndigits: int = 2
+
+    def as_dict(self) -> Dict[str, Any]:
+        return _as_dict(self)
+
+
+@dataclass(frozen=True)
+class FiguresResponse:
+    request: FiguresRequest
+    sections: Tuple[FigureSection, ...]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return _as_dict(self)
+
+
+def figures(
+    request: FiguresRequest, engine: Optional[SweepEngine] = None
+) -> FiguresResponse:
+    """Regenerate the requested figures as structured sections.
+
+    This is the whole of the old ``cmd_figures`` orchestration: which
+    sweeps to run, how to title them, which suites feed which figure —
+    the CLI and the service both just render the returned sections.
+    """
+    from repro.experiments import (
+        figure1,
+        figure3_4,
+        figure5_6,
+        figure7,
+        figure8,
+        interval_sweep,
+        ipc_loss,
+        table1,
+    )
+
+    wanted = request.fig
+    if wanted not in FIGURE_CHOICES:
+        raise ReproError(
+            f"unknown figure {wanted!r}; choose from {list(FIGURE_CHOICES)}"
+        )
+    config = _run_config(request.refs, request.warmup, request.seed)
+    eng = _engine(engine)
+    sections: List[FigureSection] = []
+
+    if wanted in ("all", "table1"):
+        sections.append(
+            FigureSection(
+                title="Table 1: baseline configuration", text=table1()
+            )
+        )
+    if wanted in ("all", "1"):
+        f1 = figure1(config, engine=eng)
+        sections.append(FigureSection(
+            title="Figure 1: % dirty lines (conventional)",
+            series={k: {"dirty %": v} for k, v in f1.items()},
+        ))
+    if wanted in ("all", "3", "4", "5", "6"):
+        suites = {"3": ["fp"], "5": ["fp"], "4": ["int"], "6": ["int"]}.get(
+            wanted, ["fp", "int"]
+        )
+        for suite in suites:
+            sweep = interval_sweep(suite, config, engine=eng)
+            if wanted in ("all", "3", "4"):
+                fig = "3" if suite == "fp" else "4"
+                sections.append(FigureSection(
+                    title=f"Figure {fig}: dirty % vs interval ({suite})",
+                    series=figure3_4(suite, config, sweep=sweep),
+                ))
+            if wanted in ("all", "5", "6"):
+                fig = "5" if suite == "fp" else "6"
+                sections.append(FigureSection(
+                    title=f"Figure {fig}: writeback % vs interval ({suite})",
+                    series=figure5_6(suite, config, sweep=sweep),
+                ))
+    if wanted in ("all", "7"):
+        f7 = figure7(config, engine=eng)
+        sections.append(FigureSection(
+            title="Figure 7: % dirty lines (full scheme)",
+            series={k: {"dirty %": v} for k, v in f7.items()},
+        ))
+    if wanted in ("all", "8"):
+        sections.append(FigureSection(
+            title="Figure 8: writeback split (full scheme)",
+            series=figure8(config, engine=eng),
+        ))
+    if wanted in ("all", "ipc"):
+        rows: Dict[str, Dict[str, float]] = {}
+        for suite in ("fp", "int"):
+            rows.update(ipc_loss(
+                config, suite=suite, n_insts=request.refs * 2, engine=eng
+            ))
+        sections.append(FigureSection(
+            title="IPC: org vs ours", series=rows, ndigits=3
+        ))
+    if wanted in ("all", "area"):
+        sections.append(FigureSection(
+            title="Protection area, 1MB 4-way 64B L2",
+            area=area(AreaRequest(ecc_entries=request.ecc_area_entries)),
+        ))
+    return FiguresResponse(request=request, sections=tuple(sections))
+
+
+# -- ablate -------------------------------------------------------------------
+
+#: Study name -> repro.experiments driver attribute.
+ABLATIONS: Dict[str, str] = {
+    "ecc-entries": "ablate_ecc_entries",
+    "best-interval": "ablate_best_interval",
+    "eager": "ablate_eager_writeback",
+    "written-bit": "ablate_written_bit",
+    "decay": "ablate_cleaning_policy",
+    "replacement": "ablate_replacement",
+    "write-buffer": "ablate_write_buffer",
+    "cache-size": "ablate_cache_size",
+    "energy": "ablate_energy",
+}
+
+
+@dataclass(frozen=True)
+class AblateRequest:
+    """Run one ablation study."""
+
+    study: str = "best-interval"
+    benchmarks: Optional[Tuple[str, ...]] = None
+    refs: int = 60_000
+    warmup: int = 20_000
+    seed: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return _as_dict(self)
+
+
+@dataclass(frozen=True)
+class AblateResponse:
+    """One study's output, normalized to a renderable table.
+
+    Most studies produce a ``{row: {column: value}}`` series; the
+    ``ecc-entries`` study produces explicit headers + rows (mixed
+    integer/float columns).  Exactly one of the two is set.
+    """
+
+    request: AblateRequest
+    study: str
+    series: Optional[Dict[str, Dict[str, float]]] = None
+    headers: Optional[Tuple[str, ...]] = None
+    rows: Optional[Tuple[Tuple[Any, ...], ...]] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return _as_dict(self)
+
+
+def ablate(
+    request: AblateRequest, engine: Optional[SweepEngine] = None
+) -> AblateResponse:
+    import inspect
+
+    import repro.experiments as experiments
+
+    if request.study not in ABLATIONS:
+        raise ReproError(
+            f"unknown study {request.study!r}; "
+            f"choose from {sorted(ABLATIONS)}"
+        )
+    for name in request.benchmarks or ():
+        _benchmark(name)
+    config = _run_config(request.refs, request.warmup, request.seed)
+    func = getattr(experiments, ABLATIONS[request.study])
+    kwargs: Dict[str, Any] = {"config": config}
+    if request.benchmarks:
+        kwargs["benchmarks"] = list(request.benchmarks)
+    if "engine" in inspect.signature(func).parameters:
+        kwargs["engine"] = _engine(engine)
+    result = func(**kwargs)
+    if request.study == "ecc-entries":
+        return AblateResponse(
+            request=request,
+            study=request.study,
+            headers=(
+                "entries/set", "area KiB", "dirty %", "ECC-WB %",
+                "total WB %",
+            ),
+            rows=tuple(
+                (p.entries_per_set, p.area_kib, p.dirty_pct, p.ecc_wb_pct,
+                 p.total_wb_pct)
+                for p in result
+            ),
+        )
+    return AblateResponse(
+        request=request, study=request.study, series=result
+    )
+
+
+# -- reliability --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReliabilityRequest:
+    """A Monte Carlo fault-injection campaign across schemes.
+
+    ``trials=None`` is the CLI's ``--trials auto``: run until the
+    Wilson half-width ``target`` is met on ``metric``.  ``benchmark``
+    substitutes measured per-scheme dirty fractions for the paper's
+    averages (``refs``/``warmup``/``seed`` shape that measurement run).
+    ``checkpoint`` names a JSONL file completed shards persist to; the
+    service fills it in automatically so campaigns survive restarts.
+    """
+
+    schemes: Tuple[str, ...] = ("uniform-ecc", "non-uniform")
+    trials: Optional[int] = None
+    target: float = 0.01
+    metric: str = "sdc"
+    trials_per_shard: int = 500
+    shards_per_round: int = 8
+    max_trials: int = 1_000_000
+    kernel: str = "batch"
+    seed: int = 0
+    double_bit_fraction: float = 0.05
+    raw_fit: float = 1000.0
+    n_lines: int = 16384
+    benchmark: Optional[str] = None
+    refs: int = 60_000
+    warmup: int = 20_000
+    checkpoint: Optional[str] = None
+
+    def campaign_config(
+        self, dirty_fractions: Optional[Mapping[str, float]] = None
+    ):
+        from repro.reliability import (
+            CampaignConfig,
+            FaultModelConfig,
+            StoppingRule,
+        )
+
+        try:
+            return CampaignConfig(
+                schemes=tuple(self.schemes),
+                trials=self.trials,
+                trials_per_shard=self.trials_per_shard,
+                shards_per_round=self.shards_per_round,
+                stopping=StoppingRule(
+                    target_half_width=self.target,
+                    max_trials=self.max_trials,
+                ),
+                metric=self.metric,
+                seed=self.seed,
+                model=FaultModelConfig(
+                    double_bit_fraction=self.double_bit_fraction
+                ),
+                dirty_fractions=(
+                    dict(dirty_fractions) if dirty_fractions else None
+                ),
+                raw_fit_per_mbit=self.raw_fit,
+                n_lines=self.n_lines,
+                kernel=self.kernel,
+            )
+        except ValueError as err:
+            raise ReproError(str(err)) from None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return _as_dict(self)
+
+
+@dataclass(frozen=True)
+class ReliabilityResponse:
+    """Everything one campaign produced, plus the rich result object.
+
+    ``result`` is the engine's :class:`~repro.reliability.CampaignResult`
+    (for table rendering and further analysis); ``as_dict`` serializes
+    it via :func:`campaign_doc`.
+    """
+
+    request: ReliabilityRequest
+    #: Measured per-scheme dirty fractions, when ``benchmark`` was set.
+    dirty_fractions: Optional[Dict[str, float]]
+    result: Any = field(repr=False)
+    resumed_shards: int = 0
+    executed_shards: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "request": _as_dict(self.request),
+            "dirty_fractions": self.dirty_fractions,
+            "resumed_shards": self.resumed_shards,
+            "executed_shards": self.executed_shards,
+            "campaign": campaign_doc(self.result),
+        }
+
+
+def campaign_doc(result) -> Dict[str, Any]:
+    """JSON-able document of a :class:`~repro.reliability.CampaignResult`.
+
+    The one serialization of campaign numbers: per-scheme trials,
+    conditional outcome rates with Wilson half-widths, AVF, the FIT
+    split and MTTF — exactly the quantities the rendered tables show.
+    """
+    schemes: Dict[str, Any] = {}
+    for name, s in result.schemes.items():
+        e = s.estimate
+        schemes[name] = {
+            "trials": s.trials,
+            "shards": s.shards,
+            "stopped_by": s.stopped_by,
+            "half_width": s.half_width,
+            "rates": {
+                outcome.value: {
+                    "value": r.value,
+                    "lo": r.lo,
+                    "hi": r.hi,
+                    "count": r.successes,
+                }
+                for outcome, r in e.rates.items()
+            },
+            "avf": {"value": e.avf.value, "lo": e.avf.lo, "hi": e.avf.hi},
+            "fit_sdc": list(e.fit_sdc),
+            "fit_due": list(e.fit_due),
+            "mttf_hours": [
+                (None if v == float("inf") else v) for v in e.mttf_hours
+            ],
+            "outcome_counts": {
+                outcome.value: n for outcome, n in s.outcome_counts.items()
+            },
+            "domain_counts": {
+                domain.value: {o.value: n for o, n in per.items()}
+                for domain, per in s.domain_counts.items()
+            },
+        }
+    return {
+        "schemes": schemes,
+        "total_trials": result.total_trials,
+        "resumed_shards": result.resumed_shards,
+        "executed_shards": result.executed_shards,
+    }
+
+
+def reliability(
+    request: ReliabilityRequest,
+    engine: Optional[SweepEngine] = None,
+    tracer=None,
+    registry=None,
+    progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+    checkpoint: Optional[str] = None,
+) -> ReliabilityResponse:
+    """Run (or resume) a campaign.
+
+    ``checkpoint`` overrides ``request.checkpoint`` (the service passes
+    a path derived from the request digest so identical campaigns share
+    one resumable checkpoint file).  ``progress`` receives round-level
+    event dicts from the engine (see
+    :class:`repro.reliability.CampaignEngine`).
+    """
+    from repro.experiments.reliability import measured_dirty_fractions
+    from repro.reliability import CampaignEngine, CheckpointError
+
+    eng = _engine(engine)
+    dirty_fractions = None
+    if request.benchmark:
+        _benchmark(request.benchmark)
+        config = _run_config(request.refs, request.warmup, request.seed)
+        dirty_fractions = measured_dirty_fractions(
+            request.benchmark, config, engine=eng
+        )
+        if progress is not None:
+            progress({
+                "type": "dirty-fractions",
+                "benchmark": request.benchmark,
+                "dirty_fractions": dict(dirty_fractions),
+            })
+
+    campaign = request.campaign_config(dirty_fractions)
+    try:
+        result = CampaignEngine(
+            campaign,
+            engine=eng,
+            checkpoint=checkpoint or request.checkpoint,
+            tracer=tracer,
+            registry=registry,
+            progress=progress,
+        ).run()
+    except CheckpointError as err:
+        raise ReproError(str(err)) from None
+    return ReliabilityResponse(
+        request=request,
+        dirty_fractions=(
+            dict(dirty_fractions) if dirty_fractions is not None else None
+        ),
+        result=result,
+        resumed_shards=result.resumed_shards,
+        executed_shards=result.executed_shards,
+    )
+
+
+# -- dispatch -----------------------------------------------------------------
+
+#: Request kind -> (request class, executor).  The service's job types.
+KINDS: Dict[str, Tuple[type, Callable[..., Any]]] = {
+    "run": (RunRequest, run),
+    "ipc": (IpcRequest, ipc),
+    "area": (AreaRequest, area),
+    "inject": (InjectRequest, inject),
+    "figures": (FiguresRequest, figures),
+    "ablate": (AblateRequest, ablate),
+    "reliability": (ReliabilityRequest, reliability),
+}
+
+
+def execute(kind: str, request: Any, **kwargs: Any) -> Any:
+    """Dispatch one request to its executor by kind name."""
+    try:
+        cls, func = KINDS[kind]
+    except KeyError:
+        raise ReproError(
+            f"unknown request kind {kind!r}; known: {sorted(KINDS)}"
+        ) from None
+    if not isinstance(request, cls):
+        raise ReproError(
+            f"{kind} request must be {cls.__name__}, "
+            f"got {type(request).__name__}"
+        )
+    return func(request, **kwargs)

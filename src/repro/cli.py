@@ -1,5 +1,13 @@
 """Command-line interface: ``python -m repro <command>``.
 
+The CLI is a thin rendering shell over :mod:`repro.api`: every command
+builds a frozen request dataclass, hands it to the facade, and renders
+the returned result dataclass — as a table by default, or verbatim as
+JSON under ``--format json``.  Invalid inputs surface as
+:class:`repro.api.ReproError` and exit with status 2; the same facade
+calls (and the same result documents) are served over HTTP by
+``repro serve`` (:mod:`repro.service`).
+
 Commands
 --------
 ``figures``   regenerate one or all of the paper's figures/tables
@@ -8,6 +16,7 @@ Commands
 ``area``      the Section 5.2 area accounting
 ``inject``    a fault-injection campaign against a codec
 ``reliability``  a Monte Carlo fault-injection campaign across schemes
+``serve``     long-running job server over the same facade
 ``trace``     export a benchmark's synthetic trace to a file
 ``list``      list the benchmark suite
 """
@@ -20,25 +29,13 @@ import sys
 from dataclasses import replace
 from typing import Callable, Dict, List, Optional
 
-from repro.core.protected_cache import ProtectionConfig
+from repro import api
 from repro.experiments import (
     RunConfig,
-    area_table,
-    figure1,
-    figure3_4,
-    figure5_6,
-    figure7,
-    figure8,
-    interval_sweep,
-    ipc_loss,
     render_series,
     render_table,
-    run_refs,
-    run_trace,
-    table1,
 )
 from repro.experiments.report import render_snapshot
-from repro.experiments.runner import interval_label
 from repro.telemetry import (
     EventTracer,
     PhaseProfiler,
@@ -108,18 +105,6 @@ _parse_capacity = _typed_arg(
 )
 
 
-def _protection(args) -> Optional[ProtectionConfig]:
-    if args.interval is None and args.ecc_entries is None:
-        return None
-    return ProtectionConfig(
-        cleaning_interval=args.interval, ecc_entries_per_set=args.ecc_entries
-    )
-
-
-def _run_config(args) -> RunConfig:
-    return RunConfig(n_refs=args.refs, warmup_refs=args.warmup, seed=args.seed)
-
-
 def _add_run_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--refs", type=int, default=60_000,
                         help="measured memory references")
@@ -144,12 +129,26 @@ def _add_pool_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_format_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--format", choices=["table", "json"], default="table",
+        help="render a table (default) or print the facade's result "
+             "document as JSON",
+    )
+
+
+def _emit_json(response) -> int:
+    """``--format json``: the facade result document, nothing else."""
+    print(json.dumps(response.as_dict(), indent=2, sort_keys=True))
+    return 0
+
+
 def _engine(args):
     """Build the sweep engine a command's pool flags describe."""
     from repro.experiments.pool import SweepEngine
 
     if args.jobs < 1:
-        raise SystemExit("--jobs must be >= 1")
+        raise api.ReproError("--jobs must be >= 1")
     cache = False if args.no_cache else (args.cache_dir or True)
     return SweepEngine(jobs=args.jobs, cache=cache,
                        progress=sys.stderr.isatty())
@@ -179,70 +178,6 @@ def _add_protection_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def cmd_figures(args) -> int:
-    config = _run_config(args)
-    engine = _engine(args)
-    if args.json:
-        from repro.experiments import regenerate_all, save_json
-
-        doc = regenerate_all(config, include_ipc=not args.no_ipc,
-                             ipc_insts=args.refs * 2, engine=engine)
-        save_json(doc, args.json)
-        print(f"wrote {args.json}")
-        _print_sweep_stats(engine)
-        return 0
-    wanted = args.fig
-    if wanted in ("all", "table1"):
-        print("Table 1: baseline configuration")
-        print(table1())
-        print()
-    if wanted in ("all", "1"):
-        f1 = figure1(config, engine=engine)
-        print(render_series({k: {"dirty %": v} for k, v in f1.items()},
-                            title="Figure 1: % dirty lines (conventional)"))
-        print()
-    if wanted in ("all", "3", "4", "5", "6"):
-        suites = {"3": ["fp"], "5": ["fp"], "4": ["int"], "6": ["int"]}.get(
-            wanted, ["fp", "int"]
-        )
-        for suite in suites:
-            sweep = interval_sweep(suite, config, engine=engine)
-            if wanted in ("all", "3", "4"):
-                fig = "3" if suite == "fp" else "4"
-                print(render_series(
-                    figure3_4(suite, config, sweep=sweep),
-                    title=f"Figure {fig}: dirty % vs interval ({suite})"))
-                print()
-            if wanted in ("all", "5", "6"):
-                fig = "5" if suite == "fp" else "6"
-                print(render_series(
-                    figure5_6(suite, config, sweep=sweep),
-                    title=f"Figure {fig}: writeback % vs interval ({suite})"))
-                print()
-    if wanted in ("all", "7"):
-        f7 = figure7(config, engine=engine)
-        print(render_series({k: {"dirty %": v} for k, v in f7.items()},
-                            title="Figure 7: % dirty lines (full scheme)"))
-        print()
-    if wanted in ("all", "8"):
-        print(render_series(figure8(config, engine=engine),
-                            title="Figure 8: writeback split (full scheme)"))
-        print()
-    if wanted in ("all", "ipc"):
-        rows = {}
-        for suite in ("fp", "int"):
-            rows.update(ipc_loss(config, suite=suite, n_insts=args.refs * 2,
-                                 engine=engine))
-        print(render_series(rows, ndigits=3, title="IPC: org vs ours"))
-        print()
-    if wanted in ("all", "area"):
-        rc = cmd_area(args)
-        _print_sweep_stats(engine)
-        return rc
-    _print_sweep_stats(engine)
-    return 0
-
-
 def _print_sweep_stats(engine) -> None:
     """Surface per-sweep wall-time/throughput accounting."""
     if engine.stats.cells:
@@ -256,29 +191,69 @@ def _make_tracer(args) -> Optional[EventTracer]:
     return EventTracer(capacity=args.trace_capacity)
 
 
-def _export_trace(tracer: Optional[EventTracer], args) -> None:
+def _export_trace(tracer: Optional[EventTracer], args, file=None) -> None:
     if tracer is None:
         return
     n = tracer.export_jsonl(args.trace_out)
-    print(f"wrote {n} events to {args.trace_out} ({tracer.summary()})")
+    print(f"wrote {n} events to {args.trace_out} ({tracer.summary()})",
+          file=file or sys.stdout)
+
+
+def _render_area(response: api.AreaResponse) -> str:
+    rows = [[f"conventional: {n}", f"{k:.2f}"]
+            for n, k in response.conventional]
+    rows += [[f"proposed: {n}", f"{k:.2f}"] for n, k in response.proposed]
+    rows.append(["reduction", f"{100 * response.reduction:.1f}%"])
+    return render_table(["component", "KiB"], rows,
+                        title="Protection area, 1MB 4-way 64B L2")
+
+
+def cmd_figures(args) -> int:
+    engine = _engine(args)
+    if args.json:
+        from repro.experiments import regenerate_all, save_json
+
+        config = RunConfig(n_refs=args.refs, warmup_refs=args.warmup,
+                           seed=args.seed)
+        doc = regenerate_all(config, include_ipc=not args.no_ipc,
+                             ipc_insts=args.refs * 2, engine=engine)
+        save_json(doc, args.json)
+        print(f"wrote {args.json}")
+        _print_sweep_stats(engine)
+        return 0
+    request = api.FiguresRequest(
+        fig=args.fig, refs=args.refs, warmup=args.warmup, seed=args.seed,
+        ecc_area_entries=args.ecc_area_entries,
+    )
+    response = api.figures(request, engine=engine)
+    for section in response.sections:
+        if section.text is not None:
+            print(section.title)
+            print(section.text)
+        elif section.area is not None:
+            print(_render_area(section.area))
+        else:
+            print(render_series(section.series, ndigits=section.ndigits,
+                                title=section.title))
+        print()
+    _print_sweep_stats(engine)
+    return 0
 
 
 def cmd_run(args) -> int:
-    config = _run_config(args)
-    protection = _protection(args)
+    request = api.RunRequest(
+        benchmark=args.benchmark, trace=args.trace, interval=args.interval,
+        ecc_entries=args.ecc_entries, refs=args.refs, warmup=args.warmup,
+        seed=args.seed,
+    )
     tracer = _make_tracer(args)
     profiler = PhaseProfiler()
-    if args.trace:
-        out = run_trace(load_trace(args.trace), protection, config,
-                        label=args.trace, tracer=tracer, profiler=profiler)
-    elif tracer is not None:
-        # Tracing needs a live simulation — bypass the result cache.
-        out = run_refs(args.benchmark, protection, config,
-                       tracer=tracer, profiler=profiler)
-    else:
-        engine = _engine(args)
-        out = engine.run_refs(args.benchmark, protection, config)
-        profiler.merge(engine.profiler)
+    out = api.run(request, engine=_engine(args), tracer=tracer,
+                  profiler=profiler)
+    if args.format == "json":
+        _emit_json(out)
+        _export_trace(tracer, args, file=sys.stderr)
+        return 0
     rows = [
         ["benchmark", out.benchmark],
         ["measured refs", out.refs],
@@ -292,16 +267,9 @@ def cmd_run(args) -> int:
         ["L2 miss rate", out.l2_miss_rate],
         ["bus utilisation", out.bus_utilization],
     ]
-    if protection is not None and protection.cleaning_interval is not None:
-        # The interval is paper-nominal; show both the label and the
-        # cycles this geometry actually ran it at.
-        geometry = config.geometry
-        rows.insert(1, [
-            "cleaning interval",
-            f"{interval_label(protection.cleaning_interval)} "
-            f"({geometry.scaled_interval(protection.cleaning_interval)} "
-            f"scaled cycles)",
-        ])
+    if out.cleaning_interval is not None:
+        # Paper-nominal interval plus the cycles this geometry ran it at.
+        rows.insert(1, ["cleaning interval", out.cleaning_interval])
     print(render_table(["metric", "value"], rows))
     _export_trace(tracer, args)
     if args.profile:
@@ -310,47 +278,46 @@ def cmd_run(args) -> int:
 
 
 def cmd_ipc(args) -> int:
-    config = _run_config(args)
+    request = api.IpcRequest(
+        benchmark=args.benchmark, insts=args.insts, interval=args.interval,
+        ecc_entries=args.ecc_entries, refs=args.refs, warmup=args.warmup,
+        seed=args.seed,
+    )
     engine = _engine(args)
-    org = engine.run_ipc(args.benchmark, None, config, n_insts=args.insts)
-    ours = engine.run_ipc(args.benchmark, _protection(args), config,
-                          n_insts=args.insts)
-    loss = 100 * (org.ipc - ours.ipc) / org.ipc if org.ipc else 0.0
+    out = api.ipc(request, engine=engine)
+    if args.format == "json":
+        return _emit_json(out)
     print(render_table(
         ["metric", "org", "ours"],
         [
-            ["IPC", org.ipc, ours.ipc],
-            ["cycles", org.result.cycles, ours.result.cycles],
-            ["writeback fraction", org.writeback_fraction,
-             ours.writeback_fraction],
+            ["IPC", out.org_ipc, out.ours_ipc],
+            ["cycles", out.org_cycles, out.ours_cycles],
+            ["writeback fraction", out.org_writeback_fraction,
+             out.ours_writeback_fraction],
         ],
         ndigits=3,
         title=f"{args.benchmark}: {args.insts} instructions",
     ))
-    print(f"IPC loss: {loss:.2f}%")
+    print(f"IPC loss: {out.ipc_loss_pct:.2f}%")
     _print_sweep_stats(engine)
     return 0
 
 
 def cmd_area(args) -> int:
-    conv, ours, red = area_table(ecc_entries_per_set=args.ecc_area_entries)
-    rows = [[f"conventional: {n}", f"{k:.2f}"] for n, _, k in conv.rows()]
-    rows += [[f"proposed: {n}", f"{k:.2f}"] for n, _, k in ours.rows()]
-    rows.append(["reduction", f"{100 * red:.1f}%"])
-    print(render_table(["component", "KiB"], rows,
-                       title="Protection area, 1MB 4-way 64B L2"))
+    response = api.area(api.AreaRequest(ecc_entries=args.ecc_area_entries))
+    if args.format == "json":
+        return _emit_json(response)
+    print(_render_area(response))
     return 0
 
 
 def cmd_inject(args) -> int:
-    from repro.ecc import FaultInjector, ParityCodec, SecDedCodec
-
-    codec = SecDedCodec() if args.codec == "secded" else ParityCodec()
+    request = api.InjectRequest(codec=args.codec, trials=args.trials,
+                                flips=args.flips, seed=args.seed)
     tracer = _make_tracer(args)
-    injector = FaultInjector(codec, seed=args.seed, tracer=tracer)
-    stats = injector.campaign(args.trials, args.flips)
-    rows = [[o.value, n, n / stats.trials]
-            for o, n in sorted(stats.by_outcome.items(), key=lambda kv: kv[0].value)]
+    out = api.inject(request, tracer=tracer)
+    rows = [[name, doc["count"], doc["rate"]]
+            for name, doc in out.outcomes.items()]
     print(render_table(
         ["outcome", "count", "rate"], rows, ndigits=4,
         title=f"{args.codec}: {args.trials} trials x {args.flips} flips",
@@ -377,55 +344,42 @@ def _parse_trials(text: str) -> Optional[int]:
 
 def cmd_reliability(args) -> int:
     """Run (or resume) a Monte Carlo fault-injection campaign."""
-    from repro.experiments.reliability import measured_dirty_fractions
-    from repro.reliability import (
-        CampaignConfig,
-        CheckpointError,
-        FaultModelConfig,
-        StoppingRule,
-        run_campaign,
-    )
-
     engine = _engine(args)
     tracer = _make_tracer(args)
-
-    dirty_fractions = None
-    if args.benchmark:
-        config = _run_config(args)
-        dirty_fractions = measured_dirty_fractions(
-            args.benchmark, config, engine=engine
-        )
-        print(f"{args.benchmark}: measured dirty fractions "
-              + ", ".join(f"{k}={v:.3f}"
-                          for k, v in sorted(dirty_fractions.items())))
-
-    campaign = CampaignConfig(
+    request = api.ReliabilityRequest(
         schemes=tuple(args.schemes),
         trials=args.trials,
+        target=args.target,
+        metric=args.metric,
         trials_per_shard=args.trials_per_shard,
         shards_per_round=args.shards_per_round,
-        stopping=StoppingRule(
-            target_half_width=args.target, max_trials=args.max_trials
-        ),
-        metric=args.metric,
-        seed=args.seed,
-        model=FaultModelConfig(
-            double_bit_fraction=args.double_bit_fraction
-        ),
-        dirty_fractions=dirty_fractions,
-        raw_fit_per_mbit=args.raw_fit,
-        n_lines=args.n_lines,
+        max_trials=args.max_trials,
         kernel=args.kernel,
+        seed=args.seed,
+        double_bit_fraction=args.double_bit_fraction,
+        raw_fit=args.raw_fit,
+        n_lines=args.n_lines,
+        benchmark=args.benchmark,
+        refs=args.refs,
+        warmup=args.warmup,
+        checkpoint=args.checkpoint,
     )
+
+    def progress(event: Dict[str, object]) -> None:
+        if event.get("type") == "dirty-fractions":
+            fractions = event["dirty_fractions"]
+            print(f"{args.benchmark}: measured dirty fractions "
+                  + ", ".join(f"{k}={v:.3f}"
+                              for k, v in sorted(fractions.items())))
+
     try:
-        result = run_campaign(
-            campaign,
-            engine=engine,
-            checkpoint=args.checkpoint,
-            tracer=tracer,
+        response = api.reliability(
+            request, engine=engine, tracer=tracer, progress=progress
         )
-    except CheckpointError as err:
-        raise SystemExit(str(err))
+    except api.ReproError as err:
+        # Checkpoint mismatches and bad campaign shapes keep their
+        # historical SystemExit contract (message, no traceback).
+        raise SystemExit(str(err)) from None
     except KeyboardInterrupt:
         if args.checkpoint:
             print(f"\ninterrupted; completed shards are in "
@@ -434,6 +388,7 @@ def cmd_reliability(args) -> int:
             print("\ninterrupted (no --checkpoint: progress discarded)")
         return 130
 
+    result = response.result
     title = "Reliability campaign"
     if args.benchmark:
         title += f" ({args.benchmark} dirty fractions)"
@@ -458,6 +413,28 @@ def cmd_reliability(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the long-lived job service over the :mod:`repro.api` facade."""
+    from repro.service import ReproService
+
+    service = ReproService(
+        host=args.host,
+        port=args.port,
+        data_dir=args.data_dir,
+        workers=args.workers,
+        jobs=args.jobs,
+    )
+    print(f"repro service on http://{service.host}:{service.port} "
+          f"(data dir {service.data_dir}, {args.workers} workers)")
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        service.shutdown()
+    return 0
+
+
 def cmd_trace(args) -> int:
     import itertools
 
@@ -478,8 +455,13 @@ def cmd_stats(args) -> int:
     from repro.experiments.pool import Cell
     from repro.experiments.stats import SeedStats, summarize
 
-    config = _run_config(args)
-    protection = _protection(args)
+    config = RunConfig(n_refs=args.refs, warmup_refs=args.warmup,
+                       seed=args.seed)
+    request = api.RunRequest(
+        benchmark=args.benchmark, interval=args.interval,
+        ecc_entries=args.ecc_entries,
+    )
+    protection = request.protection_config()
     engine = _engine(args)
     cells = [
         Cell(args.benchmark, protection, replace(config, seed=seed))
@@ -533,50 +515,24 @@ def cmd_stats(args) -> int:
     return 0
 
 
-_ABLATIONS = {
-    "ecc-entries": "ablate_ecc_entries",
-    "best-interval": "ablate_best_interval",
-    "eager": "ablate_eager_writeback",
-    "written-bit": "ablate_written_bit",
-    "decay": "ablate_cleaning_policy",
-    "replacement": "ablate_replacement",
-    "write-buffer": "ablate_write_buffer",
-    "cache-size": "ablate_cache_size",
-    "energy": "ablate_energy",
-}
-
-
 def cmd_ablate(args) -> int:
     """Run one ablation study and print its table."""
-    import inspect
-
-    import repro.experiments as experiments
-
-    config = _run_config(args)
-    func = getattr(experiments, _ABLATIONS[args.study])
-    kwargs = {"config": config}
-    if args.benchmarks:
-        kwargs["benchmarks"] = args.benchmarks
-    engine = None
-    if "engine" in inspect.signature(func).parameters:
-        engine = _engine(args)
-        kwargs["engine"] = engine
-    result = func(**kwargs)
-    if args.study == "ecc-entries":
-        rows = [
-            [p.entries_per_set, p.area_kib, p.dirty_pct, p.ecc_wb_pct,
-             p.total_wb_pct]
-            for p in result
-        ]
+    engine = _engine(args)
+    request = api.AblateRequest(
+        study=args.study,
+        benchmarks=tuple(args.benchmarks) if args.benchmarks else None,
+        refs=args.refs, warmup=args.warmup, seed=args.seed,
+    )
+    out = api.ablate(request, engine=engine)
+    if out.headers is not None:
         print(render_table(
-            ["entries/set", "area KiB", "dirty %", "ECC-WB %", "total WB %"],
-            rows,
+            list(out.headers),
+            [list(row) for row in out.rows],
             title=f"ablation: {args.study}",
         ))
     else:
-        print(render_series(result, title=f"ablation: {args.study}"))
-    if engine is not None:
-        _print_sweep_stats(engine)
+        print(render_series(out.series, title=f"ablation: {args.study}"))
+    _print_sweep_stats(engine)
     return 0
 
 
@@ -594,6 +550,8 @@ def cmd_list(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.ecc import available_codecs
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Area-Efficient Error Protection for "
@@ -602,9 +560,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("figures", help="regenerate the paper's figures")
-    p.add_argument("--fig", default="all",
-                   choices=["all", "table1", "1", "3", "4", "5", "6", "7",
-                            "8", "ipc", "area"])
+    p.add_argument("--fig", default="all", choices=list(api.FIGURE_CHOICES))
     p.add_argument("--ecc-area-entries", type=int, default=1)
     p.add_argument("--json", metavar="PATH",
                    help="regenerate everything and write one JSON document")
@@ -624,6 +580,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_args(p)
     _add_pool_args(p)
     _add_trace_args(p)
+    _add_format_arg(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("ipc", help="org-vs-ours IPC comparison")
@@ -633,14 +590,16 @@ def build_parser() -> argparse.ArgumentParser:
     _add_protection_args(p)
     _add_run_args(p)
     _add_pool_args(p)
+    _add_format_arg(p)
     p.set_defaults(func=cmd_ipc)
 
     p = sub.add_parser("area", help="Section 5.2 area accounting")
     p.add_argument("--ecc-area-entries", type=int, default=1)
+    _add_format_arg(p)
     p.set_defaults(func=cmd_area)
 
     p = sub.add_parser("inject", help="codec fault-injection campaign")
-    p.add_argument("--codec", choices=["secded", "parity"], default="secded")
+    p.add_argument("--codec", choices=available_codecs(), default="secded")
     p.add_argument("--trials", type=int, default=1000)
     p.add_argument("--flips", type=int, default=1)
     p.add_argument("--seed", type=int, default=0)
@@ -712,6 +671,22 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_args(p)
     p.set_defaults(func=cmd_reliability)
 
+    p = sub.add_parser(
+        "serve", help="serve facade requests as deduplicated jobs over HTTP"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642)
+    p.add_argument(
+        "--data-dir", metavar="PATH", default=None,
+        help="service state root: result cache and campaign checkpoints "
+             "(default $REPRO_SERVICE_DIR or ~/.cache/repro-service)",
+    )
+    p.add_argument("--workers", type=int, default=2,
+                   help="concurrent job-executor threads")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes each job's sweep engine may use")
+    p.set_defaults(func=cmd_serve)
+
     p = sub.add_parser("trace", help="export a synthetic trace")
     p.add_argument("--benchmark", required=True, choices=sorted(BENCHMARKS))
     p.add_argument("--out", required=True)
@@ -734,7 +709,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("ablate", help="run one ablation study")
-    p.add_argument("study", choices=sorted(_ABLATIONS))
+    p.add_argument("study", choices=sorted(api.ABLATIONS))
     p.add_argument("--benchmarks", nargs="*", metavar="NAME",
                    help="restrict to these benchmarks")
     _add_run_args(p)
@@ -749,7 +724,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except api.ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

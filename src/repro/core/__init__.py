@@ -31,12 +31,14 @@ from repro.core.eager import EagerL2
 from repro.core.hotlines import HotLineTable
 from repro.core.icr import IcrCache
 from repro.core.policy import (
+    DOMAIN_CODECS,
     LineProtection,
     NonUniformPolicy,
     ProtectionDomain,
     ProtectionPolicy,
     UniformEccPolicy,
     UniformParityPolicy,
+    domain_codec,
 )
 from repro.core.protected_cache import ProtectedL2, ProtectionConfig
 from repro.core.scrub import IntegrityError, check_invariants
@@ -44,6 +46,7 @@ from repro.core.tag_protection import ProtectedTag, TagOutcome
 
 __all__ = [
     "AreaBreakdown",
+    "DOMAIN_CODECS",
     "CleaningLogic",
     "DecayCleaningL2",
     "EagerL2",
@@ -63,6 +66,7 @@ __all__ = [
     "UniformParityPolicy",
     "check_invariants",
     "conventional_overhead",
+    "domain_codec",
     "li_et_al_overhead",
     "proposed_overhead",
     "reduction",

@@ -18,10 +18,8 @@ import abc
 import enum
 from typing import List, Optional, Tuple
 
-from repro.ecc.codec import LineCodec
+from repro.ecc.codec import Codec, LineCodec, get_codec
 from repro.ecc.events import CheckOutcome
-from repro.ecc.hamming import SecDedCodec
-from repro.ecc.parity import ParityCodec
 
 
 class ProtectionDomain(enum.Enum):
@@ -30,6 +28,39 @@ class ProtectionDomain(enum.Enum):
     NONE = "none"
     PARITY = "parity"
     ECC = "ecc"
+
+
+#: The codec (by registry name, :func:`repro.ecc.get_codec`) each
+#: protection domain stores.  This is the single point tying the
+#: abstract domains to concrete codes: swapping SECDED for DECTED (or a
+#: chip-kill symbol code) means changing this mapping or passing
+#: ``codecs=`` to the consumers — the policies, the area arithmetic and
+#: the fault model all follow the codec's own ``check_bits_per_word``
+#: and ``corrects`` contract instead of hardcoding parity/SECDED facts.
+DOMAIN_CODECS: dict = {
+    ProtectionDomain.PARITY: "parity",
+    ProtectionDomain.ECC: "secded",
+}
+
+
+def domain_codec(
+    domain: ProtectionDomain,
+    codecs: Optional[dict] = None,
+) -> Codec:
+    """The :class:`Codec` guarding ``domain`` (override via ``codecs``).
+
+    ``codecs`` maps :class:`ProtectionDomain` to either a codec name or
+    a ready :class:`Codec` instance; unlisted domains fall back to
+    :data:`DOMAIN_CODECS`.
+    """
+    chosen = None
+    if codecs is not None:
+        chosen = codecs.get(domain)
+    if chosen is None:
+        chosen = DOMAIN_CODECS[domain]
+    if isinstance(chosen, Codec):
+        return chosen
+    return get_codec(chosen)
 
 
 class ProtectionPolicy(abc.ABC):
@@ -44,21 +75,24 @@ class ProtectionPolicy(abc.ABC):
     def check_bits_per_line(self, line_bytes: int, dirty: bool) -> int:
         """Total protection bits stored for one line in the given state."""
         words = line_bytes // 8
-        bits = 0
-        for domain in self.domains_for(dirty):
-            if domain is ProtectionDomain.PARITY:
-                bits += words  # 1 bit / 64-bit word
-            elif domain is ProtectionDomain.ECC:
-                bits += 8 * words  # SECDED(72,64)
-        return bits
+        return sum(
+            domain_codec(domain).check_bits_per_word * words
+            for domain in self.domains_for(dirty)
+            if domain is not ProtectionDomain.NONE
+        )
 
     def recovery_domain(self, dirty: bool) -> ProtectionDomain:
         """The strongest code available for recovery in the given state."""
         domains = self.domains_for(dirty)
-        if ProtectionDomain.ECC in domains:
-            return ProtectionDomain.ECC
-        if ProtectionDomain.PARITY in domains:
-            return ProtectionDomain.PARITY
+        correcting = [
+            d for d in domains
+            if d is not ProtectionDomain.NONE and domain_codec(d).corrects
+        ]
+        if correcting:
+            return correcting[0]
+        for domain in domains:
+            if domain is not ProtectionDomain.NONE:
+                return domain
         return ProtectionDomain.NONE
 
 
@@ -126,13 +160,23 @@ class LineProtection:
         policy: ProtectionPolicy,
         payload: bytes,
         line_bytes: int = 64,
+        codecs: Optional[dict] = None,
     ) -> None:
         if len(payload) != line_bytes:
             raise ValueError(f"payload must be {line_bytes} bytes")
         self.policy = policy
         self.line_bytes = line_bytes
-        self._parity = LineCodec(ParityCodec(), line_bytes)
-        self._ecc = LineCodec(SecDedCodec(), line_bytes)
+        #: The codecs actually guarding each domain (default: the
+        #: registry codes in :data:`DOMAIN_CODECS`; override to study a
+        #: different geometry, e.g. DECTED in the ECC domain).
+        self.codecs = {
+            domain: domain_codec(domain, codecs)
+            for domain in (ProtectionDomain.PARITY, ProtectionDomain.ECC)
+        }
+        self._parity = LineCodec(
+            self.codecs[ProtectionDomain.PARITY], line_bytes
+        )
+        self._ecc = LineCodec(self.codecs[ProtectionDomain.ECC], line_bytes)
         self.dirty = False
         self.payload = bytearray(payload)
         #: Ground truth: what memory holds (clean) or what was written (dirty).
@@ -140,6 +184,12 @@ class LineProtection:
         self.parity_checks: Optional[List[int]] = None
         self.ecc_checks: Optional[List[int]] = None
         self._encode()
+
+    def _storage_for(self, domain: ProtectionDomain):
+        """(line codec, stored checks) for one protection domain."""
+        if domain is ProtectionDomain.ECC:
+            return self._ecc, self.ecc_checks
+        return self._parity, self.parity_checks
 
     def _encode(self) -> None:
         """Regenerate check bits for the current payload and state."""
@@ -187,13 +237,23 @@ class LineProtection:
     # -- access --------------------------------------------------------------
 
     def access(self) -> Tuple[RecoveryAction, bytes]:
-        """Read the line end-to-end: check, recover, return (action, data)."""
+        """Read the line end-to-end: check, recover, return (action, data).
+
+        The recovery behaviour follows the recovery codec's *contract*,
+        not its identity: a correcting code (``codec.corrects``) repairs
+        in place and only loses data beyond its correction power; a
+        detect-only code refetches clean lines and loses dirty ones.
+        """
         domain = self.policy.recovery_domain(self.dirty)
         stored = bytes(self.payload)
 
-        if domain is ProtectionDomain.ECC:
-            assert self.ecc_checks is not None
-            outcome, repaired, _ = self._ecc.check_line(stored, self.ecc_checks)
+        if (
+            domain is not ProtectionDomain.NONE
+            and self.codecs[domain].corrects
+        ):
+            line_codec, checks = self._storage_for(domain)
+            assert checks is not None
+            outcome, repaired, _ = line_codec.check_line(stored, checks)
             if outcome is CheckOutcome.OK:
                 action = (
                     RecoveryAction.CLEAN_READ
@@ -212,9 +272,10 @@ class LineProtection:
             # Uncorrectable on a dirty line: the only up-to-date copy is lost.
             return RecoveryAction.DATA_LOSS, stored
 
-        if domain is ProtectionDomain.PARITY:
-            assert self.parity_checks is not None
-            outcome, _, _ = self._parity.check_line(stored, self.parity_checks)
+        if domain is not ProtectionDomain.NONE:
+            line_codec, checks = self._storage_for(domain)
+            assert checks is not None
+            outcome, _, _ = line_codec.check_line(stored, checks)
             if outcome is CheckOutcome.OK:
                 action = (
                     RecoveryAction.CLEAN_READ

@@ -8,7 +8,14 @@ interface, and a fault-injection harness used by the reliability
 experiments and tests.
 """
 
-from repro.ecc.codec import Codec, CodewordError, LineCodec
+from repro.ecc.codec import (
+    Codec,
+    CodewordError,
+    LineCodec,
+    available_codecs,
+    get_codec,
+    register_codec,
+)
 from repro.ecc.events import CheckOutcome, CheckResult
 from repro.ecc.hamming import SecDedCodec
 from repro.ecc.injection import FaultInjector, flip_bit
@@ -24,5 +31,8 @@ __all__ = [
     "LineCodec",
     "ParityCodec",
     "SecDedCodec",
+    "available_codecs",
     "flip_bit",
+    "get_codec",
+    "register_codec",
 ]

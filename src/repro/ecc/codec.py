@@ -8,7 +8,7 @@ on whole cache lines, which are sequences of such words.
 from __future__ import annotations
 
 import abc
-from typing import List, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.ecc.events import CheckOutcome, CheckResult
 
@@ -27,10 +27,24 @@ class Codec(abc.ABC):
 
     Concrete codecs encode a 64-bit data word into *check bits* and later
     verify (and possibly repair) a stored word against stored check bits.
+    The class-level contract — ``name``, ``check_bits_per_word`` and
+    ``corrects`` — is everything the protection policies and the fault
+    model need, so a new code (DECTED, a chip-kill symbol code) drops in
+    by subclassing this and registering a factory
+    (:func:`repro.ecc.register_codec`); nothing downstream special-cases
+    the concrete classes.
     """
+
+    #: Registry key and display name of the code.
+    name: str = ""
 
     #: Number of check bits produced per 64-bit data word.
     check_bits_per_word: int
+
+    #: Whether the code can repair (not merely detect) some errors.  A
+    #: detect-only code on a dirty line means data loss; this flag is
+    #: what the recovery paths branch on instead of the codec's class.
+    corrects: bool = False
 
     @abc.abstractmethod
     def encode(self, word: int) -> int:
@@ -39,6 +53,21 @@ class Codec(abc.ABC):
     @abc.abstractmethod
     def check(self, word: int, check: int) -> CheckResult:
         """Verify ``word`` against ``check``; return a :class:`CheckResult`."""
+
+    def correct(self, word: int, check: int) -> CheckResult:
+        """Verify and repair: :meth:`check` with repair required.
+
+        For correcting codes this is :meth:`check` (whose result already
+        carries the repaired data).  Detect-only codes raise, since they
+        have no repair to offer — callers must consult :attr:`corrects`
+        before asking.
+        """
+        if not self.corrects:
+            raise CodewordError(
+                f"{self.name or type(self).__name__} is detect-only and "
+                "cannot correct"
+            )
+        return self.check(word, check)
 
     # -- shared helpers ---------------------------------------------------
 
@@ -50,6 +79,43 @@ class Codec(abc.ABC):
         limit = 1 << self.check_bits_per_word
         if not 0 <= check < limit:
             raise CodewordError(f"check bits out of range: {check:#x}")
+
+
+# -- the codec registry -------------------------------------------------------
+
+#: Factories for every known per-word code, keyed by codec name.  The
+#: built-in codes register themselves on import of :mod:`repro.ecc`;
+#: new geometries (DECTED, chip-kill symbol codes) extend the system by
+#: registering here rather than by editing the policy or fault-model
+#: layers.
+_CODEC_FACTORIES: Dict[str, Callable[[], "Codec"]] = {}
+
+
+def register_codec(name: str, factory: Callable[[], "Codec"]) -> None:
+    """Register a codec factory under ``name`` (idempotent re-register)."""
+    if not name:
+        raise CodewordError("codec name must be non-empty")
+    _CODEC_FACTORIES[name] = factory
+
+
+def get_codec(name: str) -> "Codec":
+    """Instantiate the codec registered under ``name``.
+
+    Codecs are stateless, but a fresh instance is returned so callers
+    may attach per-use state without aliasing.
+    """
+    try:
+        factory = _CODEC_FACTORIES[name]
+    except KeyError:
+        raise CodewordError(
+            f"unknown codec {name!r}; known: {available_codecs()}"
+        ) from None
+    return factory()
+
+
+def available_codecs() -> List[str]:
+    """Sorted names of every registered codec."""
+    return sorted(_CODEC_FACTORIES)
 
 
 class LineCodec:

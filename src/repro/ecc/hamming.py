@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.ecc.codec import WORD_BITS, Codec
+from repro.ecc.codec import WORD_BITS, Codec, register_codec
 from repro.ecc.events import CheckOutcome, CheckResult
 from repro.ecc.parity import _parity64
 
@@ -88,7 +88,9 @@ def encode_word(word: int) -> int:
 class SecDedCodec(Codec):
     """Extended Hamming(72,64): corrects 1-bit, detects 2-bit errors."""
 
+    name = "secded"
     check_bits_per_word = 8
+    corrects = True
 
     def encode(self, word: int) -> int:
         self._validate_word(word)
@@ -145,3 +147,6 @@ class SecDedCodec(Codec):
             syndrome=syndrome,
             corrected_bit=syndrome,
         )
+
+
+register_codec(SecDedCodec.name, SecDedCodec)

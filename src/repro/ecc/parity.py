@@ -8,7 +8,7 @@ action for a clean line is a refetch from the next memory level.
 
 from __future__ import annotations
 
-from repro.ecc.codec import Codec
+from repro.ecc.codec import Codec, register_codec
 from repro.ecc.events import CheckOutcome, CheckResult
 
 
@@ -32,7 +32,9 @@ BYTE_PARITY: tuple = tuple(_parity64(value) for value in range(256))
 class ParityCodec(Codec):
     """Single even-parity bit per 64-bit word (detect-only)."""
 
+    name = "parity"
     check_bits_per_word = 1
+    corrects = False
 
     def encode(self, word: int) -> int:
         self._validate_word(word)
@@ -59,6 +61,9 @@ class InterleavedParityCodec(Codec):
     Still detect-only: recovery for clean lines is a refetch, as with
     plain parity.
     """
+
+    name = "interleaved-parity"
+    corrects = False
 
     def __init__(self, ways: int = 8) -> None:
         if not 1 <= ways <= 64:
@@ -89,3 +94,7 @@ class InterleavedParityCodec(Codec):
         return CheckResult(
             outcome=CheckOutcome.DETECTED, data=word, syndrome=syndrome
         )
+
+
+register_codec(ParityCodec.name, ParityCodec)
+register_codec(InterleavedParityCodec.name, InterleavedParityCodec)

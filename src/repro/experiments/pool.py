@@ -356,6 +356,11 @@ class SweepEngine:
         that store.
     ``progress``
         Emit a one-line progress ticker to stderr as cells complete.
+    ``on_cell``
+        Optional callback invoked with each completed
+        :class:`CellRecord` (cached hits included) as it lands — the
+        hook the job service uses to stream per-cell progress events.
+        Called from the submitting thread, never from pool workers.
     """
 
     def __init__(
@@ -363,6 +368,7 @@ class SweepEngine:
         jobs: int = 1,
         cache: Union[ResultCache, str, Path, bool, None] = None,
         progress: bool = False,
+        on_cell: Optional[Callable[["CellRecord"], None]] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -376,6 +382,7 @@ class SweepEngine:
         else:
             self.cache = ResultCache(cache)
         self.progress = progress
+        self.on_cell = on_cell
         self.stats = SweepStats()
         #: Wall-time accounting by engine phase (cache-lookup / execute).
         self.profiler = PhaseProfiler()
@@ -528,15 +535,16 @@ class SweepEngine:
             # Worker wall-time: under a pool this sums across processes,
             # so the events/s line reads as per-worker throughput.
             self.profiler.add("execute", wall, refs)
-        self.stats.records.append(
-            CellRecord(
-                label=cell.label,
-                key=key,
-                wall_s=wall,
-                refs=refs,
-                cached=cached,
-            )
+        record = CellRecord(
+            label=cell.label,
+            key=key,
+            wall_s=wall,
+            refs=refs,
+            cached=cached,
         )
+        self.stats.records.append(record)
+        if self.on_cell is not None:
+            self.on_cell(record)
 
     def _tick(self, done, total, cell, cached, wall: float = 0.0) -> None:
         if not self.progress:

@@ -35,7 +35,16 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from repro.experiments.pool import SweepEngine
 from repro.reliability.checkpoint import (
@@ -400,6 +409,13 @@ class CampaignEngine:
     ``tracer`` / ``registry``
         Optional telemetry sinks: per-trial ``campaign_outcome`` events
         (head-sampled per shard) and per-scheme outcome counters.
+    ``progress``
+        Optional callback receiving JSON-able event dicts as the
+        campaign advances: ``resume`` (checkpointed shards reloaded),
+        ``shard`` (one shard completed, counters snapshot included) and
+        ``round`` (a round boundary with per-scheme trial counts and
+        achieved half-widths — the points where stopping decisions are
+        made).  This is what the job service streams as NDJSON/SSE.
     """
 
     def __init__(
@@ -409,6 +425,7 @@ class CampaignEngine:
         checkpoint: Union[CampaignCheckpoint, str, None] = None,
         tracer: Optional[EventTracer] = None,
         registry: Optional[MetricsRegistry] = None,
+        progress: Optional[Callable[[Dict[str, Any]], None]] = None,
     ) -> None:
         self.config = config
         self.engine = engine or SweepEngine()
@@ -418,8 +435,13 @@ class CampaignEngine:
             self.checkpoint = CampaignCheckpoint(checkpoint)
         self.tracer = tracer
         self.registry = registry if registry is not None else MetricsRegistry()
+        self.progress = progress
         self.resumed_shards = 0
         self.executed_shards = 0
+
+    def _emit_progress(self, event: Dict[str, Any]) -> None:
+        if self.progress is not None:
+            self.progress(event)
 
     # -- scheduling --------------------------------------------------------
 
@@ -493,6 +515,15 @@ class CampaignEngine:
                     )
                     self.resumed_shards += 1
             self.checkpoint.write_header(digest, self.config.describe())
+            if self.resumed_shards:
+                self._emit_progress({
+                    "type": "resume",
+                    "resumed_shards": self.resumed_shards,
+                    "trials": {
+                        scheme: state.trials
+                        for scheme, state in states.items()
+                    },
+                })
 
         try:
             if self.config.trials is not None:
@@ -521,6 +552,7 @@ class CampaignEngine:
         per_batch = self.config.shards_per_round * len(self.config.schemes)
         for start in range(0, len(specs), per_batch):
             self._execute(specs[start : start + per_batch], states)
+            self._emit_round(states)
 
     def _run_auto(self, states: Dict[str, _SchemeState]) -> None:
         for state in states.values():
@@ -537,6 +569,7 @@ class CampaignEngine:
             for state in states.values():
                 if state.stopped_by is None:
                     self._check_auto_stop(state)
+            self._emit_round(states)
 
     def _execute(
         self, specs: List[ShardSpec], states: Dict[str, _SchemeState]
@@ -552,6 +585,38 @@ class CampaignEngine:
             if self.checkpoint is not None:
                 self.checkpoint.append_shard(result.as_record())
             self._emit_telemetry(result)
+            self._emit_progress({
+                "type": "shard",
+                "scheme": result.scheme,
+                "index": result.index,
+                "trials": result.trials,
+                "executed_shards": self.executed_shards,
+                "resumed_shards": self.resumed_shards,
+            })
+
+    def _emit_round(self, states: Dict[str, _SchemeState]) -> None:
+        """A round boundary: per-scheme aggregates, from the telemetry
+        counters' point of view the moment a stopping decision is made."""
+        if self.progress is None:
+            return
+        schemes: Dict[str, Any] = {}
+        for scheme, state in states.items():
+            successes = self.config.metric_successes(
+                state.outcome_counts()
+            )
+            schemes[scheme] = {
+                "trials": state.trials,
+                "shards": state.shards_done,
+                "half_width": self.config.stopping.half_width(
+                    successes, state.trials
+                ),
+                "stopped_by": state.stopped_by,
+            }
+        self._emit_progress({
+            "type": "round",
+            "schemes": schemes,
+            "counters": self.registry.snapshot(),
+        })
 
     def _emit_telemetry(self, result: ShardResult) -> None:
         base = f"campaign.{result.scheme}"
@@ -617,6 +682,7 @@ def run_campaign(
     checkpoint: Union[CampaignCheckpoint, str, None] = None,
     tracer: Optional[EventTracer] = None,
     registry: Optional[MetricsRegistry] = None,
+    progress: Optional[Callable[[Dict[str, Any]], None]] = None,
 ) -> CampaignResult:
     """One-call campaign: build the engine, run it, return the result."""
     return CampaignEngine(
@@ -625,6 +691,7 @@ def run_campaign(
         checkpoint=checkpoint,
         tracer=tracer,
         registry=registry,
+        progress=progress,
     ).run()
 
 

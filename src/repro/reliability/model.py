@@ -52,6 +52,7 @@ from typing import TYPE_CHECKING, Dict, Optional, Tuple, Type
 from repro.core.policy import (
     LineProtection,
     NonUniformPolicy,
+    ProtectionDomain,
     ProtectionPolicy,
     RecoveryAction,
     UniformEccPolicy,
@@ -285,20 +286,35 @@ def _inject_check(
     config: FaultModelConfig, rng: random.Random, pool: "LinePool",
 ) -> TrialOutcome:
     line = _build_line(policy, dirty, config, rng, pool)
-    # Choose the struck check structure in proportion to its bits:
-    # 1 parity bit/word vs 8 SECDED bits/word when both are stored.
-    parity_bits = 1 if line.parity_checks is not None else 0
-    ecc_bits = 8 if line.ecc_checks is not None else 0
+    # Choose the struck check structure in proportion to its bits —
+    # the per-word widths come from the codecs actually guarding the
+    # line (1 parity bit vs 8 SECDED bits for the default registry
+    # codes), not from hardcoded knowledge of those two codes.
+    parity_codec = line.codecs[ProtectionDomain.PARITY]
+    ecc_codec = line.codecs[ProtectionDomain.ECC]
+    parity_bits = (
+        parity_codec.check_bits_per_word
+        if line.parity_checks is not None
+        else 0
+    )
+    ecc_bits = (
+        ecc_codec.check_bits_per_word if line.ecc_checks is not None else 0
+    )
     word = rng.randrange(config.line_bytes // 8)
     strike_ecc = rng.random() * (parity_bits + ecc_bits) < ecc_bits
     if strike_ecc:
         assert line.ecc_checks is not None
-        line.ecc_checks[word] ^= 1 << rng.randrange(8)
+        line.ecc_checks[word] ^= 1 << rng.randrange(ecc_bits)
         if flips > 1:
-            line.ecc_checks[word] ^= 1 << rng.randrange(8)
+            line.ecc_checks[word] ^= 1 << rng.randrange(ecc_bits)
     else:
         assert line.parity_checks is not None
-        line.parity_checks[word] ^= 1
+        # A 1-bit-per-word code has only one target, so no rng draw —
+        # this keeps the trial stream identical to the historical
+        # parity/SECDED special-case (and to the batched kernel).
+        line.parity_checks[word] ^= (
+            1 << rng.randrange(parity_bits) if parity_bits > 1 else 1
+        )
         if flips > 1:
             # One parity bit per word: the second upset bit of the
             # strike lands in the neighbouring word's parity column.

@@ -1,0 +1,34 @@
+"""Long-running job service over the :mod:`repro.api` facade.
+
+``repro serve`` turns the facade into a stdlib-only HTTP job server:
+clients POST request documents (run / ipc / sweep / figure / ablation /
+reliability-campaign), the service dedupes them against
+content-addressed request keys (identical concurrent submissions share
+one execution), streams progress as NDJSON or SSE events sourced from
+the engines' telemetry hooks, and survives restarts — simulation cells
+persist in the shared on-disk result cache and campaigns resume from
+their JSONL checkpoints.
+
+* :mod:`repro.service.jobs` — the :class:`Job` model and deduplicating
+  :class:`JobStore` worker pool;
+* :mod:`repro.service.server` — the HTTP endpoints
+  (:class:`ReproService`);
+* :mod:`repro.service.client` — a stdlib client
+  (:class:`ServiceClient`).
+
+See ``docs/service.md`` for the protocol and examples.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import JOB_STATES, Job, JobStore, default_data_dir
+from repro.service.server import ReproService
+
+__all__ = [
+    "JOB_STATES",
+    "Job",
+    "JobStore",
+    "ReproService",
+    "ServiceClient",
+    "ServiceError",
+    "default_data_dir",
+]

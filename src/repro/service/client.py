@@ -1,0 +1,143 @@
+"""Stdlib HTTP client for the repro job service.
+
+Thin ``urllib`` wrapper speaking the :mod:`repro.service.server` wire
+protocol: submit a request document, follow its NDJSON progress stream,
+fetch the result document.  Used by the CI smoke script and the tests;
+any HTTP client works equally well.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterator, Mapping, Optional
+
+
+class ServiceError(Exception):
+    """An HTTP-level failure, carrying the server's error text."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Client for one service base URL (e.g. ``http://127.0.0.1:8642``)."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _request_status(
+        self,
+        path: str,
+        body: Optional[Mapping[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> tuple:
+        """(HTTP status, decoded JSON body); raises on 4xx/5xx."""
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=None if body is None else json.dumps(body).encode(),
+            headers={"Content-Type": "application/json"},
+            method="GET" if body is None else "POST",
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=timeout or self.timeout
+            ) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as err:
+            raw = err.read()
+            try:
+                message = json.loads(raw).get("error", raw.decode())
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                message = raw.decode(errors="replace")
+            raise ServiceError(err.code, message) from None
+
+    def _request(
+        self,
+        path: str,
+        body: Optional[Mapping[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        return self._request_status(path, body, timeout)[1]
+
+    # -- endpoints ---------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("/v1/health")
+
+    def kinds(self) -> Dict[str, Any]:
+        return self._request("/v1/kinds")["kinds"]
+
+    def submit(
+        self, kind: str, request: Optional[Mapping[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """Submit one request; returns ``{"job": {...}, "created": bool}``."""
+        return self._request(
+            "/v1/jobs", body={"kind": kind, "request": dict(request or {})}
+        )
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request(f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> Any:
+        return self._request("/v1/jobs")["jobs"]
+
+    def stream_events(
+        self, job_id: str, start: int = 0
+    ) -> Iterator[Dict[str, Any]]:
+        """Follow a job's NDJSON progress stream until it terminates."""
+        request = urllib.request.Request(
+            f"{self.base_url}/v1/jobs/{job_id}/events?start={start}"
+        )
+        with urllib.request.urlopen(request) as response:
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+
+    def result(
+        self,
+        job_id: str,
+        timeout: float = 300.0,
+        poll: float = 0.2,
+    ) -> Dict[str, Any]:
+        """Poll until the job finishes; returns its result document.
+
+        Raises :class:`ServiceError` (status 500) if the job failed, or
+        :class:`TimeoutError` if it is still running after ``timeout``.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"job {job_id} still pending after {timeout}s"
+                )
+            wait = min(remaining, 10.0)
+            status, doc = self._request_status(
+                f"/v1/jobs/{job_id}/result?wait={wait:.1f}",
+                timeout=wait + self.timeout,
+            )
+            if status == 200:
+                return doc
+            time.sleep(min(poll, max(deadline - time.monotonic(), 0)))
+
+    def run_to_completion(
+        self,
+        kind: str,
+        request: Optional[Mapping[str, Any]] = None,
+        timeout: float = 300.0,
+    ) -> Dict[str, Any]:
+        """Submit, wait, and return the result document."""
+        job_id = self.submit(kind, request)["job"]["id"]
+        return self.result(job_id, timeout=timeout)
+
+
+__all__ = ["ServiceClient", "ServiceError"]

@@ -1,0 +1,325 @@
+"""Job model and deduplicating job store for the repro service.
+
+A **job** is one facade request (:mod:`repro.api`) executing
+asynchronously.  Jobs are identified by :func:`repro.api.request_key` —
+the same content-addressed digest family the sweep result cache uses —
+so two identical submissions *are* the same job: the second submitter
+attaches to the first's progress stream and result instead of paying
+for a second execution.
+
+Durability lives below the store, not in it:
+
+* every job's sweep engine shares one on-disk
+  :class:`~repro.experiments.pool.ResultCache` under
+  ``<data_dir>/cache``, so finished simulation cells survive restarts;
+* every reliability campaign checkpoints to
+  ``<data_dir>/checkpoints/<job key>.jsonl``, so a campaign interrupted
+  by a crash or restart resumes from its completed shards when the same
+  request is submitted to a fresh store — bit-identical to an
+  uninterrupted run (round-boundary stopping, deterministic shard
+  seeds).
+
+The store itself is in-memory: a restart forgets job *records* but no
+completed *work*.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+import time
+import traceback
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro import api
+from repro.experiments.pool import SweepEngine
+
+#: Job lifecycle; ``done`` and ``error`` are terminal.
+JOB_STATES = ("queued", "running", "done", "error")
+
+
+def default_data_dir() -> Path:
+    """``$REPRO_SERVICE_DIR`` or ``~/.cache/repro-service``."""
+    env = os.environ.get("REPRO_SERVICE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-service"
+
+
+class Job:
+    """One deduplicated unit of facade work plus its progress log.
+
+    All mutable state is guarded by ``self.cond``; progress events are
+    append-only dicts with a monotonically increasing ``seq``, so any
+    number of streamers can follow one job from any offset.
+    """
+
+    def __init__(self, key: str, kind: str, request: Any) -> None:
+        self.key = key
+        self.kind = kind
+        self.request = request
+        self.state = "queued"
+        self.result: Any = None
+        self.error: Optional[str] = None
+        self.events: List[Dict[str, Any]] = []
+        self.submissions = 1
+        self.created_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.cond = threading.Condition()
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self.state in ("done", "error")
+
+    def emit(self, event: Mapping[str, Any]) -> None:
+        """Append one progress event (thread-safe, wakes streamers)."""
+        with self.cond:
+            record = dict(event)
+            record["seq"] = len(self.events)
+            self.events.append(record)
+            self.cond.notify_all()
+
+    def _start(self) -> None:
+        with self.cond:
+            self.state = "running"
+            self.started_at = time.time()
+            self.events.append(
+                {"seq": len(self.events), "type": "state", "state": "running"}
+            )
+            self.cond.notify_all()
+
+    def _finish(self, state: str, result: Any = None,
+                error: Optional[str] = None) -> None:
+        """Terminal transition; the final ``state`` event is appended
+        under the same lock so streamers always see it last."""
+        with self.cond:
+            self.state = state
+            self.result = result
+            self.error = error
+            self.finished_at = time.time()
+            event: Dict[str, Any] = {
+                "seq": len(self.events), "type": "state", "state": state,
+            }
+            if error is not None:
+                event["error"] = error
+            self.events.append(event)
+            self.cond.notify_all()
+
+    def wait(self, timeout: Optional[float] = None) -> str:
+        """Block until the job is terminal (or ``timeout``); returns state."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self.cond:
+            while not self.finished:
+                remaining = (
+                    None if deadline is None
+                    else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    break
+                self.cond.wait(remaining if remaining is not None else 0.5)
+            return self.state
+
+    def iter_events(self, start: int = 0) -> Iterator[Dict[str, Any]]:
+        """Yield events from ``start`` until the terminal state event.
+
+        Safe to call from any number of threads, before, during or
+        after execution — a finished job replays its full log.
+        """
+        index = start
+        while True:
+            with self.cond:
+                while index >= len(self.events) and not self.finished:
+                    self.cond.wait(0.5)
+                batch = self.events[index:]
+            for event in batch:
+                yield event
+                index += 1
+                if (
+                    event.get("type") == "state"
+                    and event.get("state") in ("done", "error")
+                ):
+                    return
+            with self.cond:
+                if self.finished and index >= len(self.events):
+                    return
+
+    # -- documents ---------------------------------------------------------
+
+    def describe(self) -> Dict[str, Any]:
+        """The job's JSON document (result served separately)."""
+        with self.cond:
+            return {
+                "id": self.key,
+                "kind": self.kind,
+                "state": self.state,
+                "request": self.request.as_dict(),
+                "submissions": self.submissions,
+                "events": len(self.events),
+                "created_at": self.created_at,
+                "started_at": self.started_at,
+                "finished_at": self.finished_at,
+                "error": self.error,
+            }
+
+    def result_doc(self) -> Optional[Dict[str, Any]]:
+        with self.cond:
+            return None if self.result is None else self.result.as_dict()
+
+
+class JobStore:
+    """Deduplicating queue + worker pool executing facade requests.
+
+    ``workers``
+        Executor threads; ``0`` starts none — callers drain the queue
+        themselves with :meth:`run_pending` (the deterministic test
+        mode).
+    ``jobs``
+        Worker *processes* each job's :class:`SweepEngine` may fan out
+        to (the CLI's ``--jobs``).
+    ``engine_factory``
+        Override engine construction, e.g. to inject a failing engine
+        in tests.  Called with the :class:`Job`; must return a
+        :class:`SweepEngine`-compatible object.
+    """
+
+    def __init__(
+        self,
+        data_dir: Optional[os.PathLike] = None,
+        workers: int = 2,
+        jobs: int = 1,
+        engine_factory: Optional[Callable[[Job], Any]] = None,
+    ) -> None:
+        if workers < 0 or jobs < 1:
+            raise ValueError("workers must be >= 0 and jobs >= 1")
+        self.data_dir = Path(data_dir) if data_dir else default_data_dir()
+        self.cache_dir = self.data_dir / "cache"
+        self.checkpoint_dir = self.data_dir / "checkpoints"
+        self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        self.jobs_per_engine = jobs
+        self.engine_factory = engine_factory
+        self._jobs: Dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._queue: "queue.Queue[Optional[Job]]" = queue.Queue()
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"repro-job-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission --------------------------------------------------------
+
+    def submit(
+        self, kind: str, payload: Mapping[str, Any]
+    ) -> Tuple[Job, bool]:
+        """Submit one request; returns ``(job, created)``.
+
+        ``created`` is False when an identical request (same
+        :func:`repro.api.request_key`) is already queued, running or
+        done — the caller shares that job.  A previously *failed* key
+        is retried with a fresh job.
+        """
+        try:
+            cls, _ = api.KINDS[kind]
+        except KeyError:
+            raise api.ReproError(
+                f"unknown request kind {kind!r}; known: {sorted(api.KINDS)}"
+            ) from None
+        request = api.request_from_dict(cls, payload)
+        key = api.request_key(kind, request)
+        with self._lock:
+            existing = self._jobs.get(key)
+            if existing is not None and existing.state != "error":
+                with existing.cond:
+                    existing.submissions += 1
+                return existing, False
+            job = Job(key, kind, request)
+            self._jobs[key] = job
+        self._queue.put(job)
+        return job, True
+
+    def get(self, key: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(key)
+
+    def list(self) -> List[Job]:
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.created_at)
+
+    # -- execution ---------------------------------------------------------
+
+    def run_pending(self) -> int:
+        """Drain the queue in the calling thread (``workers=0`` mode)."""
+        n = 0
+        while True:
+            try:
+                job = self._queue.get_nowait()
+            except queue.Empty:
+                return n
+            if job is None:
+                continue
+            self._execute(job)
+            n += 1
+
+    def _worker(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            self._execute(job)
+
+    def _engine(self, job: Job) -> Any:
+        if self.engine_factory is not None:
+            return self.engine_factory(job)
+        return SweepEngine(
+            jobs=self.jobs_per_engine,
+            cache=self.cache_dir,
+            on_cell=lambda record: job.emit({
+                "type": "cell",
+                "label": record.label,
+                "cached": record.cached,
+                "wall_s": record.wall_s,
+                "refs": record.refs,
+            }),
+        )
+
+    def checkpoint_path(self, key: str) -> Path:
+        """Where a reliability job's shards persist — derived from the
+        request digest, so identical campaigns share one resumable
+        file across submissions *and* service restarts."""
+        return self.checkpoint_dir / f"{key}.jsonl"
+
+    def _execute(self, job: Job) -> None:
+        job._start()
+        try:
+            kwargs: Dict[str, Any] = {}
+            if job.kind in ("run", "ipc", "figures", "ablate"):
+                kwargs["engine"] = self._engine(job)
+            elif job.kind == "reliability":
+                kwargs["engine"] = self._engine(job)
+                kwargs["progress"] = job.emit
+                kwargs["checkpoint"] = str(self.checkpoint_path(job.key))
+            result = api.execute(job.kind, job.request, **kwargs)
+        except api.ReproError as err:
+            job._finish("error", error=str(err))
+        except Exception:
+            job._finish("error", error=traceback.format_exc(limit=8))
+        else:
+            job._finish("done", result=result)
+
+    def close(self) -> None:
+        """Stop the worker threads (queued jobs are abandoned)."""
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=5)
+
+
+__all__ = ["JOB_STATES", "Job", "JobStore", "default_data_dir"]

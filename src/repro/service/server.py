@@ -1,0 +1,255 @@
+"""HTTP front end: stdlib ``ThreadingHTTPServer`` over a :class:`JobStore`.
+
+Endpoints (all JSON unless noted):
+
+========================  =====================================================
+``POST /v1/jobs``         submit ``{"kind": ..., "request": {...}}`` →
+                          202 ``{"job": {...}, "created": bool}``; ``created``
+                          false means an identical job already existed (the
+                          submission was deduplicated onto it)
+``GET /v1/jobs``          list all job documents
+``GET /v1/jobs/<id>``     one job document (plus ``result`` once done)
+``GET /v1/jobs/<id>/result``  the result document; ``?wait=SECONDS`` blocks
+                          until the job is terminal; 202 while pending,
+                          500 + error text if the job failed
+``GET /v1/jobs/<id>/events``  progress stream, NDJSON by default
+                          (``application/x-ndjson``, one event per line) or
+                          SSE (``text/event-stream``) when the client sends
+                          ``Accept: text/event-stream`` or ``?sse=1``;
+                          ``?start=N`` replays from event seq N; the stream
+                          always ends with the terminal ``state`` event
+``GET /v1/kinds``         known request kinds with their default documents
+``GET /v1/health``        liveness + job counts
+========================  =====================================================
+
+Bad requests (unknown kind/field/benchmark — anything
+:class:`repro.api.ReproError`) are HTTP 400 with ``{"error": ...}``;
+unknown job ids are 404.  The server is plain stdlib: HTTP/1.0 with
+``Connection: close``, one thread per connection, so streaming a
+long-running campaign never blocks other clients.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro import api
+from repro.service.jobs import Job, JobStore
+
+#: Request-body size cap (a request document is small; anything larger
+#: is a mistake or abuse).
+MAX_BODY_BYTES = 1 << 20
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One HTTP request; ``store`` is injected by :class:`ReproService`."""
+
+    store: JobStore  # class attribute, set per-service
+    server_version = "repro-service/1.0"
+    protocol_version = "HTTP/1.0"
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:
+        pass  # quiet by default; telemetry belongs to the job events
+
+    def _send_json(self, status: int, doc: Any) -> None:
+        body = json.dumps(doc, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _read_body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise api.ReproError("request body too large")
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            doc = json.loads(raw or b"{}")
+        except json.JSONDecodeError as err:
+            raise api.ReproError(f"request body is not JSON: {err}") from None
+        if not isinstance(doc, dict):
+            raise api.ReproError("request body must be a JSON object")
+        return doc
+
+    def _route(self) -> Tuple[str, Dict[str, str]]:
+        parsed = urlparse(self.path)
+        query = {
+            key: values[-1]
+            for key, values in parse_qs(parsed.query).items()
+        }
+        return parsed.path.rstrip("/"), query
+
+    def _job_or_404(self, job_id: str) -> Optional[Job]:
+        job = self.store.get(job_id)
+        if job is None:
+            self._error(404, f"unknown job {job_id!r}")
+        return job
+
+    # -- verbs -------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        path, _ = self._route()
+        try:
+            if path == "/v1/jobs":
+                doc = self._read_body()
+                kind = doc.get("kind")
+                if not isinstance(kind, str):
+                    raise api.ReproError("missing request kind")
+                request = doc.get("request") or {}
+                job, created = self.store.submit(kind, request)
+                self._send_json(
+                    202, {"job": job.describe(), "created": created}
+                )
+            else:
+                self._error(404, f"unknown path {path!r}")
+        except api.ReproError as err:
+            self._error(400, str(err))
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        path, query = self._route()
+        if path == "/v1/health":
+            jobs = self.store.list()
+            self._send_json(200, {
+                "ok": True,
+                "jobs": len(jobs),
+                "running": sum(1 for j in jobs if j.state == "running"),
+            })
+        elif path == "/v1/kinds":
+            self._send_json(200, {
+                "kinds": {
+                    kind: cls().as_dict()
+                    for kind, (cls, _) in sorted(api.KINDS.items())
+                },
+            })
+        elif path == "/v1/jobs":
+            self._send_json(
+                200, {"jobs": [job.describe() for job in self.store.list()]}
+            )
+        elif path.startswith("/v1/jobs/"):
+            rest = path[len("/v1/jobs/"):]
+            if rest.endswith("/events"):
+                job = self._job_or_404(rest[: -len("/events")])
+                if job is not None:
+                    self._stream_events(job, query)
+            elif rest.endswith("/result"):
+                job = self._job_or_404(rest[: -len("/result")])
+                if job is not None:
+                    self._send_result(job, query)
+            else:
+                job = self._job_or_404(rest)
+                if job is not None:
+                    doc = job.describe()
+                    result = job.result_doc()
+                    if result is not None:
+                        doc["result"] = result
+                    self._send_json(200, doc)
+        else:
+            self._error(404, f"unknown path {path!r}")
+
+    # -- job views ---------------------------------------------------------
+
+    def _send_result(self, job: Job, query: Dict[str, str]) -> None:
+        wait = float(query.get("wait", 0) or 0)
+        if wait > 0:
+            job.wait(timeout=wait)
+        if job.state == "error":
+            self._error(500, job.error or "job failed")
+        elif job.state != "done":
+            self._send_json(202, {"state": job.state})
+        else:
+            self._send_json(200, job.result_doc())
+
+    def _stream_events(self, job: Job, query: Dict[str, str]) -> None:
+        """NDJSON (default) or SSE progress stream until terminal."""
+        sse = (
+            query.get("sse") == "1"
+            or "text/event-stream" in (self.headers.get("Accept") or "")
+        )
+        start = int(query.get("start", 0) or 0)
+        self.send_response(200)
+        self.send_header(
+            "Content-Type",
+            "text/event-stream" if sse else "application/x-ndjson",
+        )
+        self.send_header("Cache-Control", "no-cache")
+        self.end_headers()
+        try:
+            for event in job.iter_events(start=start):
+                line = json.dumps(event, sort_keys=True)
+                if sse:
+                    payload = f"data: {line}\n\n".encode()
+                else:
+                    payload = line.encode() + b"\n"
+                self.wfile.write(payload)
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; the job keeps running
+
+
+class ReproService:
+    """The assembled service: one :class:`JobStore` behind one listener.
+
+    ``port=0`` binds an ephemeral port (``.port`` reports the real
+    one), which is what the tests and the CI smoke script use.  Use
+    :meth:`start` for a background thread or :meth:`serve_forever` to
+    block (the CLI's ``repro serve``).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        data_dir: Optional[str] = None,
+        workers: int = 2,
+        jobs: int = 1,
+        store: Optional[JobStore] = None,
+    ) -> None:
+        self.store = store or JobStore(
+            data_dir=data_dir, workers=workers, jobs=jobs
+        )
+        handler = type("BoundHandler", (_Handler,), {"store": self.store})
+        self.server = ThreadingHTTPServer((host, port), handler)
+        self.server.daemon_threads = True
+        self.host, self.port = self.server.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def data_dir(self):
+        return self.store.data_dir
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ReproService":
+        """Serve on a daemon thread; returns self for chaining."""
+        self._thread = threading.Thread(
+            target=self.server.serve_forever,
+            name="repro-service",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self.server.serve_forever()
+
+    def shutdown(self) -> None:
+        self.server.shutdown()
+        self.server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        self.store.close()
+
+
+__all__ = ["MAX_BODY_BYTES", "ReproService"]

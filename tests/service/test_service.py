@@ -1,0 +1,276 @@
+"""The job service: dedupe, streaming, restart-resume, HTTP protocol."""
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro import api
+from repro.experiments.pool import SweepEngine
+from repro.service import (
+    JobStore,
+    ReproService,
+    ServiceClient,
+    ServiceError,
+)
+
+RUN_REQUEST = {"benchmark": "swim", "refs": 3000, "warmup": 1000}
+CAMPAIGN_REQUEST = {"trials": 200, "trials_per_shard": 50, "seed": 5}
+
+
+def _plain_engine(job):
+    return SweepEngine(jobs=1, cache=False, progress=False)
+
+
+class _FailingEngine(SweepEngine):
+    """Aborts the campaign before its Nth map_tasks call — the test
+    stand-in for a service crash mid-campaign."""
+
+    def __init__(self, fail_before_call: int):
+        super().__init__(jobs=1, cache=False, progress=False)
+        self.fail_before_call = fail_before_call
+        self.calls = 0
+
+    def map_tasks(self, func, items, phase="map"):
+        self.calls += 1
+        if self.calls >= self.fail_before_call:
+            raise RuntimeError("simulated mid-campaign crash")
+        return super().map_tasks(func, items, phase=phase)
+
+
+class TestJobStore:
+    def test_identical_submissions_share_one_job(self, tmp_path):
+        store = JobStore(data_dir=tmp_path, workers=0)
+        first, created_first = store.submit("run", RUN_REQUEST)
+        second, created_second = store.submit("run", RUN_REQUEST)
+        assert created_first and not created_second
+        assert first is second
+        assert first.submissions == 2
+        assert store.run_pending() == 1
+
+    def test_deduped_job_executes_exactly_once(self, tmp_path, monkeypatch):
+        import repro.experiments.pool as pool
+
+        calls = []
+        real = pool.execute_cell
+        monkeypatch.setattr(
+            pool, "execute_cell",
+            lambda cell: calls.append(cell.label) or real(cell),
+        )
+        store = JobStore(
+            data_dir=tmp_path, workers=0, engine_factory=_plain_engine
+        )
+        jobs = [store.submit("run", RUN_REQUEST)[0] for _ in range(3)]
+        store.run_pending()
+        assert len(calls) == 1
+        assert all(job.state == "done" for job in jobs)
+
+    def test_concurrent_submissions_dedupe(self, tmp_path):
+        # The acceptance shape: identical requests racing in from many
+        # threads while workers are live still produce one execution.
+        store = JobStore(data_dir=tmp_path, workers=2)
+        results = []
+
+        def submit():
+            results.append(store.submit("reliability", CAMPAIGN_REQUEST))
+
+        threads = [threading.Thread(target=submit) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        jobs = {id(job) for job, _ in results}
+        assert len(jobs) == 1
+        assert sum(created for _, created in results) == 1
+        job = results[0][0]
+        assert job.wait(timeout=120) == "done"
+        assert job.result.executed_shards == 8
+        store.close()
+
+    def test_result_is_bit_identical_to_direct_facade_call(self, tmp_path):
+        store = JobStore(
+            data_dir=tmp_path, workers=0, engine_factory=_plain_engine
+        )
+        job, _ = store.submit("reliability", CAMPAIGN_REQUEST)
+        store.run_pending()
+        direct = api.reliability(
+            api.request_from_dict(api.ReliabilityRequest, CAMPAIGN_REQUEST),
+            engine=SweepEngine(),
+        )
+        assert (
+            api.campaign_doc(job.result.result)
+            == api.campaign_doc(direct.result)
+        )
+
+    def test_failed_key_is_retried(self, tmp_path):
+        store = JobStore(data_dir=tmp_path, workers=0)
+        job, _ = store.submit("run", {"benchmark": "swim", "refs": 1})
+        job._finish("error", error="boom")
+        retry, created = store.submit("run", {"benchmark": "swim", "refs": 1})
+        assert created and retry is not job
+
+    def test_unknown_kind_and_bad_fields_raise(self, tmp_path):
+        store = JobStore(data_dir=tmp_path, workers=0)
+        with pytest.raises(api.ReproError, match="unknown request kind"):
+            store.submit("sweep-the-world", {})
+        with pytest.raises(api.ReproError, match="unknown RunRequest"):
+            store.submit("run", {"benchmrk": "swim"})
+
+    def test_events_end_with_terminal_state(self, tmp_path):
+        # Default engine factory: its on_cell hook feeds the event log.
+        store = JobStore(data_dir=tmp_path, workers=0)
+        job, _ = store.submit("run", RUN_REQUEST)
+        store.run_pending()
+        events = list(job.iter_events())
+        assert events[0] == {"seq": 0, "type": "state", "state": "running"}
+        assert events[-1]["type"] == "state"
+        assert events[-1]["state"] == "done"
+        assert any(event["type"] == "cell" for event in events)
+
+
+class TestRestartResume:
+    """A killed campaign resumes from its JSONL checkpoint on a fresh
+    store — the uninterrupted aggregate, bit-identical."""
+
+    #: Needs several rounds (high-variance metric, tight target) so the
+    #: simulated crash lands mid-campaign, after 2 checkpointed rounds.
+    AUTO = {
+        "schemes": ["uniform-ecc"],
+        "trials": None,
+        "target": 0.02,
+        "metric": "corrected",
+        "trials_per_shard": 100,
+        "shards_per_round": 4,
+        "seed": 11,
+    }
+
+    def test_resume_after_simulated_restart(self, tmp_path):
+        # Run 1: the service dies mid-campaign (engine crash stands in
+        # for a process kill; completed rounds are already fsynced).
+        crashing = JobStore(
+            data_dir=tmp_path, workers=0,
+            engine_factory=lambda job: _FailingEngine(3),
+        )
+        job, _ = crashing.submit("reliability", self.AUTO)
+        crashing.run_pending()
+        assert job.state == "error"
+        checkpoint = crashing.checkpoint_path(job.key)
+        assert checkpoint.exists()
+        lines = checkpoint.read_text().strip().splitlines()
+        assert len(lines) == 1 + 8  # header + 2 rounds of 4 shards
+
+        # Run 2: a fresh store over the same data dir — "the restart".
+        restarted = JobStore(
+            data_dir=tmp_path, workers=0, engine_factory=_plain_engine
+        )
+        resumed_job, created = restarted.submit("reliability", self.AUTO)
+        assert created  # the old store's in-memory record is gone
+        assert resumed_job.key == job.key  # same digest -> same checkpoint
+        restarted.run_pending()
+        assert resumed_job.state == "done"
+        response = resumed_job.result
+        assert response.resumed_shards == 8
+        assert response.executed_shards > 0
+
+        # The uninterrupted baseline, straight through the facade.
+        baseline = api.reliability(
+            api.request_from_dict(api.ReliabilityRequest, self.AUTO),
+            engine=SweepEngine(),
+        )
+        assert (
+            api.campaign_doc(response.result)["schemes"]
+            == api.campaign_doc(baseline.result)["schemes"]
+        )
+
+        resume_events = [
+            e for e in resumed_job.events if e["type"] == "resume"
+        ]
+        assert resume_events and resume_events[0]["resumed_shards"] == 8
+
+
+@pytest.fixture()
+def service(tmp_path):
+    svc = ReproService(port=0, data_dir=tmp_path, workers=2).start()
+    yield svc
+    svc.shutdown()
+
+
+class TestHttpService:
+    def test_health_and_kinds(self, service):
+        client = ServiceClient(service.url)
+        assert client.health()["ok"] is True
+        kinds = client.kinds()
+        assert set(api.KINDS) <= set(kinds)
+        assert kinds["run"]["benchmark"] == "mesa"
+
+    def test_submit_dedupe_and_result_parity(self, service):
+        client = ServiceClient(service.url)
+        first = client.submit("run", RUN_REQUEST)
+        second = client.submit("run", RUN_REQUEST)
+        assert first["job"]["id"] == second["job"]["id"]
+        assert [first["created"], second["created"]].count(True) == 1
+
+        doc = client.result(first["job"]["id"], timeout=120)
+        direct = api.run(
+            api.request_from_dict(api.RunRequest, RUN_REQUEST),
+            engine=SweepEngine(),
+        )
+        assert doc == json.loads(json.dumps(direct.as_dict()))
+
+    def test_campaign_over_http_matches_direct_call(self, service):
+        client = ServiceClient(service.url)
+        job_id = client.submit("reliability", CAMPAIGN_REQUEST)["job"]["id"]
+        events = list(client.stream_events(job_id))
+        assert events[-1]["state"] == "done"
+        assert any(event["type"] == "shard" for event in events)
+        assert any(event["type"] == "round" for event in events)
+
+        doc = client.result(job_id, timeout=120)
+        direct = api.reliability(
+            api.request_from_dict(api.ReliabilityRequest, CAMPAIGN_REQUEST),
+            engine=SweepEngine(),
+        )
+        assert doc["campaign"] == json.loads(
+            json.dumps(api.campaign_doc(direct.result))
+        )
+
+    def test_sse_stream_format(self, service):
+        client = ServiceClient(service.url)
+        job_id = client.submit("area", {})["job"]["id"]
+        client.result(job_id, timeout=60)
+        with urllib.request.urlopen(
+            f"{service.url}/v1/jobs/{job_id}/events?sse=1"
+        ) as response:
+            assert response.headers["Content-Type"] == "text/event-stream"
+            lines = [
+                line for line in response.read().decode().splitlines() if line
+            ]
+        assert all(line.startswith("data: ") for line in lines)
+        last = json.loads(lines[-1][len("data: "):])
+        assert last == {"seq": last["seq"], "type": "state", "state": "done"}
+
+    def test_bad_requests_are_400(self, service):
+        client = ServiceClient(service.url)
+        with pytest.raises(ServiceError) as err:
+            client.submit("run", {"bogus": 1})
+        assert err.value.status == 400
+        with pytest.raises(ServiceError) as err:
+            client.submit("sweep-the-world", {})
+        assert err.value.status == 400
+
+    def test_unknown_job_is_404(self, service):
+        client = ServiceClient(service.url)
+        with pytest.raises(ServiceError) as err:
+            client.job("deadbeef")
+        assert err.value.status == 404
+
+    def test_failed_job_result_is_500(self, service):
+        client = ServiceClient(service.url)
+        job_id = client.submit(
+            "run", {"trace": "/no/such/trace.bin"}
+        )["job"]["id"]
+        with pytest.raises(ServiceError) as err:
+            client.result(job_id, timeout=60)
+        assert err.value.status == 500
+        assert "trace file not found" in err.value.message
