@@ -28,16 +28,19 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # The CI performance-regression gate: measure injection-kernel
-# throughput, then fail if it regressed past the committed baseline
-# (BENCH_reliability.json at the repo root) or the batch/reference
-# speedup fell under its floor.  See scripts/check_bench.py.
+# throughput per backend (reference / batch / vector when numpy is
+# installed), then fail if any backend regressed past the committed
+# baseline (BENCH_reliability.json at the repo root, schema v2) or a
+# speedup ratio fell under its floor.  See scripts/check_bench.py.
 bench-perf:
 	PYTHONPATH=src:benchmarks $(PYTHON) \
 		benchmarks/bench_reliability_throughput.py \
 		--out benchmarks/results/BENCH_reliability.json
 	$(PYTHON) scripts/check_bench.py
 
-# Refresh the committed baseline after an intentional kernel change.
+# Refresh the committed schema-v2 baseline after an intentional kernel
+# change (run with the [fast] extra installed so the vector backend is
+# part of the baseline).
 bench-baseline:
 	PYTHONPATH=src:benchmarks $(PYTHON) \
 		benchmarks/bench_reliability_throughput.py \

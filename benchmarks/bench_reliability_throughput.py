@@ -1,13 +1,16 @@
 """Injection-kernel throughput: the CI performance-regression gate.
 
-Measures trials/second of the reliability campaign's two shard kernels
+Measures trials/second of the reliability campaign's shard kernels
 (``reference`` builds real codec objects per trial, ``batch`` classifies
-against pooled pre-encoded lines — see ``repro.reliability.kernel``) and
-an end-to-end campaign wall time, then writes the numbers to a JSON
-artifact.  CI runs this via ``make bench-perf`` and
-``scripts/check_bench.py`` fails the build when batch throughput drops
-below the committed baseline (``BENCH_reliability.json`` at the repo
-root) or the batch/reference speedup falls under its floor.
+against pooled pre-encoded lines, ``vector`` — when numpy is installed —
+classifies whole blocks with table gathers; see ``repro.reliability``)
+and an end-to-end campaign wall time, then writes the numbers to a JSON
+artifact (schema v2: per-backend entries under ``kernels``).  CI runs
+this via ``make bench-perf`` and ``scripts/check_bench.py`` fails the
+build when any backend's throughput drops below the committed baseline
+(``BENCH_reliability.json`` at the repo root) or a speedup ratio falls
+under its floor.  The ``vector`` entry is simply omitted when numpy is
+absent; the gate skips it gracefully.
 
 Standalone:
 
@@ -38,9 +41,10 @@ from repro.reliability.campaign import (
     shard_seed,
 )
 from repro.reliability.model import FaultModelConfig, SCHEMES
+from repro.reliability.vector import HAVE_NUMPY
 
 #: Schema version of the emitted JSON (bump on shape changes).
-SCHEMA = 1
+SCHEMA = 2
 
 
 def _measure(scheme: str, kernel: str, trials: int, seed: int) -> float:
@@ -61,32 +65,54 @@ def _measure(scheme: str, kernel: str, trials: int, seed: int) -> float:
 def measure_throughput(
     reference_trials: int = 20_000,
     batch_trials: int = 200_000,
+    vector_trials: int = 2_000_000,
     campaign_trials: int = 100_000,
     seed: int = 0,
 ) -> Dict:
     """The full measurement: per-scheme kernels + an end-to-end campaign."""
     schemes = sorted(SCHEMES)
-    # Warm up both kernels once: the shared pool, the plan cache and the
-    # syndrome tables are one-time costs that should not skew the rates.
+    kernels = ["reference", "batch"] + (["vector"] if HAVE_NUMPY else [])
+    trials_for = {
+        "reference": reference_trials,
+        "batch": batch_trials,
+        "vector": vector_trials,
+    }
+    # Warm up every kernel once: the shared pool, the plan caches and
+    # the syndrome tables are one-time costs that must not skew rates.
     for scheme in schemes:
-        _measure(scheme, "reference", 200, seed)
-        _measure(scheme, "batch", 200, seed)
+        for kernel in kernels:
+            _measure(scheme, kernel, 200, seed)
 
     per_scheme: Dict[str, Dict[str, float]] = {}
-    ref_seconds = batch_seconds = 0.0
+    seconds = {kernel: 0.0 for kernel in kernels}
     for scheme in schemes:
-        ref_s = _measure(scheme, "reference", reference_trials, seed)
-        batch_s = _measure(scheme, "batch", batch_trials, seed)
-        ref_seconds += ref_s
-        batch_seconds += batch_s
-        per_scheme[scheme] = {
-            "reference_trials_per_s": reference_trials / ref_s,
-            "batch_trials_per_s": batch_trials / batch_s,
-            "speedup": (batch_trials / batch_s) / (reference_trials / ref_s),
-        }
+        row: Dict[str, float] = {}
+        for kernel in kernels:
+            wall = _measure(scheme, kernel, trials_for[kernel], seed)
+            seconds[kernel] += wall
+            row[f"{kernel}_trials_per_s"] = trials_for[kernel] / wall
+        row["speedup"] = (
+            row["batch_trials_per_s"] / row["reference_trials_per_s"]
+        )
+        per_scheme[scheme] = row
 
-    reference_rate = len(schemes) * reference_trials / ref_seconds
-    batch_rate = len(schemes) * batch_trials / batch_seconds
+    rates = {
+        kernel: len(schemes) * trials_for[kernel] / seconds[kernel]
+        for kernel in kernels
+    }
+    kernel_doc: Dict[str, Dict[str, float]] = {
+        "reference": {"trials_per_s": rates["reference"]},
+        "batch": {
+            "trials_per_s": rates["batch"],
+            "speedup_vs_reference": rates["batch"] / rates["reference"],
+        },
+    }
+    if "vector" in rates:
+        kernel_doc["vector"] = {
+            "trials_per_s": rates["vector"],
+            "speedup_vs_batch": rates["vector"] / rates["batch"],
+            "speedup_vs_reference": rates["vector"] / rates["reference"],
+        }
 
     campaign_config = CampaignConfig(
         schemes=("uniform-ecc", "non-uniform"),
@@ -104,9 +130,7 @@ def measure_throughput(
         "python": platform.python_version(),
         "platform": platform.platform(),
         "schemes": per_scheme,
-        "reference_trials_per_s": reference_rate,
-        "batch_trials_per_s": batch_rate,
-        "speedup": batch_rate / reference_rate,
+        "kernels": kernel_doc,
         "campaign": {
             "trials": result.total_trials,
             "seconds": campaign_s,
@@ -116,25 +140,28 @@ def measure_throughput(
 
 
 def _render(payload: Dict) -> str:
-    rows = [
-        [
-            scheme,
-            row["reference_trials_per_s"],
-            row["batch_trials_per_s"],
-            row["speedup"],
-        ]
-        for scheme, row in payload["schemes"].items()
-    ]
-    rows.append(
-        [
-            "ALL",
-            payload["reference_trials_per_s"],
-            payload["batch_trials_per_s"],
-            payload["speedup"],
-        ]
-    )
+    kernels = payload["kernels"]
+    have_vector = "vector" in kernels
+    headers = ["scheme", "reference trials/s", "batch trials/s"]
+    if have_vector:
+        headers.append("vector trials/s")
+    headers.append("batch/ref speedup")
+    rows = []
+    for scheme, row in payload["schemes"].items():
+        cells = [scheme, row["reference_trials_per_s"],
+                 row["batch_trials_per_s"]]
+        if have_vector:
+            cells.append(row.get("vector_trials_per_s", 0.0))
+        cells.append(row["speedup"])
+        rows.append(cells)
+    total = ["ALL", kernels["reference"]["trials_per_s"],
+             kernels["batch"]["trials_per_s"]]
+    if have_vector:
+        total.append(kernels["vector"]["trials_per_s"])
+    total.append(kernels["batch"]["speedup_vs_reference"])
+    rows.append(total)
     return render_table(
-        ["scheme", "reference trials/s", "batch trials/s", "speedup"],
+        headers,
         rows,
         ndigits=1,
         title="Injection kernel throughput (see scripts/check_bench.py)",
@@ -150,6 +177,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--reference-trials", type=int, default=20_000)
     parser.add_argument("--batch-trials", type=int, default=200_000)
+    parser.add_argument("--vector-trials", type=int, default=2_000_000)
     parser.add_argument("--campaign-trials", type=int, default=100_000)
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
@@ -157,6 +185,7 @@ def main(argv=None) -> int:
     payload = measure_throughput(
         reference_trials=args.reference_trials,
         batch_trials=args.batch_trials,
+        vector_trials=args.vector_trials,
         campaign_trials=args.campaign_trials,
         seed=args.seed,
     )
@@ -167,6 +196,8 @@ def main(argv=None) -> int:
     table = _render(payload)
     write_result("reliability_throughput", table)
     print(table)
+    if "vector" not in payload["kernels"]:
+        print("vector kernel: skipped (numpy not installed)")
     print(
         f"campaign: {payload['campaign']['trials']} trials in "
         f"{payload['campaign']['seconds']:.2f}s "
@@ -182,14 +213,17 @@ def bench_reliability_throughput(benchmark):
         lambda: measure_throughput(
             reference_trials=4_000,
             batch_trials=40_000,
+            vector_trials=200_000,
             campaign_trials=20_000,
         ),
         rounds=1,
         iterations=1,
     )
     write_result("reliability_throughput", _render(payload))
-    # Loose in-bench floor; the committed-baseline gate is the real one.
-    assert payload["speedup"] > 4
+    # Loose in-bench floors; the committed-baseline gate is the real one.
+    assert payload["kernels"]["batch"]["speedup_vs_reference"] > 4
+    if "vector" in payload["kernels"]:
+        assert payload["kernels"]["vector"]["speedup_vs_batch"] > 2
 
 
 if __name__ == "__main__":

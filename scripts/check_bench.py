@@ -2,15 +2,25 @@
 
 Compares the JSON written by ``benchmarks/bench_reliability_throughput.py``
 against the committed baseline (``BENCH_reliability.json`` at the repo
-root) and exits non-zero when either floor is violated:
+root) and exits non-zero when any floor is violated:
 
-* **absolute throughput** — current batch trials/s must stay within
-  ``--tolerance`` (default 30%) of the baseline's, so a kernel
+* **absolute throughput** — each backend's current trials/s must stay
+  within ``--tolerance`` (default 30%) of the baseline's, so a kernel
   regression cannot land silently even if it stays "fast enough";
-* **speedup ratio** — batch must remain at least ``--min-speedup``
-  (default 10×) faster than the reference path *measured in the same
-  run*, a machine-independent bound that holds on slow CI runners where
-  absolute numbers drift.
+* **speedup ratios** — batch must remain at least ``--min-speedup``
+  (default 10×) faster than the reference path and vector at least
+  ``--min-vector-speedup`` (default 5×) faster than batch, *measured in
+  the same run* — machine-independent bounds that hold on slow CI
+  runners where absolute numbers drift.
+
+The ``vector`` backend is gated only when the current run measured it
+(numpy installed); a current run without it is a graceful skip, never a
+failure, so the stdlib-only configuration stays green.
+
+Both files are **validated before anything is dereferenced**: a schema
+bump or a missing key produces ``FAIL:`` lines (all violations, not
+just the first) plus the ``make bench-baseline`` hint and exit code 1 —
+never a KeyError traceback.
 
 Usage (what ``make bench-perf`` runs):
 
@@ -29,15 +39,84 @@ import json
 import sys
 from pathlib import Path
 
+#: The artifact schema this gate understands (see the benchmark module).
+SCHEMA = 2
+
+#: Keys every artifact must carry before any gate math runs.
+REQUIRED_KERNEL_KEYS = {
+    "reference": ("trials_per_s",),
+    "batch": ("trials_per_s", "speedup_vs_reference"),
+}
+
+#: Keys a ``vector`` entry must carry *when present*.
+VECTOR_KERNEL_KEYS = ("trials_per_s", "speedup_vs_batch")
+
+REGENERATE_HINT = "regenerate the baseline with `make bench-baseline`"
+
 
 def _load(path: str) -> dict:
     try:
         with open(path, encoding="utf-8") as fh:
-            return json.load(fh)
+            doc = json.load(fh)
     except FileNotFoundError:
         sys.exit(f"FAIL: benchmark file not found: {path}")
     except json.JSONDecodeError as exc:
         sys.exit(f"FAIL: {path} is not valid JSON: {exc}")
+    if not isinstance(doc, dict):
+        sys.exit(f"FAIL: {path} must contain a JSON object")
+    return doc
+
+
+def validate(doc: dict, label: str) -> list:
+    """Structural violations of one artifact (empty == usable).
+
+    Runs *before* any gate dereferences the documents, so stale or
+    hand-edited artifacts fail with actionable messages instead of
+    tracebacks.
+    """
+    problems = []
+    schema = doc.get("schema")
+    if schema != SCHEMA:
+        problems.append(
+            f"{label}: schema {schema!r} does not match the expected "
+            f"{SCHEMA!r} — {REGENERATE_HINT}"
+        )
+    kernels = doc.get("kernels")
+    if not isinstance(kernels, dict):
+        problems.append(
+            f"{label}: missing per-backend 'kernels' section — "
+            f"{REGENERATE_HINT}"
+        )
+        return problems
+    for kernel, keys in REQUIRED_KERNEL_KEYS.items():
+        entry = kernels.get(kernel)
+        if not isinstance(entry, dict):
+            problems.append(
+                f"{label}: kernels[{kernel!r}] entry is missing — "
+                f"{REGENERATE_HINT}"
+            )
+            continue
+        for key in keys:
+            if not isinstance(entry.get(key), (int, float)):
+                problems.append(
+                    f"{label}: kernels[{kernel!r}][{key!r}] is missing "
+                    f"or not a number — {REGENERATE_HINT}"
+                )
+    vector = kernels.get("vector")
+    if vector is not None:
+        if not isinstance(vector, dict):
+            problems.append(
+                f"{label}: kernels['vector'] must be an object — "
+                f"{REGENERATE_HINT}"
+            )
+        else:
+            for key in VECTOR_KERNEL_KEYS:
+                if not isinstance(vector.get(key), (int, float)):
+                    problems.append(
+                        f"{label}: kernels['vector'][{key!r}] is missing "
+                        f"or not a number — {REGENERATE_HINT}"
+                    )
+    return problems
 
 
 def check(
@@ -45,29 +124,55 @@ def check(
     baseline: dict,
     tolerance: float,
     min_speedup: float,
+    min_vector_speedup: float,
 ) -> list:
-    """Return a list of human-readable violations (empty == pass)."""
+    """Gate violations between two *validated* artifacts (empty == pass)."""
     problems = []
-    floor = baseline["batch_trials_per_s"] * (1.0 - tolerance)
-    got = current["batch_trials_per_s"]
-    if got < floor:
+    cur = current["kernels"]
+    base = baseline["kernels"]
+
+    for kernel in ("reference", "batch") + (
+        ("vector",) if "vector" in cur and "vector" in base else ()
+    ):
+        floor = base[kernel]["trials_per_s"] * (1.0 - tolerance)
+        got = cur[kernel]["trials_per_s"]
+        if got < floor:
+            problems.append(
+                f"{kernel} throughput {got:,.0f} trials/s is below the "
+                f"floor {floor:,.0f} (baseline "
+                f"{base[kernel]['trials_per_s']:,.0f} minus "
+                f"{tolerance:.0%} tolerance)"
+            )
+
+    if cur["batch"]["speedup_vs_reference"] < min_speedup:
         problems.append(
-            f"batch throughput {got:,.0f} trials/s is below the floor "
-            f"{floor:,.0f} (baseline {baseline['batch_trials_per_s']:,.0f} "
-            f"minus {tolerance:.0%} tolerance)"
+            f"batch/reference speedup "
+            f"{cur['batch']['speedup_vs_reference']:.1f}x is below the "
+            f"{min_speedup:.1f}x floor"
         )
-    if current["speedup"] < min_speedup:
-        problems.append(
-            f"batch/reference speedup {current['speedup']:.1f}x is below "
-            f"the {min_speedup:.1f}x floor"
-        )
-    if current.get("schema") != baseline.get("schema"):
-        problems.append(
-            f"schema mismatch: current {current.get('schema')!r} vs "
-            f"baseline {baseline.get('schema')!r} — regenerate the "
-            "baseline with `make bench-baseline`"
-        )
+    if "vector" in cur:
+        if cur["vector"]["speedup_vs_batch"] < min_vector_speedup:
+            problems.append(
+                f"vector/batch speedup "
+                f"{cur['vector']['speedup_vs_batch']:.1f}x is below the "
+                f"{min_vector_speedup:.1f}x floor"
+            )
     return problems
+
+
+def _summary_line(label: str, doc: dict) -> str:
+    kernels = doc["kernels"]
+    parts = [
+        f"reference {kernels['reference']['trials_per_s']:,.0f}",
+        f"batch {kernels['batch']['trials_per_s']:,.0f} "
+        f"({kernels['batch']['speedup_vs_reference']:.1f}x)",
+    ]
+    if "vector" in kernels:
+        parts.append(
+            f"vector {kernels['vector']['trials_per_s']:,.0f} "
+            f"({kernels['vector']['speedup_vs_batch']:.1f}x batch)"
+        )
+    return f"{label}: " + ", ".join(parts) + " trials/s"
 
 
 def main(argv=None) -> int:
@@ -95,23 +200,38 @@ def main(argv=None) -> int:
         default=10.0,
         help="required batch/reference speedup in the current run",
     )
+    parser.add_argument(
+        "--min-vector-speedup",
+        type=float,
+        default=5.0,
+        help="required vector/batch speedup when vector was measured",
+    )
     args = parser.parse_args(argv)
 
     current = _load(args.current)
     baseline = _load(args.baseline)
-    problems = check(current, baseline, args.tolerance, args.min_speedup)
 
-    print(
-        f"current : batch {current['batch_trials_per_s']:,.0f} trials/s, "
-        f"reference {current['reference_trials_per_s']:,.0f} trials/s, "
-        f"speedup {current['speedup']:.1f}x"
+    # Structure first — nothing below may touch a key this rejected.
+    problems = validate(current, "current") + validate(baseline, "baseline")
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}")
+        return 1
+
+    problems = check(
+        current,
+        baseline,
+        args.tolerance,
+        args.min_speedup,
+        args.min_vector_speedup,
     )
-    print(
-        f"baseline: batch {baseline['batch_trials_per_s']:,.0f} trials/s "
-        f"(floor at -{args.tolerance:.0%}: "
-        f"{baseline['batch_trials_per_s'] * (1 - args.tolerance):,.0f}), "
-        f"min speedup {args.min_speedup:.1f}x"
-    )
+
+    print(_summary_line("current ", current))
+    print(_summary_line("baseline", baseline))
+    if "vector" not in current["kernels"]:
+        print("note: vector backend not measured (numpy absent); skipped")
+    elif "vector" not in baseline["kernels"]:
+        print("note: baseline has no vector entry; vector floor skipped")
     if problems:
         for problem in problems:
             print(f"FAIL: {problem}")

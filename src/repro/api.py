@@ -728,6 +728,23 @@ class ReliabilityRequest:
     warmup: int = 20_000
     checkpoint: Optional[str] = None
 
+    def __post_init__(self) -> None:
+        # Validate the kernel at request-construction time: the CLI
+        # surfaces this as `error:` + exit 2 and the job service as a
+        # 400 at POST /v1/jobs — not as a worker-side failure after the
+        # job was accepted.
+        from repro.reliability.campaign import KERNELS
+
+        if self.kernel not in KERNELS:
+            raise ReproError(
+                f"unknown kernel {self.kernel!r}; "
+                f"available backends: {', '.join(KERNELS)}"
+            )
+        if self.kernel == "vector":
+            from repro.reliability.vector import require_numpy
+
+            require_numpy()
+
     def campaign_config(
         self, dirty_fractions: Optional[Mapping[str, float]] = None
     ):

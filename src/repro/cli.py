@@ -633,12 +633,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--trials-per-shard", type=int, default=500)
     p.add_argument("--shards-per-round", type=int, default=8)
+    # No argparse `choices`: validation lives in the facade
+    # (api.ReliabilityRequest), so an unknown kernel exits 2 with the
+    # same backend listing the HTTP service returns as a 400.
     p.add_argument(
-        "--kernel", choices=["batch", "reference"], default="batch",
+        "--kernel", default="batch",
         help="shard execution kernel: 'batch' mutates pooled "
-             "pre-encoded lines via syndrome tables (~20x faster); "
-             "'reference' builds a live LineProtection per trial. "
-             "Bit-identical results either way",
+             "pre-encoded lines via syndrome tables (~20x faster than "
+             "'reference', bit-identical results); 'reference' builds "
+             "a live LineProtection per trial; 'vector' classifies "
+             "whole trial blocks with numpy gathers (needs the [fast] "
+             "extra; same distribution, not the same per-trial stream)",
     )
     p.add_argument("--max-trials", type=int, default=1_000_000,
                    help="hard per-scheme trial budget in auto mode")

@@ -69,6 +69,27 @@ SYNDROME_TABLES: List[tuple] = [
     for k in range(8)
 ]
 
+_SYNDROME_ARRAY = None
+
+
+def syndrome_table_array():
+    """:data:`SYNDROME_TABLES` as a read-only ``(8, 256)`` uint8 ndarray.
+
+    The vectorized kernel's gather target: row ``k`` indexed by byte
+    value gives that byte's check-bit contribution, so a whole block of
+    error patterns decodes as eight fancy-indexed XORs.  Built lazily so
+    this module never requires numpy (the ``[fast]`` extra); callers
+    must ensure numpy is importable first.
+    """
+    global _SYNDROME_ARRAY
+    if _SYNDROME_ARRAY is None:
+        import numpy
+
+        array = numpy.array(SYNDROME_TABLES, dtype=numpy.uint8)
+        array.setflags(write=False)
+        _SYNDROME_ARRAY = array
+    return _SYNDROME_ARRAY
+
 
 def encode_word(word: int) -> int:
     """Table-driven SECDED encode of one 64-bit word (≈7× the loop)."""

@@ -14,6 +14,10 @@ not a handful of fixed-trial loops.  This package is that harness:
   pooled pre-encoded codewords and syndrome-table decoding give ~20×
   the reference path's trial throughput with bit-identical outcomes
   (``--kernel batch|reference``);
+* :mod:`repro.reliability.vector` — the numpy-vectorized kernel
+  (``--kernel vector``, the optional ``[fast]`` extra): whole-block
+  draws and table gathers for another order of magnitude, with
+  statistically-gated distribution equivalence instead of bit-identity;
 * :mod:`repro.reliability.stopping` — Wilson score intervals and the
   sequential stopping rule (run until the SDC-rate interval is tight);
 * :mod:`repro.reliability.estimates` — FIT / MTTF / AVF arithmetic with
@@ -53,7 +57,12 @@ from repro.reliability.estimates import (
     RateEstimate,
     ReliabilityEstimate,
     fit_to_mttf_hours,
+    mttf_interval,
     scheme_estimate,
+)
+from repro.reliability.vector import (
+    HAVE_NUMPY,
+    run_trials_vector,
 )
 from repro.reliability.model import (
     FaultDomain,
@@ -66,6 +75,8 @@ from repro.reliability.model import (
 )
 from repro.reliability.stopping import (
     StoppingRule,
+    proportions_match,
+    two_proportion_z,
     wilson_half_width,
     wilson_interval,
 )
@@ -78,6 +89,7 @@ __all__ = [
     "CheckpointError",
     "FaultDomain",
     "FaultModelConfig",
+    "HAVE_NUMPY",
     "HOURS_PER_BILLION",
     "KERNELS",
     "LinePool",
@@ -92,13 +104,17 @@ __all__ = [
     "TrialOutcome",
     "domain_bits",
     "fit_to_mttf_hours",
+    "mttf_interval",
+    "proportions_match",
     "run_campaign",
     "run_shard",
     "run_trial",
     "run_trials_batch",
+    "run_trials_vector",
     "scheme_estimate",
     "scheme_policy",
     "shard_seed",
+    "two_proportion_z",
     "wilson_half_width",
     "wilson_interval",
 ]

@@ -83,11 +83,14 @@ SAMPLES_PER_SHARD = 32
 #: Shard execution kernels.  ``batch`` classifies strikes against
 #: pooled pre-encoded lines via syndrome-table lookups
 #: (:mod:`repro.reliability.kernel`); ``reference`` builds a live
-#: :class:`~repro.core.policy.LineProtection` per trial.  Both replay
-#: the identical random stream under one shard seed, so they produce
-#: bit-identical shard results — the kernel choice is a speed knob,
-#: never a results knob, and checkpoints are kernel-portable.
-KERNELS: Tuple[str, ...] = ("batch", "reference")
+#: :class:`~repro.core.policy.LineProtection` per trial.  Those two
+#: replay the identical random stream under one shard seed, so they
+#: produce bit-identical shard results.  ``vector`` draws whole trial
+#: blocks with ``numpy.random.Generator`` and classifies them with
+#: table gathers (:mod:`repro.reliability.vector`, the ``[fast]``
+#: extra): same fault model, same distribution — enforced by a
+#: two-proportion statistical gate — but not the same per-trial stream.
+KERNELS: Tuple[str, ...] = ("batch", "reference", "vector")
 
 
 def shard_seed(master_seed: int, scheme: str, index: int) -> int:
@@ -166,11 +169,36 @@ def run_shard(spec: ShardSpec) -> ShardResult:
     """Execute one shard to completion; pure function of the spec.
 
     Module-level so :meth:`SweepEngine.map_tasks` workers can pickle it.
-    Dispatches on ``spec.kernel``; the two kernels consume the shard
-    seed identically, so the returned counts do not depend on it.
+    Dispatches on ``spec.kernel``: ``batch`` and ``reference`` consume
+    the shard seed identically (bit-identical counts); ``vector`` seeds
+    its own ``numpy.random.Generator`` from it, so its counts are
+    deterministic per spec but only distribution-equivalent to the
+    other kernels'.
     """
-    rng = random.Random(spec.seed)
     policy = scheme_policy(spec.scheme)
+    if spec.kernel == "vector":
+        from repro.reliability.vector import run_trials_vector
+
+        outcomes, samples = run_trials_vector(
+            policy,
+            spec.model,
+            spec.trials,
+            spec.seed,
+            sample_limit=spec.sample_limit,
+        )
+        return ShardResult(
+            scheme=spec.scheme,
+            index=spec.index,
+            trials=spec.trials,
+            seed=spec.seed,
+            outcomes=outcomes,
+            samples=samples,
+        )
+    if spec.kernel not in KERNELS:
+        raise ValueError(
+            f"unknown kernel {spec.kernel!r}; known: {list(KERNELS)}"
+        )
+    rng = random.Random(spec.seed)
     if spec.kernel == "batch":
         outcomes, samples = run_trials_batch(
             policy,
@@ -224,9 +252,11 @@ class CampaignConfig:
         16384) — only scales the FIT/MTTF conversion.
     ``kernel``
         Shard execution kernel (:data:`KERNELS`).  Excluded from the
-        checkpoint digest: both kernels produce bit-identical shard
-        results, so a checkpoint written under one resumes under the
-        other.
+        checkpoint digest, so checkpoints stay kernel-portable:
+        ``batch`` and ``reference`` produce bit-identical shard
+        results, and ``vector`` produces distribution-equivalent ones
+        (the statistical gate in ``tests/reliability/test_vector.py``
+        covers the mixed-kernel resume case too).
     """
 
     schemes: Tuple[str, ...] = ("uniform-ecc", "non-uniform")
@@ -249,6 +279,15 @@ class CampaignConfig:
             raise ValueError(
                 f"unknown kernel {self.kernel!r}; known: {list(KERNELS)}"
             )
+        if self.kernel == "vector":
+            from repro.reliability.vector import HAVE_NUMPY
+
+            if not HAVE_NUMPY:
+                raise ValueError(
+                    "the 'vector' kernel needs numpy, which is not "
+                    "installed; install the optional extra "
+                    "(pip install -e .[fast]) or use kernel='batch'"
+                )
         if self.trials is not None and self.trials < 1:
             raise ValueError("trials must be positive (or None for auto)")
         if self.trials_per_shard < 1 or self.shards_per_round < 1:

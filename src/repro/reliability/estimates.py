@@ -74,8 +74,38 @@ def rate_estimate(successes: int, trials: int, z: float = Z95) -> RateEstimate:
 
 
 def fit_to_mttf_hours(fit: float) -> float:
-    """MTTF in hours for a failure rate given in FIT."""
+    """MTTF in hours for a failure rate given in FIT.
+
+    The ``inf`` convention: a FIT of 0 — no failures *observed at that
+    bound* — maps to MTTF ∞.  It is a statement about the point
+    estimate or bound it came from, not a guarantee; the interval
+    companion bound stays finite whenever the Wilson interval still
+    admits a non-zero failure rate.
+    """
     return HOURS_PER_BILLION / fit if fit > 0 else float("inf")
+
+
+def mttf_interval(
+    fit: Tuple[float, float, float],
+) -> Tuple[float, float, float]:
+    """``(value, lo, hi)`` MTTF hours from a ``(value, lo, hi)`` FIT.
+
+    MTTF is the reciprocal of FIT (a monotone *decreasing* transform),
+    so the FIT interval's bounds swap roles: FIT hi → MTTF lo, FIT lo →
+    MTTF hi.  Degenerate campaigns hit the ``inf`` convention of
+    :func:`fit_to_mttf_hours` — zero trials or zero observed failures
+    give ``value == hi == inf`` with a finite ``lo`` (the Wilson upper
+    bound on the failure rate is the only thing the data constrains) —
+    and this helper *enforces* the ``lo <= value <= hi`` invariant by
+    clamping, so downstream tables and JSON can never render an
+    inverted interval even under float-noise at the edges.
+    """
+    value = fit_to_mttf_hours(fit[0])
+    lo = fit_to_mttf_hours(fit[2])  # FIT hi → MTTF lo
+    hi = fit_to_mttf_hours(fit[1])  # FIT lo → MTTF hi
+    lo = min(lo, value)
+    hi = max(hi, value)
+    return value, lo, hi
 
 
 @dataclass(frozen=True)
@@ -127,11 +157,7 @@ def scheme_estimate(
     fit_sdc = rates[TrialOutcome.SDC].scaled(strike_fit)
     fit_due = rates[TrialOutcome.DUE].scaled(strike_fit)
     fit_total = avf.scaled(strike_fit)
-    mttf = (
-        fit_to_mttf_hours(fit_total[0]),
-        fit_to_mttf_hours(fit_total[2]),  # FIT hi → MTTF lo
-        fit_to_mttf_hours(fit_total[1]),  # FIT lo → MTTF hi
-    )
+    mttf = mttf_interval(fit_total)
     return ReliabilityEstimate(
         scheme=scheme,
         trials=trials,
@@ -151,6 +177,7 @@ __all__ = [
     "RateEstimate",
     "ReliabilityEstimate",
     "fit_to_mttf_hours",
+    "mttf_interval",
     "rate_estimate",
     "scheme_estimate",
 ]

@@ -26,10 +26,14 @@ hinge on:
 
 from __future__ import annotations
 
+import bisect
 import random
 from typing import Iterator, NamedTuple
 
-import numpy as np
+try:  # The [fast] extra; the zipf sampler has a stdlib fallback.
+    import numpy as np
+except ImportError:  # pragma: no cover - environment-dependent
+    np = None
 
 
 class MemRef(NamedTuple):
@@ -158,17 +162,45 @@ def zipf_stream(
     and rightly survive cleaning).
     """
     n = max(1, ws_bytes // granule_bytes)
-    ranks = np.arange(1, n + 1, dtype=np.float64)
-    weights = ranks ** (-alpha)
-    cdf = np.cumsum(weights)
-    cdf /= cdf[-1]
-    # Shuffle rank->block so hot blocks are scattered across sets.
-    perm = np.random.RandomState(rng.randrange(2**31)).permutation(n)
-    np_rng = np.random.RandomState(rng.randrange(2**31))
+    if np is not None:
+        ranks = np.arange(1, n + 1, dtype=np.float64)
+        weights = ranks ** (-alpha)
+        cdf = np.cumsum(weights)
+        cdf /= cdf[-1]
+        # Shuffle rank->block so hot blocks are scattered across sets.
+        perm = np.random.RandomState(rng.randrange(2**31)).permutation(n)
+        np_rng = np.random.RandomState(rng.randrange(2**31))
+
+        def _draw_picks():
+            return perm[np.searchsorted(cdf, np_rng.random_sample(batch))]
+
+    else:
+        # Stdlib fallback (no [fast] extra): same popularity law via
+        # bisect over the cumulative weights.  Deterministic per seed,
+        # but a different stream than the numpy sampler — installs with
+        # and without numpy produce different (equally valid) traces.
+        weights_py = [float(rank) ** (-alpha) for rank in range(1, n + 1)]
+        cdf_py, acc = [], 0.0
+        for weight in weights_py:
+            acc += weight
+            cdf_py.append(acc)
+        cdf_py = [value / acc for value in cdf_py]
+        perm_py = list(range(n))
+        random.Random(rng.randrange(2**31)).shuffle(perm_py)
+        py_rng = random.Random(rng.randrange(2**31))
+
+        def _draw_picks():
+            return [
+                perm_py[
+                    min(bisect.bisect_left(cdf_py, py_rng.random()), n - 1)
+                ]
+                for _ in range(batch)
+            ]
+
     slots_per_block = max(1, granule_bytes // 8)
     alloc_slot = 0  # bump-allocator position, in 8-byte slots
     while True:
-        picks = perm[np.searchsorted(cdf, np_rng.random_sample(batch))]
+        picks = _draw_picks()
         for block in picks:
             if rng.random() < store_ratio:
                 if rng.random() < fresh_write_fraction:

@@ -1,0 +1,185 @@
+"""The bench regression gate fails with messages, never tracebacks.
+
+``scripts/check_bench.py`` guards CI against kernel-throughput
+regressions; these tests pin its failure modes — a schema-bumped or
+hand-edited artifact must produce ``FAIL:`` lines (all of them, with
+the ``make bench-baseline`` hint) and exit code 1, not a ``KeyError``.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parents[2] / "scripts" / "check_bench.py"
+_spec = importlib.util.spec_from_file_location("check_bench", _SCRIPT)
+check_bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_bench)
+
+
+def _doc(**overrides):
+    """A minimal valid schema-v2 artifact."""
+    doc = {
+        "schema": check_bench.SCHEMA,
+        "kernels": {
+            "reference": {"trials_per_s": 10_000.0},
+            "batch": {
+                "trials_per_s": 250_000.0,
+                "speedup_vs_reference": 25.0,
+            },
+            "vector": {
+                "trials_per_s": 5_000_000.0,
+                "speedup_vs_batch": 20.0,
+                "speedup_vs_reference": 500.0,
+            },
+        },
+    }
+    doc.update(overrides)
+    return doc
+
+
+def _write(tmp_path, name, doc):
+    path = tmp_path / name
+    path.write_text(json.dumps(doc), encoding="utf-8")
+    return str(path)
+
+
+def _run(tmp_path, capsys, current, baseline, *extra):
+    rc = check_bench.main(
+        [
+            "--current",
+            _write(tmp_path, "current.json", current),
+            "--baseline",
+            _write(tmp_path, "baseline.json", baseline),
+            *extra,
+        ]
+    )
+    return rc, capsys.readouterr().out
+
+
+class TestValidation:
+    def test_passing_pair(self, tmp_path, capsys):
+        rc, out = _run(tmp_path, capsys, _doc(), _doc())
+        assert rc == 0
+        assert "PASS:" in out
+        assert "vector" in out
+
+    def test_schema_mismatch_fails_with_hint(self, tmp_path, capsys):
+        rc, out = _run(tmp_path, capsys, _doc(), _doc(schema=1))
+        assert rc == 1
+        assert "FAIL: baseline: schema 1" in out
+        assert "make bench-baseline" in out
+        assert "Traceback" not in out
+
+    def test_schema_v1_shape_fails_before_any_deref(self, tmp_path, capsys):
+        # A real pre-v2 artifact: no kernels section at all.  Every
+        # structural problem is reported, not just the first.
+        old = {
+            "schema": 1,
+            "batch_trials_per_s": 250_000.0,
+            "speedup": 25.0,
+        }
+        rc, out = _run(tmp_path, capsys, old, _doc())
+        assert rc == 1
+        assert "FAIL: current: schema 1" in out
+        assert "FAIL: current: missing per-backend 'kernels' section" in out
+        assert "Traceback" not in out and "KeyError" not in out
+
+    def test_missing_required_key_fails(self, tmp_path, capsys):
+        broken = _doc()
+        del broken["kernels"]["batch"]["speedup_vs_reference"]
+        rc, out = _run(tmp_path, capsys, broken, _doc())
+        assert rc == 1
+        assert "FAIL: current: kernels['batch']['speedup_vs_reference']" in out
+        assert "make bench-baseline" in out
+
+    def test_non_numeric_value_fails(self, tmp_path, capsys):
+        broken = _doc()
+        broken["kernels"]["reference"]["trials_per_s"] = "fast"
+        rc, out = _run(tmp_path, capsys, broken, _doc())
+        assert rc == 1
+        assert "FAIL: current: kernels['reference']['trials_per_s']" in out
+
+    def test_all_violations_reported_together(self, tmp_path, capsys):
+        rc, out = _run(
+            tmp_path, capsys, {"schema": 99}, {"not": "an artifact"}
+        )
+        assert rc == 1
+        fails = [line for line in out.splitlines() if line.startswith("FAIL:")]
+        assert len(fails) >= 3  # current schema+kernels, baseline schema+kernels
+        assert any("current" in line for line in fails)
+        assert any("baseline" in line for line in fails)
+
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            check_bench.main(
+                [
+                    "--current",
+                    str(tmp_path / "nope.json"),
+                    "--baseline",
+                    _write(tmp_path, "baseline.json", _doc()),
+                ]
+            )
+        assert "FAIL:" in str(excinfo.value)
+
+    def test_invalid_json_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{", encoding="utf-8")
+        with pytest.raises(SystemExit) as excinfo:
+            check_bench.main(
+                [
+                    "--current",
+                    str(bad),
+                    "--baseline",
+                    _write(tmp_path, "baseline.json", _doc()),
+                ]
+            )
+        assert "FAIL:" in str(excinfo.value)
+
+
+class TestGates:
+    def test_throughput_regression_fails(self, tmp_path, capsys):
+        slow = _doc()
+        slow["kernels"]["batch"]["trials_per_s"] = 100_000.0  # -60%
+        rc, out = _run(tmp_path, capsys, slow, _doc())
+        assert rc == 1
+        assert "FAIL: batch throughput" in out
+
+    def test_vector_regression_fails(self, tmp_path, capsys):
+        slow = _doc()
+        slow["kernels"]["vector"]["trials_per_s"] = 1_000_000.0
+        rc, out = _run(tmp_path, capsys, slow, _doc())
+        assert rc == 1
+        assert "FAIL: vector throughput" in out
+
+    def test_speedup_floors(self, tmp_path, capsys):
+        weak = _doc()
+        weak["kernels"]["batch"]["speedup_vs_reference"] = 8.0
+        weak["kernels"]["vector"]["speedup_vs_batch"] = 3.0
+        rc, out = _run(tmp_path, capsys, weak, weak)
+        assert rc == 1
+        assert "batch/reference speedup 8.0x" in out
+        assert "vector/batch speedup 3.0x" in out
+
+    def test_vector_absent_from_current_is_a_skip(self, tmp_path, capsys):
+        # The stdlib-only configuration must stay green even against a
+        # baseline that *does* carry a vector entry.
+        current = _doc()
+        del current["kernels"]["vector"]
+        rc, out = _run(tmp_path, capsys, current, _doc())
+        assert rc == 0
+        assert "vector backend not measured" in out
+
+    def test_vector_absent_from_baseline_is_a_skip(self, tmp_path, capsys):
+        baseline = _doc()
+        del baseline["kernels"]["vector"]
+        rc, out = _run(tmp_path, capsys, _doc(), baseline)
+        assert rc == 0
+        assert "baseline has no vector entry" in out
+
+    def test_tolerance_flag_loosens_the_floor(self, tmp_path, capsys):
+        slow = _doc()
+        slow["kernels"]["batch"]["trials_per_s"] = 100_000.0
+        rc, _ = _run(tmp_path, capsys, slow, _doc(), "--tolerance", "0.9")
+        assert rc == 0

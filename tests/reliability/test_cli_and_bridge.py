@@ -64,6 +64,35 @@ def test_cli_rejects_bad_trials():
         main(["reliability", "--trials", "sometimes"])
 
 
+def test_cli_rejects_unknown_kernel(capsys):
+    # Facade-level validation: exit 2 with the backend listing, not an
+    # argparse usage error and not a traceback mid-campaign.
+    rc = main(["reliability", "--kernel", "turbo", *QUICK])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert "error:" in captured.err
+    assert "available backends: batch, reference, vector" in captured.err
+
+
+def test_cli_vector_kernel_end_to_end(capsys):
+    pytest.importorskip("numpy")
+    rc, out = _cli(capsys, *QUICK, "--kernel", "vector")
+    assert rc == 0
+    assert "Reliability campaign" in out
+    assert "uniform-ecc" in out and "non-uniform" in out
+
+
+def test_cli_vector_without_numpy_exits_2(monkeypatch, capsys):
+    from repro.reliability import vector
+
+    monkeypatch.setattr(vector, "HAVE_NUMPY", False)
+    rc = main(["reliability", "--kernel", "vector", *QUICK])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert "error:" in captured.err
+    assert "pip install -e .[fast]" in captured.err
+
+
 def test_cli_trace_export(tmp_path, capsys):
     out_path = tmp_path / "trace.jsonl"
     rc, out = _cli(capsys, *QUICK, "--trace-out", str(out_path))

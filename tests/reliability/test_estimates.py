@@ -5,6 +5,7 @@ import pytest
 from repro.reliability.estimates import (
     HOURS_PER_BILLION,
     fit_to_mttf_hours,
+    mttf_interval,
     rate_estimate,
     scheme_estimate,
 )
@@ -70,3 +71,72 @@ def test_zero_failures_give_infinite_mttf():
     )
     assert est.mttf_hours[0] == float("inf")
     assert est.mttf_hours[1] < float("inf")  # the Wilson hi bound is > 0
+    value, lo, hi = est.mttf_hours
+    assert lo <= value <= hi
+
+
+def test_mttf_interval_swaps_the_fit_bounds():
+    value, lo, hi = mttf_interval((100.0, 50.0, 200.0))
+    assert value == HOURS_PER_BILLION / 100.0
+    assert lo == HOURS_PER_BILLION / 200.0  # FIT hi -> MTTF lo
+    assert hi == HOURS_PER_BILLION / 50.0  # FIT lo -> MTTF hi
+    assert lo <= value <= hi
+
+
+def test_mttf_interval_zero_fit_edges():
+    # Zero observed failures: point estimate and upper bound are both
+    # the inf convention; only the lower bound (from the Wilson hi on
+    # the failure rate) stays finite.
+    value, lo, hi = mttf_interval((0.0, 0.0, 25.0))
+    assert value == hi == float("inf")
+    assert lo == HOURS_PER_BILLION / 25.0
+    assert lo <= value <= hi
+    # Fully degenerate (e.g. zero trials): everything is inf, and the
+    # invariant still holds rather than producing inf < inf confusion.
+    value, lo, hi = mttf_interval((0.0, 0.0, 0.0))
+    assert value == lo == hi == float("inf")
+    assert lo <= value <= hi
+
+
+def test_scheme_estimate_with_zero_trials_is_degenerate_not_broken():
+    model = FaultModelConfig()
+    est = scheme_estimate(
+        "parity-only", scheme_policy("parity-only"), model, {}, n_lines=16
+    )
+    assert est.trials == 0
+    assert est.avf.value == 0.0
+    assert (est.avf.lo, est.avf.hi) == (0.0, 1.0)  # uninformative
+    value, lo, hi = est.mttf_hours
+    assert value == float("inf")
+    assert lo <= value <= hi
+    assert lo > 0.0  # finite: the strike rate bounds it
+
+
+def test_scheme_estimate_all_failures_keeps_the_invariant():
+    model = FaultModelConfig()
+    est = scheme_estimate(
+        "parity-only",
+        scheme_policy("parity-only"),
+        model,
+        {TrialOutcome.SDC: 50},
+        n_lines=1000,
+    )
+    assert est.avf.value == 1.0
+    value, lo, hi = est.mttf_hours
+    assert 0.0 < lo <= value <= hi < float("inf")
+
+
+def test_scheme_estimate_zero_raw_fit_gives_all_inf_mttf():
+    # raw_fit 0 collapses every FIT to 0; the interval must stay
+    # ordered (inf, inf, inf), not invert.
+    est = scheme_estimate(
+        "uniform-ecc",
+        scheme_policy("uniform-ecc"),
+        FaultModelConfig(),
+        {TrialOutcome.SDC: 5, TrialOutcome.MASKED: 95},
+        n_lines=100,
+        raw_fit_per_mbit=0.0,
+    )
+    value, lo, hi = est.mttf_hours
+    assert value == lo == hi == float("inf")
+    assert lo <= value <= hi

@@ -1,0 +1,128 @@
+"""Property tests: Wilson invariants, two-proportion equivalence helper.
+
+``tests/reliability/test_stopping.py`` pins worked examples and the
+stopping rule; this module drives the same functions with hypothesis
+over their whole domain — the invariants the vector kernel's
+distribution gate (``tests/reliability/test_vector.py``) leans on.
+"""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.reliability.stopping import (
+    proportions_match,
+    two_proportion_z,
+    wilson_half_width,
+    wilson_interval,
+)
+
+@st.composite
+def sample(draw):
+    """A well-formed (successes, trials) pair, trials >= 1."""
+    n = draw(st.integers(min_value=1, max_value=200_000))
+    s = draw(st.integers(min_value=0, max_value=n))
+    return s, n
+
+
+class TestWilsonProperties:
+    @given(sample())
+    def test_interval_is_ordered_clamped_and_contains_the_rate(self, sn):
+        s, n = sn
+        lo, hi = wilson_interval(s, n)
+        assert 0.0 <= lo <= s / n <= hi <= 1.0
+
+    @given(sample())
+    def test_boundary_counts_clamp_exactly(self, sn):
+        s, n = sn
+        lo, hi = wilson_interval(s, n)
+        if s == 0:
+            assert lo == 0.0
+        if s == n:
+            assert hi == 1.0
+
+    @given(sample())
+    def test_complement_symmetry(self, sn):
+        # Successes and failures are the same evidence mirrored.
+        s, n = sn
+        lo, hi = wilson_interval(s, n)
+        lo_c, hi_c = wilson_interval(n - s, n)
+        assert lo == pytest.approx(1.0 - hi_c, abs=1e-9)
+        assert hi == pytest.approx(1.0 - lo_c, abs=1e-9)
+
+    @given(
+        sn=sample(),
+        scale=st.integers(min_value=2, max_value=100),
+    )
+    def test_scaling_the_evidence_never_widens(self, sn, scale):
+        s, n = sn
+        before = wilson_half_width(s, n)
+        after = wilson_half_width(s * scale, n * scale)
+        assert after <= before + 1e-12
+
+    @given(sample())
+    def test_half_width_matches_the_interval(self, sn):
+        s, n = sn
+        lo, hi = wilson_interval(s, n)
+        assert wilson_half_width(s, n) == pytest.approx((hi - lo) / 2)
+
+
+class TestTwoProportionZ:
+    @given(a=sample(), b=sample())
+    def test_finite_and_antisymmetric(self, a, b):
+        z = two_proportion_z(a[0], a[1], b[0], b[1])
+        assert math.isfinite(z)
+        assert z == pytest.approx(
+            -two_proportion_z(b[0], b[1], a[0], a[1]), abs=1e-9
+        )
+
+    @given(sample())
+    def test_identical_samples_give_zero(self, sn):
+        s, n = sn
+        assert two_proportion_z(s, n, s, n) == 0.0
+
+    @given(a=sample(), b=sample())
+    def test_sign_follows_the_rate_difference(self, a, b):
+        z = two_proportion_z(a[0], a[1], b[0], b[1])
+        diff = a[0] / a[1] - b[0] / b[1]
+        if z > 0:
+            assert diff > 0
+        elif z < 0:
+            assert diff < 0
+
+    @given(sn=sample(), n_other=st.integers(min_value=1, max_value=200_000))
+    def test_degenerate_pooled_rates_are_zero(self, sn, n_other):
+        # All-success or all-failure on both sides: se == 0, defined as
+        # agreement rather than a division error.
+        s, n = sn
+        assert two_proportion_z(0, n, 0, n_other) == 0.0
+        assert two_proportion_z(n, n, n_other, n_other) == 0.0
+
+    @given(sample())
+    def test_empty_samples_are_zero(self, sn):
+        # No trials on one side: no evidence of disagreement.
+        s, n = sn
+        assert two_proportion_z(0, 0, s, n) == 0.0
+        assert two_proportion_z(s, n, 0, 0) == 0.0
+
+    @pytest.mark.parametrize(
+        "args",
+        [(-1, 10, 0, 10), (11, 10, 0, 10), (0, 10, -1, 10), (0, 10, 11, 10)],
+    )
+    def test_rejects_malformed_counts(self, args):
+        with pytest.raises(ValueError):
+            two_proportion_z(*args)
+
+    @given(a=sample(), b=sample(), bound=st.floats(min_value=0.1, max_value=10.0))
+    def test_proportions_match_is_the_abs_z_threshold(self, a, b, bound):
+        z = two_proportion_z(a[0], a[1], b[0], b[1])
+        assert proportions_match(
+            a[0], a[1], b[0], b[1], z_bound=bound
+        ) == (abs(z) <= bound)
+
+    def test_detects_a_gross_mismatch(self):
+        # 10% vs 20% at n=10k is far outside any sane bound.
+        assert not proportions_match(1000, 10_000, 2000, 10_000)
+        assert proportions_match(1000, 10_000, 1010, 10_000)

@@ -1,0 +1,418 @@
+"""The vectorized kernel: exact tables, distributional equivalence.
+
+The vector kernel's contract is split (see ``repro.reliability.vector``):
+
+* the *deterministic* part — classifying a given (state, domain, error
+  pattern) — must be **exact**: every outcome-table entry is pinned
+  here against the real codec machinery (``LineProtection.access`` /
+  ``ProtectedTag``), enumerating all single and double flips;
+* the *sampling* part cannot be stream-compatible with the
+  Mersenne-Twister kernels, so vector-vs-batch agreement is enforced
+  **distributionally**: per-(domain, outcome) rates over a forced
+  corner grid must agree within a two-proportion z bound.
+"""
+
+import random
+
+import pytest
+
+from repro import api
+from repro.core.policy import LineProtection, RecoveryAction
+from repro.experiments.pool import SweepEngine
+from repro.reliability import vector
+from repro.reliability.campaign import (
+    CampaignConfig,
+    ShardSpec,
+    run_campaign,
+    run_shard,
+    shard_seed,
+)
+from repro.reliability.kernel import LinePool, run_trials_batch
+from repro.reliability.model import (
+    SCHEMES,
+    FaultModelConfig,
+    TrialOutcome,
+    _ACTION_TO_OUTCOME,
+    _inject_status,
+    _inject_tag,
+    scheme_policy,
+)
+from repro.reliability.stopping import two_proportion_z
+from repro.reliability.vector import (
+    HAVE_NUMPY,
+    OUTCOME_ORDER,
+    run_trials_vector,
+)
+
+needs_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="numpy not installed (the [fast] extra)"
+)
+
+#: |z| bound of the distribution gate.  With 8000 trials per kernel a
+#: systematic per-outcome rate error of ~6% trips it, while the false
+#: positive probability per comparison is ~6e-7 — effectively flake-free
+#: across the whole corner grid.
+Z_BOUND = 5.0
+GATE_TRIALS = 8000
+
+
+def _classify(line, dirty, config):
+    """The reference controller read: ``model._observe`` sans read roll."""
+    action, _ = line.access()
+    if (
+        config.controller_refetch
+        and not dirty
+        and action is RecoveryAction.DATA_LOSS
+    ):
+        return TrialOutcome.REFETCHED
+    return _ACTION_TO_OUTCOME[action]
+
+
+def _line(policy, dirty, config, payload):
+    line = LineProtection(policy, payload, line_bytes=config.line_bytes)
+    if dirty:
+        line.write(payload)
+    return line
+
+
+def _flat(outcomes):
+    return {
+        (domain, outcome): count
+        for domain, per in outcomes.items()
+        for outcome, count in per.items()
+    }
+
+
+@needs_numpy
+class TestOutcomeTablesExact:
+    """Enumerated flips: tables == the real codecs, payload independent."""
+
+    configs = [
+        FaultModelConfig(),
+        FaultModelConfig(controller_refetch=False),
+    ]
+
+    @pytest.mark.parametrize("scheme", sorted(SCHEMES))
+    @pytest.mark.parametrize("dirty", [False, True])
+    def test_data_single_flip_table(self, scheme, dirty):
+        policy = scheme_policy(scheme)
+        pool = LinePool.shared()
+        for config in self.configs:
+            plan = vector._vector_plan(policy, config)
+            for payload_idx in (0, 1):  # outcomes are payload independent
+                payload = pool.payload_bytes(payload_idx)
+                for p in range(64):
+                    line = _line(policy, dirty, config, payload)
+                    line.flip(p // 8, p % 8)  # bit p of word 0
+                    assert (
+                        OUTCOME_ORDER[plan.data1[int(dirty), p]]
+                        is _classify(line, dirty, config)
+                    ), f"{scheme} dirty={dirty} p={p}"
+
+    @pytest.mark.parametrize("scheme", sorted(SCHEMES))
+    @pytest.mark.parametrize("dirty", [False, True])
+    def test_data_double_flip_table(self, scheme, dirty):
+        # All unordered position pairs within one codeword (the table is
+        # symmetric and its diagonal is the cancelled-strike case, both
+        # asserted below) against the real line decode.
+        policy = scheme_policy(scheme)
+        config = FaultModelConfig()
+        plan = vector._vector_plan(policy, config)
+        payload = LinePool.shared().payload_bytes(2)
+        di = int(dirty)
+        for p1 in range(64):
+            for p2 in range(p1 + 1, 64):
+                line = _line(policy, dirty, config, payload)
+                line.flip(p1 // 8, p1 % 8)
+                line.flip(p2 // 8, p2 % 8)
+                assert (
+                    OUTCOME_ORDER[plan.data2[di, p1, p2]]
+                    is _classify(line, dirty, config)
+                ), f"{scheme} dirty={dirty} pair=({p1},{p2})"
+
+    @pytest.mark.parametrize("scheme", sorted(SCHEMES))
+    @pytest.mark.parametrize("dirty", [False, True])
+    def test_data_double_table_symmetry_and_diagonal(self, scheme, dirty):
+        np = pytest.importorskip("numpy")
+        table = vector._vector_plan(
+            scheme_policy(scheme), FaultModelConfig()
+        ).data2[int(dirty)]
+        assert np.array_equal(table, table.T)
+        # p2 == p1: the second upset cancels the first — never observed.
+        assert OUTCOME_ORDER[table[17, 17]] is TrialOutcome.MASKED
+        assert np.array_equal(np.diag(table), np.full(64, table[0, 0]))
+
+    @pytest.mark.parametrize("scheme", sorted(SCHEMES))
+    @pytest.mark.parametrize("dirty", [False, True])
+    def test_check_column_tables(self, scheme, dirty):
+        policy = scheme_policy(scheme)
+        config = FaultModelConfig()
+        plan = vector._vector_plan(policy, config)
+        payload = LinePool.shared().payload_bytes(3)
+        di = int(dirty)
+        probe = _line(policy, dirty, config, payload)
+        if probe.ecc_checks is not None:
+            for c1 in range(8):
+                line = _line(policy, dirty, config, payload)
+                line.ecc_checks[0] ^= 1 << c1
+                assert (
+                    OUTCOME_ORDER[plan.check1[di, c1]]
+                    is _classify(line, dirty, config)
+                ), f"{scheme} dirty={dirty} c={c1}"
+                for c2 in range(8):
+                    line = _line(policy, dirty, config, payload)
+                    line.ecc_checks[0] ^= (1 << c1) ^ (1 << c2)
+                    assert (
+                        OUTCOME_ORDER[plan.check2[di, c1, c2]]
+                        is _classify(line, dirty, config)
+                    ), f"{scheme} dirty={dirty} pair=({c1},{c2})"
+        if probe.parity_checks is not None:
+            line = _line(policy, dirty, config, payload)
+            line.parity_checks[0] ^= 1
+            assert (
+                OUTCOME_ORDER[plan.check_parity[di]]
+                is _classify(line, dirty, config)
+            ), f"{scheme} dirty={dirty} parity column"
+
+    @pytest.mark.parametrize("dirty", [False, True])
+    def test_tag_scalars_match_protected_tag(self, dirty):
+        config = FaultModelConfig()
+        di = int(dirty)
+        for scheme in sorted(SCHEMES):
+            plan = vector._vector_plan(scheme_policy(scheme), config)
+            for seed in range(10):  # any tag value, any struck bits
+                rng = random.Random(seed)
+                assert (
+                    OUTCOME_ORDER[plan.tag1[di]]
+                    is _inject_tag(dirty, 1, config, rng)
+                )
+                assert (
+                    OUTCOME_ORDER[plan.tag2[di]]
+                    is _inject_tag(dirty, 2, config, rng)
+                )
+
+    @pytest.mark.parametrize("dirty", [False, True])
+    def test_status_pair_predicate_matches_inject_status(self, dirty):
+        # The kernel computes status outcomes inline:
+        # double-strike SDC iff dirty and a struck bit is valid/dirty.
+        class _FixedSample(random.Random):
+            def __init__(self, picks):
+                super().__init__(0)
+                self._picks = picks
+
+            def sample(self, population, k):
+                return list(self._picks[:k])
+
+        config = FaultModelConfig()
+        single = _inject_status(dirty, 1, config, _FixedSample((0,)))
+        assert single is (
+            TrialOutcome.DUE if dirty else TrialOutcome.REFETCHED
+        )
+        for b1 in range(config.status_bits):
+            for b2 in range(config.status_bits):
+                if b1 == b2:
+                    continue
+                expected = (
+                    TrialOutcome.SDC
+                    if dirty and (b1 < 2 or b2 < 2)
+                    else TrialOutcome.MASKED
+                )
+                got = _inject_status(
+                    dirty, 2, config, _FixedSample((b1, b2))
+                )
+                assert got is expected, f"dirty={dirty} pair=({b1},{b2})"
+
+
+@needs_numpy
+class TestDistributionEquivalence:
+    """Vector-vs-batch per-(domain, outcome) rates within the z bound."""
+
+    @staticmethod
+    def _assert_equivalent(scheme, config, n=GATE_TRIALS):
+        policy = scheme_policy(scheme)
+        batch, _ = run_trials_batch(
+            policy, config, n, random.Random(1234), pool=LinePool.shared()
+        )
+        vec, _ = run_trials_vector(policy, config, n, seed=5678)
+        a, b = _flat(batch), _flat(vec)
+        assert sum(a.values()) == sum(b.values()) == n
+        for key in sorted(set(a) | set(b)):
+            z = two_proportion_z(a.get(key, 0), n, b.get(key, 0), n)
+            assert abs(z) <= Z_BOUND, (
+                f"{scheme} {key}: batch {a.get(key, 0)}/{n} vs "
+                f"vector {b.get(key, 0)}/{n} (z={z:+.2f})"
+            )
+
+    @pytest.mark.parametrize("scheme", sorted(SCHEMES))
+    @pytest.mark.parametrize("dirty_fraction", [0.0, 1.0])
+    @pytest.mark.parametrize("double_bit_fraction", [0.0, 1.0])
+    @pytest.mark.parametrize("controller_refetch", [False, True])
+    def test_forced_corner_grid(
+        self, scheme, dirty_fraction, double_bit_fraction, controller_refetch
+    ):
+        # The corners force every (state, multiplicity, controller)
+        # branch pair, so a wiring error in any one of them cannot hide
+        # behind the default mixture.
+        self._assert_equivalent(
+            scheme,
+            FaultModelConfig(
+                dirty_fraction=dirty_fraction,
+                double_bit_fraction=double_bit_fraction,
+                controller_refetch=controller_refetch,
+            ),
+        )
+
+    @pytest.mark.parametrize("scheme", sorted(SCHEMES))
+    def test_default_model(self, scheme):
+        self._assert_equivalent(scheme, FaultModelConfig())
+
+
+@needs_numpy
+class TestVectorKernelBehaviour:
+    def test_deterministic_per_seed(self):
+        policy = scheme_policy("non-uniform")
+        config = FaultModelConfig()
+        first = run_trials_vector(policy, config, 5000, seed=7, sample_limit=16)
+        again = run_trials_vector(policy, config, 5000, seed=7, sample_limit=16)
+        other = run_trials_vector(policy, config, 5000, seed=8, sample_limit=16)
+        assert first == again
+        assert first != other
+
+    def test_counts_conserved_across_blocks(self):
+        outcomes, _ = run_trials_vector(
+            scheme_policy("uniform-ecc"),
+            FaultModelConfig(),
+            2500,
+            seed=3,
+            block_trials=512,
+        )
+        assert sum(_flat(outcomes).values()) == 2500
+
+    def test_samples_shape_and_limit(self):
+        domains = {"data", "tag", "status", "check"}
+        outcome_values = {o.value for o in OUTCOME_ORDER}
+        _, samples = run_trials_vector(
+            scheme_policy("non-uniform"),
+            FaultModelConfig(),
+            200,
+            seed=11,
+            sample_limit=64,
+        )
+        assert len(samples) == 64
+        assert [s[0] for s in samples] == list(range(64))
+        for _, domain, dirty, outcome in samples:
+            assert domain in domains
+            assert isinstance(dirty, bool)
+            assert outcome in outcome_values
+
+    def test_zero_and_negative_trials(self):
+        policy = scheme_policy("parity-only")
+        assert run_trials_vector(policy, FaultModelConfig(), 0, 1) == ({}, [])
+        with pytest.raises(ValueError):
+            run_trials_vector(policy, FaultModelConfig(), -1, 1)
+
+    def test_run_shard_dispatches_vector(self):
+        spec = ShardSpec(
+            scheme="non-uniform",
+            index=0,
+            trials=2000,
+            seed=shard_seed(7, "non-uniform", 0),
+            model=FaultModelConfig(),
+            kernel="vector",
+        )
+        result = run_shard(spec)
+        outcomes, samples = run_trials_vector(
+            scheme_policy("non-uniform"),
+            spec.model,
+            spec.trials,
+            spec.seed,
+            sample_limit=spec.sample_limit,
+        )
+        assert result.outcomes == outcomes
+        assert result.samples == samples
+        assert sum(result.outcome_totals().values()) == 2000
+
+
+@needs_numpy
+class TestVectorCampaign:
+    @staticmethod
+    def _config(**kwargs):
+        defaults = dict(
+            schemes=("uniform-ecc", "non-uniform"),
+            trials=1200,
+            trials_per_shard=300,
+            seed=9,
+            kernel="vector",
+        )
+        defaults.update(kwargs)
+        return CampaignConfig(**defaults)
+
+    @staticmethod
+    def _engine():
+        return SweepEngine(jobs=1, cache=False, progress=False)
+
+    def test_campaign_runs_end_to_end(self):
+        result = run_campaign(self._config(), engine=self._engine())
+        for name in ("uniform-ecc", "non-uniform"):
+            assert result.schemes[name].trials == 1200
+
+    def test_batch_checkpoint_resumes_under_vector(self, tmp_path):
+        # The kernel stays out of the checkpoint digest: a campaign
+        # interrupted under --kernel batch resumes under --kernel vector
+        # (completed shards are reused verbatim; only the remainder is
+        # re-sampled by the vector stream).
+        class _Interrupting(SweepEngine):
+            def __init__(self):
+                super().__init__(jobs=1, cache=False, progress=False)
+                self.calls = 0
+
+            def map_tasks(self, func, items, phase="map"):
+                self.calls += 1
+                if self.calls >= 2:
+                    raise KeyboardInterrupt
+                return super().map_tasks(func, items, phase=phase)
+
+        path = tmp_path / "campaign.jsonl"
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(
+                self._config(kernel="batch", shards_per_round=1),
+                engine=_Interrupting(),
+                checkpoint=str(path),
+            )
+        resumed = run_campaign(
+            self._config(shards_per_round=1),
+            engine=self._engine(),
+            checkpoint=str(path),
+        )
+        assert resumed.resumed_shards > 0
+        assert resumed.executed_shards > 0
+        for name in ("uniform-ecc", "non-uniform"):
+            assert resumed.schemes[name].trials == 1200
+
+
+class TestNumpyOptionality:
+    """The [fast]-less story: import works, vector fails cleanly."""
+
+    def test_module_imports_without_numpy_flag(self):
+        assert isinstance(HAVE_NUMPY, bool)
+
+    def test_require_numpy_raises_repro_error(self, monkeypatch):
+        monkeypatch.setattr(vector, "HAVE_NUMPY", False)
+        with pytest.raises(api.ReproError, match=r"pip install -e \.\[fast\]"):
+            vector.require_numpy()
+
+    def test_campaign_config_rejects_vector_without_numpy(self, monkeypatch):
+        monkeypatch.setattr(vector, "HAVE_NUMPY", False)
+        with pytest.raises(ValueError, match="numpy"):
+            CampaignConfig(kernel="vector")
+
+    def test_facade_rejects_vector_without_numpy(self, monkeypatch):
+        monkeypatch.setattr(vector, "HAVE_NUMPY", False)
+        with pytest.raises(api.ReproError, match=r"\[fast\]"):
+            api.ReliabilityRequest(kernel="vector")
+
+    def test_facade_rejects_unknown_kernel(self):
+        with pytest.raises(
+            api.ReproError, match="available backends: batch, reference, vector"
+        ):
+            api.ReliabilityRequest(kernel="turbo")

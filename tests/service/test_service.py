@@ -117,6 +117,16 @@ class TestJobStore:
         with pytest.raises(api.ReproError, match="unknown RunRequest"):
             store.submit("run", {"benchmrk": "swim"})
 
+    def test_unknown_kernel_rejected_at_submit(self, tmp_path):
+        # The request dataclass validates the kernel, so the job is
+        # refused synchronously rather than failing in a worker.
+        store = JobStore(data_dir=tmp_path, workers=0)
+        with pytest.raises(api.ReproError, match="available backends"):
+            store.submit(
+                "reliability", dict(CAMPAIGN_REQUEST, kernel="turbo")
+            )
+        assert store.run_pending() == 0
+
     def test_events_end_with_terminal_state(self, tmp_path):
         # Default engine factory: its on_cell hook feeds the event log.
         store = JobStore(data_dir=tmp_path, workers=0)
@@ -249,6 +259,20 @@ class TestHttpService:
         assert all(line.startswith("data: ") for line in lines)
         last = json.loads(lines[-1][len("data: "):])
         assert last == {"seq": last["seq"], "type": "state", "state": "done"}
+
+    def test_unknown_kernel_is_rejected_at_post(self, service):
+        # Kernel validation happens at request construction, so a bad
+        # --kernel is a 400 at POST /v1/jobs with the backend listing —
+        # never an accepted job that dies worker-side as a 500.
+        client = ServiceClient(service.url)
+        with pytest.raises(ServiceError) as err:
+            client.submit(
+                "reliability", dict(CAMPAIGN_REQUEST, kernel="turbo")
+            )
+        assert err.value.status == 400
+        assert "available backends: batch, reference, vector" in str(
+            err.value
+        )
 
     def test_bad_requests_are_400(self, service):
         client = ServiceClient(service.url)
