@@ -3,7 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install lint test test-all bench bench-perf bench-baseline \
-	figures figures-par reliability-smoke service-smoke examples clean
+	figures figures-par reliability-smoke service-smoke fabric-smoke \
+	examples clean
 
 install:
 	$(PYTHON) -m pip install -e .[dev]
@@ -68,6 +69,14 @@ reliability-smoke:
 # to a direct repro.api call.
 service-smoke:
 	PYTHONPATH=src $(PYTHON) scripts/service_smoke.py
+
+# Distributed-fabric gate (docs/architecture.md "Campaign fabric"):
+# two replicas on one data dir split one campaign's shards and merge a
+# bit-identical estimate; a dead replica's leased shards are stolen
+# and finished by the survivor; a fresh replica serves the finished
+# key from the cluster result cache without executing.
+fabric-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/fabric_smoke.py
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; done

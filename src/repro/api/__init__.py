@@ -1,0 +1,105 @@
+"""Typed facade over the experiment and campaign engines.
+
+Every operation the CLI exposes — single runs, IPC comparisons, the
+area accounting, figure regeneration, ablations, codec injection and
+Monte Carlo reliability campaigns — is callable here as a pure
+function: a **frozen request dataclass in, a result dataclass out, no
+printing**.  The CLI (:mod:`repro.cli`), the job service
+(:mod:`repro.service`) and the tests all consume this one layer, so a
+number rendered in a terminal table, returned over HTTP and asserted in
+a test is computed by the same code path.
+
+The package splits along the wire protocol's own joints —
+
+* :mod:`repro.api.requests` — frozen request dataclasses (JSON
+  primitives in, :func:`request_from_dict` round-trip, every invalid
+  input a :class:`ReproError`);
+* :mod:`repro.api.responses` — response dataclasses with ``as_dict()``
+  (the single serialization path shared by ``--format json`` and the
+  service), plus :func:`campaign_doc`;
+* :mod:`repro.api.dispatch` — the executors, the
+  :func:`register_kind` request-kind registry behind :func:`execute`,
+  :func:`request_key` content addressing and the wire :data:`SCHEMA`
+  tag.
+
+The full surface re-exports here: ``from repro import api`` and every
+``api.RunRequest``-style attribute keep working unchanged.
+"""
+
+from repro.api.dispatch import (
+    CAMPAIGN_KINDS,
+    ENGINE_KINDS,
+    KINDS,
+    SCHEMA,
+    ablate,
+    area,
+    execute,
+    figures,
+    inject,
+    ipc,
+    register_kind,
+    reliability,
+    request_key,
+    run,
+)
+from repro.api.requests import (
+    ABLATIONS,
+    AblateRequest,
+    AreaRequest,
+    FIGURE_CHOICES,
+    FiguresRequest,
+    InjectRequest,
+    IpcRequest,
+    ReliabilityRequest,
+    ReproError,
+    RunRequest,
+    request_from_dict,
+)
+from repro.api.responses import (
+    AblateResponse,
+    AreaResponse,
+    FigureSection,
+    FiguresResponse,
+    InjectResponse,
+    IpcResponse,
+    ReliabilityResponse,
+    RunResponse,
+    campaign_doc,
+)
+
+__all__ = [
+    "ABLATIONS",
+    "AblateRequest",
+    "AblateResponse",
+    "AreaRequest",
+    "AreaResponse",
+    "CAMPAIGN_KINDS",
+    "ENGINE_KINDS",
+    "FIGURE_CHOICES",
+    "FigureSection",
+    "FiguresRequest",
+    "FiguresResponse",
+    "InjectRequest",
+    "InjectResponse",
+    "IpcRequest",
+    "IpcResponse",
+    "KINDS",
+    "ReliabilityRequest",
+    "ReliabilityResponse",
+    "ReproError",
+    "RunRequest",
+    "RunResponse",
+    "SCHEMA",
+    "ablate",
+    "area",
+    "campaign_doc",
+    "execute",
+    "figures",
+    "inject",
+    "ipc",
+    "register_kind",
+    "reliability",
+    "request_from_dict",
+    "request_key",
+    "run",
+]

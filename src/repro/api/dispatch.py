@@ -1,0 +1,509 @@
+"""Executors and the request-kind registry.
+
+Every request kind the facade serves is one :func:`register_kind`
+entry pairing a request dataclass with its executor — the CLI, the job
+service and the tests all dispatch through :func:`execute`, so adding
+a kind is one registration, not an if/elif edit in three layers.  The
+registry also carries per-kind capabilities (does the executor take a
+``SweepEngine``?  is it a resumable campaign?) that the job service
+reads instead of hard-coding kind names.
+
+:func:`request_key` gives every request a content-addressed identity
+(folding in :func:`repro.experiments.pool.code_version`); plain
+benchmark runs reuse the sweep cache's own
+:func:`~repro.experiments.pool.cell_key`, so service-level dedupe and
+the on-disk result cache agree about what "the same work" means.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.api.requests import (
+    ABLATIONS,
+    AblateRequest,
+    AreaRequest,
+    FIGURE_CHOICES,
+    FiguresRequest,
+    InjectRequest,
+    IpcRequest,
+    ReliabilityRequest,
+    ReproError,
+    RunRequest,
+    _as_dict,
+    _benchmark,
+    _run_config,
+)
+from repro.api.responses import (
+    AblateResponse,
+    AreaResponse,
+    FigureSection,
+    FiguresResponse,
+    InjectResponse,
+    IpcResponse,
+    ReliabilityResponse,
+    RunResponse,
+)
+from repro.experiments.pool import Cell, SweepEngine, cell_key, code_version
+from repro.experiments.runner import interval_label
+
+#: Wire-protocol version tag.  Every document the job service sends —
+#: job, result, event, error — carries ``"schema": SCHEMA``, and
+#: :class:`repro.service.client.ServiceClient` refuses anything else.
+SCHEMA = "repro/v1"
+
+#: Request kind -> (request class, executor).  The service's job types.
+#: Populated by :func:`register_kind`; the tuple shape is public API.
+KINDS: Dict[str, Tuple[type, Callable[..., Any]]] = {}
+
+#: Kinds whose executor accepts an ``engine=`` SweepEngine kwarg.
+ENGINE_KINDS: set = set()
+
+#: Kinds that run as resumable campaigns (``progress=``, ``checkpoint=``
+#: and fabric ``coordinator=`` / ``should_abort=`` kwargs).
+CAMPAIGN_KINDS: set = set()
+
+
+def register_kind(
+    kind: str,
+    request_cls: type,
+    executor: Callable[..., Any],
+    *,
+    engine: bool = False,
+    campaign: bool = False,
+) -> None:
+    """Register one request kind with its executor and capabilities."""
+    if kind in KINDS:
+        raise ValueError(f"request kind {kind!r} already registered")
+    KINDS[kind] = (request_cls, executor)
+    if engine:
+        ENGINE_KINDS.add(kind)
+    if campaign:
+        CAMPAIGN_KINDS.add(kind)
+
+
+def execute(kind: str, request: Any, **kwargs: Any) -> Any:
+    """Dispatch one request to its registered executor by kind name."""
+    try:
+        cls, func = KINDS[kind]
+    except KeyError:
+        raise ReproError(
+            f"unknown request kind {kind!r}; known: {sorted(KINDS)}"
+        ) from None
+    if not isinstance(request, cls):
+        raise ReproError(
+            f"{kind} request must be {cls.__name__}, "
+            f"got {type(request).__name__}"
+        )
+    return func(request, **kwargs)
+
+
+def request_key(kind: str, request: Any) -> str:
+    """Content-addressed identity of one request.
+
+    A plain benchmark run *is* a sweep-cache cell, so its key is the
+    cache's own :func:`~repro.experiments.pool.cell_key` — the service
+    dedupes exactly where the on-disk result cache would hit.  Every
+    other request hashes its canonical dict plus the source-tree
+    version, so a code change never serves stale work.
+    """
+    if kind == "run" and isinstance(request, RunRequest) and not request.trace:
+        return cell_key(
+            Cell(
+                request.benchmark,
+                request.protection_config(),
+                request.run_config(),
+            )
+        )
+    payload = {
+        "kind": kind,
+        "request": _as_dict(request),
+        "code": code_version(),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _engine(engine: Optional[SweepEngine]) -> SweepEngine:
+    return engine if engine is not None else SweepEngine()
+
+
+# -- run ----------------------------------------------------------------------
+
+
+def run(
+    request: RunRequest,
+    engine: Optional[SweepEngine] = None,
+    tracer=None,
+    profiler=None,
+) -> RunResponse:
+    """Execute one reference-mode run.
+
+    ``tracer`` forces a live (uncached) simulation, since event traces
+    cannot come out of the result cache.
+    """
+    from repro.experiments.runner import run_refs, run_trace
+    from repro.workloads import load_trace
+
+    config = request.run_config()
+    protection = request.protection_config()
+    if request.trace:
+        path = Path(request.trace)
+        if not path.exists():
+            raise ReproError(f"trace file not found: {request.trace}")
+        try:
+            stream = load_trace(path)
+        except (OSError, ValueError) as err:
+            raise ReproError(
+                f"unreadable trace {request.trace}: {err}"
+            ) from None
+        out = run_trace(
+            stream, protection, config, label=request.trace,
+            tracer=tracer, profiler=profiler,
+        )
+    else:
+        _benchmark(request.benchmark)
+        if tracer is not None:
+            out = run_refs(
+                request.benchmark, protection, config,
+                tracer=tracer, profiler=profiler,
+            )
+        else:
+            eng = _engine(engine)
+            out = eng.run_refs(request.benchmark, protection, config)
+            if profiler is not None:
+                profiler.merge(eng.profiler)
+
+    label = None
+    if protection is not None and protection.cleaning_interval is not None:
+        geometry = config.geometry
+        label = (
+            f"{interval_label(protection.cleaning_interval)} "
+            f"({geometry.scaled_interval(protection.cleaning_interval)} "
+            f"scaled cycles)"
+        )
+    return RunResponse(
+        request=request,
+        benchmark=out.benchmark,
+        cleaning_interval=label,
+        refs=out.refs,
+        cycles=out.cycles,
+        dirty_fraction=out.dirty_fraction,
+        peak_dirty_fraction=out.peak_dirty_fraction,
+        writeback_fraction=out.writeback_fraction,
+        writeback_split=dict(out.writeback_split),
+        l2_miss_rate=out.l2_miss_rate,
+        bus_utilization=out.bus_utilization,
+    )
+
+
+# -- ipc ----------------------------------------------------------------------
+
+
+def ipc(
+    request: IpcRequest, engine: Optional[SweepEngine] = None
+) -> IpcResponse:
+    """Run the paired org/ours CPU-mode comparison."""
+    _benchmark(request.benchmark)
+    if request.insts < 1:
+        raise ReproError("insts must be positive")
+    config = _run_config(request.refs, request.warmup, request.seed)
+    eng = _engine(engine)
+    org = eng.run_ipc(request.benchmark, None, config, n_insts=request.insts)
+    ours = eng.run_ipc(
+        request.benchmark, request.protection_config(), config,
+        n_insts=request.insts,
+    )
+    loss = 100 * (org.ipc - ours.ipc) / org.ipc if org.ipc else 0.0
+    return IpcResponse(
+        request=request,
+        benchmark=request.benchmark,
+        insts=request.insts,
+        org_ipc=org.ipc,
+        ours_ipc=ours.ipc,
+        org_cycles=org.result.cycles,
+        ours_cycles=ours.result.cycles,
+        org_writeback_fraction=org.writeback_fraction,
+        ours_writeback_fraction=ours.writeback_fraction,
+        ipc_loss_pct=loss,
+    )
+
+
+# -- area ---------------------------------------------------------------------
+
+
+def area(request: AreaRequest = AreaRequest()) -> AreaResponse:
+    from repro.experiments import area_table
+
+    if request.ecc_entries < 1:
+        raise ReproError("ecc_entries must be positive")
+    conv, ours, red = area_table(ecc_entries_per_set=request.ecc_entries)
+    return AreaResponse(
+        request=request,
+        conventional=tuple((name, kib) for name, _, kib in conv.rows()),
+        proposed=tuple((name, kib) for name, _, kib in ours.rows()),
+        reduction=red,
+    )
+
+
+# -- inject -------------------------------------------------------------------
+
+
+def inject(request: InjectRequest, tracer=None) -> InjectResponse:
+    from repro.ecc import CodewordError, FaultInjector, get_codec
+
+    if request.trials < 1 or request.flips < 1:
+        raise ReproError("trials and flips must be positive")
+    try:
+        codec = get_codec(request.codec)
+    except CodewordError as err:
+        raise ReproError(str(err)) from None
+    injector = FaultInjector(codec, seed=request.seed, tracer=tracer)
+    stats = injector.campaign(request.trials, request.flips)
+    outcomes = {
+        outcome.value: {"count": n, "rate": n / stats.trials}
+        for outcome, n in sorted(
+            stats.by_outcome.items(), key=lambda kv: kv[0].value
+        )
+    }
+    return InjectResponse(
+        request=request, trials=stats.trials, outcomes=outcomes
+    )
+
+
+# -- figures ------------------------------------------------------------------
+
+
+def figures(
+    request: FiguresRequest, engine: Optional[SweepEngine] = None
+) -> FiguresResponse:
+    """Regenerate the requested figures as structured sections.
+
+    This is the whole of the old ``cmd_figures`` orchestration: which
+    sweeps to run, how to title them, which suites feed which figure —
+    the CLI and the service both just render the returned sections.
+    """
+    from repro.experiments import (
+        figure1,
+        figure3_4,
+        figure5_6,
+        figure7,
+        figure8,
+        interval_sweep,
+        ipc_loss,
+        table1,
+    )
+
+    wanted = request.fig
+    if wanted not in FIGURE_CHOICES:
+        raise ReproError(
+            f"unknown figure {wanted!r}; choose from {list(FIGURE_CHOICES)}"
+        )
+    config = _run_config(request.refs, request.warmup, request.seed)
+    eng = _engine(engine)
+    sections: List[FigureSection] = []
+
+    if wanted in ("all", "table1"):
+        sections.append(
+            FigureSection(
+                title="Table 1: baseline configuration", text=table1()
+            )
+        )
+    if wanted in ("all", "1"):
+        f1 = figure1(config, engine=eng)
+        sections.append(FigureSection(
+            title="Figure 1: % dirty lines (conventional)",
+            series={k: {"dirty %": v} for k, v in f1.items()},
+        ))
+    if wanted in ("all", "3", "4", "5", "6"):
+        suites = {"3": ["fp"], "5": ["fp"], "4": ["int"], "6": ["int"]}.get(
+            wanted, ["fp", "int"]
+        )
+        for suite in suites:
+            sweep = interval_sweep(suite, config, engine=eng)
+            if wanted in ("all", "3", "4"):
+                fig = "3" if suite == "fp" else "4"
+                sections.append(FigureSection(
+                    title=f"Figure {fig}: dirty % vs interval ({suite})",
+                    series=figure3_4(suite, config, sweep=sweep),
+                ))
+            if wanted in ("all", "5", "6"):
+                fig = "5" if suite == "fp" else "6"
+                sections.append(FigureSection(
+                    title=f"Figure {fig}: writeback % vs interval ({suite})",
+                    series=figure5_6(suite, config, sweep=sweep),
+                ))
+    if wanted in ("all", "7"):
+        f7 = figure7(config, engine=eng)
+        sections.append(FigureSection(
+            title="Figure 7: % dirty lines (full scheme)",
+            series={k: {"dirty %": v} for k, v in f7.items()},
+        ))
+    if wanted in ("all", "8"):
+        sections.append(FigureSection(
+            title="Figure 8: writeback split (full scheme)",
+            series=figure8(config, engine=eng),
+        ))
+    if wanted in ("all", "ipc"):
+        rows: Dict[str, Dict[str, float]] = {}
+        for suite in ("fp", "int"):
+            rows.update(ipc_loss(
+                config, suite=suite, n_insts=request.refs * 2, engine=eng
+            ))
+        sections.append(FigureSection(
+            title="IPC: org vs ours", series=rows, ndigits=3
+        ))
+    if wanted in ("all", "area"):
+        sections.append(FigureSection(
+            title="Protection area, 1MB 4-way 64B L2",
+            area=area(AreaRequest(ecc_entries=request.ecc_area_entries)),
+        ))
+    return FiguresResponse(request=request, sections=tuple(sections))
+
+
+# -- ablate -------------------------------------------------------------------
+
+
+def ablate(
+    request: AblateRequest, engine: Optional[SweepEngine] = None
+) -> AblateResponse:
+    import inspect
+
+    import repro.experiments as experiments
+
+    if request.study not in ABLATIONS:
+        raise ReproError(
+            f"unknown study {request.study!r}; "
+            f"choose from {sorted(ABLATIONS)}"
+        )
+    for name in request.benchmarks or ():
+        _benchmark(name)
+    config = _run_config(request.refs, request.warmup, request.seed)
+    func = getattr(experiments, ABLATIONS[request.study])
+    kwargs: Dict[str, Any] = {"config": config}
+    if request.benchmarks:
+        kwargs["benchmarks"] = list(request.benchmarks)
+    if "engine" in inspect.signature(func).parameters:
+        kwargs["engine"] = _engine(engine)
+    result = func(**kwargs)
+    if request.study == "ecc-entries":
+        return AblateResponse(
+            request=request,
+            study=request.study,
+            headers=(
+                "entries/set", "area KiB", "dirty %", "ECC-WB %",
+                "total WB %",
+            ),
+            rows=tuple(
+                (p.entries_per_set, p.area_kib, p.dirty_pct, p.ecc_wb_pct,
+                 p.total_wb_pct)
+                for p in result
+            ),
+        )
+    return AblateResponse(
+        request=request, study=request.study, series=result
+    )
+
+
+# -- reliability --------------------------------------------------------------
+
+
+def reliability(
+    request: ReliabilityRequest,
+    engine: Optional[SweepEngine] = None,
+    tracer=None,
+    registry=None,
+    progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+    checkpoint: Optional[str] = None,
+    coordinator=None,
+    should_abort: Optional[Callable[[], bool]] = None,
+) -> ReliabilityResponse:
+    """Run (or resume) a campaign.
+
+    ``checkpoint`` overrides ``request.checkpoint`` (the service passes
+    a path derived from the request digest so identical campaigns share
+    one resumable checkpoint file).  ``progress`` receives round-level
+    event dicts from the engine (see
+    :class:`repro.reliability.CampaignEngine`).  ``coordinator`` plugs
+    a :class:`repro.service.fabric.ShardCoordinator` in so several
+    service replicas lease disjoint shards of this one campaign;
+    ``should_abort`` is polled at round boundaries (and in the fabric
+    wait loop) to cancel cooperatively.
+    """
+    from repro.experiments.reliability import measured_dirty_fractions
+    from repro.reliability import CampaignEngine, CheckpointError
+
+    eng = _engine(engine)
+    dirty_fractions = None
+    if request.benchmark:
+        _benchmark(request.benchmark)
+        config = _run_config(request.refs, request.warmup, request.seed)
+        dirty_fractions = measured_dirty_fractions(
+            request.benchmark, config, engine=eng
+        )
+        if progress is not None:
+            progress({
+                "type": "dirty-fractions",
+                "benchmark": request.benchmark,
+                "dirty_fractions": dict(dirty_fractions),
+            })
+
+    campaign = request.campaign_config(dirty_fractions)
+    try:
+        result = CampaignEngine(
+            campaign,
+            engine=eng,
+            checkpoint=checkpoint or request.checkpoint,
+            tracer=tracer,
+            registry=registry,
+            progress=progress,
+            coordinator=coordinator,
+            should_abort=should_abort,
+        ).run()
+    except CheckpointError as err:
+        raise ReproError(str(err)) from None
+    return ReliabilityResponse(
+        request=request,
+        dirty_fractions=(
+            dict(dirty_fractions) if dirty_fractions is not None else None
+        ),
+        result=result,
+        resumed_shards=result.resumed_shards,
+        executed_shards=result.executed_shards,
+        remote_shards=result.remote_shards,
+    )
+
+
+# -- the registry -------------------------------------------------------------
+
+register_kind("run", RunRequest, run, engine=True)
+register_kind("ipc", IpcRequest, ipc, engine=True)
+register_kind("area", AreaRequest, area)
+register_kind("inject", InjectRequest, inject)
+register_kind("figures", FiguresRequest, figures, engine=True)
+register_kind("ablate", AblateRequest, ablate, engine=True)
+register_kind(
+    "reliability", ReliabilityRequest, reliability, engine=True,
+    campaign=True,
+)
+
+
+__all__ = [
+    "CAMPAIGN_KINDS",
+    "ENGINE_KINDS",
+    "KINDS",
+    "SCHEMA",
+    "ablate",
+    "area",
+    "execute",
+    "figures",
+    "inject",
+    "ipc",
+    "register_kind",
+    "reliability",
+    "request_key",
+    "run",
+]

@@ -1,0 +1,333 @@
+"""Request dataclasses: the facade's (and the wire's) input surface.
+
+Every operation the CLI and the job service expose is described by a
+**frozen dataclass** whose fields are JSON primitives (ints, floats,
+strings, tuples), so a request round-trips through
+:func:`request_from_dict` / ``as_dict`` unchanged — that is the
+service's wire format.  Invalid inputs raise :class:`ReproError`,
+never a bare traceback; the CLI maps it to exit code 2 and the service
+to an HTTP 400.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.core.protected_cache import ProtectionConfig
+from repro.experiments.runner import RunConfig
+
+
+class ReproError(Exception):
+    """A request that cannot be executed (bad input, missing file).
+
+    The facade's contract is that *invalid inputs* surface as this
+    single exception type — the CLI turns it into exit code 2 on
+    stderr, the service into an HTTP 400 — while genuine bugs still
+    raise whatever they raise.
+    """
+
+
+def _as_dict(obj: Any) -> Any:
+    """JSON-able view of a (possibly nested) dataclass."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: _as_dict(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {str(k): _as_dict(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_as_dict(v) for v in obj]
+    if isinstance(obj, float) and obj != obj:  # NaN: JSON-hostile
+        return None
+    return obj
+
+
+def request_from_dict(cls: type, payload: Mapping[str, Any]) -> Any:
+    """Build a request dataclass from a plain dict (the wire format).
+
+    Unknown fields are a :class:`ReproError` — a misspelled option must
+    fail loudly, not silently fall back to a default.  Lists arriving
+    from JSON are converted to the tuples the frozen dataclasses carry.
+    """
+    if not isinstance(payload, Mapping):
+        raise ReproError(f"{cls.__name__} payload must be an object")
+    names = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(payload) - names)
+    if unknown:
+        raise ReproError(
+            f"unknown {cls.__name__} field(s): {', '.join(unknown)}"
+        )
+    kwargs = {
+        key: tuple(value) if isinstance(value, list) else value
+        for key, value in payload.items()
+    }
+    try:
+        return cls(**kwargs)
+    except (TypeError, ValueError) as err:
+        raise ReproError(f"bad {cls.__name__}: {err}") from None
+
+
+def _run_config(refs: int, warmup: int, seed: int) -> RunConfig:
+    if refs < 1 or warmup < 0:
+        raise ReproError("refs must be positive and warmup non-negative")
+    return RunConfig(n_refs=refs, warmup_refs=warmup, seed=seed)
+
+
+def _benchmark(name: str) -> str:
+    from repro.workloads import get_benchmark
+
+    try:
+        get_benchmark(name)
+    except ValueError as err:
+        raise ReproError(str(err)) from None
+    return name
+
+
+# -- run ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One reference-mode run of a benchmark or trace file."""
+
+    benchmark: str = "mesa"
+    #: Path of a trace file to replay instead of ``benchmark``.
+    trace: Optional[str] = None
+    #: Cleaning interval in paper-nominal cycles; None disables cleaning.
+    interval: Optional[int] = 1 << 20
+    #: Shared ECC entries per set; None means unconstrained.
+    ecc_entries: Optional[int] = 1
+    refs: int = 60_000
+    warmup: int = 20_000
+    seed: int = 0
+
+    def protection_config(self) -> Optional[ProtectionConfig]:
+        if self.interval is None and self.ecc_entries is None:
+            return None
+        return ProtectionConfig(
+            cleaning_interval=self.interval,
+            ecc_entries_per_set=self.ecc_entries,
+        )
+
+    def run_config(self) -> RunConfig:
+        return _run_config(self.refs, self.warmup, self.seed)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return _as_dict(self)
+
+
+# -- ipc ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IpcRequest:
+    """Org-vs-ours IPC comparison of one benchmark."""
+
+    benchmark: str = "mesa"
+    insts: int = 120_000
+    interval: Optional[int] = 1 << 20
+    ecc_entries: Optional[int] = 1
+    refs: int = 60_000
+    warmup: int = 20_000
+    seed: int = 0
+
+    def protection_config(self) -> Optional[ProtectionConfig]:
+        if self.interval is None and self.ecc_entries is None:
+            return None
+        return ProtectionConfig(
+            cleaning_interval=self.interval,
+            ecc_entries_per_set=self.ecc_entries,
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return _as_dict(self)
+
+
+# -- area ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AreaRequest:
+    """The Section 5.2 protection-area accounting."""
+
+    ecc_entries: int = 1
+
+    def as_dict(self) -> Dict[str, Any]:
+        return _as_dict(self)
+
+
+# -- inject -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InjectRequest:
+    """A codec-level fault-injection campaign.
+
+    ``codec`` is any name in the :mod:`repro.ecc` registry, so codes
+    added via :func:`repro.ecc.register_codec` are immediately
+    injectable without touching this layer.
+    """
+
+    codec: str = "secded"
+    trials: int = 1000
+    flips: int = 1
+    seed: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return _as_dict(self)
+
+
+# -- figures ------------------------------------------------------------------
+
+FIGURE_CHOICES = (
+    "all", "table1", "1", "3", "4", "5", "6", "7", "8", "ipc", "area",
+)
+
+
+@dataclass(frozen=True)
+class FiguresRequest:
+    """Regenerate one (or all) of the paper's figures and tables."""
+
+    fig: str = "all"
+    refs: int = 60_000
+    warmup: int = 20_000
+    seed: int = 0
+    ecc_area_entries: int = 1
+
+    def as_dict(self) -> Dict[str, Any]:
+        return _as_dict(self)
+
+
+# -- ablate -------------------------------------------------------------------
+
+#: Study name -> repro.experiments driver attribute.
+ABLATIONS: Dict[str, str] = {
+    "ecc-entries": "ablate_ecc_entries",
+    "best-interval": "ablate_best_interval",
+    "eager": "ablate_eager_writeback",
+    "written-bit": "ablate_written_bit",
+    "decay": "ablate_cleaning_policy",
+    "replacement": "ablate_replacement",
+    "write-buffer": "ablate_write_buffer",
+    "cache-size": "ablate_cache_size",
+    "energy": "ablate_energy",
+}
+
+
+@dataclass(frozen=True)
+class AblateRequest:
+    """Run one ablation study."""
+
+    study: str = "best-interval"
+    benchmarks: Optional[Tuple[str, ...]] = None
+    refs: int = 60_000
+    warmup: int = 20_000
+    seed: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return _as_dict(self)
+
+
+# -- reliability --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReliabilityRequest:
+    """A Monte Carlo fault-injection campaign across schemes.
+
+    ``trials=None`` is the CLI's ``--trials auto``: run until the
+    Wilson half-width ``target`` is met on ``metric``.  ``benchmark``
+    substitutes measured per-scheme dirty fractions for the paper's
+    averages (``refs``/``warmup``/``seed`` shape that measurement run).
+    ``checkpoint`` names a JSONL file completed shards persist to; the
+    service fills it in automatically so campaigns survive restarts.
+    """
+
+    schemes: Tuple[str, ...] = ("uniform-ecc", "non-uniform")
+    trials: Optional[int] = None
+    target: float = 0.01
+    metric: str = "sdc"
+    trials_per_shard: int = 500
+    shards_per_round: int = 8
+    max_trials: int = 1_000_000
+    kernel: str = "batch"
+    seed: int = 0
+    double_bit_fraction: float = 0.05
+    raw_fit: float = 1000.0
+    n_lines: int = 16384
+    benchmark: Optional[str] = None
+    refs: int = 60_000
+    warmup: int = 20_000
+    checkpoint: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        # Validate the kernel at request-construction time: the CLI
+        # surfaces this as `error:` + exit 2 and the job service as a
+        # 400 at POST /v1/jobs — not as a worker-side failure after the
+        # job was accepted.
+        from repro.reliability.campaign import KERNELS
+
+        if self.kernel not in KERNELS:
+            raise ReproError(
+                f"unknown kernel {self.kernel!r}; "
+                f"available backends: {', '.join(KERNELS)}"
+            )
+        if self.kernel == "vector":
+            from repro.reliability.vector import require_numpy
+
+            require_numpy()
+
+    def campaign_config(
+        self, dirty_fractions: Optional[Mapping[str, float]] = None
+    ):
+        from repro.reliability import (
+            CampaignConfig,
+            FaultModelConfig,
+            StoppingRule,
+        )
+
+        try:
+            return CampaignConfig(
+                schemes=tuple(self.schemes),
+                trials=self.trials,
+                trials_per_shard=self.trials_per_shard,
+                shards_per_round=self.shards_per_round,
+                stopping=StoppingRule(
+                    target_half_width=self.target,
+                    max_trials=self.max_trials,
+                ),
+                metric=self.metric,
+                seed=self.seed,
+                model=FaultModelConfig(
+                    double_bit_fraction=self.double_bit_fraction
+                ),
+                dirty_fractions=(
+                    dict(dirty_fractions) if dirty_fractions else None
+                ),
+                raw_fit_per_mbit=self.raw_fit,
+                n_lines=self.n_lines,
+                kernel=self.kernel,
+            )
+        except ValueError as err:
+            raise ReproError(str(err)) from None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return _as_dict(self)
+
+
+__all__ = [
+    "ABLATIONS",
+    "AblateRequest",
+    "AreaRequest",
+    "FIGURE_CHOICES",
+    "FiguresRequest",
+    "InjectRequest",
+    "IpcRequest",
+    "ReliabilityRequest",
+    "ReproError",
+    "RunRequest",
+    "request_from_dict",
+]

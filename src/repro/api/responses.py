@@ -1,0 +1,222 @@
+"""Response dataclasses: the facade's (and the wire's) output surface.
+
+Every response exposes ``as_dict()`` returning plain JSON-able data —
+the single serialization path shared by the CLI's ``--format json``
+and the job service's result documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.api.requests import (
+    AblateRequest,
+    AreaRequest,
+    FiguresRequest,
+    InjectRequest,
+    IpcRequest,
+    ReliabilityRequest,
+    RunRequest,
+    _as_dict,
+)
+
+
+@dataclass(frozen=True)
+class RunResponse:
+    """Measured quantities of one run, ready to render or serialize."""
+
+    request: RunRequest
+    benchmark: str
+    #: ``"1M (32768 scaled cycles)"``-style label, None when no cleaning.
+    cleaning_interval: Optional[str]
+    refs: int
+    cycles: int
+    dirty_fraction: float
+    peak_dirty_fraction: float
+    writeback_fraction: float
+    writeback_split: Dict[str, float]
+    l2_miss_rate: float
+    bus_utilization: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        return _as_dict(self)
+
+
+@dataclass(frozen=True)
+class IpcResponse:
+    request: IpcRequest
+    benchmark: str
+    insts: int
+    org_ipc: float
+    ours_ipc: float
+    org_cycles: int
+    ours_cycles: int
+    org_writeback_fraction: float
+    ours_writeback_fraction: float
+    #: 100 × (org − ours) / org, the paper's headline metric.
+    ipc_loss_pct: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        return _as_dict(self)
+
+
+@dataclass(frozen=True)
+class AreaResponse:
+    request: AreaRequest
+    #: (component, KiB) rows, ``total`` last — conventional scheme.
+    conventional: Tuple[Tuple[str, float], ...]
+    #: Same for the paper's proposed scheme.
+    proposed: Tuple[Tuple[str, float], ...]
+    #: Fractional area reduction (the paper's 0.59).
+    reduction: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        return _as_dict(self)
+
+
+@dataclass(frozen=True)
+class InjectResponse:
+    request: InjectRequest
+    trials: int
+    #: outcome name -> {"count": n, "rate": n / trials}.
+    outcomes: Dict[str, Dict[str, float]]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return _as_dict(self)
+
+
+@dataclass(frozen=True)
+class FigureSection:
+    """One renderable block of figure output.
+
+    Exactly one of ``series`` (a ``{row: {column: value}}`` table) or
+    ``text`` (a pre-rendered block, e.g. Table 1) is set; ``area``
+    sections carry an :class:`AreaResponse` instead.
+    """
+
+    title: str
+    series: Optional[Dict[str, Dict[str, float]]] = None
+    text: Optional[str] = None
+    area: Optional[AreaResponse] = None
+    ndigits: int = 2
+
+    def as_dict(self) -> Dict[str, Any]:
+        return _as_dict(self)
+
+
+@dataclass(frozen=True)
+class FiguresResponse:
+    request: FiguresRequest
+    sections: Tuple[FigureSection, ...]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return _as_dict(self)
+
+
+@dataclass(frozen=True)
+class AblateResponse:
+    """One study's output, normalized to a renderable table.
+
+    Most studies produce a ``{row: {column: value}}`` series; the
+    ``ecc-entries`` study produces explicit headers + rows (mixed
+    integer/float columns).  Exactly one of the two is set.
+    """
+
+    request: AblateRequest
+    study: str
+    series: Optional[Dict[str, Dict[str, float]]] = None
+    headers: Optional[Tuple[str, ...]] = None
+    rows: Optional[Tuple[Tuple[Any, ...], ...]] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return _as_dict(self)
+
+
+@dataclass(frozen=True)
+class ReliabilityResponse:
+    """Everything one campaign produced, plus the rich result object.
+
+    ``result`` is the engine's :class:`~repro.reliability.CampaignResult`
+    (for table rendering and further analysis); ``as_dict`` serializes
+    it via :func:`campaign_doc`.
+    """
+
+    request: ReliabilityRequest
+    #: Measured per-scheme dirty fractions, when ``benchmark`` was set.
+    dirty_fractions: Optional[Dict[str, float]]
+    result: Any = field(repr=False)
+    resumed_shards: int = 0
+    executed_shards: int = 0
+    #: Shards absorbed from other fabric replicas (0 outside a fabric).
+    remote_shards: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "request": _as_dict(self.request),
+            "dirty_fractions": self.dirty_fractions,
+            "resumed_shards": self.resumed_shards,
+            "executed_shards": self.executed_shards,
+            "remote_shards": self.remote_shards,
+            "campaign": campaign_doc(self.result),
+        }
+
+
+def campaign_doc(result) -> Dict[str, Any]:
+    """JSON-able document of a :class:`~repro.reliability.CampaignResult`.
+
+    The one serialization of campaign numbers: per-scheme trials,
+    conditional outcome rates with Wilson half-widths, AVF, the FIT
+    split and MTTF — exactly the quantities the rendered tables show.
+    """
+    schemes: Dict[str, Any] = {}
+    for name, s in result.schemes.items():
+        e = s.estimate
+        schemes[name] = {
+            "trials": s.trials,
+            "shards": s.shards,
+            "stopped_by": s.stopped_by,
+            "half_width": s.half_width,
+            "rates": {
+                outcome.value: {
+                    "value": r.value,
+                    "lo": r.lo,
+                    "hi": r.hi,
+                    "count": r.successes,
+                }
+                for outcome, r in e.rates.items()
+            },
+            "avf": {"value": e.avf.value, "lo": e.avf.lo, "hi": e.avf.hi},
+            "fit_sdc": list(e.fit_sdc),
+            "fit_due": list(e.fit_due),
+            "mttf_hours": [
+                (None if v == float("inf") else v) for v in e.mttf_hours
+            ],
+            "outcome_counts": {
+                outcome.value: n for outcome, n in s.outcome_counts.items()
+            },
+            "domain_counts": {
+                domain.value: {o.value: n for o, n in per.items()}
+                for domain, per in s.domain_counts.items()
+            },
+        }
+    return {
+        "schemes": schemes,
+        "total_trials": result.total_trials,
+        "resumed_shards": result.resumed_shards,
+        "executed_shards": result.executed_shards,
+        "remote_shards": getattr(result, "remote_shards", 0),
+    }
+
+
+__all__ = [
+    "AblateResponse",
+    "AreaResponse",
+    "FigureSection",
+    "FiguresResponse",
+    "InjectResponse",
+    "IpcResponse",
+    "ReliabilityResponse",
+    "RunResponse",
+    "campaign_doc",
+]

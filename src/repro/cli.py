@@ -16,7 +16,9 @@ Commands
 ``area``      the Section 5.2 area accounting
 ``inject``    a fault-injection campaign against a codec
 ``reliability``  a Monte Carlo fault-injection campaign across schemes
-``serve``     long-running job server over the same facade
+``serve``     long-running job server over the same facade; several
+              replicas sharing one ``--data-dir`` form a fabric
+``workers``   list a running service's fabric worker registry
 ``trace``     export a benchmark's synthetic trace to a file
 ``list``      list the benchmark suite
 """
@@ -423,15 +425,50 @@ def cmd_serve(args) -> int:
         data_dir=args.data_dir,
         workers=args.workers,
         jobs=args.jobs,
+        replica_id=args.replica_id,
     )
     print(f"repro service on http://{service.host}:{service.port} "
-          f"(data dir {service.data_dir}, {args.workers} workers)")
+          f"(data dir {service.data_dir}, {args.workers} workers, "
+          f"replica {service.store.replica_id})")
     try:
         service.serve_forever()
     except KeyboardInterrupt:
         print("\nshutting down")
     finally:
         service.shutdown()
+    return 0
+
+
+def cmd_workers(args) -> int:
+    """List the fabric worker registry of a running service."""
+    import urllib.error
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.url)
+    try:
+        doc = client.workers()
+    except urllib.error.URLError as err:
+        raise api.ReproError(
+            f"cannot reach service at {args.url}: {err.reason}"
+        ) from None
+    if args.format == "json":
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    rows = [
+        (
+            w["replica_id"],
+            w["host"] or "-",
+            str(w["pid"] or "-"),
+            "alive" if w["alive"] else "stale",
+            f"{w['last_heartbeat'] - w['started_at']:.0f}s",
+        )
+        for w in doc["workers"]
+    ]
+    print(render_table(
+        ["replica", "host", "pid", "state", "up"], rows,
+        title=f"fabric workers ({args.url})",
+    ))
     return 0
 
 
@@ -690,7 +727,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="concurrent job-executor threads")
     p.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="worker processes each job's sweep engine may use")
+    p.add_argument(
+        "--replica-id", metavar="ID", default=None,
+        help="this replica's identity in the shared fabric (several "
+             "replicas on one --data-dir cooperate on campaigns; "
+             "default: a unique host-pid id)",
+    )
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "workers", help="list the fabric workers of a running service"
+    )
+    p.add_argument(
+        "--url", default="http://127.0.0.1:8642",
+        help="service base URL (default %(default)s)",
+    )
+    _add_format_arg(p)
+    p.set_defaults(func=cmd_workers)
 
     p = sub.add_parser("trace", help="export a synthetic trace")
     p.add_argument("--benchmark", required=True, choices=sorted(BENCHMARKS))

@@ -33,6 +33,7 @@ See ``docs/reliability.md`` for the end-to-end methodology.
 
 from repro.reliability.campaign import (
     KERNELS,
+    CampaignAborted,
     CampaignConfig,
     CampaignEngine,
     CampaignResult,
@@ -82,6 +83,7 @@ from repro.reliability.stopping import (
 )
 
 __all__ = [
+    "CampaignAborted",
     "CampaignCheckpoint",
     "CampaignConfig",
     "CampaignEngine",

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import hashlib
 import random
+import time
 from dataclasses import dataclass, field, replace
 from typing import (
     Any,
@@ -91,6 +92,16 @@ SAMPLES_PER_SHARD = 32
 #: extra): same fault model, same distribution — enforced by a
 #: two-proportion statistical gate — but not the same per-trial stream.
 KERNELS: Tuple[str, ...] = ("batch", "reference", "vector")
+
+
+class CampaignAborted(RuntimeError):
+    """The campaign stopped because ``should_abort`` returned True.
+
+    Raised out of :meth:`CampaignEngine.run` at the next round boundary
+    (or fabric wait-loop iteration) after a cancellation is observed;
+    completed shards are already checkpointed, so a later identical
+    request resumes rather than restarts.
+    """
 
 
 def shard_seed(master_seed: int, scheme: str, index: int) -> int:
@@ -384,6 +395,9 @@ class CampaignResult:
     #: Shards replayed from the checkpoint vs executed this run.
     resumed_shards: int
     executed_shards: int
+    #: Shards executed by *other* fabric replicas and absorbed from the
+    #: shared store (0 outside a fabric run).
+    remote_shards: int = 0
 
     @property
     def total_trials(self) -> int:
@@ -391,12 +405,26 @@ class CampaignResult:
 
 
 class _SchemeState:
-    """Mutable per-scheme accumulation while the campaign runs."""
+    """Mutable per-scheme accumulation while the campaign runs.
+
+    Reduction is deterministic by construction: aggregates always fold
+    shard results in ascending shard-index order (:meth:`_ordered`),
+    so a merged multi-replica campaign and a single-node ``--jobs N``
+    run reduce the same shard set identically, whatever order the
+    results arrived in.
+    """
 
     def __init__(self, scheme: str) -> None:
         self.scheme = scheme
         self.shard_results: Dict[int, ShardResult] = {}
         self.stopped_by: Optional[str] = None
+
+    def _ordered(self) -> List[ShardResult]:
+        """Shard results in shard-index order — the reduction order."""
+        return [
+            self.shard_results[index]
+            for index in sorted(self.shard_results)
+        ]
 
     @property
     def shards_done(self) -> int:
@@ -404,18 +432,18 @@ class _SchemeState:
 
     @property
     def trials(self) -> int:
-        return sum(r.trials for r in self.shard_results.values())
+        return sum(r.trials for r in self._ordered())
 
     def outcome_counts(self) -> Dict[TrialOutcome, int]:
         counts: Dict[TrialOutcome, int] = {}
-        for result in self.shard_results.values():
+        for result in self._ordered():
             for outcome, n in result.outcome_totals().items():
                 counts[outcome] = counts.get(outcome, 0) + n
         return counts
 
     def domain_counts(self) -> Dict[FaultDomain, Dict[TrialOutcome, int]]:
         counts: Dict[FaultDomain, Dict[TrialOutcome, int]] = {}
-        for result in self.shard_results.values():
+        for result in self._ordered():
             for domain_name, per in result.outcomes.items():
                 domain = FaultDomain(domain_name)
                 acc = counts.setdefault(domain, {})
@@ -455,6 +483,21 @@ class CampaignEngine:
         ``round`` (a round boundary with per-scheme trial counts and
         achieved half-widths — the points where stopping decisions are
         made).  This is what the job service streams as NDJSON/SSE.
+    ``coordinator``
+        Optional shard-lease coordinator (duck-typed to
+        :class:`repro.service.fabric.ShardCoordinator`).  When set,
+        every round's shards are *leased* from a shared store instead
+        of executed unconditionally: this replica runs the shards it
+        wins, absorbs results other replicas publish, and steals back
+        expired leases from dead replicas — so N engines pointed at one
+        fabric cooperatively execute one campaign.  Because stopping
+        decisions still happen at round boundaries over the merged
+        (index-ordered) aggregate, the result is bit-identical to a
+        single-node run.
+    ``should_abort``
+        Optional zero-arg callable polled at round boundaries and in
+        the fabric wait loop; returning True raises
+        :class:`CampaignAborted` (completed shards stay checkpointed).
     """
 
     def __init__(
@@ -465,6 +508,8 @@ class CampaignEngine:
         tracer: Optional[EventTracer] = None,
         registry: Optional[MetricsRegistry] = None,
         progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+        coordinator: Optional[Any] = None,
+        should_abort: Optional[Callable[[], bool]] = None,
     ) -> None:
         self.config = config
         self.engine = engine or SweepEngine()
@@ -475,12 +520,19 @@ class CampaignEngine:
         self.tracer = tracer
         self.registry = registry if registry is not None else MetricsRegistry()
         self.progress = progress
+        self.coordinator = coordinator
+        self.should_abort = should_abort
         self.resumed_shards = 0
         self.executed_shards = 0
+        self.remote_shards = 0
 
     def _emit_progress(self, event: Dict[str, Any]) -> None:
         if self.progress is not None:
             self.progress(event)
+
+    def _abort_check(self) -> None:
+        if self.should_abort is not None and self.should_abort():
+            raise CampaignAborted("campaign canceled")
 
     # -- scheduling --------------------------------------------------------
 
@@ -590,6 +642,7 @@ class CampaignEngine:
         # an interrupt loses at most one round of work per scheme.
         per_batch = self.config.shards_per_round * len(self.config.schemes)
         for start in range(0, len(specs), per_batch):
+            self._abort_check()
             self._execute(specs[start : start + per_batch], states)
             self._emit_round(states)
 
@@ -597,6 +650,7 @@ class CampaignEngine:
         for state in states.values():
             self._check_auto_stop(state)
         while True:
+            self._abort_check()
             specs: List[ShardSpec] = []
             for scheme in self.config.schemes:
                 state = states[scheme]
@@ -615,23 +669,93 @@ class CampaignEngine:
     ) -> None:
         if not specs:
             return
+        if self.coordinator is not None:
+            self._execute_fabric(specs, states)
+            return
         results = self.engine.map_tasks(
             run_shard, specs, phase="campaign-shard"
         )
-        for result in results:
-            states[result.scheme].shard_results[result.index] = result
+        for result in sorted(results, key=lambda r: (r.scheme, r.index)):
+            self._absorb(result, states, remote=False)
+
+    def _execute_fabric(
+        self, specs: List[ShardSpec], states: Dict[str, _SchemeState]
+    ) -> None:
+        """One round through the shared fabric: lease, run, merge, steal.
+
+        Loops until every spec of the round has a result — executed
+        here (leases this replica won), published by another replica
+        (absorbed as ``remote``), or stolen back after the owning
+        replica's lease expired / heartbeat went stale.  The round
+        barrier is what keeps every replica's stopping decisions — and
+        therefore the shard schedule itself — identical.
+        """
+        coordinator = self.coordinator
+        pending: Dict[Tuple[str, int], ShardSpec] = {
+            (spec.scheme, spec.index): spec for spec in specs
+        }
+        coordinator.announce(list(pending.values()))
+        while pending:
+            self._abort_check()
+            coordinator.heartbeat()
+            ordered = [pending[key] for key in sorted(pending)]
+            mine, stolen = coordinator.lease(ordered)
+            if stolen:
+                self._emit_progress({
+                    "type": "steal",
+                    "shards": [[s.scheme, s.index] for s in stolen],
+                })
+            if mine:
+                results = self.engine.map_tasks(
+                    run_shard, mine, phase="campaign-shard"
+                )
+                for result in sorted(
+                    results, key=lambda r: (r.scheme, r.index)
+                ):
+                    coordinator.complete(result)
+                    self._absorb(result, states, remote=False)
+                    pending.pop((result.scheme, result.index))
+            remote = coordinator.completed(sorted(pending))
+            for record in remote:
+                result = ShardResult.from_record(record)
+                self._absorb(result, states, remote=True)
+                pending.pop((result.scheme, result.index))
+            if pending and not mine and not remote:
+                time.sleep(coordinator.poll_interval)
+
+    def _absorb(
+        self,
+        result: ShardResult,
+        states: Dict[str, _SchemeState],
+        remote: bool,
+    ) -> None:
+        """Fold one completed shard into the running aggregates.
+
+        Local results checkpoint here; remote ones do not — the replica
+        that executed them already appended to the shared JSONL log.
+        Telemetry counters absorb both, so every replica's counters
+        describe the whole campaign, not just its own slice.
+        """
+        states[result.scheme].shard_results[result.index] = result
+        if remote:
+            self.remote_shards += 1
+        else:
             self.executed_shards += 1
             if self.checkpoint is not None:
                 self.checkpoint.append_shard(result.as_record())
-            self._emit_telemetry(result)
-            self._emit_progress({
-                "type": "shard",
-                "scheme": result.scheme,
-                "index": result.index,
-                "trials": result.trials,
-                "executed_shards": self.executed_shards,
-                "resumed_shards": self.resumed_shards,
-            })
+        self._emit_telemetry(result)
+        event = {
+            "type": "shard",
+            "scheme": result.scheme,
+            "index": result.index,
+            "trials": result.trials,
+            "executed_shards": self.executed_shards,
+            "resumed_shards": self.resumed_shards,
+        }
+        if remote:
+            event["remote"] = True
+            event["remote_shards"] = self.remote_shards
+        self._emit_progress(event)
 
     def _emit_round(self, states: Dict[str, _SchemeState]) -> None:
         """A round boundary: per-scheme aggregates, from the telemetry
@@ -712,6 +836,7 @@ class CampaignEngine:
             schemes=schemes,
             resumed_shards=self.resumed_shards,
             executed_shards=self.executed_shards,
+            remote_shards=self.remote_shards,
         )
 
 
@@ -737,6 +862,7 @@ def run_campaign(
 __all__ = [
     "DEFAULT_DIRTY_FRACTIONS",
     "KERNELS",
+    "CampaignAborted",
     "CampaignConfig",
     "CampaignEngine",
     "CampaignResult",

@@ -99,6 +99,18 @@ class CampaignCheckpoint:
             )
         done: Dict[Tuple[str, int], Dict[str, Any]] = {}
         for record in records[1:]:
+            if record.get("type") == "header":
+                # Two fabric replicas sharing one checkpoint file can
+                # race write_header's exists() check; an identical
+                # duplicate header is harmless, a differing one is not.
+                if (
+                    record.get("version") == header.get("version")
+                    and record.get("digest") == header.get("digest")
+                ):
+                    continue
+                raise CheckpointError(
+                    f"{self.path}: conflicting duplicate header record"
+                )
             if record.get("type") != "shard":
                 raise CheckpointError(
                     f"{self.path}: unexpected record type "

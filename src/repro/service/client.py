@@ -4,6 +4,13 @@ Thin ``urllib`` wrapper speaking the :mod:`repro.service.server` wire
 protocol: submit a request document, follow its NDJSON progress stream,
 fetch the result document.  Used by the CI smoke script and the tests;
 any HTTP client works equally well.
+
+The wire protocol is versioned: every response body and streamed event
+must carry ``"schema": "repro/v1"`` (:data:`repro.api.SCHEMA`).  A
+document without it — or with a version this client does not speak — is
+a :class:`repro.api.ReproError`, not a silent best-effort parse; the
+tag is stripped before the document is returned, so callers compare
+payloads against the facade's ``as_dict()`` output unchanged.
 """
 
 from __future__ import annotations
@@ -14,6 +21,8 @@ import urllib.error
 import urllib.request
 from typing import Any, Dict, Iterator, Mapping, Optional
 
+from repro.api import SCHEMA, ReproError
+
 
 class ServiceError(Exception):
     """An HTTP-level failure, carrying the server's error text."""
@@ -22,6 +31,19 @@ class ServiceError(Exception):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+
+
+def _check_schema(doc: Any) -> Any:
+    """Validate and strip the ``repro/v1`` envelope tag."""
+    if not isinstance(doc, dict):
+        return doc
+    schema = doc.get("schema")
+    if schema != SCHEMA:
+        raise ReproError(
+            f"service response schema {schema!r} is not {SCHEMA!r}; "
+            "refusing to parse a document from an incompatible server"
+        )
+    return {key: value for key, value in doc.items() if key != "schema"}
 
 
 class ServiceClient:
@@ -50,7 +72,9 @@ class ServiceClient:
             with urllib.request.urlopen(
                 request, timeout=timeout or self.timeout
             ) as response:
-                return response.status, json.loads(response.read())
+                return response.status, _check_schema(
+                    json.loads(response.read())
+                )
         except urllib.error.HTTPError as err:
             raw = err.read()
             try:
@@ -72,6 +96,13 @@ class ServiceClient:
     def health(self) -> Dict[str, Any]:
         return self._request("/v1/health")
 
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("/v1/healthz")
+
+    def workers(self) -> Dict[str, Any]:
+        """Fabric worker registry: every replica on this data dir."""
+        return self._request("/v1/workers")
+
     def kinds(self) -> Dict[str, Any]:
         return self._request("/v1/kinds")["kinds"]
 
@@ -85,6 +116,11 @@ class ServiceClient:
 
     def job(self, job_id: str) -> Dict[str, Any]:
         return self._request(f"/v1/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """Request cancellation; returns the (possibly already
+        terminal) job document."""
+        return self._request(f"/v1/jobs/{job_id}/cancel", body={})
 
     def jobs(self) -> Any:
         return self._request("/v1/jobs")["jobs"]
@@ -100,7 +136,7 @@ class ServiceClient:
             for line in response:
                 line = line.strip()
                 if line:
-                    yield json.loads(line)
+                    yield _check_schema(json.loads(line))
 
     def result(
         self,

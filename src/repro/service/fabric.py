@@ -1,0 +1,450 @@
+"""Shared SQLite fabric: cluster jobs, shard leases, worker registry.
+
+N ``repro serve`` replicas pointed at one ``--data-dir`` cooperate
+through this store (``<data_dir>/fabric.db``, WAL mode, stdlib
+:mod:`sqlite3`).  It holds four tables:
+
+* ``jobs`` — every request ever submitted anywhere in the cluster,
+  keyed by :func:`repro.api.request_key`, with its lifecycle state and
+  cluster-wide submission count;
+* ``results`` — the serialized result document of each finished job,
+  so *any* replica serves a job *any* replica computed (the
+  cluster-wide result cache);
+* ``shards`` — one row per campaign shard, the work-stealing unit:
+  ``pending`` → ``leased`` (owner + expiry) → ``done`` (with the
+  shard's outcome record);
+* ``workers`` — replica registrations with heartbeats, so leases held
+  by a dead replica are recognizable and reclaimable.
+
+Correctness leans on the campaign engine's determinism, not on the
+store: shard seeds depend only on (seed, scheme, index), so a shard
+executes identically on any replica, and a lease that expires while
+its owner is merely slow costs a duplicate execution — never a wrong
+answer (``complete_shard`` is idempotent; duplicate records are
+bit-identical).  Every read-modify-write runs under ``BEGIN
+IMMEDIATE`` with a connection per operation, so the store is safe
+across threads and processes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import sqlite3
+import time
+import uuid
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Shard lifecycle inside the fabric store.
+SHARD_STATES = ("pending", "leased", "done")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    key TEXT PRIMARY KEY,
+    kind TEXT NOT NULL,
+    request TEXT NOT NULL,
+    state TEXT NOT NULL,
+    error TEXT,
+    created_at REAL NOT NULL,
+    finished_at REAL,
+    submissions INTEGER NOT NULL DEFAULT 1
+);
+CREATE TABLE IF NOT EXISTS results (
+    key TEXT PRIMARY KEY,
+    doc TEXT NOT NULL,
+    created_at REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS shards (
+    job_key TEXT NOT NULL,
+    scheme TEXT NOT NULL,
+    idx INTEGER NOT NULL,
+    state TEXT NOT NULL DEFAULT 'pending',
+    owner TEXT,
+    lease_expires REAL,
+    record TEXT,
+    PRIMARY KEY (job_key, scheme, idx)
+);
+CREATE TABLE IF NOT EXISTS workers (
+    replica_id TEXT PRIMARY KEY,
+    started_at REAL NOT NULL,
+    last_heartbeat REAL NOT NULL,
+    pid INTEGER,
+    host TEXT
+);
+"""
+
+
+def default_replica_id() -> str:
+    """``<hostname>-<pid>-<4 hex>`` — unique even for two stores in
+    one process (tests run exactly that)."""
+    return "{}-{}-{}".format(
+        socket.gethostname(), os.getpid(), uuid.uuid4().hex[:4]
+    )
+
+
+class FabricStore:
+    """The shared persistent store behind one cluster data dir."""
+
+    def __init__(
+        self,
+        data_dir: os.PathLike,
+        lease_duration: float = 30.0,
+        worker_timeout: float = 60.0,
+    ) -> None:
+        if lease_duration <= 0 or worker_timeout <= 0:
+            raise ValueError("lease_duration and worker_timeout must be > 0")
+        self.data_dir = Path(data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self.path = self.data_dir / "fabric.db"
+        self.lease_duration = lease_duration
+        self.worker_timeout = worker_timeout
+        with self._connect() as conn:
+            conn.executescript(_SCHEMA)
+
+    def _connect(self) -> sqlite3.Connection:
+        # A connection per operation: sqlite3 connections are not
+        # thread-safe, and WAL + busy_timeout make short transactions
+        # from many replicas cheap enough that pooling isn't worth the
+        # locking it would reintroduce.
+        conn = sqlite3.connect(str(self.path), timeout=30.0)
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.execute("PRAGMA busy_timeout=30000")
+        return conn
+
+    # -- workers -------------------------------------------------------------
+
+    def register_worker(self, replica_id: str) -> None:
+        now = time.time()
+        with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            conn.execute(
+                "INSERT INTO workers "
+                "(replica_id, started_at, last_heartbeat, pid, host) "
+                "VALUES (?, ?, ?, ?, ?) "
+                "ON CONFLICT(replica_id) DO UPDATE SET "
+                "started_at = excluded.started_at, "
+                "last_heartbeat = excluded.last_heartbeat, "
+                "pid = excluded.pid, host = excluded.host",
+                (replica_id, now, now, os.getpid(), socket.gethostname()),
+            )
+
+    def heartbeat(self, replica_id: str) -> None:
+        """Refresh liveness and extend this replica's active leases —
+        a slow shard on a live replica should not look abandoned."""
+        now = time.time()
+        with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            conn.execute(
+                "UPDATE workers SET last_heartbeat = ? WHERE replica_id = ?",
+                (now, replica_id),
+            )
+            conn.execute(
+                "UPDATE shards SET lease_expires = ? "
+                "WHERE owner = ? AND state = 'leased'",
+                (now + self.lease_duration, replica_id),
+            )
+
+    def remove_worker(self, replica_id: str) -> None:
+        with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            conn.execute(
+                "DELETE FROM workers WHERE replica_id = ?", (replica_id,)
+            )
+            conn.execute(
+                "UPDATE shards SET state = 'pending', owner = NULL, "
+                "lease_expires = NULL "
+                "WHERE owner = ? AND state = 'leased'",
+                (replica_id,),
+            )
+
+    def workers(self) -> List[Dict[str, Any]]:
+        now = time.time()
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT replica_id, started_at, last_heartbeat, pid, host "
+                "FROM workers ORDER BY started_at"
+            ).fetchall()
+        return [
+            {
+                "replica_id": r[0],
+                "started_at": r[1],
+                "last_heartbeat": r[2],
+                "pid": r[3],
+                "host": r[4],
+                "alive": now - r[2] <= self.worker_timeout,
+            }
+            for r in rows
+        ]
+
+    # -- jobs ----------------------------------------------------------------
+
+    def record_job(
+        self, key: str, kind: str, request: Dict[str, Any]
+    ) -> None:
+        """Record a submission: insert the job or bump its cluster-wide
+        submission count.  A previously failed/canceled job re-enters
+        ``queued`` (the retry semantics the local store already has)."""
+        with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            row = conn.execute(
+                "SELECT state FROM jobs WHERE key = ?", (key,)
+            ).fetchone()
+            if row is None:
+                conn.execute(
+                    "INSERT INTO jobs "
+                    "(key, kind, request, state, created_at) "
+                    "VALUES (?, ?, ?, 'queued', ?)",
+                    (key, kind, json.dumps(request, sort_keys=True),
+                     time.time()),
+                )
+            else:
+                retry = row[0] in ("error", "canceled")
+                conn.execute(
+                    "UPDATE jobs SET submissions = submissions + 1, "
+                    "state = CASE WHEN ? THEN 'queued' ELSE state END, "
+                    "error = CASE WHEN ? THEN NULL ELSE error END "
+                    "WHERE key = ?",
+                    (retry, retry, key),
+                )
+
+    def set_job_state(
+        self, key: str, state: str, error: Optional[str] = None
+    ) -> None:
+        terminal = state in ("done", "error", "canceled")
+        with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            conn.execute(
+                "UPDATE jobs SET state = ?, error = ?, finished_at = ? "
+                "WHERE key = ?",
+                (state, error, time.time() if terminal else None, key),
+            )
+
+    def job_state(self, key: str) -> Optional[str]:
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT state FROM jobs WHERE key = ?", (key,)
+            ).fetchone()
+        return None if row is None else row[0]
+
+    def cancel_job(self, key: str) -> bool:
+        """Mark a non-terminal job canceled; every replica running it
+        observes the state at its next abort poll.  Returns False for
+        unknown or already-terminal jobs."""
+        with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            cur = conn.execute(
+                "UPDATE jobs SET state = 'canceled', finished_at = ? "
+                "WHERE key = ? AND state IN ('queued', 'running')",
+                (time.time(), key),
+            )
+            return cur.rowcount > 0
+
+    # -- results (cluster-wide cache) ----------------------------------------
+
+    def store_result(self, key: str, doc: Dict[str, Any]) -> None:
+        with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            conn.execute(
+                "INSERT OR REPLACE INTO results (key, doc, created_at) "
+                "VALUES (?, ?, ?)",
+                (key, json.dumps(doc, sort_keys=True), time.time()),
+            )
+
+    def cached_result(self, key: str) -> Optional[Dict[str, Any]]:
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT doc FROM results WHERE key = ?", (key,)
+            ).fetchone()
+        return None if row is None else json.loads(row[0])
+
+    # -- shards --------------------------------------------------------------
+
+    def ensure_shards(
+        self, job_key: str, keys: Sequence[Tuple[str, int]]
+    ) -> None:
+        """Announce a round's shards (idempotent: whichever replica
+        announces first wins; the rest INSERT OR IGNORE)."""
+        with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            conn.executemany(
+                "INSERT OR IGNORE INTO shards (job_key, scheme, idx) "
+                "VALUES (?, ?, ?)",
+                [(job_key, scheme, idx) for scheme, idx in keys],
+            )
+
+    def lease_shards(
+        self,
+        job_key: str,
+        keys: Sequence[Tuple[str, int]],
+        replica_id: str,
+        limit: Optional[int] = None,
+    ) -> Tuple[List[Tuple[str, int]], List[Tuple[str, int]]]:
+        """Lease up to ``limit`` of the offered shards (None = all).
+
+        Two passes inside one transaction: ``pending`` shards first
+        (normal work distribution), then **stealing** — ``leased``
+        shards whose lease expired or whose owner's heartbeat is stale
+        or gone.  Returns ``(leased, stolen)`` with stolen ⊆ leased.
+        """
+        if not keys or (limit is not None and limit <= 0):
+            return [], []
+        now = time.time()
+        placeholders = ",".join(["(?,?)"] * len(keys))
+        flat: List[Any] = [v for pair in keys for v in pair]
+        budget = len(keys) if limit is None else limit
+        leased: List[Tuple[str, int]] = []
+        stolen: List[Tuple[str, int]] = []
+        with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            rows = conn.execute(
+                "SELECT scheme, idx FROM shards "
+                "WHERE job_key = ? AND state = 'pending' "
+                f"AND (scheme, idx) IN (VALUES {placeholders}) "
+                "ORDER BY scheme, idx LIMIT ?",
+                [job_key] + flat + [budget],
+            ).fetchall()
+            leased.extend((r[0], r[1]) for r in rows)
+            if len(leased) < budget:
+                stale = conn.execute(
+                    "SELECT s.scheme, s.idx FROM shards s "
+                    "LEFT JOIN workers w ON w.replica_id = s.owner "
+                    "WHERE s.job_key = ? AND s.state = 'leased' "
+                    "AND s.owner != ? "
+                    f"AND (s.scheme, s.idx) IN (VALUES {placeholders}) "
+                    "AND (s.lease_expires < ? OR w.replica_id IS NULL "
+                    "     OR w.last_heartbeat < ?) "
+                    "ORDER BY s.scheme, s.idx LIMIT ?",
+                    [job_key, replica_id] + flat
+                    + [now, now - self.worker_timeout,
+                       budget - len(leased)],
+                ).fetchall()
+                stolen.extend((r[0], r[1]) for r in stale)
+            for scheme, idx in leased + stolen:
+                conn.execute(
+                    "UPDATE shards SET state = 'leased', owner = ?, "
+                    "lease_expires = ? "
+                    "WHERE job_key = ? AND scheme = ? AND idx = ?",
+                    (replica_id, now + self.lease_duration,
+                     job_key, scheme, idx),
+                )
+        return leased + stolen, stolen
+
+    def complete_shard(
+        self, job_key: str, record: Dict[str, Any]
+    ) -> None:
+        """Publish one shard's outcome record (idempotent — duplicate
+        executions of a deterministic shard write identical records)."""
+        with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            conn.execute(
+                "UPDATE shards SET state = 'done', owner = NULL, "
+                "lease_expires = NULL, record = ? "
+                "WHERE job_key = ? AND scheme = ? AND idx = ?",
+                (json.dumps(record, sort_keys=True), job_key,
+                 record["scheme"], record["index"]),
+            )
+
+    def done_shards(
+        self, job_key: str, keys: Sequence[Tuple[str, int]]
+    ) -> List[Dict[str, Any]]:
+        """Outcome records of the offered shards that are ``done``."""
+        if not keys:
+            return []
+        placeholders = ",".join(["(?,?)"] * len(keys))
+        flat: List[Any] = [v for pair in keys for v in pair]
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT record FROM shards "
+                "WHERE job_key = ? AND state = 'done' "
+                f"AND (scheme, idx) IN (VALUES {placeholders}) "
+                "ORDER BY scheme, idx",
+                [job_key] + flat,
+            ).fetchall()
+        return [json.loads(r[0]) for r in rows]
+
+    def release_worker_leases(self, replica_id: str) -> int:
+        """Return a replica's unfinished leases to ``pending`` (graceful
+        failure path — don't make peers wait out the lease clock)."""
+        with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            cur = conn.execute(
+                "UPDATE shards SET state = 'pending', owner = NULL, "
+                "lease_expires = NULL "
+                "WHERE owner = ? AND state = 'leased'",
+                (replica_id,),
+            )
+            return cur.rowcount
+
+
+class ShardCoordinator:
+    """One campaign's view of the fabric, as the engine consumes it.
+
+    :class:`~repro.reliability.campaign.CampaignEngine` drives this
+    per-round: ``announce`` the round's shards, ``lease`` a batch, run
+    them, ``complete`` each, absorb peers' results via ``completed``,
+    repeat until the round closes.  ``lease_batch=None`` leases every
+    offered shard at once — a single replica then behaves exactly like
+    a plain local run (one ``map_tasks`` call per round); smaller
+    batches interleave replicas within a round.
+    """
+
+    def __init__(
+        self,
+        store: FabricStore,
+        job_key: str,
+        replica_id: str,
+        lease_batch: Optional[int] = None,
+        poll_interval: float = 0.05,
+    ) -> None:
+        self.store = store
+        self.job_key = job_key
+        self.replica_id = replica_id
+        self.lease_batch = lease_batch
+        self.poll_interval = poll_interval
+
+    def announce(self, specs: Sequence[Any]) -> None:
+        self.store.ensure_shards(
+            self.job_key, [(s.scheme, s.index) for s in specs]
+        )
+
+    def lease(
+        self, specs: Sequence[Any]
+    ) -> Tuple[List[Any], List[Any]]:
+        """Lease from the offered specs; returns ``(mine, stolen)``
+        as spec objects (stolen ⊆ mine)."""
+        by_key = {(s.scheme, s.index): s for s in specs}
+        leased, stolen = self.store.lease_shards(
+            self.job_key,
+            sorted(by_key),
+            self.replica_id,
+            limit=self.lease_batch,
+        )
+        return (
+            [by_key[k] for k in leased],
+            [by_key[k] for k in stolen],
+        )
+
+    def complete(self, result: Any) -> None:
+        self.store.complete_shard(self.job_key, result.as_record())
+
+    def completed(
+        self, keys: Sequence[Tuple[str, int]]
+    ) -> List[Dict[str, Any]]:
+        return self.store.done_shards(self.job_key, keys)
+
+    def heartbeat(self) -> None:
+        self.store.heartbeat(self.replica_id)
+
+    def canceled(self) -> bool:
+        return self.store.job_state(self.job_key) == "canceled"
+
+
+__all__ = [
+    "FabricStore",
+    "SHARD_STATES",
+    "ShardCoordinator",
+    "default_replica_id",
+]

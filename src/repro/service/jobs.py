@@ -17,10 +17,15 @@ Durability lives below the store, not in it:
   by a crash or restart resumes from its completed shards when the same
   request is submitted to a fresh store — bit-identical to an
   uninterrupted run (round-boundary stopping, deterministic shard
-  seeds).
+  seeds);
+* every store joins the :class:`~repro.service.fabric.FabricStore` at
+  ``<data_dir>/fabric.db``: finished result documents are cached
+  cluster-wide (any replica serves any previously computed job), and
+  reliability campaigns running on several replicas at once lease
+  shards from each other instead of duplicating work.
 
-The store itself is in-memory: a restart forgets job *records* but no
-completed *work*.
+The store's own job *records* are in-memory: a restart forgets them but
+no completed *work*.
 """
 
 from __future__ import annotations
@@ -35,9 +40,17 @@ from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro import api
 from repro.experiments.pool import SweepEngine
+from repro.reliability.campaign import CampaignAborted
+from repro.service.fabric import (
+    FabricStore,
+    ShardCoordinator,
+    default_replica_id,
+)
 
-#: Job lifecycle; ``done`` and ``error`` are terminal.
-JOB_STATES = ("queued", "running", "done", "error")
+#: Job lifecycle; ``done``, ``error`` and ``canceled`` are terminal.
+JOB_STATES = ("queued", "running", "done", "error", "canceled")
+
+_TERMINAL = ("done", "error", "canceled")
 
 
 def default_data_dir() -> Path:
@@ -46,6 +59,20 @@ def default_data_dir() -> Path:
     if env:
         return Path(env)
     return Path.home() / ".cache" / "repro-service"
+
+
+class _StoredResult:
+    """A result document recalled from the fabric's cluster-wide cache.
+
+    Quacks like a response object (``as_dict``) so a cache-served job
+    is indistinguishable from a locally computed one downstream.
+    """
+
+    def __init__(self, doc: Dict[str, Any]) -> None:
+        self._doc = doc
+
+    def as_dict(self) -> Dict[str, Any]:
+        return self._doc
 
 
 class Job:
@@ -65,6 +92,7 @@ class Job:
         self.error: Optional[str] = None
         self.events: List[Dict[str, Any]] = []
         self.submissions = 1
+        self.cancel_requested = False
         self.created_at = time.time()
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
@@ -74,7 +102,7 @@ class Job:
 
     @property
     def finished(self) -> bool:
-        return self.state in ("done", "error")
+        return self.state in _TERMINAL
 
     def emit(self, event: Mapping[str, Any]) -> None:
         """Append one progress event (thread-safe, wakes streamers)."""
@@ -84,20 +112,28 @@ class Job:
             self.events.append(record)
             self.cond.notify_all()
 
-    def _start(self) -> None:
+    def _start(self) -> bool:
+        """Transition to ``running``; False if the job was canceled
+        while still queued (the worker must skip it)."""
         with self.cond:
+            if self.finished:
+                return False
             self.state = "running"
             self.started_at = time.time()
             self.events.append(
                 {"seq": len(self.events), "type": "state", "state": "running"}
             )
             self.cond.notify_all()
+            return True
 
     def _finish(self, state: str, result: Any = None,
-                error: Optional[str] = None) -> None:
+                error: Optional[str] = None) -> bool:
         """Terminal transition; the final ``state`` event is appended
-        under the same lock so streamers always see it last."""
+        under the same lock so streamers always see it last.  A second
+        finish (e.g. cancel racing completion) is a no-op."""
         with self.cond:
+            if self.finished:
+                return False
             self.state = state
             self.result = result
             self.error = error
@@ -109,6 +145,24 @@ class Job:
                 event["error"] = error
             self.events.append(event)
             self.cond.notify_all()
+            return True
+
+    def cancel(self) -> bool:
+        """Request cancellation; False if the job already finished.
+
+        A still-queued job finishes ``canceled`` immediately; a running
+        campaign observes the flag at its next round-boundary abort
+        poll.  Non-campaign kinds cannot abort mid-execution — the flag
+        is recorded but the job may still complete.
+        """
+        with self.cond:
+            if self.finished:
+                return False
+            self.cancel_requested = True
+            queued = self.state == "queued"
+        if queued:
+            self._finish("canceled")
+        return True
 
     def wait(self, timeout: Optional[float] = None) -> str:
         """Block until the job is terminal (or ``timeout``); returns state."""
@@ -128,7 +182,10 @@ class Job:
         """Yield events from ``start`` until the terminal state event.
 
         Safe to call from any number of threads, before, during or
-        after execution — a finished job replays its full log.
+        after execution — a finished job replays its full log.  The
+        job's condition is held only to snapshot a batch, never across
+        a ``yield``: a consumer draining events arbitrarily slowly
+        blocks nobody.
         """
         index = start
         while True:
@@ -141,7 +198,7 @@ class Job:
                 index += 1
                 if (
                     event.get("type") == "state"
-                    and event.get("state") in ("done", "error")
+                    and event.get("state") in _TERMINAL
                 ):
                     return
             with self.cond:
@@ -185,6 +242,14 @@ class JobStore:
         Override engine construction, e.g. to inject a failing engine
         in tests.  Called with the :class:`Job`; must return a
         :class:`SweepEngine`-compatible object.
+    ``replica_id``
+        This store's identity in the fabric (worker registry, shard
+        lease ownership).  Defaults to a unique per-instance id.
+    ``lease_duration`` / ``worker_timeout`` / ``lease_batch``
+        Fabric work-stealing knobs: how long a shard lease lasts
+        without a heartbeat, when a silent replica counts as dead, and
+        how many shards one lease call takes (None = a whole round —
+        the single-replica fast path).
     """
 
     def __init__(
@@ -193,6 +258,10 @@ class JobStore:
         workers: int = 2,
         jobs: int = 1,
         engine_factory: Optional[Callable[[Job], Any]] = None,
+        replica_id: Optional[str] = None,
+        lease_duration: float = 30.0,
+        worker_timeout: float = 60.0,
+        lease_batch: Optional[int] = None,
     ) -> None:
         if workers < 0 or jobs < 1:
             raise ValueError("workers must be >= 0 and jobs >= 1")
@@ -202,9 +271,24 @@ class JobStore:
         self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
         self.jobs_per_engine = jobs
         self.engine_factory = engine_factory
+        self.replica_id = replica_id or default_replica_id()
+        self.lease_batch = lease_batch
+        self.fabric = FabricStore(
+            self.data_dir,
+            lease_duration=lease_duration,
+            worker_timeout=worker_timeout,
+        )
+        self.fabric.register_worker(self.replica_id)
         self._jobs: Dict[str, Job] = {}
         self._lock = threading.Lock()
         self._queue: "queue.Queue[Optional[Job]]" = queue.Queue()
+        self._closed = threading.Event()
+        self._heartbeat_thread = threading.Thread(
+            target=self._heartbeat_loop,
+            name=f"repro-heartbeat-{self.replica_id}",
+            daemon=True,
+        )
+        self._heartbeat_thread.start()
         self._threads = [
             threading.Thread(
                 target=self._worker, name=f"repro-job-{i}", daemon=True
@@ -213,6 +297,20 @@ class JobStore:
         ]
         for thread in self._threads:
             thread.start()
+
+    def _heartbeat_loop(self) -> None:
+        interval = max(
+            0.05,
+            min(1.0, self.fabric.lease_duration / 4,
+                self.fabric.worker_timeout / 4),
+        )
+        while not self._closed.wait(interval):
+            try:
+                self.fabric.heartbeat(self.replica_id)
+            except Exception:
+                # A transiently locked fabric.db must not kill the
+                # heartbeat thread; the next beat retries.
+                pass
 
     # -- submission --------------------------------------------------------
 
@@ -223,8 +321,15 @@ class JobStore:
 
         ``created`` is False when an identical request (same
         :func:`repro.api.request_key`) is already queued, running or
-        done — the caller shares that job.  A previously *failed* key
-        is retried with a fresh job.
+        done — the caller shares that job.  A previously *failed* or
+        *canceled* key is retried with a fresh job.  A key any replica
+        already finished is served straight from the fabric's result
+        cache without executing.
+
+        ``self._lock`` guards only the job-dict lookup/insert;
+        request parsing, fabric I/O and per-job counters happen
+        outside it, so a slow consumer of one job's event stream can
+        never stall an unrelated submission.
         """
         try:
             cls, _ = api.KINDS[kind]
@@ -234,14 +339,27 @@ class JobStore:
             ) from None
         request = api.request_from_dict(cls, payload)
         key = api.request_key(kind, request)
+        cached = self.fabric.cached_result(key)
         with self._lock:
             existing = self._jobs.get(key)
-            if existing is not None and existing.state != "error":
-                with existing.cond:
-                    existing.submissions += 1
-                return existing, False
-            job = Job(key, kind, request)
-            self._jobs[key] = job
+            if existing is not None and existing.state not in (
+                "error", "canceled",
+            ):
+                share = True
+            else:
+                job = Job(key, kind, request)
+                self._jobs[key] = job
+                share = False
+        if share:
+            with existing.cond:
+                existing.submissions += 1
+            self.fabric.record_job(key, kind, request.as_dict())
+            return existing, False
+        self.fabric.record_job(key, kind, request.as_dict())
+        if cached is not None:
+            job.emit({"type": "cached", "source": "fabric"})
+            job._finish("done", result=_StoredResult(cached))
+            return job, True
         self._queue.put(job)
         return job, True
 
@@ -252,6 +370,21 @@ class JobStore:
     def list(self) -> List[Job]:
         with self._lock:
             return sorted(self._jobs.values(), key=lambda j: j.created_at)
+
+    def cancel(self, key: str) -> Tuple[Optional[Job], bool]:
+        """Cancel a job locally and cluster-wide.
+
+        Returns ``(job, known)``: ``job`` is this replica's record (None
+        when another replica owns it), ``known`` is False only when
+        neither this replica nor the fabric has ever seen the key.
+        """
+        job = self.get(key)
+        fabric_known = self.fabric.cancel_job(key) or (
+            self.fabric.job_state(key) is not None
+        )
+        if job is not None:
+            job.cancel()
+        return job, job is not None or fabric_known
 
     # -- execution ---------------------------------------------------------
 
@@ -293,33 +426,66 @@ class JobStore:
     def checkpoint_path(self, key: str) -> Path:
         """Where a reliability job's shards persist — derived from the
         request digest, so identical campaigns share one resumable
-        file across submissions *and* service restarts."""
+        file across submissions, service restarts *and* replicas."""
         return self.checkpoint_dir / f"{key}.jsonl"
 
+    def _should_abort(self, job: Job) -> Callable[[], bool]:
+        def check() -> bool:
+            if job.cancel_requested:
+                return True
+            return self.fabric.job_state(job.key) == "canceled"
+        return check
+
     def _execute(self, job: Job) -> None:
-        job._start()
+        if not job._start():
+            return  # canceled while queued
+        self.fabric.set_job_state(job.key, "running")
         try:
             kwargs: Dict[str, Any] = {}
-            if job.kind in ("run", "ipc", "figures", "ablate"):
+            if job.kind in api.ENGINE_KINDS:
                 kwargs["engine"] = self._engine(job)
-            elif job.kind == "reliability":
-                kwargs["engine"] = self._engine(job)
+            if job.kind in api.CAMPAIGN_KINDS:
                 kwargs["progress"] = job.emit
                 kwargs["checkpoint"] = str(self.checkpoint_path(job.key))
+                kwargs["coordinator"] = ShardCoordinator(
+                    self.fabric,
+                    job.key,
+                    self.replica_id,
+                    lease_batch=self.lease_batch,
+                )
+                kwargs["should_abort"] = self._should_abort(job)
             result = api.execute(job.kind, job.request, **kwargs)
+        except CampaignAborted:
+            self.fabric.release_worker_leases(self.replica_id)
+            self.fabric.set_job_state(job.key, "canceled")
+            job._finish("canceled")
         except api.ReproError as err:
+            self.fabric.release_worker_leases(self.replica_id)
+            self.fabric.set_job_state(job.key, "error", error=str(err))
             job._finish("error", error=str(err))
         except Exception:
-            job._finish("error", error=traceback.format_exc(limit=8))
+            err = traceback.format_exc(limit=8)
+            self.fabric.release_worker_leases(self.replica_id)
+            self.fabric.set_job_state(job.key, "error", error=err)
+            job._finish("error", error=err)
         else:
-            job._finish("done", result=result)
+            if job._finish("done", result=result):
+                self.fabric.store_result(job.key, result.as_dict())
+                self.fabric.set_job_state(job.key, "done")
 
     def close(self) -> None:
-        """Stop the worker threads (queued jobs are abandoned)."""
+        """Stop the worker threads (queued jobs are abandoned), leave
+        the fabric: deregister, return any held shard leases."""
+        self._closed.set()
         for _ in self._threads:
             self._queue.put(None)
         for thread in self._threads:
             thread.join(timeout=5)
+        self._heartbeat_thread.join(timeout=5)
+        try:
+            self.fabric.remove_worker(self.replica_id)
+        except Exception:
+            pass  # a wedged fabric.db must not block shutdown
 
 
 __all__ = ["JOB_STATES", "Job", "JobStore", "default_data_dir"]

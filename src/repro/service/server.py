@@ -18,15 +18,27 @@ Endpoints (all JSON unless noted):
                           ``Accept: text/event-stream`` or ``?sse=1``;
                           ``?start=N`` replays from event seq N; the stream
                           always ends with the terminal ``state`` event
+``POST /v1/jobs/<id>/cancel``  request cancellation (local + cluster-wide
+                          through the fabric); 404 when neither this
+                          replica nor the fabric knows the id
 ``GET /v1/kinds``         known request kinds with their default documents
-``GET /v1/health``        liveness + job counts
+``GET /v1/health``        liveness + job counts (``/v1/healthz`` is an
+                          alias, plus this replica's fabric identity)
+``GET /v1/workers``       fabric worker registry: every replica sharing
+                          this data dir, with heartbeat liveness
 ========================  =====================================================
+
+Every JSON response body — and every streamed event line — carries the
+wire version tag ``"schema": "repro/v1"`` (:data:`repro.api.SCHEMA`);
+clients reject documents without it (see
+:class:`repro.service.client.ServiceClient`).
 
 Bad requests (unknown kind/field/benchmark — anything
 :class:`repro.api.ReproError`) are HTTP 400 with ``{"error": ...}``;
-unknown job ids are 404.  The server is plain stdlib: HTTP/1.0 with
-``Connection: close``, one thread per connection, so streaming a
-long-running campaign never blocks other clients.
+unknown job ids are 404; a canceled job's result is 409.  The server is
+plain stdlib: HTTP/1.0 with ``Connection: close``, one thread per
+connection, so streaming a long-running campaign never blocks other
+clients.
 """
 
 from __future__ import annotations
@@ -58,6 +70,8 @@ class _Handler(BaseHTTPRequestHandler):
         pass  # quiet by default; telemetry belongs to the job events
 
     def _send_json(self, status: int, doc: Any) -> None:
+        if isinstance(doc, dict):
+            doc = dict(doc, schema=api.SCHEMA)
         body = json.dumps(doc, sort_keys=True).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
@@ -110,6 +124,19 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(
                     202, {"job": job.describe(), "created": created}
                 )
+            elif path.startswith("/v1/jobs/") and path.endswith("/cancel"):
+                job_id = path[len("/v1/jobs/"): -len("/cancel")]
+                job, known = self.store.cancel(job_id)
+                if not known:
+                    self._error(404, f"unknown job {job_id!r}")
+                elif job is not None:
+                    self._send_json(200, {"job": job.describe()})
+                else:
+                    # Another replica owns the local record; the fabric
+                    # carries the cancel to it.
+                    self._send_json(200, {
+                        "job": {"id": job_id, "state": "canceled"},
+                    })
             else:
                 self._error(404, f"unknown path {path!r}")
         except api.ReproError as err:
@@ -117,12 +144,18 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
         path, query = self._route()
-        if path == "/v1/health":
+        if path in ("/v1/health", "/v1/healthz"):
             jobs = self.store.list()
             self._send_json(200, {
                 "ok": True,
+                "replica_id": self.store.replica_id,
                 "jobs": len(jobs),
                 "running": sum(1 for j in jobs if j.state == "running"),
+            })
+        elif path == "/v1/workers":
+            self._send_json(200, {
+                "replica_id": self.store.replica_id,
+                "workers": self.store.fabric.workers(),
             })
         elif path == "/v1/kinds":
             self._send_json(200, {
@@ -164,6 +197,8 @@ class _Handler(BaseHTTPRequestHandler):
             job.wait(timeout=wait)
         if job.state == "error":
             self._error(500, job.error or "job failed")
+        elif job.state == "canceled":
+            self._send_json(409, {"state": "canceled"})
         elif job.state != "done":
             self._send_json(202, {"state": job.state})
         else:
@@ -185,7 +220,9 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         try:
             for event in job.iter_events(start=start):
-                line = json.dumps(event, sort_keys=True)
+                line = json.dumps(
+                    dict(event, schema=api.SCHEMA), sort_keys=True
+                )
                 if sse:
                     payload = f"data: {line}\n\n".encode()
                 else:
@@ -213,9 +250,11 @@ class ReproService:
         workers: int = 2,
         jobs: int = 1,
         store: Optional[JobStore] = None,
+        replica_id: Optional[str] = None,
     ) -> None:
         self.store = store or JobStore(
-            data_dir=data_dir, workers=workers, jobs=jobs
+            data_dir=data_dir, workers=workers, jobs=jobs,
+            replica_id=replica_id,
         )
         handler = type("BoundHandler", (_Handler,), {"store": self.store})
         self.server = ThreadingHTTPServer((host, port), handler)

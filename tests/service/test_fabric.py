@@ -1,0 +1,214 @@
+"""The distributed campaign fabric: work-stealing, reclamation, cache.
+
+The correctness bar everywhere here is the repo's north star: however
+many replicas cooperate on a campaign — and however unluckily one of
+them dies — the merged estimate is **bit-identical** to a single-node
+run of the same request.
+"""
+
+import threading
+import time
+
+from repro import api
+from repro.experiments.pool import SweepEngine
+from repro.service import FabricStore, JobStore, ShardCoordinator
+
+#: Fixed-trial campaign: both replicas derive the identical shard
+#: schedule, so cooperation is pure work-splitting.
+CAMPAIGN = {
+    "schemes": ["uniform-ecc", "non-uniform"],
+    "trials": 400,
+    "trials_per_shard": 50,
+    "seed": 7,
+}
+#: 400/50 = 8 shards per scheme, two schemes.
+TOTAL_SHARDS = 16
+
+
+def _plain_engine(job):
+    return SweepEngine(jobs=1, cache=False, progress=False)
+
+
+def _direct_doc():
+    response = api.reliability(
+        api.request_from_dict(api.ReliabilityRequest, CAMPAIGN),
+        engine=SweepEngine(jobs=1, cache=False, progress=False),
+    )
+    return api.campaign_doc(response.result)
+
+
+class TestFabricStore:
+    def test_lease_prefers_pending_then_steals_stale(self, tmp_path):
+        store = FabricStore(
+            tmp_path, lease_duration=0.1, worker_timeout=0.1
+        )
+        store.register_worker("a")
+        store.register_worker("b")
+        keys = [("s", i) for i in range(4)]
+        store.ensure_shards("job", keys)
+        leased, stolen = store.lease_shards("job", keys, "a", limit=2)
+        assert leased == [("s", 0), ("s", 1)] and not stolen
+        # b picks up the remaining pending shards, steals nothing: a's
+        # leases are fresh.
+        leased, stolen = store.lease_shards("job", keys, "b")
+        assert leased == [("s", 2), ("s", 3)] and not stolen
+        # a goes silent; once its lease and heartbeat lapse, b steals.
+        time.sleep(0.15)
+        store.heartbeat("b")
+        leased, stolen = store.lease_shards("job", keys, "b")
+        assert leased == stolen == [("s", 0), ("s", 1)]
+
+    def test_heartbeat_extends_leases(self, tmp_path):
+        store = FabricStore(
+            tmp_path, lease_duration=0.2, worker_timeout=10.0
+        )
+        store.register_worker("a")
+        store.register_worker("b")
+        store.ensure_shards("job", [("s", 0)])
+        store.lease_shards("job", [("s", 0)], "a")
+        for _ in range(3):  # a is slow but alive
+            time.sleep(0.1)
+            store.heartbeat("a")
+        leased, _ = store.lease_shards("job", [("s", 0)], "b")
+        assert leased == []  # never stealable while a heartbeats
+
+    def test_complete_and_done_shards(self, tmp_path):
+        store = FabricStore(tmp_path)
+        store.ensure_shards("job", [("s", 0), ("s", 1)])
+        record = {"scheme": "s", "index": 0, "trials": 50, "seed": 1,
+                  "outcomes": {}}
+        store.complete_shard("job", record)
+        store.complete_shard("job", record)  # idempotent
+        assert store.done_shards("job", [("s", 0), ("s", 1)]) == [record]
+
+    def test_close_releases_leases_and_deregisters(self, tmp_path):
+        store = JobStore(data_dir=tmp_path, workers=0)
+        replica = store.replica_id
+        assert any(
+            w["replica_id"] == replica for w in store.fabric.workers()
+        )
+        store.fabric.ensure_shards("job", [("s", 0)])
+        store.fabric.lease_shards("job", [("s", 0)], replica)
+        store.close()
+        assert all(
+            w["replica_id"] != replica for w in store.fabric.workers()
+        )
+        leased, _ = store.fabric.lease_shards("job", [("s", 0)], "other")
+        assert leased == [("s", 0)]  # back to pending, not stuck leased
+
+
+class TestTwoReplicaCampaign:
+    def test_disjoint_shards_merge_bit_identical(self, tmp_path):
+        """Two stores on one data dir split one campaign's shards;
+        both merged estimates equal the single-node run bit-for-bit."""
+        stores = [
+            JobStore(
+                data_dir=tmp_path, workers=0,
+                engine_factory=_plain_engine,
+                replica_id=f"replica-{i}",
+                lease_batch=2,  # force interleaving within rounds
+            )
+            for i in (1, 2)
+        ]
+        jobs = [store.submit("reliability", CAMPAIGN)[0] for store in stores]
+        threads = [
+            threading.Thread(target=store.run_pending) for store in stores
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=300)
+        try:
+            assert [job.state for job in jobs] == ["done", "done"]
+            docs = [api.campaign_doc(job.result.result) for job in jobs]
+            direct = _direct_doc()
+            assert docs[0]["schemes"] == direct["schemes"]
+            assert docs[1]["schemes"] == direct["schemes"]
+            assert docs[0]["total_trials"] == direct["total_trials"]
+            # Every shard executed exactly once cluster-wide: no
+            # duplicated work while both replicas stay alive.
+            executed = [job.result.executed_shards for job in jobs]
+            assert sum(executed) == TOTAL_SHARDS
+            # The fabric cached the finished document for the cluster
+            # (last finisher wins; either replica's doc is correct).
+            cached = stores[0].fabric.cached_result(jobs[0].key)
+            assert cached in [job.result_doc() for job in jobs]
+        finally:
+            for store in stores:
+                store.close()
+
+    def test_dead_replica_shards_are_reclaimed(self, tmp_path):
+        """A ghost replica leases shards and dies; the survivor steals
+        them after lease expiry and still matches the single-node run."""
+        store = JobStore(
+            data_dir=tmp_path, workers=0,
+            engine_factory=_plain_engine,
+            replica_id="survivor",
+            lease_duration=0.2, worker_timeout=0.2,
+        )
+        job, _ = store.submit("reliability", CAMPAIGN)
+        # The ghost grabs half of one scheme's shards, then vanishes
+        # (no heartbeat, no completion, no lease release).
+        store.fabric.register_worker("ghost")
+        ghost_keys = [("uniform-ecc", i) for i in range(4)]
+        store.fabric.ensure_shards(job.key, ghost_keys)
+        leased, _ = store.fabric.lease_shards(
+            job.key, ghost_keys, "ghost"
+        )
+        assert leased == ghost_keys
+        time.sleep(0.3)  # ghost's lease and heartbeat both lapse
+        try:
+            store.run_pending()
+            assert job.state == "done"
+            assert job.result.executed_shards == TOTAL_SHARDS
+            steals = [
+                e for e in job.events if e.get("type") == "steal"
+            ]
+            stolen = {
+                tuple(shard) for e in steals for shard in e["shards"]
+            }
+            assert stolen == set(ghost_keys)
+            doc = api.campaign_doc(job.result.result)
+            assert doc["schemes"] == _direct_doc()["schemes"]
+        finally:
+            store.close()
+
+    def test_any_replica_serves_cached_results(self, tmp_path):
+        """A key one replica finished is served by a fresh replica
+        straight from the fabric cache, without executing anything."""
+        first = JobStore(
+            data_dir=tmp_path, workers=0, engine_factory=_plain_engine
+        )
+        job, _ = first.submit("reliability", CAMPAIGN)
+        first.run_pending()
+        assert job.state == "done"
+        first.close()
+
+        def exploding_engine(job):
+            raise AssertionError("cache-served job must not execute")
+
+        second = JobStore(
+            data_dir=tmp_path, workers=0, engine_factory=exploding_engine
+        )
+        try:
+            served, created = second.submit("reliability", CAMPAIGN)
+            assert created and served.state == "done"
+            assert second.run_pending() == 0  # nothing was queued
+            assert served.result_doc() == job.result_doc()
+            assert any(
+                e.get("type") == "cached" for e in served.events
+            )
+        finally:
+            second.close()
+
+
+class TestCoordinator:
+    def test_cancel_visible_through_coordinator(self, tmp_path):
+        store = FabricStore(tmp_path)
+        store.record_job("job", "reliability", {})
+        coordinator = ShardCoordinator(store, "job", "me")
+        assert not coordinator.canceled()
+        assert store.cancel_job("job")
+        assert coordinator.canceled()
+        assert not store.cancel_job("job")  # already terminal
+        assert not store.cancel_job("nope")  # unknown

@@ -258,7 +258,12 @@ class TestHttpService:
             ]
         assert all(line.startswith("data: ") for line in lines)
         last = json.loads(lines[-1][len("data: "):])
-        assert last == {"seq": last["seq"], "type": "state", "state": "done"}
+        assert last == {
+            "seq": last["seq"],
+            "type": "state",
+            "state": "done",
+            "schema": "repro/v1",
+        }
 
     def test_unknown_kernel_is_rejected_at_post(self, service):
         # Kernel validation happens at request construction, so a bad
@@ -298,3 +303,167 @@ class TestHttpService:
             client.result(job_id, timeout=60)
         assert err.value.status == 500
         assert "trace file not found" in err.value.message
+
+
+class TestWireSchema:
+    """Every v1 document carries the version envelope; the client
+    enforces it and strips it."""
+
+    def test_raw_wire_carries_schema_tag(self, service):
+        for path in ("/v1/health", "/v1/healthz", "/v1/kinds",
+                     "/v1/jobs", "/v1/workers"):
+            with urllib.request.urlopen(service.url + path) as response:
+                assert json.loads(response.read())["schema"] == "repro/v1"
+
+    def test_client_strips_schema_tag(self, service):
+        client = ServiceClient(service.url)
+        doc = client.health()
+        assert "schema" not in doc
+        assert doc["ok"] is True
+        job_id = client.submit("area", {})["job"]["id"]
+        events = list(client.stream_events(job_id))
+        assert all("schema" not in event for event in events)
+        assert "schema" not in client.result(job_id, timeout=60)
+
+    def test_client_rejects_unknown_schema(self):
+        from repro.service.client import _check_schema
+
+        assert _check_schema({"schema": "repro/v1", "ok": True}) == {
+            "ok": True
+        }
+        with pytest.raises(api.ReproError, match="repro/v1"):
+            _check_schema({"ok": True})  # missing tag
+        with pytest.raises(api.ReproError, match="repro/v2"):
+            _check_schema({"schema": "repro/v2", "ok": True})
+
+    def test_healthz_and_workers_endpoints(self, service):
+        client = ServiceClient(service.url)
+        healthz = client.healthz()
+        assert healthz["ok"] is True
+        assert healthz["replica_id"] == service.store.replica_id
+        workers = client.workers()
+        ids = [w["replica_id"] for w in workers["workers"]]
+        assert service.store.replica_id in ids
+        assert all(w["alive"] for w in workers["workers"])
+
+
+class _CancelingEngine(SweepEngine):
+    """Cancels its own job after the Nth map_tasks call — the campaign
+    must stop at the next round-boundary abort poll."""
+
+    def __init__(self, store, cancel_after_call):
+        super().__init__(jobs=1, cache=False, progress=False)
+        self.store = store
+        self.cancel_after_call = cancel_after_call
+        self.calls = 0
+
+    def map_tasks(self, func, items, phase="map"):
+        results = super().map_tasks(func, items, phase=phase)
+        self.calls += 1
+        if self.calls == self.cancel_after_call:
+            job = self.store.list()[0]
+            self.store.cancel(job.key)
+        return results
+
+
+class TestCancel:
+    def test_cancel_queued_job_never_executes(self, tmp_path):
+        store = JobStore(data_dir=tmp_path, workers=0)
+        job, _ = store.submit("reliability", CAMPAIGN_REQUEST)
+        cancelled, known = store.cancel(job.key)
+        assert known and cancelled is job
+        assert job.state == "canceled"
+        assert store.run_pending() == 1  # dequeued, but skipped
+        assert job.state == "canceled"
+        events = list(job.iter_events())
+        assert events[-1]["state"] == "canceled"
+
+    def test_cancel_running_campaign_stops_at_round_boundary(
+        self, tmp_path
+    ):
+        auto = {
+            "schemes": ["uniform-ecc"],
+            "trials": None,
+            "target": 0.001,  # unreachably tight: runs until canceled
+            "metric": "corrected",
+            "trials_per_shard": 50,
+            "shards_per_round": 2,
+            "max_trials": 100_000,
+            "seed": 3,
+        }
+        holder = {}
+        store = JobStore(
+            data_dir=tmp_path, workers=0,
+            engine_factory=lambda job: holder["engine"],
+        )
+        holder["engine"] = _CancelingEngine(store, cancel_after_call=2)
+        job, _ = store.submit("reliability", auto)
+        store.run_pending()
+        assert job.state == "canceled"
+        assert holder["engine"].calls < 5  # stopped well short of max
+        assert store.fabric.job_state(job.key) == "canceled"
+
+    def test_cancel_over_http(self, service):
+        client = ServiceClient(service.url)
+        job_id = client.submit("run", RUN_REQUEST)["job"]["id"]
+        doc = client.cancel(job_id)
+        assert doc["job"]["id"] == job_id
+        with pytest.raises(ServiceError) as err:
+            client.cancel("deadbeef")
+        assert err.value.status == 404
+
+    def test_canceled_result_is_409(self, tmp_path):
+        store = JobStore(data_dir=tmp_path, workers=0)
+        service = ReproService(port=0, store=store).start()
+        try:
+            client = ServiceClient(service.url)
+            job_id = client.submit("reliability", CAMPAIGN_REQUEST)["job"][
+                "id"
+            ]
+            client.cancel(job_id)
+            with pytest.raises(ServiceError) as err:
+                client.result(job_id, timeout=10)
+            assert err.value.status == 409
+        finally:
+            service.shutdown()
+
+    def test_canceled_key_is_retried(self, tmp_path):
+        store = JobStore(data_dir=tmp_path, workers=0)
+        job, _ = store.submit("run", RUN_REQUEST)
+        store.cancel(job.key)
+        retry, created = store.submit("run", RUN_REQUEST)
+        assert created and retry is not job
+        store.run_pending()
+        assert retry.state == "done"
+
+
+class TestEventLocking:
+    """A slow event consumer must never stall unrelated submissions."""
+
+    def test_slow_reader_does_not_block_submit(self, tmp_path):
+        import time as _time
+
+        store = JobStore(data_dir=tmp_path, workers=0)
+        job, _ = store.submit("reliability", CAMPAIGN_REQUEST)
+        for i in range(50):
+            job.emit({"type": "tick", "i": i})
+
+        started = threading.Event()
+
+        def slow_reader():
+            for event in job.iter_events():
+                started.set()
+                _time.sleep(0.05)  # a glacial SSE consumer
+
+        reader = threading.Thread(target=slow_reader, daemon=True)
+        reader.start()
+        assert started.wait(timeout=5)
+
+        begin = _time.monotonic()
+        other, created = store.submit("run", RUN_REQUEST)
+        elapsed = _time.monotonic() - begin
+        assert created
+        # 50 events x 50ms of reader sleep; an unrelated submit must
+        # not be serialized behind any of it.
+        assert elapsed < 1.0
+        job._finish("canceled")  # release the reader
