@@ -4,7 +4,7 @@ PYTHON ?= python
 
 .PHONY: install lint test test-all bench bench-perf bench-baseline \
 	figures figures-par reliability-smoke service-smoke fabric-smoke \
-	examples clean
+	check-docs examples clean
 
 install:
 	$(PYTHON) -m pip install -e .[dev]
@@ -22,6 +22,11 @@ lint:
 test:
 	$(PYTHON) -m pytest tests/ -m "not slow"
 
+# Docs-consistency gate: every CLI verb and long option must be
+# mentioned somewhere in README.md / EXPERIMENTS.md / docs/*.md.
+check-docs:
+	$(PYTHON) scripts/check_docs.py
+
 test-all:
 	$(PYTHON) -m pytest tests/
 
@@ -31,7 +36,7 @@ bench:
 # The CI performance-regression gate: measure injection-kernel
 # throughput per backend (reference / batch / vector when numpy is
 # installed), then fail if any backend regressed past the committed
-# baseline (BENCH_reliability.json at the repo root, schema v2) or a
+# baseline (BENCH_reliability.json at the repo root, schema v3) or a
 # speedup ratio fell under its floor.  See scripts/check_bench.py.
 bench-perf:
 	PYTHONPATH=src:benchmarks $(PYTHON) \
@@ -39,7 +44,7 @@ bench-perf:
 		--out benchmarks/results/BENCH_reliability.json
 	$(PYTHON) scripts/check_bench.py
 
-# Refresh the committed schema-v2 baseline after an intentional kernel
+# Refresh the committed schema-v3 baseline after an intentional kernel
 # change (run with the [fast] extra installed so the vector backend is
 # part of the baseline).
 bench-baseline:

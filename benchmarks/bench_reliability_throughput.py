@@ -5,7 +5,10 @@ Measures trials/second of the reliability campaign's shard kernels
 against pooled pre-encoded lines, ``vector`` — when numpy is installed —
 classifies whole blocks with table gathers; see ``repro.reliability``)
 and an end-to-end campaign wall time, then writes the numbers to a JSON
-artifact (schema v2: per-backend entries under ``kernels``).  CI runs
+artifact (schema v3: per-backend entries under ``kernels`` plus
+per-scenario batch rates under ``scenarios`` — the correlated-fault
+presets run the generic classification path, which has its own
+throughput profile worth gating).  CI runs
 this via ``make bench-perf`` and ``scripts/check_bench.py`` fails the
 build when any backend's throughput drops below the committed baseline
 (``BENCH_reliability.json`` at the repo root) or a speedup ratio falls
@@ -41,20 +44,27 @@ from repro.reliability.campaign import (
     shard_seed,
 )
 from repro.reliability.model import FaultModelConfig, SCHEMES
+from repro.reliability.scenarios import available_scenarios
 from repro.reliability.vector import HAVE_NUMPY
 
 #: Schema version of the emitted JSON (bump on shape changes).
-SCHEMA = 2
+SCHEMA = 3
 
 
-def _measure(scheme: str, kernel: str, trials: int, seed: int) -> float:
+def _measure(
+    scheme: str,
+    kernel: str,
+    trials: int,
+    seed: int,
+    scenario: str = "nominal",
+) -> float:
     """Wall seconds for one shard of ``trials`` under ``kernel``."""
     spec = ShardSpec(
         scheme=scheme,
         index=0,
         trials=trials,
         seed=shard_seed(seed, scheme, 0),
-        model=FaultModelConfig(),
+        model=FaultModelConfig(scenario=scenario),
         kernel=kernel,
     )
     start = time.perf_counter()
@@ -67,6 +77,7 @@ def measure_throughput(
     batch_trials: int = 200_000,
     vector_trials: int = 2_000_000,
     campaign_trials: int = 100_000,
+    scenario_trials: int = 50_000,
     seed: int = 0,
 ) -> Dict:
     """The full measurement: per-scheme kernels + an end-to-end campaign."""
@@ -114,6 +125,19 @@ def measure_throughput(
             "speedup_vs_reference": rates["vector"] / rates["reference"],
         }
 
+    # Per-scenario batch throughput (uniform-ecc): nominal takes the
+    # fast table path, correlated presets the generic mask classifier.
+    scenario_doc: Dict[str, Dict[str, float]] = {}
+    for scenario in available_scenarios():
+        _measure("uniform-ecc", "batch", 200, seed, scenario=scenario)
+        wall = _measure(
+            "uniform-ecc", "batch", scenario_trials, seed,
+            scenario=scenario,
+        )
+        scenario_doc[scenario] = {
+            "batch_trials_per_s": scenario_trials / wall,
+        }
+
     campaign_config = CampaignConfig(
         schemes=("uniform-ecc", "non-uniform"),
         trials=campaign_trials,
@@ -131,6 +155,7 @@ def measure_throughput(
         "platform": platform.platform(),
         "schemes": per_scheme,
         "kernels": kernel_doc,
+        "scenarios": scenario_doc,
         "campaign": {
             "trials": result.total_trials,
             "seconds": campaign_s,
@@ -160,12 +185,24 @@ def _render(payload: Dict) -> str:
         total.append(kernels["vector"]["trials_per_s"])
     total.append(kernels["batch"]["speedup_vs_reference"])
     rows.append(total)
-    return render_table(
+    table = render_table(
         headers,
         rows,
         ndigits=1,
         title="Injection kernel throughput (see scripts/check_bench.py)",
     )
+    scenario_rows = [
+        [name, entry["batch_trials_per_s"]]
+        for name, entry in payload.get("scenarios", {}).items()
+    ]
+    if scenario_rows:
+        table += "\n" + render_table(
+            ["scenario", "batch trials/s"],
+            scenario_rows,
+            ndigits=1,
+            title="Scenario-pack throughput (batch kernel, uniform-ecc)",
+        )
+    return table
 
 
 def main(argv=None) -> int:
@@ -179,6 +216,7 @@ def main(argv=None) -> int:
     parser.add_argument("--batch-trials", type=int, default=200_000)
     parser.add_argument("--vector-trials", type=int, default=2_000_000)
     parser.add_argument("--campaign-trials", type=int, default=100_000)
+    parser.add_argument("--scenario-trials", type=int, default=50_000)
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
 
@@ -187,6 +225,7 @@ def main(argv=None) -> int:
         batch_trials=args.batch_trials,
         vector_trials=args.vector_trials,
         campaign_trials=args.campaign_trials,
+        scenario_trials=args.scenario_trials,
         seed=args.seed,
     )
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -215,6 +254,7 @@ def bench_reliability_throughput(benchmark):
             batch_trials=40_000,
             vector_trials=200_000,
             campaign_trials=20_000,
+            scenario_trials=10_000,
         ),
         rounds=1,
         iterations=1,

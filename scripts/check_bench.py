@@ -11,7 +11,11 @@ root) and exits non-zero when any floor is violated:
   (default 10×) faster than the reference path and vector at least
   ``--min-vector-speedup`` (default 5×) faster than batch, *measured in
   the same run* — machine-independent bounds that hold on slow CI
-  runners where absolute numbers drift.
+  runners where absolute numbers drift;
+* **scenario rows** (schema v3) — each correlated-fault preset's batch
+  throughput is gated with the same tolerance, for every scenario both
+  artifacts measured.  A baseline predating the ``scenarios`` section
+  skips those floors gracefully rather than failing.
 
 The ``vector`` backend is gated only when the current run measured it
 (numpy installed); a current run without it is a graceful skip, never a
@@ -40,7 +44,7 @@ import sys
 from pathlib import Path
 
 #: The artifact schema this gate understands (see the benchmark module).
-SCHEMA = 2
+SCHEMA = 3
 
 #: Keys every artifact must carry before any gate math runs.
 REQUIRED_KERNEL_KEYS = {
@@ -116,6 +120,25 @@ def validate(doc: dict, label: str) -> list:
                         f"{label}: kernels['vector'][{key!r}] is missing "
                         f"or not a number — {REGENERATE_HINT}"
                     )
+    # The scenarios section is optional (a pre-v3 baseline may lack
+    # it) but must be well-formed when present.
+    scenarios = doc.get("scenarios")
+    if scenarios is not None:
+        if not isinstance(scenarios, dict):
+            problems.append(
+                f"{label}: 'scenarios' must be an object — "
+                f"{REGENERATE_HINT}"
+            )
+        else:
+            for name, entry in scenarios.items():
+                if not isinstance(entry, dict) or not isinstance(
+                    entry.get("batch_trials_per_s"), (int, float)
+                ):
+                    problems.append(
+                        f"{label}: scenarios[{name!r}]"
+                        f"['batch_trials_per_s'] is missing or not a "
+                        f"number — {REGENERATE_HINT}"
+                    )
     return problems
 
 
@@ -156,6 +179,22 @@ def check(
                 f"vector/batch speedup "
                 f"{cur['vector']['speedup_vs_batch']:.1f}x is below the "
                 f"{min_vector_speedup:.1f}x floor"
+            )
+
+    # Scenario floors: only for presets both artifacts measured.
+    cur_scenarios = current.get("scenarios") or {}
+    base_scenarios = baseline.get("scenarios") or {}
+    for name in sorted(set(cur_scenarios) & set(base_scenarios)):
+        floor = base_scenarios[name]["batch_trials_per_s"] * (
+            1.0 - tolerance
+        )
+        got = cur_scenarios[name]["batch_trials_per_s"]
+        if got < floor:
+            problems.append(
+                f"scenario {name!r} batch throughput {got:,.0f} "
+                f"trials/s is below the floor {floor:,.0f} (baseline "
+                f"{base_scenarios[name]['batch_trials_per_s']:,.0f} "
+                f"minus {tolerance:.0%} tolerance)"
             )
     return problems
 
@@ -232,6 +271,8 @@ def main(argv=None) -> int:
         print("note: vector backend not measured (numpy absent); skipped")
     elif "vector" not in baseline["kernels"]:
         print("note: baseline has no vector entry; vector floor skipped")
+    if not baseline.get("scenarios"):
+        print("note: baseline has no scenario rows; scenario floors skipped")
     if problems:
         for problem in problems:
             print(f"FAIL: {problem}")

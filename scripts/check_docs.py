@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Docs-consistency gate: every CLI verb and flag appears in the docs.
+
+Introspects the real argparse tree (``repro.cli.build_parser``) — not a
+hand-maintained list — and requires that every subcommand name and every
+long option of every subcommand is mentioned somewhere in the documentation
+corpus (README.md, EXPERIMENTS.md, docs/*.md).  A flag added to the CLI
+without a line of documentation fails CI here, which is how the docs tree
+stays honest as the surface grows.
+
+Usage: python scripts/check_docs.py  (exit 0 = consistent)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+#: Documentation files whose union forms the corpus.
+DOC_GLOBS = ("README.md", "EXPERIMENTS.md", "docs/*.md")
+
+
+def doc_corpus() -> str:
+    chunks = []
+    for pattern in DOC_GLOBS:
+        for path in sorted(REPO.glob(pattern)):
+            chunks.append(path.read_text(encoding="utf-8"))
+    return "\n".join(chunks)
+
+
+def cli_surface() -> dict:
+    """``{verb: [long options]}`` from the live parser."""
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    surface = {}
+    for action in parser._actions:
+        if not isinstance(action, argparse._SubParsersAction):
+            continue
+        for verb, sub in action.choices.items():
+            flags = []
+            for sub_action in sub._actions:
+                flags.extend(
+                    opt for opt in sub_action.option_strings
+                    if opt.startswith("--")
+                )
+            surface[verb] = flags
+    return surface
+
+
+def main() -> int:
+    corpus = doc_corpus()
+    missing = []
+    for verb, flags in sorted(cli_surface().items()):
+        if verb not in corpus:
+            missing.append(f"verb {verb!r} is not documented")
+        for flag in flags:
+            if flag not in corpus:
+                missing.append(f"{verb}: flag {flag} is not documented")
+    if missing:
+        print("docs are out of sync with the CLI surface:")
+        for line in missing:
+            print(f"  - {line}")
+        print(
+            f"\n(checked {sum(len(f) for f in cli_surface().values())} "
+            f"flags across {len(cli_surface())} verbs against "
+            f"{', '.join(DOC_GLOBS)})"
+        )
+        return 1
+    surface = cli_surface()
+    print(
+        f"docs OK: {len(surface)} verbs, "
+        f"{sum(len(f) for f in surface.values())} flags all documented"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -244,6 +244,10 @@ class ReliabilityRequest:
     averages (``refs``/``warmup``/``seed`` shape that measurement run).
     ``checkpoint`` names a JSONL file completed shards persist to; the
     service fills it in automatically so campaigns survive restarts.
+    ``scenario`` picks a correlated-fault scenario pack and ``codec``
+    the code in the ECC slot (``repro.reliability.scenarios`` /
+    ``docs/codecs.md``); both flow into the checkpoint digest when
+    non-default.
     """
 
     schemes: Tuple[str, ...] = ("uniform-ecc", "non-uniform")
@@ -262,12 +266,15 @@ class ReliabilityRequest:
     refs: int = 60_000
     warmup: int = 20_000
     checkpoint: Optional[str] = None
+    scenario: str = "nominal"
+    codec: str = "secded"
 
     def __post_init__(self) -> None:
-        # Validate the kernel at request-construction time: the CLI
-        # surfaces this as `error:` + exit 2 and the job service as a
-        # 400 at POST /v1/jobs — not as a worker-side failure after the
-        # job was accepted.
+        # Validate kernel, scenario and codec at request-construction
+        # time: the CLI surfaces these as `error:` + exit 2 and the job
+        # service as a 400 at POST /v1/jobs — not as a worker-side
+        # failure after the job was accepted.  Each error enumerates
+        # the valid values.
         from repro.reliability.campaign import KERNELS
 
         if self.kernel not in KERNELS:
@@ -279,6 +286,20 @@ class ReliabilityRequest:
             from repro.reliability.vector import require_numpy
 
             require_numpy()
+        from repro.reliability.scenarios import available_scenarios
+
+        if self.scenario not in available_scenarios():
+            raise ReproError(
+                f"unknown scenario {self.scenario!r}; "
+                f"available scenarios: {', '.join(available_scenarios())}"
+            )
+        from repro.ecc import available_codecs
+
+        if self.codec not in available_codecs():
+            raise ReproError(
+                f"unknown codec {self.codec!r}; "
+                f"available codecs: {', '.join(available_codecs())}"
+            )
 
     def campaign_config(
         self, dirty_fractions: Optional[Mapping[str, float]] = None
@@ -302,7 +323,9 @@ class ReliabilityRequest:
                 metric=self.metric,
                 seed=self.seed,
                 model=FaultModelConfig(
-                    double_bit_fraction=self.double_bit_fraction
+                    double_bit_fraction=self.double_bit_fraction,
+                    scenario=self.scenario,
+                    ecc_codec=self.codec,
                 ),
                 dirty_fractions=(
                     dict(dirty_fractions) if dirty_fractions else None

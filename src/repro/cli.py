@@ -365,6 +365,8 @@ def cmd_reliability(args) -> int:
         refs=args.refs,
         warmup=args.warmup,
         checkpoint=args.checkpoint,
+        scenario=args.scenario,
+        codec=args.codec,
     )
 
     def progress(event: Dict[str, object]) -> None:
@@ -394,16 +396,23 @@ def cmd_reliability(args) -> int:
     title = "Reliability campaign"
     if args.benchmark:
         title += f" ({args.benchmark} dirty fractions)"
+    settings = [
+        ["trials", "auto" if args.trials is None else args.trials],
+        ["target half-width",
+         f"±{args.target:.3g} on {args.metric} (95% Wilson)"],
+        ["seed", args.seed],
+        ["resumed / executed shards",
+         f"{result.resumed_shards} / {result.executed_shards}"],
+    ]
+    # Non-default fault model: say so where the numbers are read.
+    if args.scenario != "nominal":
+        settings.insert(0, ["scenario", args.scenario])
+    if args.codec != "secded":
+        settings.insert(1 if args.scenario != "nominal" else 0,
+                        ["ecc codec", args.codec])
     print(render_table(
         ["setting", "value"],
-        [
-            ["trials", "auto" if args.trials is None else args.trials],
-            ["target half-width",
-             f"±{args.target:.3g} on {args.metric} (95% Wilson)"],
-            ["seed", args.seed],
-            ["resumed / executed shards",
-             f"{result.resumed_shards} / {result.executed_shards}"],
-        ],
+        settings,
         title=title,
     ))
     print()
@@ -588,6 +597,7 @@ def cmd_list(args) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     from repro.ecc import available_codecs
+    from repro.reliability.scenarios import available_scenarios
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -684,6 +694,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--max-trials", type=int, default=1_000_000,
                    help="hard per-scheme trial budget in auto mode")
+    # Like --kernel, --scenario and --codec carry no argparse `choices`:
+    # the facade rejects unknown names with the same enumerating error
+    # the HTTP service returns as a 400.
+    p.add_argument(
+        "--scenario", default="nominal",
+        help="correlated-fault scenario pack: "
+             + ", ".join(available_scenarios())
+             + " (burst/row-column strike mixtures and raw-BER "
+             "scaling; see docs/reliability.md). 'nominal' reproduces "
+             "the classic Bernoulli stream bit-identically",
+    )
+    p.add_argument(
+        "--codec", default="secded",
+        help="code in the ECC protection slot: "
+             + ", ".join(available_codecs())
+             + " (check-bit geometry and guarantees in docs/codecs.md)",
+    )
     p.add_argument(
         "--checkpoint", metavar="PATH", default=None,
         help="JSONL checkpoint: completed shards persist here and an "

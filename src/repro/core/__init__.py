@@ -19,6 +19,7 @@ paper's 59% area-overhead reduction arithmetic.
 
 from repro.core.area import (
     AreaBreakdown,
+    codec_area_table,
     conventional_overhead,
     li_et_al_overhead,
     proposed_overhead,
@@ -65,6 +66,7 @@ __all__ = [
     "UniformEccPolicy",
     "UniformParityPolicy",
     "check_invariants",
+    "codec_area_table",
     "conventional_overhead",
     "domain_codec",
     "li_et_al_overhead",

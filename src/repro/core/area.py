@@ -57,37 +57,60 @@ def _words_per_line(config: CacheConfig) -> int:
     return (config.line_bytes * 8) // DATA_WORD_BITS
 
 
+def _ecc_bits_per_word(ecc_codec: str) -> int:
+    """Check bits per 64-bit word of the code in the ECC slot.
+
+    The default answers from the module constant (no registry import on
+    the paper's own path); any other name is resolved through the codec
+    registry, so the area tables follow the same ``check_bits_per_word``
+    contract as the fault model.
+    """
+    if ecc_codec == "secded":
+        return ECC_BITS_PER_WORD
+    from repro.ecc import get_codec
+
+    return get_codec(ecc_codec).check_bits_per_word
+
+
 def conventional_overhead(
-    config: CacheConfig, tag_status_bits_per_line: int = 2
+    config: CacheConfig,
+    tag_status_bits_per_line: int = 2,
+    ecc_codec: str = "secded",
 ) -> AreaBreakdown:
     """Protection storage of the conventional uniformly-ECC L2.
 
     ``tag_status_bits_per_line`` reproduces the paper's "4 KB for the
     tag array and status bits" for the 16K-line default geometry.
+    ``ecc_codec`` re-costs the design with a different code in the ECC
+    slot (e.g. ``dected``, ``rs-symbol``) via its registered
+    ``check_bits_per_word``.
     """
     lines = config.n_lines
     words = _words_per_line(config)
     return AreaBreakdown(
         scheme="conventional",
         components={
-            "data ECC": lines * words * ECC_BITS_PER_WORD,
+            "data ECC": lines * words * _ecc_bits_per_word(ecc_codec),
             "tag+status protection": lines * tag_status_bits_per_line,
         },
     )
 
 
 def proposed_overhead(
-    config: CacheConfig, ecc_entries_per_set: int = 1
+    config: CacheConfig,
+    ecc_entries_per_set: int = 1,
+    ecc_codec: str = "secded",
 ) -> AreaBreakdown:
     """Protection storage of the paper's scheme.
 
     Per line: data parity (1 bit / 64 data bits), one written bit, one
     tag-parity bit and one status-parity bit.  Plus the shared ECC array
-    of ``ecc_entries_per_set`` full-line SECDED entries per set.
+    of ``ecc_entries_per_set`` full-line entries per set, sized by
+    ``ecc_codec``'s check-bit geometry (default SECDED).
     """
     lines = config.n_lines
     words = _words_per_line(config)
-    ecc_entry_bits = words * ECC_BITS_PER_WORD
+    ecc_entry_bits = words * _ecc_bits_per_word(ecc_codec)
     return AreaBreakdown(
         scheme="proposed",
         components={
@@ -98,6 +121,30 @@ def proposed_overhead(
             "ECC array": config.n_sets * ecc_entries_per_set * ecc_entry_bits,
         },
     )
+
+
+def codec_area_table(config: CacheConfig):
+    """(codec, check bits/word, data-array KiB, overhead %) per codec.
+
+    The per-codec storage cost of protecting every data word of the
+    cache — the area column of the "which code for which scenario"
+    comparison in ``docs/codecs.md``.
+    """
+    from repro.ecc import available_codecs, get_codec
+
+    lines = config.n_lines
+    words = _words_per_line(config)
+    rows = []
+    for name in available_codecs():
+        bits = get_codec(name).check_bits_per_word
+        total = lines * words * bits
+        rows.append((
+            name,
+            bits,
+            total / 8 / 1024,
+            100.0 * bits / DATA_WORD_BITS,
+        ))
+    return rows
 
 
 def li_et_al_overhead(

@@ -72,21 +72,34 @@ class ProtectionPolicy(abc.ABC):
     def domains_for(self, dirty: bool) -> Tuple[ProtectionDomain, ...]:
         """Codes stored for a line in the given state."""
 
-    def check_bits_per_line(self, line_bytes: int, dirty: bool) -> int:
-        """Total protection bits stored for one line in the given state."""
+    def check_bits_per_line(
+        self,
+        line_bytes: int,
+        dirty: bool,
+        codecs: Optional[dict] = None,
+    ) -> int:
+        """Total protection bits stored for one line in the given state.
+
+        ``codecs`` overrides the registry defaults per domain (see
+        :func:`domain_codec`) so the same policy can be costed with,
+        e.g., DECTED or a symbol code in the ECC slot.
+        """
         words = line_bytes // 8
         return sum(
-            domain_codec(domain).check_bits_per_word * words
+            domain_codec(domain, codecs).check_bits_per_word * words
             for domain in self.domains_for(dirty)
             if domain is not ProtectionDomain.NONE
         )
 
-    def recovery_domain(self, dirty: bool) -> ProtectionDomain:
+    def recovery_domain(
+        self, dirty: bool, codecs: Optional[dict] = None
+    ) -> ProtectionDomain:
         """The strongest code available for recovery in the given state."""
         domains = self.domains_for(dirty)
         correcting = [
             d for d in domains
-            if d is not ProtectionDomain.NONE and domain_codec(d).corrects
+            if d is not ProtectionDomain.NONE
+            and domain_codec(d, codecs).corrects
         ]
         if correcting:
             return correcting[0]
@@ -244,7 +257,10 @@ class LineProtection:
         in place and only loses data beyond its correction power; a
         detect-only code refetches clean lines and loses dirty ones.
         """
-        domain = self.policy.recovery_domain(self.dirty)
+        # Resolve the recovery domain against the codecs *this line*
+        # actually stores: with a detect-only code in the ECC slot the
+        # strongest recovery really is the parity column.
+        domain = self.policy.recovery_domain(self.dirty, self.codecs)
         stored = bytes(self.payload)
 
         if (

@@ -1,11 +1,14 @@
-"""Error-coding substrate: parity and SECDED codecs plus fault injection.
+"""Error-coding substrate: the registered codecs plus fault injection.
 
 The paper protects clean cache lines with one parity bit per 64-bit word
 and dirty lines with SECDED ECC (8 check bits per 64-bit word, as in the
-Itanium L2).  This package provides bit-accurate implementations of both
-codes over real payloads, a common :class:`~repro.ecc.codec.Codec`
-interface, and a fault-injection harness used by the reliability
-experiments and tests.
+Itanium L2).  This package provides bit-accurate implementations of
+those codes — plus the stronger geometries the correlated-fault
+scenarios compare them against (interleaved parity, BCH DECTED, an
+RS byte-symbol code) — behind a common
+:class:`~repro.ecc.codec.Codec` interface and registry, and a
+fault-injection harness used by the reliability experiments and tests.
+See ``docs/codecs.md`` for the full reference manual.
 """
 
 from repro.ecc.codec import (
@@ -16,20 +19,24 @@ from repro.ecc.codec import (
     get_codec,
     register_codec,
 )
+from repro.ecc.dected import DecTedCodec
 from repro.ecc.events import CheckOutcome, CheckResult
 from repro.ecc.hamming import SecDedCodec
 from repro.ecc.injection import FaultInjector, flip_bit
 from repro.ecc.parity import InterleavedParityCodec, ParityCodec
+from repro.ecc.rs import RsSymbolCodec
 
 __all__ = [
     "CheckOutcome",
     "CheckResult",
     "Codec",
     "CodewordError",
+    "DecTedCodec",
     "FaultInjector",
     "InterleavedParityCodec",
     "LineCodec",
     "ParityCodec",
+    "RsSymbolCodec",
     "SecDedCodec",
     "available_codecs",
     "flip_bit",

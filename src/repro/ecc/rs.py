@@ -1,0 +1,121 @@
+"""Reed-Solomon symbol code: single-symbol correction over byte symbols.
+
+An RS(10,8) code over GF(2^8): the eight bytes of a 64-bit data word
+are eight symbols, and two check symbols make any *single-symbol* error
+— up to eight flipped bits, as long as they stay within one byte —
+fully correctable.  That is the chip-kill idea at word granularity, and
+the natural answer to the adjacent-burst MBU scenarios
+(``docs/reliability.md``, "Scenario packs"): a particle track that
+wrecks several neighbouring cells of one byte is one symbol error.
+
+16 check bits per 64-bit word (25% overhead).  Being MDS with two check
+symbols the code has symbol distance 3, so it *cannot* also guarantee
+double-symbol detection: a burst that straddles a byte boundary (two
+damaged symbols) is usually detected but can miscorrect — the
+fault-model campaigns count those as SDC, which is exactly the
+trade-off the scenario packs measure (see ``docs/codecs.md``).
+
+Layout: data byte *i* (little-endian) is the symbol at position *i*;
+the check symbols sit at positions 8 and 9 and pack as
+``c9 << 8 | c8``.  The parity checks are ``Σ r_p = 0`` and
+``Σ α^p · r_p = 0`` over all ten received symbols.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ecc.codec import Codec, register_codec
+from repro.ecc.events import CheckOutcome, CheckResult
+
+#: GF(2^8) primitive polynomial x^8 + x^4 + x^3 + x^2 + 1.
+_GF_POLY = 0x11D
+
+#: Exp/log tables for GF(2^8) with generator α = x.
+_EXP: List[int] = [0] * 512
+_LOG: List[int] = [0] * 256
+_value = 1
+for _i in range(255):
+    _EXP[_i] = _value
+    _LOG[_value] = _i
+    _value <<= 1
+    if _value & 0x100:
+        _value ^= _GF_POLY
+for _i in range(255, 512):
+    _EXP[_i] = _EXP[_i - 255]
+
+
+def _gf_mul(a: int, b: int) -> int:
+    if a == 0 or b == 0:
+        return 0
+    return _EXP[_LOG[a] + _LOG[b]]
+
+
+def _gf_div(a: int, b: int) -> int:
+    if a == 0:
+        return 0
+    return _EXP[(_LOG[a] - _LOG[b]) % 255]
+
+
+#: Number of symbols (8 data bytes + 2 check symbols).
+_SYMBOLS = 10
+#: α^p for each symbol position p.
+_ALPHA_POW = [_EXP[p] for p in range(_SYMBOLS)]
+#: 1 / (α^8 + α^9), the encoder's solve constant.
+_SOLVE_INV = _gf_div(1, _ALPHA_POW[8] ^ _ALPHA_POW[9])
+
+
+class RsSymbolCodec(Codec):
+    """RS(10,8) over GF(2^8): corrects any single byte-symbol error."""
+
+    name = "rs-symbol"
+    check_bits_per_word = 16
+    corrects = True
+
+    def encode(self, word: int) -> int:
+        self._validate_word(word)
+        plain = 0
+        weighted = 0
+        for i in range(8):
+            symbol = word >> (8 * i) & 0xFF
+            plain ^= symbol
+            weighted ^= _gf_mul(_ALPHA_POW[i], symbol)
+        # Solve S0 = S1 = 0 for the two check symbols.
+        c8 = _gf_mul(weighted ^ _gf_mul(_ALPHA_POW[9], plain), _SOLVE_INV)
+        c9 = plain ^ c8
+        return c9 << 8 | c8
+
+    def check(self, word: int, check: int) -> CheckResult:
+        self._validate_word(word)
+        self._validate_check(check)
+        c8 = check & 0xFF
+        c9 = check >> 8
+        s0 = c8 ^ c9
+        s1 = _gf_mul(_ALPHA_POW[8], c8) ^ _gf_mul(_ALPHA_POW[9], c9)
+        for i in range(8):
+            symbol = word >> (8 * i) & 0xFF
+            s0 ^= symbol
+            s1 ^= _gf_mul(_ALPHA_POW[i], symbol)
+        if s0 == 0 and s1 == 0:
+            return CheckResult(outcome=CheckOutcome.OK, data=word)
+        syndrome = s1 << 8 | s0
+        if s0 == 0 or s1 == 0:
+            # A single-symbol error has S1 = α^p · S0 with both nonzero;
+            # one vanishing syndrome means ≥ 2 damaged symbols.
+            return CheckResult(
+                outcome=CheckOutcome.DETECTED, data=word, syndrome=syndrome
+            )
+        position = (_LOG[s1] - _LOG[s0]) % 255
+        if position >= _SYMBOLS:
+            return CheckResult(
+                outcome=CheckOutcome.DETECTED, data=word, syndrome=syndrome
+            )
+        data = word
+        if position < 8:
+            data ^= s0 << (8 * position)
+        return CheckResult(
+            outcome=CheckOutcome.CORRECTED, data=data, syndrome=syndrome
+        )
+
+
+register_codec(RsSymbolCodec.name, RsSymbolCodec)

@@ -18,6 +18,10 @@ not a handful of fixed-trial loops.  This package is that harness:
   (``--kernel vector``, the optional ``[fast]`` extra): whole-block
   draws and table gathers for another order of magnitude, with
   statistically-gated distribution equivalence instead of bit-identity;
+* :mod:`repro.reliability.scenarios` — correlated-fault scenario packs
+  (``--scenario nominal|burst-heavy|rowcol|low-voltage``): adjacent-bit
+  burst PMFs, row/column strike classes and raw-BER scaling, with
+  shared samplers that keep both exact kernels bit-identical;
 * :mod:`repro.reliability.stopping` — Wilson score intervals and the
   sequential stopping rule (run until the SDC-rate interval is tight);
 * :mod:`repro.reliability.estimates` — FIT / MTTF / AVF arithmetic with
@@ -74,6 +78,13 @@ from repro.reliability.model import (
     run_trial,
     scheme_policy,
 )
+from repro.reliability.scenarios import (
+    FaultClass,
+    Scenario,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+)
 from repro.reliability.stopping import (
     StoppingRule,
     proportions_match,
@@ -89,6 +100,7 @@ __all__ = [
     "CampaignEngine",
     "CampaignResult",
     "CheckpointError",
+    "FaultClass",
     "FaultDomain",
     "FaultModelConfig",
     "HAVE_NUMPY",
@@ -99,12 +111,16 @@ __all__ = [
     "RateEstimate",
     "ReliabilityEstimate",
     "SCHEMES",
+    "Scenario",
     "SchemeResult",
     "ShardResult",
     "ShardSpec",
     "StoppingRule",
     "TrialOutcome",
+    "available_scenarios",
     "domain_bits",
+    "get_scenario",
+    "register_scenario",
     "fit_to_mttf_hours",
     "mttf_interval",
     "proportions_match",

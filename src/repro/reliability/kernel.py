@@ -43,9 +43,25 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.policy import ProtectionDomain, ProtectionPolicy, RecoveryAction
+from repro.core.policy import (
+    ProtectionDomain,
+    ProtectionPolicy,
+    RecoveryAction,
+    domain_codec,
+)
+from repro.ecc.codec import Codec
+from repro.ecc.events import CheckOutcome
 from repro.ecc.hamming import _POS_TO_DATABIT, SYNDROME_TABLES, encode_word
 from repro.ecc.parity import BYTE_PARITY, _parity64
+from repro.reliability.scenarios import (
+    check_error_masks,
+    class_cdf,
+    data_error_masks,
+    draw_burst_length,
+    draw_class,
+    flips_for,
+    get_scenario,
+)
 from repro.reliability.model import (
     DOMAIN_ORDER,
     FaultDomain,
@@ -127,13 +143,25 @@ class _KernelPlan:
 
     __slots__ = (
         "words", "cum", "total", "recovery", "parity_bits", "ecc_bits",
-        "k_line", "k_words",
+        "k_line", "k_words", "codec_by_domain", "classes", "cdf",
     )
 
     def __init__(self, policy: ProtectionPolicy, config: FaultModelConfig):
         self.words = config.line_bytes // 8
         self.k_line = config.line_bytes.bit_length()
         self.k_words = self.words.bit_length()
+        codecs = config.codecs()
+        #: The live codec guarding each slot (registry defaults unless
+        #: the config overrides the ECC code) — the generic scenario
+        #: path classifies error masks through these directly.
+        self.codec_by_domain: Dict[ProtectionDomain, Codec] = {
+            domain: domain_codec(domain, codecs)
+            for domain in (ProtectionDomain.PARITY, ProtectionDomain.ECC)
+        }
+        self.classes = get_scenario(config.scenario).resolve(
+            config.double_bit_fraction
+        )
+        self.cdf = class_cdf(self.classes)
         self.cum: Dict[bool, List[float]] = {}
         self.total: Dict[bool, float] = {}
         self.recovery: Dict[bool, ProtectionDomain] = {}
@@ -151,13 +179,19 @@ class _KernelPlan:
             self.total[dirty] = float(
                 sum(weights[d] for d in DOMAIN_ORDER)
             )
-            self.recovery[dirty] = policy.recovery_domain(dirty)
+            self.recovery[dirty] = policy.recovery_domain(dirty, codecs)
             domains = policy.domains_for(dirty)
             self.parity_bits[dirty] = (
-                1 if ProtectionDomain.PARITY in domains else 0
+                self.codec_by_domain[
+                    ProtectionDomain.PARITY
+                ].check_bits_per_word
+                if ProtectionDomain.PARITY in domains
+                else 0
             )
             self.ecc_bits[dirty] = (
-                8 if ProtectionDomain.ECC in domains else 0
+                self.codec_by_domain[ProtectionDomain.ECC].check_bits_per_word
+                if ProtectionDomain.ECC in domains
+                else 0
             )
 
 
@@ -359,6 +393,145 @@ def _check_trial(
     return _finish(action, dirty, config)
 
 
+#: CheckOutcome severity, mirroring ``LineCodec.check_line``'s worst-of
+#: ordering (UNDETECTED classifies like DETECTED in ``access``).
+_SEVERITY = {
+    CheckOutcome.OK: 0,
+    CheckOutcome.CORRECTED: 1,
+    CheckOutcome.DETECTED: 2,
+    CheckOutcome.UNDETECTED: 2,
+}
+
+
+def _classify_masks(
+    codec: Codec,
+    pairs: List[Tuple[int, int]],
+    dirty: bool,
+) -> RecoveryAction:
+    """Classify a strike from its per-word (data, check) error masks.
+
+    GF(2) linearity again: decoding the stored line is equivalent to
+    decoding the pure error pattern against the all-zero codeword, so
+    ``codec.check(e_data, e_check)`` per struck word plus the worst-of
+    reduction of :meth:`repro.ecc.codec.LineCodec.check_line` and the
+    recovery contract of :meth:`repro.core.policy.LineProtection.access`
+    reproduce the reference path exactly — "repaired == golden" becomes
+    "every residual is zero".
+    """
+    worst = 0
+    residual = 0
+    for e_data, e_check in pairs:
+        result = codec.check(e_data, e_check)
+        severity = _SEVERITY[result.outcome]
+        if severity > worst:
+            worst = severity
+        residual |= result.data
+    if worst == 2:
+        if codec.corrects:
+            # Beyond the code's correction power: signalled; _finish
+            # decides whether the controller can refetch a clean line.
+            return RecoveryAction.DATA_LOSS
+        # Detect-only recovery refetches clean lines unconditionally
+        # (the line-level path, independent of controller_refetch).
+        return (
+            RecoveryAction.DATA_LOSS if dirty else RecoveryAction.REFETCHED
+        )
+    if residual:
+        return RecoveryAction.SILENT_CORRUPTION
+    if worst == 1:
+        return RecoveryAction.CORRECTED_IN_PLACE
+    return RecoveryAction.CLEAN_READ
+
+
+def _run_trials_scenario(
+    policy: ProtectionPolicy,
+    config: FaultModelConfig,
+    n: int,
+    rng: random.Random,
+    pool: LinePool,
+    sample_limit: int,
+    plan: _KernelPlan,
+) -> Tuple[Dict[str, Dict[str, int]], List[Tuple[int, str, bool, str]]]:
+    """The batched kernel's generic scenario path.
+
+    Calls the *same* sampler functions as
+    :func:`repro.reliability.model._run_trial_scenario`, with the same
+    rng, in the same order — bit-identical trial streams by
+    construction rather than by draw replication.  Classification then
+    runs on the pure error masks (no pooled-buffer mutation at all).
+    """
+    outcomes: Dict[str, Dict[str, int]] = {}
+    samples: List[Tuple[int, str, bool, str]] = []
+    rand = rng.random
+    per = {
+        domain.value: outcomes.setdefault(domain.value, {})
+        for domain in DOMAIN_ORDER
+    }
+    value_of = {out: out.value for out in TrialOutcome}
+    classes, cdf = plan.classes, plan.cdf
+    for trial in range(n):
+        dirty = rand() < config.dirty_fraction
+        cum = plan.cum[dirty]
+        roll = rand() * plan.total[dirty]
+        cls = draw_class(rng, classes, cdf)
+        length = draw_burst_length(rng, cls)
+        if roll < cum[0]:
+            domain_value = "data"
+            rng.randrange(pool.size)  # pooled line index (outcome-inert)
+            masks = data_error_masks(rng, cls, length, config.line_bytes)
+            if not dirty and rand() >= config.read_fraction:
+                outcome = TrialOutcome.MASKED
+            else:
+                codec = plan.codec_by_domain[plan.recovery[dirty]]
+                action = _classify_masks(
+                    codec, [(e, 0) for e in masks.values()], dirty
+                )
+                outcome = _finish(action, dirty, config)
+        elif roll < cum[1]:
+            domain_value = "tag"
+            outcome = _inject_tag(
+                dirty, flips_for(cls, length), config, rng
+            )
+        elif roll < cum[2]:
+            domain_value = "status"
+            outcome = _inject_status(
+                dirty, flips_for(cls, length), config, rng
+            )
+        else:
+            domain_value = "check"
+            rng.randrange(pool.size)  # pooled line index (outcome-inert)
+            column, cmasks = check_error_masks(
+                rng, cls, length, plan.words,
+                plan.parity_bits[dirty], plan.ecc_bits[dirty],
+            )
+            if not dirty and rand() >= config.read_fraction:
+                outcome = TrialOutcome.MASKED
+            else:
+                recovery = plan.recovery[dirty]
+                recovery_column = (
+                    "ecc" if recovery is ProtectionDomain.ECC else "parity"
+                )
+                if column != recovery_column:
+                    # Stale check bits of a column the recovery code
+                    # never consults (e.g. parity shadowed by ECC).
+                    action = RecoveryAction.CLEAN_READ
+                else:
+                    codec = plan.codec_by_domain[recovery]
+                    action = _classify_masks(
+                        codec, [(0, m) for m in cmasks.values()], dirty
+                    )
+                outcome = _finish(action, dirty, config)
+        key = value_of[outcome]
+        per_domain = per[domain_value]
+        per_domain[key] = per_domain.get(key, 0) + 1
+        if len(samples) < sample_limit:
+            samples.append((trial, domain_value, dirty, key))
+    for domain_value in tuple(outcomes):
+        if not outcomes[domain_value]:
+            del outcomes[domain_value]
+    return outcomes, samples
+
+
 def run_trials_batch(
     policy: ProtectionPolicy,
     config: FaultModelConfig,
@@ -382,6 +555,13 @@ def run_trials_batch(
     if pool.line_bytes != config.line_bytes:
         raise ValueError("pool line size does not match the fault model")
     plan = _plan_for(policy, config)
+    if config.scenario != "nominal" or config.ecc_codec != "secded":
+        # Correlated scenarios and non-default codecs take the generic
+        # mask-classification path; below is the historical nominal
+        # fast path, preserved bit for bit.
+        return _run_trials_scenario(
+            policy, config, n, rng, pool, sample_limit, plan
+        )
     outcomes: Dict[str, Dict[str, int]] = {}
     samples: List[Tuple[int, str, bool, str]] = []
     rand = rng.random

@@ -139,6 +139,18 @@ class FaultModelConfig:
         ``False`` reproduces the stricter line-level semantics of
         :meth:`repro.core.policy.LineProtection.access`, where only
         parity-guarded lines take the refetch path.
+    ``scenario``
+        Named correlated-fault scenario pack
+        (:mod:`repro.reliability.scenarios`).  ``nominal`` keeps the
+        historical Bernoulli trial stream bit-identical; any other
+        scenario (adjacent bursts, row/column strikes, ...) switches
+        trials to the generic scenario path and changes the checkpoint
+        digest.
+    ``ecc_codec``
+        Registry name of the code in the ECC protection slot (default
+        SECDED).  Swapping in ``dected`` or ``rs-symbol`` reruns the
+        same campaign under a stronger geometry; non-default codecs
+        also route through the generic scenario path.
     """
 
     line_bytes: int = 64
@@ -149,6 +161,8 @@ class FaultModelConfig:
     double_bit_fraction: float = 0.05
     read_fraction: float = 0.7
     controller_refetch: bool = True
+    scenario: str = "nominal"
+    ecc_codec: str = "secded"
 
     def __post_init__(self) -> None:
         if self.line_bytes % 8 != 0 or self.line_bytes <= 0:
@@ -159,6 +173,26 @@ class FaultModelConfig:
                 raise ValueError(f"{name} must be within [0, 1]")
         if self.status_bits < 2:
             raise ValueError("status_bits must include valid and dirty")
+        from repro.ecc import available_codecs
+        from repro.reliability.scenarios import get_scenario
+
+        get_scenario(self.scenario)  # raises ValueError with the listing
+        if self.ecc_codec not in available_codecs():
+            raise ValueError(
+                f"unknown codec {self.ecc_codec!r}; "
+                f"known: {available_codecs()}"
+            )
+
+    def codecs(self) -> Optional[dict]:
+        """Domain-codec overrides for :class:`LineProtection` et al.
+
+        ``None`` for the default SECDED slot, so every consumer keeps
+        the exact historical code path (and trial stream) unless a
+        different code was asked for.
+        """
+        if self.ecc_codec == "secded":
+            return None
+        return {ProtectionDomain.ECC: self.ecc_codec}
 
 
 _VALID_BIT, _DIRTY_BIT = 0, 1  # status-bit layout; >=2 are heuristic bits
@@ -178,7 +212,7 @@ def domain_bits(
         FaultDomain.TAG: config.tag_bits + 1,  # + its parity bit
         FaultDomain.STATUS: config.status_bits,
         FaultDomain.CHECK: policy.check_bits_per_line(
-            config.line_bytes, dirty
+            config.line_bytes, dirty, codecs=config.codecs()
         ),
     }
 
@@ -220,6 +254,7 @@ _TAG_TO_OUTCOME = {
 def _build_line(
     policy: ProtectionPolicy, dirty: bool, config: FaultModelConfig,
     rng: random.Random, pool: "LinePool",
+    codecs: Optional[dict] = None,
 ) -> LineProtection:
     """Construct a live line around a pooled payload.
 
@@ -233,7 +268,9 @@ def _build_line(
     makes their outcome counts exactly equal under one shard seed.
     """
     payload = pool.payload_bytes(rng.randrange(pool.size))
-    line = LineProtection(policy, payload, line_bytes=config.line_bytes)
+    line = LineProtection(
+        policy, payload, line_bytes=config.line_bytes, codecs=codecs
+    )
     if dirty:
         line.write(payload)
     return line
@@ -361,6 +398,108 @@ def _inject_status(
     return TrialOutcome.MASKED
 
 
+class _ScenarioPlan:
+    """Precomputed per-(policy, config) state for scenario trials."""
+
+    __slots__ = ("classes", "cdf", "codecs", "weights")
+
+    def __init__(
+        self, policy: ProtectionPolicy, config: FaultModelConfig
+    ) -> None:
+        from repro.reliability.scenarios import class_cdf, get_scenario
+
+        scenario = get_scenario(config.scenario)
+        self.classes = scenario.resolve(config.double_bit_fraction)
+        self.cdf = class_cdf(self.classes)
+        self.codecs = config.codecs()
+        self.weights = {
+            dirty: domain_bits(policy, dirty, config)
+            for dirty in (False, True)
+        }
+
+
+_SCENARIO_PLANS: Dict[Tuple[str, FaultModelConfig], _ScenarioPlan] = {}
+
+
+def _scenario_plan(
+    policy: ProtectionPolicy, config: FaultModelConfig
+) -> _ScenarioPlan:
+    key = (policy.name, config)
+    plan = _SCENARIO_PLANS.get(key)
+    if plan is None:
+        plan = _ScenarioPlan(policy, config)
+        _SCENARIO_PLANS[key] = plan
+    return plan
+
+
+def _apply_data_masks(line: LineProtection, masks: Dict[int, int]) -> None:
+    """XOR per-word error masks into the stored payload bit by bit."""
+    for word, mask in masks.items():
+        base = word * 8
+        while mask:
+            bit = (mask & -mask).bit_length() - 1
+            line.flip(base + (bit >> 3), bit & 7)
+            mask &= mask - 1
+
+
+def _run_trial_scenario(
+    policy: ProtectionPolicy,
+    config: FaultModelConfig,
+    rng: random.Random,
+    pool: "LinePool",
+) -> Tuple[TrialOutcome, FaultDomain, bool]:
+    """One trial under the generic scenario path.
+
+    Draw order (the cross-kernel determinism contract, see
+    :mod:`repro.reliability.scenarios`): dirty roll → domain roll →
+    class roll → burst length (burst classes only) → the shared
+    samplers' domain-specific draws → read roll (clean lines only).
+    The batched kernel replays this stream through the *same* sampler
+    functions, so its trials are bit-identical by construction.
+    """
+    from repro.reliability import scenarios as sc
+
+    plan = _scenario_plan(policy, config)
+    dirty = rng.random() < config.dirty_fraction
+    domain = _choose_domain(rng, plan.weights[dirty])
+    cls = sc.draw_class(rng, plan.classes, plan.cdf)
+    length = sc.draw_burst_length(rng, cls)
+    if domain is FaultDomain.DATA:
+        line = _build_line(policy, dirty, config, rng, pool, plan.codecs)
+        masks = sc.data_error_masks(rng, cls, length, config.line_bytes)
+        _apply_data_masks(line, masks)
+        outcome = _observe(line, dirty, config, rng)
+    elif domain is FaultDomain.CHECK:
+        line = _build_line(policy, dirty, config, rng, pool, plan.codecs)
+        parity_bits = (
+            line.codecs[ProtectionDomain.PARITY].check_bits_per_word
+            if line.parity_checks is not None
+            else 0
+        )
+        ecc_bits = (
+            line.codecs[ProtectionDomain.ECC].check_bits_per_word
+            if line.ecc_checks is not None
+            else 0
+        )
+        column, cmasks = sc.check_error_masks(
+            rng, cls, length, config.line_bytes // 8, parity_bits, ecc_bits
+        )
+        target = (
+            line.ecc_checks if column == "ecc" else line.parity_checks
+        )
+        assert target is not None
+        for word, mask in cmasks.items():
+            target[word] ^= mask
+        outcome = _observe(line, dirty, config, rng)
+    elif domain is FaultDomain.TAG:
+        outcome = _inject_tag(dirty, sc.flips_for(cls, length), config, rng)
+    else:
+        outcome = _inject_status(
+            dirty, sc.flips_for(cls, length), config, rng
+        )
+    return outcome, domain, dirty
+
+
 def run_trial(
     policy: ProtectionPolicy,
     config: FaultModelConfig,
@@ -382,6 +521,11 @@ def run_trial(
         from repro.reliability.kernel import LinePool
 
         pool = LinePool.shared(config.line_bytes)
+    if config.scenario != "nominal" or config.ecc_codec != "secded":
+        # Correlated scenarios (and non-default codecs) take the
+        # generic path; the branch below is the historical nominal
+        # stream, preserved bit for bit.
+        return _run_trial_scenario(policy, config, rng, pool)
     dirty = rng.random() < config.dirty_fraction
     domain = _choose_domain(rng, domain_bits(policy, dirty, config))
     flips = 2 if rng.random() < config.double_bit_fraction else 1

@@ -5,6 +5,7 @@ import pytest
 from repro.cache.hierarchy import default_l2_config
 from repro.cache.cache import CacheConfig
 from repro.core import (
+    codec_area_table,
     conventional_overhead,
     li_et_al_overhead,
     proposed_overhead,
@@ -112,3 +113,45 @@ class TestGeneralisation:
         assert rows[-1][0] == "total"
         assert rows[-1][2] == 54.0
         assert len(rows) == 6
+
+
+class TestCodecGenericAccounting:
+    """The area model follows any registered codec's geometry."""
+
+    def test_dected_conventional_and_proposed(self, l2):
+        conv = conventional_overhead(l2, ecc_codec="dected")
+        ours = proposed_overhead(l2, ecc_codec="dected")
+        # 16K lines x 8 words x 15 bits = 240 KiB of data ECC.
+        assert conv.component_kib("data ECC") == 240.0
+        assert conv.total_kib == 244.0
+        assert ours.component_kib("ECC array") == 60.0
+        assert ours.total_kib == 82.0
+        # The shared-array argument strengthens with costlier codes.
+        assert reduction(conv, ours) > 0.59
+
+    def test_rs_symbol_costing(self, l2):
+        conv = conventional_overhead(l2, ecc_codec="rs-symbol")
+        assert conv.component_kib("data ECC") == 256.0
+        assert reduction(
+            conv, proposed_overhead(l2, ecc_codec="rs-symbol")
+        ) == pytest.approx(0.669, abs=0.001)
+
+    def test_default_codec_unchanged(self, l2):
+        assert conventional_overhead(
+            l2, ecc_codec="secded"
+        ).components == conventional_overhead(l2).components
+
+    def test_unknown_codec_raises(self, l2):
+        with pytest.raises(ValueError):
+            conventional_overhead(l2, ecc_codec="turbo")
+
+    def test_codec_area_table_covers_registry(self, l2):
+        from repro.ecc import available_codecs
+
+        rows = codec_area_table(l2)
+        assert [row[0] for row in rows] == available_codecs()
+        by_name = {row[0]: row for row in rows}
+        assert by_name["secded"][1:] == (8, 128.0, 12.5)
+        assert by_name["dected"][1] == 15
+        assert by_name["rs-symbol"][3] == 25.0
+        assert by_name["parity"][2] == 16.0

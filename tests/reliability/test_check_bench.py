@@ -19,7 +19,7 @@ _spec.loader.exec_module(check_bench)
 
 
 def _doc(**overrides):
-    """A minimal valid schema-v2 artifact."""
+    """A minimal valid current-schema artifact."""
     doc = {
         "schema": check_bench.SCHEMA,
         "kernels": {
@@ -183,3 +183,55 @@ class TestGates:
         slow["kernels"]["batch"]["trials_per_s"] = 100_000.0
         rc, _ = _run(tmp_path, capsys, slow, _doc(), "--tolerance", "0.9")
         assert rc == 0
+
+
+def _scenarios(rate):
+    return {
+        "nominal": {"batch_trials_per_s": rate},
+        "burst-heavy": {"batch_trials_per_s": rate / 2},
+    }
+
+
+class TestScenarioFloors:
+    def test_scenario_regression_fails(self, tmp_path, capsys):
+        rc, out = _run(
+            tmp_path,
+            capsys,
+            _doc(scenarios=_scenarios(50_000.0)),
+            _doc(scenarios=_scenarios(200_000.0)),
+        )
+        assert rc == 1
+        assert "scenario 'burst-heavy'" in out
+        assert "scenario 'nominal'" in out
+
+    def test_within_tolerance_passes(self, tmp_path, capsys):
+        rc, out = _run(
+            tmp_path,
+            capsys,
+            _doc(scenarios=_scenarios(190_000.0)),
+            _doc(scenarios=_scenarios(200_000.0)),
+        )
+        assert rc == 0
+        assert "PASS:" in out
+
+    def test_baseline_without_scenarios_skips_gracefully(
+        self, tmp_path, capsys
+    ):
+        # A pre-v3 baseline shape (minus the schema bump) must not
+        # fail the gate just because it lacks scenario rows.
+        rc, out = _run(
+            tmp_path, capsys, _doc(scenarios=_scenarios(50_000.0)), _doc()
+        )
+        assert rc == 0
+        assert "scenario floors skipped" in out
+
+    def test_malformed_scenarios_fail_before_deref(self, tmp_path, capsys):
+        rc, out = _run(
+            tmp_path,
+            capsys,
+            _doc(scenarios={"nominal": {}}),
+            _doc(scenarios=_scenarios(1.0)),
+        )
+        assert rc == 1
+        assert "scenarios['nominal']" in out
+        assert "bench-baseline" in out

@@ -74,6 +74,52 @@ def test_cli_rejects_unknown_kernel(capsys):
     assert "available backends: batch, reference, vector" in captured.err
 
 
+def test_cli_rejects_unknown_scenario(capsys):
+    rc = main(["reliability", "--scenario", "bogus", *QUICK])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert "error:" in captured.err
+    assert (
+        "available scenarios: nominal, burst-heavy, low-voltage, rowcol"
+        in captured.err
+    )
+
+
+def test_cli_rejects_unknown_codec(capsys):
+    rc = main(["reliability", "--codec", "turbo", *QUICK])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert "error:" in captured.err
+    assert (
+        "available codecs: dected, interleaved-parity, parity, "
+        "rs-symbol, secded" in captured.err
+    )
+
+
+def test_cli_help_enumerates_scenarios_and_codecs(capsys):
+    with pytest.raises(SystemExit):
+        main(["reliability", "--help"])
+    out = " ".join(capsys.readouterr().out.split())  # undo argparse wrap
+    assert "nominal, burst-heavy, low-voltage, rowcol" in out
+    assert "dected" in out and "rs-symbol" in out
+
+
+def test_cli_scenario_campaign_end_to_end(capsys):
+    rc, out = _cli(
+        capsys, *QUICK, "--scenario", "burst-heavy", "--codec", "dected"
+    )
+    assert rc == 0
+    assert "Reliability campaign" in out
+    assert "burst-heavy" in out  # settings table names the scenario
+    assert "dected" in out
+
+
+def test_cli_nominal_hides_scenario_rows(capsys):
+    rc, out = _cli(capsys, *QUICK)
+    assert rc == 0
+    assert "scenario" not in out  # default settings stay unchanged
+
+
 def test_cli_vector_kernel_end_to_end(capsys):
     pytest.importorskip("numpy")
     rc, out = _cli(capsys, *QUICK, "--kernel", "vector")

@@ -137,6 +137,52 @@ class TestTwoReplicaCampaign:
             for store in stores:
                 store.close()
 
+    def test_scenario_campaign_merges_bit_identical(self, tmp_path):
+        """A correlated-fault campaign (burst-heavy, DECTED in the ECC
+        slot) splits across two replicas and still merges to the
+        single-node document bit for bit — the scenario engine's
+        determinism contract holds through fabric leases."""
+        campaign = dict(
+            CAMPAIGN,
+            schemes=["uniform-ecc"],
+            scenario="burst-heavy",
+            codec="dected",
+        )
+        stores = [
+            JobStore(
+                data_dir=tmp_path, workers=0,
+                engine_factory=_plain_engine,
+                replica_id=f"replica-{i}",
+                lease_batch=2,
+            )
+            for i in (1, 2)
+        ]
+        jobs = [store.submit("reliability", campaign)[0] for store in stores]
+        threads = [
+            threading.Thread(target=store.run_pending) for store in stores
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=300)
+        try:
+            assert [job.state for job in jobs] == ["done", "done"]
+            direct = api.campaign_doc(
+                api.reliability(
+                    api.request_from_dict(api.ReliabilityRequest, campaign),
+                    engine=SweepEngine(jobs=1, cache=False, progress=False),
+                ).result
+            )
+            for job in jobs:
+                doc = api.campaign_doc(job.result.result)
+                assert doc["schemes"] == direct["schemes"]
+                assert doc["total_trials"] == direct["total_trials"]
+            # Work split, not duplicated: 400/50 = 8 shards once.
+            assert sum(job.result.executed_shards for job in jobs) == 8
+        finally:
+            for store in stores:
+                store.close()
+
     def test_dead_replica_shards_are_reclaimed(self, tmp_path):
         """A ghost replica leases shards and dies; the survivor steals
         them after lease expiry and still matches the single-node run."""

@@ -279,6 +279,26 @@ class TestHttpService:
             err.value
         )
 
+    def test_unknown_scenario_and_codec_are_400_with_listing(self, service):
+        # Same pattern as the kernel: validated at request
+        # construction, enumerated in the 400 body.
+        client = ServiceClient(service.url)
+        with pytest.raises(ServiceError) as err:
+            client.submit(
+                "reliability", dict(CAMPAIGN_REQUEST, scenario="bogus")
+            )
+        assert err.value.status == 400
+        assert (
+            "available scenarios: nominal, burst-heavy, low-voltage, rowcol"
+            in str(err.value)
+        )
+        with pytest.raises(ServiceError) as err:
+            client.submit(
+                "reliability", dict(CAMPAIGN_REQUEST, codec="turbo")
+            )
+        assert err.value.status == 400
+        assert "available codecs:" in str(err.value)
+
     def test_bad_requests_are_400(self, service):
         client = ServiceClient(service.url)
         with pytest.raises(ServiceError) as err:
