@@ -4,7 +4,7 @@ PYTHON ?= python
 
 .PHONY: install lint test test-all bench bench-perf bench-baseline \
 	figures figures-par reliability-smoke service-smoke fabric-smoke \
-	check-docs examples clean
+	autotune-smoke check-docs examples clean
 
 install:
 	$(PYTHON) -m pip install -e .[dev]
@@ -35,16 +35,17 @@ bench:
 
 # The CI performance-regression gate: measure injection-kernel
 # throughput per backend (reference / batch / vector when numpy is
-# installed), then fail if any backend regressed past the committed
-# baseline (BENCH_reliability.json at the repo root, schema v3) or a
-# speedup ratio fell under its floor.  See scripts/check_bench.py.
+# installed) plus the autotune explorer's cold/warm-cache passes, then
+# fail if anything regressed past the committed baseline
+# (BENCH_reliability.json at the repo root, schema v4) or a speedup
+# ratio fell under its floor.  See scripts/check_bench.py.
 bench-perf:
 	PYTHONPATH=src:benchmarks $(PYTHON) \
 		benchmarks/bench_reliability_throughput.py \
 		--out benchmarks/results/BENCH_reliability.json
 	$(PYTHON) scripts/check_bench.py
 
-# Refresh the committed schema-v3 baseline after an intentional kernel
+# Refresh the committed schema-v4 baseline after an intentional kernel
 # change (run with the [fast] extra installed so the vector backend is
 # part of the baseline).
 bench-baseline:
@@ -82,6 +83,14 @@ service-smoke:
 # key from the cluster result cache without executing.
 fabric-smoke:
 	PYTHONPATH=src $(PYTHON) scripts/fabric_smoke.py
+
+# Autotune gate (docs/autotune.md): a tiny design grid explored at
+# --jobs 1 and --jobs 4 must produce bit-identical Pareto fronts, the
+# front must be exactly the non-dominated set, a mid-sweep resume must
+# execute only the missing points, and the CLI JSON must match the
+# facade document.
+autotune-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/autotune_smoke.py
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; done

@@ -5,10 +5,12 @@ Measures trials/second of the reliability campaign's shard kernels
 against pooled pre-encoded lines, ``vector`` — when numpy is installed —
 classifies whole blocks with table gathers; see ``repro.reliability``)
 and an end-to-end campaign wall time, then writes the numbers to a JSON
-artifact (schema v3: per-backend entries under ``kernels`` plus
-per-scenario batch rates under ``scenarios`` — the correlated-fault
-presets run the generic classification path, which has its own
-throughput profile worth gating).  CI runs
+artifact (schema v4: per-backend entries under ``kernels``, per-scenario
+batch rates under ``scenarios`` — the correlated-fault presets run the
+generic classification path, which has its own throughput profile worth
+gating — and an ``autotune`` section timing the Pareto explorer's cold
+pass against a warm re-run over the same result cache, whose speedup
+ratio gates the content-addressed point cache).  CI runs
 this via ``make bench-perf`` and ``scripts/check_bench.py`` fails the
 build when any backend's throughput drops below the committed baseline
 (``BENCH_reliability.json`` at the repo root) or a speedup ratio falls
@@ -48,7 +50,7 @@ from repro.reliability.scenarios import available_scenarios
 from repro.reliability.vector import HAVE_NUMPY
 
 #: Schema version of the emitted JSON (bump on shape changes).
-SCHEMA = 3
+SCHEMA = 4
 
 
 def _measure(
@@ -72,12 +74,62 @@ def _measure(
     return time.perf_counter() - start
 
 
+def measure_autotune(point_trials: int = 400, seed: int = 0) -> Dict:
+    """Explorer throughput: a cold grid pass vs a warm-cache re-run.
+
+    The same tiny grid (3 schemes x 1 codec x 1 interval) is explored
+    twice against one result-cache directory; the second pass must be
+    served entirely from the content-addressed point cache, and its
+    cells/s over the cold pass's is the ``warm_speedup`` the regression
+    gate floors (a cache bug degrades it to ~1x long before any
+    absolute rate drifts).
+    """
+    import tempfile
+
+    from repro import api
+    from repro.experiments.pool import ResultCache, SweepEngine
+
+    request = api.AutotuneRequest(
+        benchmarks=("mesa",),
+        schemes=("non-uniform", "uniform-ecc", "parity-only"),
+        codecs=("secded",),
+        intervals=(262144,),
+        objectives=("area", "fit"),
+        trials=point_trials,
+        trials_per_shard=max(1, point_trials // 2),
+        refs=6000,
+        warmup=2000,
+        seed=seed,
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-autotune-") as tmp:
+        walls = []
+        for _ in range(2):
+            engine = SweepEngine(jobs=1, cache=ResultCache(tmp))
+            start = time.perf_counter()
+            response = api.autotune(request, engine=engine)
+            walls.append(time.perf_counter() - start)
+        assert response.cached == len(response.points), (
+            "warm pass was not served from the point cache"
+        )
+    cold_s, warm_s = walls
+    points = len(response.points)
+    return {
+        "points": points,
+        "seconds_cold": cold_s,
+        "seconds_warm": warm_s,
+        "cells_per_s_cold": points / cold_s,
+        "cells_per_s_warm": points / warm_s,
+        "warm_speedup": cold_s / warm_s,
+    }
+
+
 def measure_throughput(
     reference_trials: int = 20_000,
     batch_trials: int = 200_000,
     vector_trials: int = 2_000_000,
     campaign_trials: int = 100_000,
     scenario_trials: int = 50_000,
+    autotune_trials: int = 400,
     seed: int = 0,
 ) -> Dict:
     """The full measurement: per-scheme kernels + an end-to-end campaign."""
@@ -156,6 +208,7 @@ def measure_throughput(
         "schemes": per_scheme,
         "kernels": kernel_doc,
         "scenarios": scenario_doc,
+        "autotune": measure_autotune(autotune_trials, seed),
         "campaign": {
             "trials": result.total_trials,
             "seconds": campaign_s,
@@ -202,6 +255,19 @@ def _render(payload: Dict) -> str:
             ndigits=1,
             title="Scenario-pack throughput (batch kernel, uniform-ecc)",
         )
+    autotune = payload.get("autotune")
+    if autotune:
+        table += "\n" + render_table(
+            ["pass", "cells/s"],
+            [
+                ["cold", autotune["cells_per_s_cold"]],
+                ["warm (cached)", autotune["cells_per_s_warm"]],
+                ["warm speedup", autotune["warm_speedup"]],
+            ],
+            ndigits=1,
+            title=(f"Autotune explorer throughput "
+                   f"({autotune['points']}-point grid)"),
+        )
     return table
 
 
@@ -217,6 +283,7 @@ def main(argv=None) -> int:
     parser.add_argument("--vector-trials", type=int, default=2_000_000)
     parser.add_argument("--campaign-trials", type=int, default=100_000)
     parser.add_argument("--scenario-trials", type=int, default=50_000)
+    parser.add_argument("--autotune-trials", type=int, default=400)
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
 
@@ -226,6 +293,7 @@ def main(argv=None) -> int:
         vector_trials=args.vector_trials,
         campaign_trials=args.campaign_trials,
         scenario_trials=args.scenario_trials,
+        autotune_trials=args.autotune_trials,
         seed=args.seed,
     )
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -255,6 +323,7 @@ def bench_reliability_throughput(benchmark):
             vector_trials=200_000,
             campaign_trials=20_000,
             scenario_trials=10_000,
+            autotune_trials=200,
         ),
         rounds=1,
         iterations=1,
@@ -264,6 +333,7 @@ def bench_reliability_throughput(benchmark):
     assert payload["kernels"]["batch"]["speedup_vs_reference"] > 4
     if "vector" in payload["kernels"]:
         assert payload["kernels"]["vector"]["speedup_vs_batch"] > 2
+    assert payload["autotune"]["warm_speedup"] > 2
 
 
 if __name__ == "__main__":

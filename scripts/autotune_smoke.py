@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""CI smoke test for the autotune Pareto explorer.
+
+Explores a tiny grid (3 schemes x 1 codec x 1 interval, 2 objectives)
+four ways and asserts the invariants the feature's acceptance rests on:
+
+* the front is genuinely non-dominated — no front member dominates
+  another, and every off-front point is dominated by a front member;
+* the full response document is **bit-identical** between ``--jobs 1``
+  and ``--jobs 4`` (the parallel path may not perturb a single bit);
+* a sweep interrupted mid-grid (here: a partial grid into a fresh
+  cache) resumes — the full grid over the same cache executes only the
+  missing points and still produces the identical document;
+* the ``repro autotune`` CLI emits that same document as JSON.
+
+Usage: ``PYTHONPATH=src python scripts/autotune_smoke.py``
+"""
+
+import contextlib
+import io
+import json
+import sys
+import tempfile
+
+from repro import api
+from repro.autotune import dominates, resolve_objectives
+from repro.cli import main as cli_main
+from repro.experiments.pool import ResultCache, SweepEngine
+
+GRID = {
+    "benchmarks": ("mesa",),
+    "schemes": ("non-uniform", "uniform-ecc", "parity-only"),
+    "codecs": ("secded",),
+    "intervals": (262144,),
+    "objectives": ("area", "fit"),
+    "trials": 400,
+    "trials_per_shard": 200,
+    "refs": 6000,
+    "warmup": 2000,
+}
+
+#: The same grid as ``repro autotune`` flags (262144 cycles == 256K).
+CLI_FLAGS = [
+    "autotune",
+    "--benchmarks", "mesa",
+    "--schemes", "non-uniform", "uniform-ecc", "parity-only",
+    "--codecs", "secded",
+    "--intervals", "256K",
+    "--objectives", "area", "fit",
+    "--trials", "400",
+    "--trials-per-shard", "200",
+    "--refs", "6000",
+    "--warmup", "2000",
+    "--format", "json",
+]
+
+
+def numbers(doc: dict) -> dict:
+    """The document minus the executed/cached counters.
+
+    Those counters legitimately differ between a cold sweep and a
+    resumed one; every *number* — points, objective values, fronts —
+    must still be bit-identical.
+    """
+    return {k: v for k, v in doc.items() if k not in ("executed", "cached")}
+
+
+def explore(jobs: int, cache_dir: str, **overrides) -> api.AutotuneResponse:
+    request = api.AutotuneRequest(**{**GRID, **overrides})
+    engine = SweepEngine(jobs=jobs, cache=ResultCache(cache_dir))
+    return api.autotune(request, engine=engine)
+
+
+def check_front(response: api.AutotuneResponse) -> None:
+    """The front is exactly the non-dominated set, cross-checked."""
+    specs = resolve_objectives(response.objectives)
+    names = [spec.name for spec in specs]
+    intervals = [
+        {spec.name: spec.interval(m) for spec in specs}
+        for m in response.metrics
+    ]
+    for benchmark, front in response.fronts.items():
+        members = set(front)
+        candidates = [
+            i for i, m in enumerate(response.metrics)
+            if m.point.benchmark == benchmark
+        ]
+        for i in front:
+            for j in front:
+                assert i == j or not dominates(
+                    intervals[i], intervals[j], names
+                ), f"front member {i} dominates front member {j}"
+        for i in candidates:
+            if i in members:
+                continue
+            assert any(
+                dominates(intervals[j], intervals[i], names) for j in front
+            ), f"off-front point {i} is dominated by no front member"
+        assert all(
+            response.points[i]["on_front"] == (i in members)
+            for i in candidates
+        ), "on_front flags disagree with the front index list"
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-autotune-smoke-") as tmp:
+        seq = explore(1, f"{tmp}/seq")
+        assert seq.executed == len(seq.points) and seq.cached == 0, (
+            "cold sweep must execute every point"
+        )
+        check_front(seq)
+        reference = seq.as_dict()
+        n_front = sum(len(f) for f in seq.fronts.values())
+        print(f"sequential sweep: {len(seq.points)} points, "
+              f"{n_front} on the front (non-dominance cross-checked)")
+
+        par = explore(4, f"{tmp}/par")
+        assert par.as_dict() == reference, (
+            "--jobs 4 document diverged from --jobs 1"
+        )
+        print("parallel sweep (--jobs 4) is bit-identical")
+
+        # A sweep killed mid-grid leaves a partially-filled cache; the
+        # partial grid stands in for the interrupted run.
+        partial = explore(1, f"{tmp}/resume",
+                          schemes=("non-uniform", "uniform-ecc"))
+        resumed = explore(1, f"{tmp}/resume")
+        assert partial.executed == 2 and resumed.executed == 1, (
+            "resume must execute exactly the missing points"
+        )
+        assert resumed.cached == 2, "resume must reuse the completed points"
+        assert numbers(resumed.as_dict()) == numbers(reference), (
+            "resumed document diverged from the uninterrupted sweep"
+        )
+        print("mid-sweep resume: 1 executed, 2 cached, identical document")
+
+        stdout = io.StringIO()
+        with contextlib.redirect_stdout(stdout):
+            rc = cli_main(CLI_FLAGS + ["--cache-dir", f"{tmp}/resume"])
+        assert rc == 0, f"repro autotune exited {rc}"
+        cli_doc = json.loads(stdout.getvalue())
+        assert numbers(cli_doc) == numbers(json.loads(json.dumps(
+            reference
+        ))), "CLI JSON document diverged from the facade call"
+        print("repro autotune --format json matches the facade document")
+    print("autotune smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

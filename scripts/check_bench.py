@@ -12,10 +12,16 @@ root) and exits non-zero when any floor is violated:
   ``--min-vector-speedup`` (default 5×) faster than batch, *measured in
   the same run* — machine-independent bounds that hold on slow CI
   runners where absolute numbers drift;
-* **scenario rows** (schema v3) — each correlated-fault preset's batch
-  throughput is gated with the same tolerance, for every scenario both
-  artifacts measured.  A baseline predating the ``scenarios`` section
-  skips those floors gracefully rather than failing.
+* **scenario rows** — each correlated-fault preset's batch throughput
+  is gated with the same tolerance, for every scenario both artifacts
+  measured.  A baseline predating the ``scenarios`` section skips
+  those floors gracefully rather than failing;
+* **autotune explorer** (schema v4) — the Pareto explorer's cold-pass
+  cells/s is held to the same tolerance floor against the baseline,
+  and its warm-cache re-run must stay at least
+  ``--min-autotune-speedup`` (default 5×) faster than the cold pass,
+  measured in the same run — a point-cache bug degrades that ratio to
+  ~1× long before any absolute rate drifts.
 
 The ``vector`` backend is gated only when the current run measured it
 (numpy installed); a current run without it is a graceful skip, never a
@@ -44,7 +50,7 @@ import sys
 from pathlib import Path
 
 #: The artifact schema this gate understands (see the benchmark module).
-SCHEMA = 3
+SCHEMA = 4
 
 #: Keys every artifact must carry before any gate math runs.
 REQUIRED_KERNEL_KEYS = {
@@ -54,6 +60,9 @@ REQUIRED_KERNEL_KEYS = {
 
 #: Keys a ``vector`` entry must carry *when present*.
 VECTOR_KERNEL_KEYS = ("trials_per_s", "speedup_vs_batch")
+
+#: Keys the (v4-mandatory) ``autotune`` section must carry.
+AUTOTUNE_KEYS = ("cells_per_s_cold", "cells_per_s_warm", "warm_speedup")
 
 REGENERATE_HINT = "regenerate the baseline with `make bench-baseline`"
 
@@ -139,6 +148,21 @@ def validate(doc: dict, label: str) -> list:
                         f"['batch_trials_per_s'] is missing or not a "
                         f"number — {REGENERATE_HINT}"
                     )
+    # The autotune section is mandatory from schema v4 on: the schema
+    # check above already flags older artifacts, so this only has to
+    # reject a v4 document with a malformed or missing section.
+    autotune = doc.get("autotune")
+    if not isinstance(autotune, dict):
+        problems.append(
+            f"{label}: missing 'autotune' section — {REGENERATE_HINT}"
+        )
+    else:
+        for key in AUTOTUNE_KEYS:
+            if not isinstance(autotune.get(key), (int, float)):
+                problems.append(
+                    f"{label}: autotune[{key!r}] is missing or not a "
+                    f"number — {REGENERATE_HINT}"
+                )
     return problems
 
 
@@ -148,6 +172,7 @@ def check(
     tolerance: float,
     min_speedup: float,
     min_vector_speedup: float,
+    min_autotune_speedup: float,
 ) -> list:
     """Gate violations between two *validated* artifacts (empty == pass)."""
     problems = []
@@ -196,6 +221,28 @@ def check(
                 f"{base_scenarios[name]['batch_trials_per_s']:,.0f} "
                 f"minus {tolerance:.0%} tolerance)"
             )
+
+    # Autotune explorer: the cold pass gets the same tolerance floor;
+    # the warm/cold ratio is gated within the current run only (the
+    # warm pass is pure cache lookups — its absolute rate is too noisy
+    # to floor against a baseline, but the ratio is machine-free).
+    cold_floor = baseline["autotune"]["cells_per_s_cold"] * (
+        1.0 - tolerance
+    )
+    cold = current["autotune"]["cells_per_s_cold"]
+    if cold < cold_floor:
+        problems.append(
+            f"autotune cold-pass throughput {cold:,.1f} cells/s is "
+            f"below the floor {cold_floor:,.1f} (baseline "
+            f"{baseline['autotune']['cells_per_s_cold']:,.1f} minus "
+            f"{tolerance:.0%} tolerance)"
+        )
+    warm_speedup = current["autotune"]["warm_speedup"]
+    if warm_speedup < min_autotune_speedup:
+        problems.append(
+            f"autotune warm-cache speedup {warm_speedup:.1f}x is below "
+            f"the {min_autotune_speedup:.1f}x floor"
+        )
     return problems
 
 
@@ -211,7 +258,12 @@ def _summary_line(label: str, doc: dict) -> str:
             f"vector {kernels['vector']['trials_per_s']:,.0f} "
             f"({kernels['vector']['speedup_vs_batch']:.1f}x batch)"
         )
-    return f"{label}: " + ", ".join(parts) + " trials/s"
+    autotune = doc["autotune"]
+    return (
+        f"{label}: " + ", ".join(parts) + " trials/s; autotune "
+        f"{autotune['cells_per_s_cold']:,.1f} cells/s cold "
+        f"({autotune['warm_speedup']:.0f}x warm)"
+    )
 
 
 def main(argv=None) -> int:
@@ -245,6 +297,13 @@ def main(argv=None) -> int:
         default=5.0,
         help="required vector/batch speedup when vector was measured",
     )
+    parser.add_argument(
+        "--min-autotune-speedup",
+        type=float,
+        default=5.0,
+        help="required autotune warm-cache/cold speedup in the current "
+             "run",
+    )
     args = parser.parse_args(argv)
 
     current = _load(args.current)
@@ -263,6 +322,7 @@ def main(argv=None) -> int:
         args.tolerance,
         args.min_speedup,
         args.min_vector_speedup,
+        args.min_autotune_speedup,
     )
 
     print(_summary_line("current ", current))

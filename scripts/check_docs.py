@@ -52,29 +52,40 @@ def cli_surface() -> dict:
     return surface
 
 
-def main() -> int:
-    corpus = doc_corpus()
-    missing = []
-    for verb, flags in sorted(cli_surface().items()):
+def check(surface: dict, corpus: str) -> list:
+    """``FAIL:`` lines for every verb/flag missing from the corpus.
+
+    Pure so tests can hand in a synthetic surface/corpus pair; the
+    ``FAIL:`` prefix is the machine-greppable contract CI and the unit
+    tests key on.
+    """
+    failures = []
+    for verb, flags in sorted(surface.items()):
         if verb not in corpus:
-            missing.append(f"verb {verb!r} is not documented")
+            failures.append(f"FAIL: verb {verb!r} is not documented")
         for flag in flags:
             if flag not in corpus:
-                missing.append(f"{verb}: flag {flag} is not documented")
-    if missing:
+                failures.append(
+                    f"FAIL: {verb}: flag {flag} is not documented"
+                )
+    return failures
+
+
+def main() -> int:
+    surface = cli_surface()
+    failures = check(surface, doc_corpus())
+    n_flags = sum(len(f) for f in surface.values())
+    if failures:
         print("docs are out of sync with the CLI surface:")
-        for line in missing:
-            print(f"  - {line}")
+        for line in failures:
+            print(line)
         print(
-            f"\n(checked {sum(len(f) for f in cli_surface().values())} "
-            f"flags across {len(cli_surface())} verbs against "
-            f"{', '.join(DOC_GLOBS)})"
+            f"\n(checked {n_flags} flags across {len(surface)} verbs "
+            f"against {', '.join(DOC_GLOBS)})"
         )
         return 1
-    surface = cli_surface()
     print(
-        f"docs OK: {len(surface)} verbs, "
-        f"{sum(len(f) for f in surface.values())} flags all documented"
+        f"docs OK: {len(surface)} verbs, {n_flags} flags all documented"
     )
     return 0
 

@@ -29,14 +29,18 @@ The full surface re-exports here: ``from repro import api`` and every
 from repro.api.dispatch import (
     CAMPAIGN_KINDS,
     ENGINE_KINDS,
+    EXAMPLE_KWARGS,
     KINDS,
     SCHEMA,
     ablate,
     area,
+    autotune,
+    default_doc,
     execute,
     figures,
     inject,
     ipc,
+    recommend,
     register_kind,
     reliability,
     request_key,
@@ -46,10 +50,12 @@ from repro.api.requests import (
     ABLATIONS,
     AblateRequest,
     AreaRequest,
+    AutotuneRequest,
     FIGURE_CHOICES,
     FiguresRequest,
     InjectRequest,
     IpcRequest,
+    RecommendRequest,
     ReliabilityRequest,
     ReproError,
     RunRequest,
@@ -58,10 +64,12 @@ from repro.api.requests import (
 from repro.api.responses import (
     AblateResponse,
     AreaResponse,
+    AutotuneResponse,
     FigureSection,
     FiguresResponse,
     InjectResponse,
     IpcResponse,
+    RecommendResponse,
     ReliabilityResponse,
     RunResponse,
     campaign_doc,
@@ -73,8 +81,11 @@ __all__ = [
     "AblateResponse",
     "AreaRequest",
     "AreaResponse",
+    "AutotuneRequest",
+    "AutotuneResponse",
     "CAMPAIGN_KINDS",
     "ENGINE_KINDS",
+    "EXAMPLE_KWARGS",
     "FIGURE_CHOICES",
     "FigureSection",
     "FiguresRequest",
@@ -84,6 +95,8 @@ __all__ = [
     "IpcRequest",
     "IpcResponse",
     "KINDS",
+    "RecommendRequest",
+    "RecommendResponse",
     "ReliabilityRequest",
     "ReliabilityResponse",
     "ReproError",
@@ -92,11 +105,14 @@ __all__ = [
     "SCHEMA",
     "ablate",
     "area",
+    "autotune",
     "campaign_doc",
     "execute",
     "figures",
     "inject",
     "ipc",
+    "recommend",
+    "default_doc",
     "register_kind",
     "reliability",
     "request_from_dict",

@@ -26,10 +26,12 @@ from repro.api.requests import (
     ABLATIONS,
     AblateRequest,
     AreaRequest,
+    AutotuneRequest,
     FIGURE_CHOICES,
     FiguresRequest,
     InjectRequest,
     IpcRequest,
+    RecommendRequest,
     ReliabilityRequest,
     ReproError,
     RunRequest,
@@ -40,10 +42,12 @@ from repro.api.requests import (
 from repro.api.responses import (
     AblateResponse,
     AreaResponse,
+    AutotuneResponse,
     FigureSection,
     FiguresResponse,
     InjectResponse,
     IpcResponse,
+    RecommendResponse,
     ReliabilityResponse,
     RunResponse,
 )
@@ -66,6 +70,11 @@ ENGINE_KINDS: set = set()
 #: and fabric ``coordinator=`` / ``should_abort=`` kwargs).
 CAMPAIGN_KINDS: set = set()
 
+#: Kind -> kwargs producing a representative request, for kinds whose
+#: zero-argument construction is invalid (e.g. recommend requires a
+#: budget).  Consumed by :func:`default_doc` / ``GET /v1/kinds``.
+EXAMPLE_KWARGS: Dict[str, dict] = {}
+
 
 def register_kind(
     kind: str,
@@ -74,6 +83,7 @@ def register_kind(
     *,
     engine: bool = False,
     campaign: bool = False,
+    example: dict = None,
 ) -> None:
     """Register one request kind with its executor and capabilities."""
     if kind in KINDS:
@@ -83,6 +93,14 @@ def register_kind(
         ENGINE_KINDS.add(kind)
     if campaign:
         CAMPAIGN_KINDS.add(kind)
+    if example is not None:
+        EXAMPLE_KWARGS[kind] = dict(example)
+
+
+def default_doc(kind: str) -> dict:
+    """A kind's default (or minimal representative) request document."""
+    cls, _ = KINDS[kind]
+    return cls(**EXAMPLE_KWARGS.get(kind, {})).as_dict()
 
 
 def execute(kind: str, request: Any, **kwargs: Any) -> Any:
@@ -477,6 +495,186 @@ def reliability(
     )
 
 
+# -- autotune -----------------------------------------------------------------
+
+
+def autotune(
+    request: AutotuneRequest,
+    engine: Optional[SweepEngine] = None,
+    tracer=None,
+    registry=None,
+    progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+    checkpoint: Optional[str] = None,
+    coordinator=None,
+    should_abort: Optional[Callable[[], bool]] = None,
+) -> AutotuneResponse:
+    """Explore the design grid and compute per-benchmark Pareto fronts.
+
+    ``checkpoint`` (the service passes ``<data>/checkpoints/<key>.jsonl``)
+    becomes the per-point campaign checkpoint *directory* — one JSONL
+    per design point under it — overriding ``request.checkpoint_dir``.
+    ``coordinator`` is accepted for kind-capability uniformity but
+    unused: the autotuner's unit of distribution is a whole point, not
+    a campaign shard, and per-point sub-campaigns would collide on the
+    fabric's ``(scheme, shard index)`` lease keys.  ``should_abort`` is
+    polled between point batches; completed points stay cached.
+    """
+    from repro.autotune import (
+        PointTask,
+        expand_grid,
+        explore,
+        pareto_front,
+        resolve_objectives,
+    )
+
+    del tracer, registry, coordinator  # unused; uniform executor surface
+    eng = _engine(engine)
+    points = expand_grid(
+        request.benchmarks,
+        request.schemes,
+        request.codecs,
+        request.intervals,
+        request.ecc_entries,
+        request.write_buffers,
+        request.variants,
+        request.scenarios,
+    )
+    specs = resolve_objectives(request.objectives)
+    checkpoint_dir = request.checkpoint_dir
+    if checkpoint:
+        base = checkpoint
+        if base.endswith(".jsonl"):
+            base = base[: -len(".jsonl")]
+        checkpoint_dir = base
+    tasks = [
+        PointTask(
+            point=point,
+            trials=request.trials,
+            trials_per_shard=request.trials_per_shard,
+            kernel=request.kernel,
+            seed=request.seed,
+            refs=request.refs,
+            warmup=request.warmup,
+            insts=request.insts,
+            double_bit_fraction=request.double_bit_fraction,
+            raw_fit=request.raw_fit,
+            n_lines=request.n_lines,
+            measure_ipc="ipc" in request.objectives,
+        )
+        for point in points
+    ]
+    metrics, executed, cached = explore(
+        tasks,
+        engine=eng,
+        progress=progress,
+        should_abort=should_abort,
+        checkpoint_dir=checkpoint_dir,
+    )
+
+    intervals = [
+        {spec.name: spec.interval(m) for spec in specs} for m in metrics
+    ]
+    fronts: Dict[str, Tuple[int, ...]] = {}
+    on_front = set()
+    for benchmark in request.benchmarks:
+        indices = [
+            i for i, m in enumerate(metrics)
+            if m.point.benchmark == benchmark
+        ]
+        local = pareto_front(
+            [intervals[i] for i in indices], list(request.objectives)
+        )
+        fronts[benchmark] = tuple(indices[i] for i in local)
+        on_front.update(fronts[benchmark])
+
+    docs = tuple(
+        {
+            **m.point.describe(),
+            "label": m.point.label,
+            "trials": m.trials,
+            "dirty_pct": m.dirty_pct,
+            "objectives": m.objective_doc(specs),
+            "on_front": i in on_front,
+        }
+        for i, m in enumerate(metrics)
+    )
+    return AutotuneResponse(
+        request=request,
+        objectives=tuple(request.objectives),
+        points=docs,
+        fronts=fronts,
+        executed=executed,
+        cached=cached,
+        metrics=tuple(metrics),
+    )
+
+
+# -- recommend ----------------------------------------------------------------
+
+
+def recommend(
+    request: RecommendRequest,
+    engine: Optional[SweepEngine] = None,
+    tracer=None,
+    registry=None,
+    progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+    checkpoint: Optional[str] = None,
+    coordinator=None,
+    should_abort: Optional[Callable[[], bool]] = None,
+) -> RecommendResponse:
+    """Explore the grid, then pick a budget-feasible front point.
+
+    Per benchmark: the front point with minimum area among those whose
+    FIT Wilson 95% upper bound clears ``fit_budget`` and whose storage
+    clears ``area_budget`` (:mod:`repro.autotune.recommend`).  Any
+    benchmark without a feasible point raises :class:`ReproError`
+    quoting the best achievable numbers.
+    """
+    from repro.autotune import recommend as select
+
+    response = autotune(
+        request,
+        engine=engine,
+        tracer=tracer,
+        registry=registry,
+        progress=progress,
+        checkpoint=checkpoint,
+        coordinator=coordinator,
+        should_abort=should_abort,
+    )
+    choices: Dict[str, Dict[str, Any]] = {}
+    infeasible = []
+    for benchmark in request.benchmarks:
+        chosen, best = select(
+            response.metrics,
+            response.fronts[benchmark],
+            fit_budget=request.fit_budget,
+            area_budget=request.area_budget,
+        )
+        if chosen is None:
+            infeasible.append(
+                f"{benchmark}: best achievable FIT (95% upper bound) "
+                f"{best.get('min_fit_hi', float('nan')):.1f}, "
+                f"smallest area {best.get('min_area_kib', float('nan')):.1f}"
+                " KiB"
+            )
+            continue
+        choices[benchmark] = {
+            "index": chosen,
+            "point": dict(response.points[chosen]),
+            "fit_budget": request.fit_budget,
+            "area_budget": request.area_budget,
+        }
+    if infeasible:
+        raise ReproError(
+            "no design point satisfies the stated budgets — "
+            + "; ".join(infeasible)
+        )
+    return RecommendResponse(
+        request=request, autotune=response, choices=choices
+    )
+
+
 # -- the registry -------------------------------------------------------------
 
 register_kind("run", RunRequest, run, engine=True)
@@ -489,19 +687,33 @@ register_kind(
     "reliability", ReliabilityRequest, reliability, engine=True,
     campaign=True,
 )
+# campaign=True gives autotune/recommend the service's checkpoint path
+# and cooperative-abort hook; their executors ignore the fabric
+# coordinator by design (see the autotune docstring).
+register_kind(
+    "autotune", AutotuneRequest, autotune, engine=True, campaign=True,
+)
+register_kind(
+    "recommend", RecommendRequest, recommend, engine=True, campaign=True,
+    example={"fit_budget": 1000.0},
+)
 
 
 __all__ = [
     "CAMPAIGN_KINDS",
     "ENGINE_KINDS",
+    "EXAMPLE_KWARGS",
     "KINDS",
     "SCHEMA",
     "ablate",
     "area",
+    "autotune",
+    "default_doc",
     "execute",
     "figures",
     "inject",
     "ipc",
+    "recommend",
     "register_kind",
     "reliability",
     "request_key",

@@ -341,14 +341,191 @@ class ReliabilityRequest:
         return _as_dict(self)
 
 
+# -- autotune -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AutotuneRequest:
+    """A Pareto-front exploration of the design grid.
+
+    The grid is the cross product of the axis tuples (``benchmarks`` ×
+    ``schemes`` × ``codecs`` × ``intervals`` × ``ecc_entries`` ×
+    ``write_buffers`` × ``variants`` × ``scenarios``), canonicalized
+    and de-duplicated by :func:`repro.autotune.expand_grid` — axes that
+    do not apply to a scheme collapse, so baseline schemes do not
+    multiply the grid.  Each point runs a reference-mode simulation
+    plus a fixed-``trials`` campaign; ``objectives`` names the
+    quantities the front is computed over
+    (:func:`repro.autotune.available_objectives`).  ``checkpoint_dir``
+    gives every point a private campaign checkpoint; the service fills
+    it in from the job key automatically.
+    """
+
+    benchmarks: Tuple[str, ...] = ("mesa",)
+    schemes: Tuple[str, ...] = ("non-uniform", "uniform-ecc")
+    codecs: Tuple[str, ...] = ("secded", "dected")
+    intervals: Tuple[int, ...] = (262144, 1048576)
+    ecc_entries: Tuple[int, ...] = (1,)
+    write_buffers: Tuple[int, ...] = (16,)
+    variants: Tuple[str, ...] = ("standard",)
+    scenarios: Tuple[str, ...] = ("nominal",)
+    objectives: Tuple[str, ...] = ("area", "fit", "traffic")
+    trials: int = 2000
+    trials_per_shard: int = 500
+    kernel: str = "batch"
+    seed: int = 0
+    refs: int = 60_000
+    warmup: int = 20_000
+    #: CPU-mode instructions, used only when ``ipc`` is an objective.
+    insts: int = 120_000
+    double_bit_fraction: float = 0.05
+    raw_fit: float = 1000.0
+    n_lines: int = 16384
+    checkpoint_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        # Same contract as ReliabilityRequest: every axis value is
+        # validated at construction time with an enumerating message,
+        # so the CLI exits 2 and the service 400s before any work runs.
+        from repro.autotune import SCHEMES, available_objectives
+        from repro.autotune.pareto import OBJECTIVES
+        from repro.ecc import available_codecs
+        from repro.experiments.pool import VARIANTS
+        from repro.reliability.campaign import KERNELS
+        from repro.reliability.scenarios import available_scenarios
+
+        for axis, values in (
+            ("benchmarks", self.benchmarks),
+            ("schemes", self.schemes),
+            ("codecs", self.codecs),
+            ("intervals", self.intervals),
+            ("ecc_entries", self.ecc_entries),
+            ("write_buffers", self.write_buffers),
+            ("variants", self.variants),
+            ("scenarios", self.scenarios),
+            ("objectives", self.objectives),
+        ):
+            if not values:
+                raise ReproError(f"{axis} must not be empty")
+        for name in self.benchmarks:
+            _benchmark(name)
+        for scheme in self.schemes:
+            if scheme not in SCHEMES:
+                raise ReproError(
+                    f"unknown scheme {scheme!r}; "
+                    f"available schemes: {', '.join(SCHEMES)}"
+                )
+        for codec in self.codecs:
+            if codec not in available_codecs():
+                raise ReproError(
+                    f"unknown codec {codec!r}; "
+                    f"available codecs: {', '.join(available_codecs())}"
+                )
+        for interval in self.intervals:
+            if not isinstance(interval, int) or interval < 1:
+                raise ReproError("intervals must be positive cycle counts")
+        for entries in self.ecc_entries:
+            if not isinstance(entries, int) or entries < 1:
+                raise ReproError("ecc_entries must be positive")
+        for wb in self.write_buffers:
+            if not isinstance(wb, int) or wb < 1:
+                raise ReproError("write_buffers must be positive")
+        for variant in self.variants:
+            if variant not in VARIANTS:
+                raise ReproError(
+                    f"unknown variant {variant!r}; "
+                    f"available variants: {', '.join(VARIANTS)}"
+                )
+        for scenario in self.scenarios:
+            if scenario not in available_scenarios():
+                raise ReproError(
+                    f"unknown scenario {scenario!r}; available "
+                    f"scenarios: {', '.join(available_scenarios())}"
+                )
+        for objective in self.objectives:
+            if objective not in OBJECTIVES:
+                raise ReproError(
+                    f"unknown objective {objective!r}; available "
+                    f"objectives: {', '.join(available_objectives())}"
+                )
+        if len(set(self.objectives)) < 2:
+            raise ReproError(
+                "autotune needs at least two distinct objectives "
+                "(a one-objective front is just the minimum)"
+            )
+        if "ipc" in self.objectives:
+            bad = [v for v in self.variants if v != "standard"]
+            if bad:
+                raise ReproError(
+                    "the ipc objective only supports the 'standard' "
+                    f"variant (got: {', '.join(bad)})"
+                )
+            if self.insts < 1:
+                raise ReproError("insts must be positive")
+        if self.trials < 1:
+            raise ReproError("trials must be positive")
+        if self.trials_per_shard < 1:
+            raise ReproError("trials_per_shard must be positive")
+        if self.kernel not in KERNELS:
+            raise ReproError(
+                f"unknown kernel {self.kernel!r}; "
+                f"available backends: {', '.join(KERNELS)}"
+            )
+        if self.kernel == "vector":
+            from repro.reliability.vector import require_numpy
+
+            require_numpy()
+        if self.refs < 1 or self.warmup < 0:
+            raise ReproError("refs must be positive and warmup non-negative")
+
+    def as_dict(self) -> Dict[str, Any]:
+        return _as_dict(self)
+
+
+# -- recommend ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RecommendRequest(AutotuneRequest):
+    """An autotune exploration plus budget-driven scheme selection.
+
+    Inherits every grid axis; at least one of ``fit_budget`` (total
+    failure FIT the Wilson 95% *upper* bound must clear) and
+    ``area_budget`` (protection KiB) must be set.  The recommender
+    needs ``area`` and ``fit`` among the objectives to rank with.
+    """
+
+    fit_budget: Optional[float] = None
+    area_budget: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.fit_budget is None and self.area_budget is None:
+            raise ReproError(
+                "recommend needs --fit-budget and/or --area-budget"
+            )
+        if self.fit_budget is not None and self.fit_budget <= 0:
+            raise ReproError("fit_budget must be positive")
+        if self.area_budget is not None and self.area_budget <= 0:
+            raise ReproError("area_budget must be positive")
+        missing = {"area", "fit"} - set(self.objectives)
+        if missing:
+            raise ReproError(
+                "recommend needs the 'area' and 'fit' objectives "
+                f"(missing: {', '.join(sorted(missing))})"
+            )
+
+
 __all__ = [
     "ABLATIONS",
     "AblateRequest",
     "AreaRequest",
+    "AutotuneRequest",
     "FIGURE_CHOICES",
     "FiguresRequest",
     "InjectRequest",
     "IpcRequest",
+    "RecommendRequest",
     "ReliabilityRequest",
     "ReproError",
     "RunRequest",

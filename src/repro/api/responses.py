@@ -13,9 +13,11 @@ from typing import Any, Dict, Optional, Tuple
 from repro.api.requests import (
     AblateRequest,
     AreaRequest,
+    AutotuneRequest,
     FiguresRequest,
     InjectRequest,
     IpcRequest,
+    RecommendRequest,
     ReliabilityRequest,
     RunRequest,
     _as_dict,
@@ -209,13 +211,73 @@ def campaign_doc(result) -> Dict[str, Any]:
     }
 
 
+@dataclass(frozen=True)
+class AutotuneResponse:
+    """An explored design grid with its per-benchmark Pareto fronts.
+
+    ``points`` are JSON-able documents (one per evaluated design
+    point: axes, label, per-objective values with Wilson bounds,
+    ``on_front`` flag); ``fronts`` maps each benchmark to the indices
+    of its non-dominated points within ``points``.  The raw
+    :class:`~repro.autotune.PointMetrics` ride along un-serialized in
+    ``metrics`` for the CLI and the recommender.
+    """
+
+    request: AutotuneRequest
+    objectives: Tuple[str, ...]
+    points: Tuple[Dict[str, Any], ...]
+    #: benchmark -> ascending indices into ``points``.
+    fronts: Dict[str, Tuple[int, ...]]
+    executed: int
+    cached: int
+    metrics: Tuple[Any, ...] = field(default=(), repr=False)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "request": _as_dict(self.request),
+            "objectives": list(self.objectives),
+            "points": [dict(p) for p in self.points],
+            "fronts": {
+                name: list(front) for name, front in self.fronts.items()
+            },
+            "executed": self.executed,
+            "cached": self.cached,
+        }
+
+
+@dataclass(frozen=True)
+class RecommendResponse:
+    """Budget-feasible scheme choices, one per benchmark.
+
+    ``choices`` maps each benchmark to the chosen point's document
+    (from ``autotune.points``) plus the budgets it was judged against.
+    Infeasible budgets never reach this type — the executor raises
+    :class:`~repro.api.requests.ReproError` with the best achievable
+    numbers instead.
+    """
+
+    request: RecommendRequest
+    autotune: AutotuneResponse
+    #: benchmark -> {"index", "point", "fit_budget", "area_budget"}.
+    choices: Dict[str, Dict[str, Any]]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "request": _as_dict(self.request),
+            "choices": _as_dict(self.choices),
+            "autotune": self.autotune.as_dict(),
+        }
+
+
 __all__ = [
     "AblateResponse",
     "AreaResponse",
+    "AutotuneResponse",
     "FigureSection",
     "FiguresResponse",
     "InjectResponse",
     "IpcResponse",
+    "RecommendResponse",
     "ReliabilityResponse",
     "RunResponse",
     "campaign_doc",

@@ -1,0 +1,168 @@
+"""CI-aware Pareto dominance over design-point objectives.
+
+Every objective value is carried as an **interval** ``(value, lo, hi)``
+normalized to *minimization*: deterministic quantities (area, energy,
+traffic) are zero-width (``lo == value == hi``), Monte Carlo quantities
+(FIT, MTTF) carry their Wilson 95% bounds, and maximize-direction
+objectives (IPC, MTTF) are negated — ``(v, lo, hi) → (-v, -hi, -lo)`` —
+so one dominance rule covers everything.
+
+The rule ("a point only dominates if its interval clears the other's"):
+
+    A dominates B  ⇔  ∀ objectives: A.hi ≤ B.lo
+                      and ∃ objective: A.hi < B.lo
+
+For zero-width intervals this reduces exactly to classical weak
+dominance with one strict inequality.  For stochastic objectives, two
+points whose confidence intervals overlap are *incomparable* — neither
+is dropped — so the front never discards a design on statistical noise.
+
+The relation is a strict partial order: transitivity follows from
+``A.hi ≤ B.lo ≤ B.hi ≤ C.lo`` (every interval satisfies ``lo ≤ hi``),
+so the non-dominated set is well-defined: :func:`pareto_front` is
+idempotent and order-invariant, which the property tests in
+``tests/autotune/test_pareto.py`` enforce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+#: (value, lo, hi), already normalized to "smaller is better".
+Interval = Tuple[float, float, float]
+
+
+@dataclass(frozen=True)
+class ObjectiveSpec:
+    """One optimizable quantity of a design point.
+
+    ``attr`` names the :class:`~repro.autotune.explore.PointMetrics`
+    attribute holding the measurement: a float for deterministic
+    objectives, a ``(value, lo, hi)`` tuple for stochastic ones.
+    """
+
+    name: str
+    #: Column header in rendered fronts, with units.
+    label: str
+    attr: str
+    maximize: bool = False
+    #: Whether the measurement carries a Monte Carlo Wilson interval.
+    stochastic: bool = False
+
+    def interval(self, metrics: Any) -> Interval:
+        """The objective's minimize-normalized interval for one point."""
+        raw = getattr(metrics, self.attr)
+        if self.stochastic:
+            value, lo, hi = raw
+        else:
+            value = lo = hi = float(raw)
+        if lo > hi:  # defensive: a malformed interval must not invert
+            lo, hi = hi, lo
+        if self.maximize:
+            return (-value, -hi, -lo)
+        return (value, lo, hi)
+
+
+#: The objective catalogue.  ``fit``/``mttf`` are the campaign's total
+#: failure rate (SDC + DUE) with its Wilson interval; everything else is
+#: deterministic given the seed.
+OBJECTIVES: Dict[str, ObjectiveSpec] = {
+    spec.name: spec
+    for spec in (
+        ObjectiveSpec(
+            name="area", label="area KiB", attr="area_kib",
+        ),
+        ObjectiveSpec(
+            name="fit", label="FIT", attr="fit", stochastic=True,
+        ),
+        ObjectiveSpec(
+            name="mttf", label="MTTF h", attr="mttf_hours",
+            maximize=True, stochastic=True,
+        ),
+        ObjectiveSpec(
+            name="energy", label="energy uJ", attr="energy_uj",
+        ),
+        ObjectiveSpec(
+            name="ipc", label="IPC", attr="ipc", maximize=True,
+        ),
+        ObjectiveSpec(
+            name="traffic", label="WB %", attr="traffic_pct",
+        ),
+    )
+}
+
+
+def available_objectives() -> Tuple[str, ...]:
+    """Registered objective names, in catalogue order."""
+    return tuple(OBJECTIVES)
+
+
+def resolve_objectives(names: Sequence[str]) -> List[ObjectiveSpec]:
+    """Specs for ``names``; unknown names raise ``ValueError``."""
+    specs = []
+    for name in names:
+        try:
+            specs.append(OBJECTIVES[name])
+        except KeyError:
+            raise ValueError(
+                f"unknown objective {name!r}; "
+                f"available objectives: {', '.join(OBJECTIVES)}"
+            ) from None
+    return specs
+
+
+def dominates(
+    a: Mapping[str, Interval],
+    b: Mapping[str, Interval],
+    objectives: Sequence[str],
+) -> bool:
+    """Whether point ``a``'s intervals clear point ``b``'s everywhere.
+
+    ``a`` / ``b`` map objective names to minimize-normalized intervals
+    (:meth:`ObjectiveSpec.interval`).  Comparisons are exact float
+    comparisons — no epsilon — so the relation, and with it the front,
+    is bit-stable across worker counts and platforms.
+    """
+    strict = False
+    for name in objectives:
+        a_hi = a[name][2]
+        b_lo = b[name][1]
+        if a_hi > b_lo:
+            return False
+        if a_hi < b_lo:
+            strict = True
+    return strict
+
+
+def pareto_front(
+    points: Sequence[Mapping[str, Interval]],
+    objectives: Sequence[str],
+) -> List[int]:
+    """Indices of the non-dominated points, ascending.
+
+    O(n²) pairwise — the design grids here are tens to hundreds of
+    points, and the simple form keeps the determinism argument trivial.
+    Duplicate points never dominate each other (no strict objective),
+    so equal designs all stay on the front.
+    """
+    n = len(points)
+    front: List[int] = []
+    for i in range(n):
+        if not any(
+            j != i and dominates(points[j], points[i], objectives)
+            for j in range(n)
+        ):
+            front.append(i)
+    return front
+
+
+__all__ = [
+    "Interval",
+    "OBJECTIVES",
+    "ObjectiveSpec",
+    "available_objectives",
+    "dominates",
+    "pareto_front",
+    "resolve_objectives",
+]

@@ -1,0 +1,77 @@
+"""Pick a scheme from a Pareto front under FIT and area budgets.
+
+The recommender answers the deployment question the paper leaves to
+the reader: *given this reliability target and this silicon budget,
+which (code, interval, ways, policy) should I build?*
+
+Feasibility is judged **conservatively**: a point satisfies a FIT
+budget only if its Wilson 95% *upper* bound does (a design is not
+"reliable enough" on the strength of its point estimate), and an area
+budget by its (deterministic) storage exactly.  Among feasible points
+the recommendation is the front point with minimum area, tie-broken by
+FIT point estimate and then label — a total order, so the choice is
+deterministic.
+
+A useful consequence of the conservative rule: whenever *any* point is
+feasible, a feasible point exists **on the front** — if a feasible
+point were dominated, its dominator has ``fit.hi ≤`` the feasible
+point's ``fit.lo ≤`` its ``hi`` and area no larger, so the dominator
+is feasible too.  Infeasible budgets therefore report the best
+achievable numbers rather than a near-miss point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.autotune.explore import PointMetrics
+
+
+def feasible(
+    metrics: PointMetrics,
+    fit_budget: Optional[float],
+    area_budget: Optional[float],
+) -> bool:
+    """Whether one point satisfies the stated budgets (None = no bound)."""
+    if fit_budget is not None and metrics.fit[2] > fit_budget:
+        return False
+    if area_budget is not None and metrics.area_kib > area_budget:
+        return False
+    return True
+
+
+def recommend(
+    metrics: Sequence[PointMetrics],
+    front: Sequence[int],
+    fit_budget: Optional[float] = None,
+    area_budget: Optional[float] = None,
+) -> Tuple[Optional[int], Dict[str, float]]:
+    """``(chosen index, best-achievable numbers)`` for one benchmark.
+
+    ``front`` indexes into ``metrics``.  The chosen index is None when
+    no point is feasible; ``best`` always carries the minimum
+    achievable FIT upper bound and area over the *whole* grid, which
+    is what an infeasibility error should quote.
+    """
+    best: Dict[str, float] = {}
+    if metrics:
+        best["min_fit_hi"] = min(m.fit[2] for m in metrics)
+        best["min_area_kib"] = min(m.area_kib for m in metrics)
+    candidates: List[int] = [
+        i for i in front
+        if feasible(metrics[i], fit_budget, area_budget)
+    ]
+    if not candidates:
+        return None, best
+    chosen = min(
+        candidates,
+        key=lambda i: (
+            metrics[i].area_kib,
+            metrics[i].fit[0],
+            metrics[i].point.label,
+        ),
+    )
+    return chosen, best
+
+
+__all__ = ["feasible", "recommend"]

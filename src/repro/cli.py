@@ -16,6 +16,8 @@ Commands
 ``area``      the Section 5.2 area accounting
 ``inject``    a fault-injection campaign against a codec
 ``reliability``  a Monte Carlo fault-injection campaign across schemes
+``autotune``  Pareto fronts over the scheme/codec/interval design grid
+``recommend`` pick a front point under FIT and area budgets
 ``serve``     long-running job server over the same facade; several
               replicas sharing one ``--data-dir`` form a fabric
 ``workers``   list a running service's fabric worker registry
@@ -424,6 +426,147 @@ def cmd_reliability(args) -> int:
     return 0
 
 
+def _autotune_request_kwargs(args) -> Dict[str, object]:
+    """The AutotuneRequest fields both grid verbs share."""
+    return dict(
+        benchmarks=tuple(args.benchmarks),
+        schemes=tuple(args.schemes),
+        codecs=tuple(args.codecs),
+        intervals=tuple(args.intervals),
+        ecc_entries=tuple(args.ecc_entries),
+        write_buffers=tuple(args.write_buffers),
+        variants=tuple(args.variants),
+        scenarios=tuple(args.scenarios),
+        objectives=tuple(args.objectives),
+        trials=args.trials,
+        trials_per_shard=args.trials_per_shard,
+        kernel=args.kernel,
+        seed=args.seed,
+        refs=args.refs,
+        warmup=args.warmup,
+        insts=args.insts,
+        double_bit_fraction=args.double_bit_fraction,
+        raw_fit=args.raw_fit,
+        n_lines=args.n_lines,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+
+
+def _autotune_progress(event: Dict[str, object]) -> None:
+    """Per-point progress on stderr (interactive runs only)."""
+    if event.get("type") != "point" or not sys.stderr.isatty():
+        return
+    state = "cached" if event.get("cached") else "ran"
+    print(
+        f"[{event['done']}/{event['total']}] {event['benchmark']} "
+        f"{event['label']} ({state})",
+        file=sys.stderr,
+    )
+
+
+def _emit_front_csv(response: "api.AutotuneResponse") -> int:
+    """``--format csv``: one row per point, flat enough for a spreadsheet.
+
+    Axis columns, the ``on_front`` flag, then ``<objective>``/
+    ``<objective>_lo``/``<objective>_hi`` triples per objective.
+    """
+    import csv
+
+    axes = ["benchmark", "scheme", "codec", "interval", "ecc_entries",
+            "write_buffer", "variant", "scenario"]
+    headers = axes + ["label", "on_front"]
+    for name in response.objectives:
+        headers += [name, f"{name}_lo", f"{name}_hi"]
+    writer = csv.writer(sys.stdout)
+    writer.writerow(headers)
+    for doc in response.points:
+        row = [doc[a] for a in axes] + [doc["label"], doc["on_front"]]
+        for name in response.objectives:
+            o = doc["objectives"][name]
+            row += [o["value"], o["lo"], o["hi"]]
+        writer.writerow(row)
+    return 0
+
+
+def _print_fronts(response: "api.AutotuneResponse") -> None:
+    from repro.experiments.report import render_front
+
+    for benchmark, front in response.fronts.items():
+        candidates = [
+            i for i, doc in enumerate(response.points)
+            if doc["benchmark"] == benchmark
+        ]
+        print(render_front(
+            response.points, front, response.objectives,
+            title=(f"{benchmark}: Pareto front over "
+                   f"{', '.join(response.objectives)} "
+                   f"(* = non-dominated, CI-aware)"),
+            indices=candidates,
+        ))
+        print()
+    print(f"grid: {len(response.points)} points "
+          f"({response.executed} executed, {response.cached} cached)")
+
+
+def cmd_autotune(args) -> int:
+    """Explore the design grid and print per-benchmark Pareto fronts."""
+    engine = _engine(args)
+    request = api.AutotuneRequest(**_autotune_request_kwargs(args))
+    response = api.autotune(
+        request, engine=engine, progress=_autotune_progress
+    )
+    if args.format == "json":
+        return _emit_json(response)
+    if args.format == "csv":
+        return _emit_front_csv(response)
+    _print_fronts(response)
+    _print_sweep_stats(engine)
+    return 0
+
+
+def cmd_recommend(args) -> int:
+    """Pick a budget-feasible front point per benchmark."""
+    engine = _engine(args)
+    request = api.RecommendRequest(
+        fit_budget=args.fit_budget,
+        area_budget=args.area_budget,
+        **_autotune_request_kwargs(args),
+    )
+    response = api.recommend(
+        request, engine=engine, progress=_autotune_progress
+    )
+    if args.format == "json":
+        return _emit_json(response)
+    if args.format == "csv":
+        return _emit_front_csv(response.autotune)
+    budgets = []
+    if args.fit_budget is not None:
+        budgets.append(f"FIT ≤ {args.fit_budget:g} (95% upper bound)")
+    if args.area_budget is not None:
+        budgets.append(f"area ≤ {args.area_budget:g} KiB")
+    print("budgets: " + ", ".join(budgets))
+    rows = []
+    for benchmark, choice in response.choices.items():
+        doc = choice["point"]
+        fit = doc["objectives"]["fit"]
+        rows.append([
+            benchmark,
+            doc["label"],
+            f"{doc['objectives']['area']['value']:.1f}",
+            ("inf" if fit["hi"] is None
+             else f"{fit['value']:.1f} (≤{fit['hi']:.1f})"),
+        ])
+    print(render_table(
+        ["benchmark", "recommended point", "area KiB", "FIT"],
+        rows,
+        title="Recommended design points",
+    ))
+    print()
+    _print_fronts(response.autotune)
+    _print_sweep_stats(engine)
+    return 0
+
+
 def cmd_serve(args) -> int:
     """Run the long-lived job service over the :mod:`repro.api` facade."""
     from repro.service import ReproService
@@ -739,6 +882,94 @@ def build_parser() -> argparse.ArgumentParser:
     _add_pool_args(p)
     _add_trace_args(p)
     p.set_defaults(func=cmd_reliability)
+
+    def _add_autotune_grid_args(p: argparse.ArgumentParser) -> None:
+        """The grid/evaluation flags ``autotune`` and ``recommend`` share.
+
+        Axis flags take several values (``--codecs secded dected``);
+        like ``reliability``'s --kernel/--scenario/--codec, most carry
+        no argparse `choices` — the facade rejects unknown names with
+        the same enumerating error the HTTP service returns as a 400.
+        """
+        from repro.autotune import SCHEMES, available_objectives
+
+        g = p.add_argument_group("design grid axes")
+        g.add_argument("--benchmarks", nargs="+", default=["mesa"],
+                       choices=sorted(BENCHMARKS), metavar="NAME",
+                       help="workloads to explore (a front per workload)")
+        g.add_argument("--schemes", nargs="+",
+                       default=["non-uniform", "uniform-ecc"],
+                       help="protection schemes: " + ", ".join(SCHEMES))
+        g.add_argument("--codecs", nargs="+", default=["secded", "dected"],
+                       help="ECC codecs: " + ", ".join(available_codecs()))
+        g.add_argument("--intervals", nargs="+", type=_parse_interval,
+                       default=[262144, 1048576], metavar="CYCLES",
+                       help="cleaning intervals, paper-nominal "
+                            "(e.g. 256K 1M); applies to non-uniform "
+                            "points only")
+        g.add_argument("--ecc-entries", nargs="+", type=_parse_entries,
+                       default=[1], metavar="N",
+                       help="shared ECC entries per set (non-uniform only)")
+        g.add_argument("--write-buffers", nargs="+", type=int,
+                       default=[16], metavar="N",
+                       help="write-buffer depths between L2 and memory")
+        g.add_argument("--variants", nargs="+", default=["standard"],
+                       help="cleaning-policy variants (standard, eager, "
+                            "decay, no-written-bit)")
+        g.add_argument("--scenarios", nargs="+", default=["nominal"],
+                       help="correlated-fault scenario packs: "
+                            + ", ".join(available_scenarios()))
+        p.add_argument(
+            "--objectives", nargs="+", default=["area", "fit", "traffic"],
+            help="objectives the front is computed over: "
+                 + ", ".join(available_objectives())
+                 + " (fit/mttf use Wilson intervals; dominance is "
+                 "CI-aware)",
+        )
+        p.add_argument("--trials", type=int, default=2000,
+                       help="fixed injection trials per design point")
+        p.add_argument("--trials-per-shard", type=int, default=500)
+        p.add_argument("--kernel", default="batch",
+                       help="campaign kernel (batch, reference, vector)")
+        p.add_argument("--insts", type=int, default=120_000,
+                       help="CPU-mode instructions for the ipc objective")
+        p.add_argument("--double-bit-fraction", type=float, default=0.05,
+                       metavar="P")
+        p.add_argument("--raw-fit", type=float, default=1000.0,
+                       help="raw SRAM strike rate, FIT per Mbit")
+        p.add_argument("--n-lines", type=int, default=16384,
+                       help="lines of the protected structure (paper L2)")
+        p.add_argument(
+            "--checkpoint-dir", metavar="DIR", default=None,
+            help="directory of per-point campaign checkpoints: an "
+                 "interrupted sweep resumes mid-grid from it",
+        )
+        _add_run_args(p)
+        _add_pool_args(p)
+        p.add_argument(
+            "--format", choices=["table", "json", "csv"], default="table",
+            help="front tables (default), the facade's JSON document, "
+                 "or one flat CSV row per design point",
+        )
+
+    p = sub.add_parser(
+        "autotune",
+        help="Pareto fronts over the scheme/codec/interval design grid",
+    )
+    _add_autotune_grid_args(p)
+    p.set_defaults(func=cmd_autotune)
+
+    p = sub.add_parser(
+        "recommend",
+        help="pick a Pareto-front design point under FIT/area budgets",
+    )
+    p.add_argument("--fit-budget", type=float, default=None, metavar="FIT",
+                   help="total-FIT budget; judged against the Wilson 95%% "
+                        "upper bound")
+    p.add_argument("--area-budget", type=float, default=None, metavar="KIB",
+                   help="protection-area budget in KiB")
+    _add_autotune_grid_args(p)
+    p.set_defaults(func=cmd_recommend)
 
     p = sub.add_parser(
         "serve", help="serve facade requests as deduplicated jobs over HTTP"

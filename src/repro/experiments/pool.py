@@ -41,7 +41,6 @@ from repro.core.protected_cache import ProtectionConfig
 from repro.experiments.runner import (
     RunConfig,
     run_ipc,
-    run_refs,
     run_refs_with_hierarchy,
 )
 from repro.telemetry.profiling import PhaseProfiler
@@ -117,6 +116,7 @@ class Cell:
                 "l2_bytes": geometry.l2_bytes,
                 "interval_scale": geometry.interval_scale,
                 "paper_intervals": list(geometry.paper_intervals),
+                "write_buffer_entries": geometry.write_buffer_entries,
             },
         }
 
@@ -211,24 +211,35 @@ class ResultCache:
 
 def execute_cell(cell: Cell) -> Any:
     """Run one cell to completion; pure function of the cell."""
-    if cell.variant == "standard":
-        if cell.mode == "ipc":
-            return run_ipc(
-                cell.benchmark, cell.protection, cell.config,
-                n_insts=cell.n_insts,
-            )
-        return run_refs(cell.benchmark, cell.protection, cell.config)
-    return _run_variant(cell)
+    if cell.variant == "standard" and cell.mode == "ipc":
+        return run_ipc(
+            cell.benchmark, cell.protection, cell.config,
+            n_insts=cell.n_insts,
+        )
+    hierarchy = build_cell_hierarchy(cell)
+    return run_refs_with_hierarchy(
+        cell.benchmark, hierarchy, cell.config, cell.protection
+    )
 
 
-def _run_variant(cell: Cell) -> Any:
-    """Ablation L2s; imports are local to avoid an import cycle with
-    :mod:`repro.experiments.ablations`."""
+def build_cell_hierarchy(cell: Cell):
+    """The :class:`~repro.cache.hierarchy.MemoryHierarchy` a reference-mode
+    cell runs against, for any variant.
+
+    Split out of :func:`execute_cell` so callers that need the hierarchy
+    *after* the run — the autotuner's energy accounting reads its event
+    counters — can drive :func:`run_refs_with_hierarchy` themselves.
+    Imports are local to avoid an import cycle with
+    :mod:`repro.experiments.ablations`.
+    """
     from repro.cache.hierarchy import MemoryHierarchy
+    from repro.experiments.runner import build_l2
 
     geometry = cell.config.geometry
     hier_cfg = geometry.hierarchy_config()
-    if cell.variant == "eager":
+    if cell.variant == "standard":
+        l2 = build_l2(geometry, cell.protection, seed=cell.config.seed)
+    elif cell.variant == "eager":
         from repro.core.eager import EagerL2
 
         l2 = EagerL2(hier_cfg.l2, seed=cell.config.seed)
@@ -249,10 +260,7 @@ def _run_variant(cell: Cell) -> Any:
             from repro.experiments.ablations import _NoWrittenBitL2
 
             l2 = _NoWrittenBitL2(hier_cfg.l2, scaled, seed=cell.config.seed)
-    hierarchy = MemoryHierarchy(config=hier_cfg, l2=l2)
-    return run_refs_with_hierarchy(
-        cell.benchmark, hierarchy, cell.config, cell.protection
-    )
+    return MemoryHierarchy(config=hier_cfg, l2=l2)
 
 
 def _execute_indexed(item):
@@ -565,6 +573,7 @@ __all__ = [
     "ResultCache",
     "SweepEngine",
     "SweepStats",
+    "build_cell_hierarchy",
     "cell_key",
     "code_version",
     "default_cache_dir",

@@ -160,6 +160,49 @@ def render_campaign_comparison(
     return render_series(series, ndigits=4, title=title)
 
 
+def render_front(
+    points: Sequence[Dict[str, object]],
+    front: Sequence[int],
+    objectives: Sequence[str],
+    title: str = "",
+    indices: "Sequence[int] | None" = None,
+) -> str:
+    """Pareto-front table for one benchmark of an autotune result.
+
+    ``points`` are the JSON point documents of an
+    ``AutotuneResponse``; ``front`` holds the benchmark's non-dominated
+    indices and ``indices`` the full candidate set (default: every
+    point).  Front members print first, marked ``*``; stochastic
+    objectives show ``value [lo, hi]`` so the CI-aware dominance rule —
+    A dominates B only when A's upper bound clears B's lower bound —
+    can be read straight off the table.
+    """
+    front_set = set(front)
+    candidates = range(len(points)) if indices is None else indices
+    order = list(front) + [i for i in candidates if i not in front_set]
+
+    def fmt(doc: Dict[str, object]) -> str:
+        value, lo, hi = doc["value"], doc["lo"], doc["hi"]
+        if value is None:
+            return "inf"
+        if lo == hi == value:
+            return f"{value:.4g}"
+        lo_s = "?" if lo is None else f"{lo:.4g}"
+        hi_s = "inf" if hi is None else f"{hi:.4g}"
+        return f"{value:.4g} [{lo_s}, {hi_s}]"
+
+    rows: List[Sequence[Cell]] = []
+    for i in order:
+        doc = points[i]
+        rows.append(
+            ["*" if i in front_set else "", doc["label"]]
+            + [fmt(doc["objectives"][name]) for name in objectives]
+        )
+    return render_table(
+        ["", "design point"] + list(objectives), rows, title=title
+    )
+
+
 def render_series(
     series: Dict[str, Dict[str, float]],
     row_label: str = "benchmark",

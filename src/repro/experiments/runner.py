@@ -57,6 +57,10 @@ class Geometry:
     interval_scale: float
     #: The paper's nominal cleaning intervals, in cycles.
     paper_intervals: Tuple[int, ...] = (65536, 262144, 1048576, 4194304)
+    #: Write-buffer entries between the L2 and memory (Table 1: 16).
+    #: A sweep axis for the autotuner; the write-buffer ablation varies
+    #: the same knob through :class:`~repro.cache.hierarchy.HierarchyConfig`.
+    write_buffer_entries: int = 16
 
     def _naive_scaled(self, paper_interval: int) -> int:
         return max(1, int(paper_interval * self.interval_scale))
@@ -113,7 +117,10 @@ class Geometry:
         l1i = replace(default_l1i_config(), size_bytes=self.l1_bytes)
         l1d = replace(default_l1d_config(), size_bytes=self.l1_bytes)
         l2 = replace(default_l2_config(), size_bytes=self.l2_bytes)
-        return HierarchyConfig(l1i=l1i, l1d=l1d, l2=l2)
+        return HierarchyConfig(
+            l1i=l1i, l1d=l1d, l2=l2,
+            write_buffer_entries=self.write_buffer_entries,
+        )
 
 
 def interval_label(cycles: int) -> str:

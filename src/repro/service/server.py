@@ -160,8 +160,8 @@ class _Handler(BaseHTTPRequestHandler):
         elif path == "/v1/kinds":
             self._send_json(200, {
                 "kinds": {
-                    kind: cls().as_dict()
-                    for kind, (cls, _) in sorted(api.KINDS.items())
+                    kind: api.default_doc(kind)
+                    for kind in sorted(api.KINDS)
                 },
             })
         elif path == "/v1/jobs":

@@ -1,0 +1,197 @@
+"""CI-aware dominance: worked examples plus hypothesis invariants.
+
+The front's determinism story (``scripts/autotune_smoke.py`` asserts
+bit-identical fronts across worker counts) rests on :func:`dominates`
+being a strict partial order; the property tests drive that over
+arbitrary interval sets — idempotence, order-invariance, and "no front
+member is dominated by anything".
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autotune import (
+    OBJECTIVES,
+    available_objectives,
+    dominates,
+    pareto_front,
+    resolve_objectives,
+)
+
+NAMES = ("a", "b")
+
+
+def point(a, b):
+    """A two-objective point from zero-width or (value, lo, hi) specs."""
+    out = {}
+    for name, spec in zip(NAMES, (a, b)):
+        if isinstance(spec, tuple):
+            out[name] = spec
+        else:
+            out[name] = (spec, spec, spec)
+    return out
+
+
+class TestDominates:
+    def test_strictly_better_everywhere_dominates(self):
+        assert dominates(point(1.0, 1.0), point(2.0, 2.0), NAMES)
+
+    def test_equal_points_never_dominate(self):
+        p = point(1.0, 2.0)
+        assert not dominates(p, dict(p), NAMES)
+
+    def test_tie_on_one_objective_still_dominates(self):
+        assert dominates(point(1.0, 1.0), point(1.0, 2.0), NAMES)
+
+    def test_tradeoff_is_incomparable(self):
+        a, b = point(1.0, 2.0), point(2.0, 1.0)
+        assert not dominates(a, b, NAMES)
+        assert not dominates(b, a, NAMES)
+
+    def test_overlapping_intervals_are_incomparable(self):
+        # The CI-aware rule: a better point estimate with an
+        # overlapping interval must NOT dominate.
+        better = point((1.0, 0.5, 1.5), 1.0)
+        worse = point((2.0, 1.2, 2.8), 1.0)
+        assert not dominates(better, worse, NAMES)
+        assert not dominates(worse, better, NAMES)
+
+    def test_cleared_interval_dominates(self):
+        clear = point((1.0, 0.5, 1.5), 1.0)
+        distant = point((3.0, 2.0, 4.0), 1.0)
+        assert dominates(clear, distant, NAMES)
+
+    def test_touching_bounds_need_another_strict_objective(self):
+        # a.hi == b.lo satisfies <= but not <; with the other
+        # objective tied there is no strict win anywhere.
+        a = point((1.0, 0.5, 1.5), 1.0)
+        b = point((2.0, 1.5, 2.5), 1.0)
+        assert not dominates(a, b, NAMES)
+        a_strict = point((1.0, 0.5, 1.5), 0.5)
+        assert dominates(a_strict, b, NAMES)
+
+
+class TestFrontExamples:
+    def test_classic_two_objective_front(self):
+        points = [
+            point(1.0, 3.0),   # on the front (best a)
+            point(3.0, 1.0),   # on the front (best b)
+            point(2.0, 2.0),   # on the front (trade-off)
+            point(3.0, 3.0),   # dominated by everything above
+        ]
+        assert pareto_front(points, NAMES) == [0, 1, 2]
+
+    def test_duplicates_all_stay(self):
+        points = [point(1.0, 1.0), point(1.0, 1.0), point(2.0, 2.0)]
+        assert pareto_front(points, NAMES) == [0, 1]
+
+    def test_indices_are_ascending(self):
+        points = [point(3.0, 1.0), point(1.0, 3.0), point(2.0, 2.0)]
+        assert pareto_front(points, NAMES) == sorted(
+            pareto_front(points, NAMES)
+        )
+
+
+class TestObjectiveSpecs:
+    def test_catalogue_and_resolution(self):
+        specs = resolve_objectives(["area", "fit"])
+        assert [s.name for s in specs] == ["area", "fit"]
+        assert set(available_objectives()) == set(OBJECTIVES)
+
+    def test_unknown_objective_enumerates(self):
+        with pytest.raises(ValueError, match="available objectives"):
+            resolve_objectives(["area", "latency"])
+
+    def test_maximize_negates_and_swaps_bounds(self):
+        class M:
+            mttf_hours = (10.0, 5.0, 20.0)
+
+        v, lo, hi = OBJECTIVES["mttf"].interval(M())
+        assert (v, lo, hi) == (-10.0, -20.0, -5.0)
+        assert lo <= v <= hi
+
+    def test_deterministic_attr_is_zero_width(self):
+        class M:
+            area_kib = 54.0
+
+        assert OBJECTIVES["area"].interval(M()) == (54.0, 54.0, 54.0)
+
+
+@st.composite
+def interval(draw):
+    """A minimize-normalized (value, lo, hi) with lo <= value <= hi."""
+    lo = draw(st.floats(min_value=-1e6, max_value=1e6,
+                        allow_nan=False, allow_infinity=False))
+    width_v = draw(st.floats(min_value=0.0, max_value=1e3,
+                             allow_nan=False, allow_infinity=False))
+    width_h = draw(st.floats(min_value=0.0, max_value=1e3,
+                             allow_nan=False, allow_infinity=False))
+    return (lo + width_v, lo, lo + width_v + width_h)
+
+
+@st.composite
+def point_sets(draw):
+    return draw(st.lists(
+        st.fixed_dictionaries({name: interval() for name in NAMES}),
+        min_size=1, max_size=12,
+    ))
+
+
+class TestFrontProperties:
+    @given(point_sets())
+    @settings(max_examples=200)
+    def test_front_never_contains_a_dominated_point(self, points):
+        front = pareto_front(points, NAMES)
+        for i in front:
+            assert not any(
+                dominates(points[j], points[i], NAMES)
+                for j in range(len(points)) if j != i
+            )
+
+    @given(point_sets())
+    @settings(max_examples=200)
+    def test_every_off_front_point_is_dominated_by_a_front_member(
+        self, points
+    ):
+        # Needs transitivity: its dominator may itself be dominated,
+        # but the chain must terminate on the front.
+        front = set(pareto_front(points, NAMES))
+        for i in range(len(points)):
+            if i in front:
+                continue
+            assert any(
+                dominates(points[j], points[i], NAMES) for j in front
+            )
+
+    @given(point_sets())
+    @settings(max_examples=200)
+    def test_idempotent(self, points):
+        front = pareto_front(points, NAMES)
+        refront = pareto_front([points[i] for i in front], NAMES)
+        assert refront == list(range(len(front)))
+
+    @given(point_sets(), st.randoms(use_true_random=False))
+    @settings(max_examples=200)
+    def test_order_invariant(self, points, rng):
+        order = list(range(len(points)))
+        rng.shuffle(order)
+        base = {id(points[i]) for i in pareto_front(points, NAMES)}
+        shuffled = [points[i] for i in order]
+        permuted = {
+            id(shuffled[i]) for i in pareto_front(shuffled, NAMES)
+        }
+        assert base == permuted
+
+    @given(point_sets())
+    @settings(max_examples=100)
+    def test_front_is_never_empty(self, points):
+        assert pareto_front(points, NAMES)
+
+    @given(interval(), interval())
+    @settings(max_examples=200)
+    def test_dominance_is_asymmetric(self, a, b):
+        pa, pb = {"a": a, "b": a}, {"a": b, "b": b}
+        assert not (
+            dominates(pa, pb, NAMES) and dominates(pb, pa, NAMES)
+        )

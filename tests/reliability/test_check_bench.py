@@ -34,6 +34,12 @@ def _doc(**overrides):
                 "speedup_vs_reference": 500.0,
             },
         },
+        "autotune": {
+            "points": 3,
+            "cells_per_s_cold": 8.0,
+            "cells_per_s_warm": 800.0,
+            "warm_speedup": 100.0,
+        },
     }
     doc.update(overrides)
     return doc
@@ -183,6 +189,54 @@ class TestGates:
         slow["kernels"]["batch"]["trials_per_s"] = 100_000.0
         rc, _ = _run(tmp_path, capsys, slow, _doc(), "--tolerance", "0.9")
         assert rc == 0
+
+
+class TestAutotuneFloors:
+    def test_missing_autotune_section_fails_validation(
+        self, tmp_path, capsys
+    ):
+        broken = _doc()
+        del broken["autotune"]
+        rc, out = _run(tmp_path, capsys, broken, _doc())
+        assert rc == 1
+        assert "FAIL: current: missing 'autotune' section" in out
+        assert "make bench-baseline" in out
+
+    def test_malformed_autotune_fails_before_deref(self, tmp_path, capsys):
+        broken = _doc(autotune={"cells_per_s_cold": "quick"})
+        rc, out = _run(tmp_path, capsys, broken, _doc())
+        assert rc == 1
+        assert "autotune['cells_per_s_cold']" in out
+        assert "autotune['warm_speedup']" in out
+        assert "Traceback" not in out
+
+    def test_cold_pass_regression_fails(self, tmp_path, capsys):
+        slow = _doc()
+        slow["autotune"]["cells_per_s_cold"] = 2.0  # -75% vs baseline 8
+        rc, out = _run(tmp_path, capsys, slow, _doc())
+        assert rc == 1
+        assert "FAIL: autotune cold-pass throughput" in out
+
+    def test_warm_speedup_floor(self, tmp_path, capsys):
+        # The ratio is gated within the current run: a dead point cache
+        # shows up as ~1x even when absolute rates look healthy.
+        broken = _doc()
+        broken["autotune"]["warm_speedup"] = 1.1
+        rc, out = _run(tmp_path, capsys, broken, _doc())
+        assert rc == 1
+        assert "autotune warm-cache speedup 1.1x" in out
+
+    def test_speedup_flag_overrides_the_floor(self, tmp_path, capsys):
+        modest = _doc()
+        modest["autotune"]["warm_speedup"] = 3.0
+        rc, _ = _run(tmp_path, capsys, modest, _doc(),
+                     "--min-autotune-speedup", "2.0")
+        assert rc == 0
+
+    def test_summary_quotes_autotune(self, tmp_path, capsys):
+        rc, out = _run(tmp_path, capsys, _doc(), _doc())
+        assert rc == 0
+        assert "autotune 8.0 cells/s cold (100x warm)" in out
 
 
 def _scenarios(rate):

@@ -1,0 +1,65 @@
+"""The docs-consistency gate: introspection plus the FAIL contract.
+
+``scripts/check_docs.py`` keeps the documentation corpus honest by
+introspecting the live argparse tree; these tests pin (a) that the
+introspection actually sees newly added verbs — autotune/recommend
+must appear without any hand-maintained list being touched — and
+(b) that :func:`check` emits a greppable ``FAIL:`` line for every
+undocumented verb and flag, and nothing when the corpus covers them.
+"""
+
+import importlib.util
+from pathlib import Path
+
+_SCRIPT = Path(__file__).resolve().parents[1] / "scripts" / "check_docs.py"
+_spec = importlib.util.spec_from_file_location("check_docs", _SCRIPT)
+check_docs = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_docs)
+
+
+class TestCheck:
+    def test_undocumented_verb_is_a_fail_line(self):
+        failures = check_docs.check({"frobnicate": []}, corpus="")
+        assert failures == [
+            "FAIL: verb 'frobnicate' is not documented"
+        ]
+
+    def test_undocumented_flag_is_a_fail_line(self):
+        failures = check_docs.check(
+            {"run": ["--trials", "--seed"]},
+            corpus="The `run` verb takes --trials.",
+        )
+        assert failures == ["FAIL: run: flag --seed is not documented"]
+
+    def test_documented_surface_is_clean(self):
+        corpus = "Use `run --trials N --seed S` to run."
+        assert check_docs.check(
+            {"run": ["--trials", "--seed"]}, corpus
+        ) == []
+
+    def test_every_failure_is_reported_not_just_the_first(self):
+        failures = check_docs.check(
+            {"a": ["--x"], "b": ["--y"]}, corpus=""
+        )
+        assert len(failures) == 4
+        assert all(line.startswith("FAIL: ") for line in failures)
+
+
+class TestSurface:
+    def test_new_verbs_are_picked_up_automatically(self):
+        surface = check_docs.cli_surface()
+        assert "autotune" in surface
+        assert "recommend" in surface
+
+    def test_surface_carries_the_new_flags(self):
+        surface = check_docs.cli_surface()
+        assert "--objectives" in surface["autotune"]
+        assert "--fit-budget" in surface["recommend"]
+        assert "--area-budget" in surface["recommend"]
+
+    def test_repo_docs_cover_the_full_surface(self):
+        """The live gate itself: the shipped docs must be in sync."""
+        failures = check_docs.check(
+            check_docs.cli_surface(), check_docs.doc_corpus()
+        )
+        assert failures == []
