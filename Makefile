@@ -4,7 +4,7 @@ PYTHON ?= python
 
 .PHONY: install lint test test-all bench bench-perf bench-baseline \
 	figures figures-par reliability-smoke service-smoke fabric-smoke \
-	autotune-smoke check-docs examples clean
+	autotune-smoke traffic-smoke check-docs examples clean
 
 install:
 	$(PYTHON) -m pip install -e .[dev]
@@ -37,7 +37,7 @@ bench:
 # throughput per backend (reference / batch / vector when numpy is
 # installed) plus the autotune explorer's cold/warm-cache passes, then
 # fail if anything regressed past the committed baseline
-# (BENCH_reliability.json at the repo root, schema v4) or a speedup
+# (BENCH_reliability.json at the repo root, schema v5) or a speedup
 # ratio fell under its floor.  See scripts/check_bench.py.
 bench-perf:
 	PYTHONPATH=src:benchmarks $(PYTHON) \
@@ -45,7 +45,7 @@ bench-perf:
 		--out benchmarks/results/BENCH_reliability.json
 	$(PYTHON) scripts/check_bench.py
 
-# Refresh the committed schema-v4 baseline after an intentional kernel
+# Refresh the committed schema-v5 baseline after an intentional kernel
 # change (run with the [fast] extra installed so the vector backend is
 # part of the baseline).
 bench-baseline:
@@ -91,6 +91,14 @@ fabric-smoke:
 # facade document.
 autotune-smoke:
 	PYTHONPATH=src $(PYTHON) scripts/autotune_smoke.py
+
+# Traffic-aware variant gate (docs/traffic.md): silent-write must
+# elide stores (and never raise traffic), wb-compress must shrink the
+# write-back stream, the standard path must keep every counter at
+# zero, and an area/fit/traffic autotune grid must place at least one
+# traffic-aware variant on the Pareto front.
+traffic-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/traffic_smoke.py
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; done

@@ -21,7 +21,12 @@ root) and exits non-zero when any floor is violated:
   and its warm-cache re-run must stay at least
   ``--min-autotune-speedup`` (default 5×) faster than the cold pass,
   measured in the same run — a point-cache bug degrades that ratio to
-  ~1× long before any absolute rate drifts.
+  ~1× long before any absolute rate drifts;
+* **runner throughput** (schema v5) — the reference-stream runner's
+  standard-variant refs/s is floored against the baseline (the nominal
+  path must not pay for the traffic-aware machinery), and the
+  silent-write variant's in-run detection overhead must stay under
+  ``--max-runner-overhead`` (default 5%).
 
 The ``vector`` backend is gated only when the current run measured it
 (numpy installed); a current run without it is a graceful skip, never a
@@ -50,7 +55,7 @@ import sys
 from pathlib import Path
 
 #: The artifact schema this gate understands (see the benchmark module).
-SCHEMA = 4
+SCHEMA = 5
 
 #: Keys every artifact must carry before any gate math runs.
 REQUIRED_KERNEL_KEYS = {
@@ -63,6 +68,11 @@ VECTOR_KERNEL_KEYS = ("trials_per_s", "speedup_vs_batch")
 
 #: Keys the (v4-mandatory) ``autotune`` section must carry.
 AUTOTUNE_KEYS = ("cells_per_s_cold", "cells_per_s_warm", "warm_speedup")
+
+#: Keys the (v5-mandatory) ``runner`` section must carry.
+RUNNER_KEYS = (
+    "standard_refs_per_s", "silent_write_refs_per_s", "overhead_pct"
+)
 
 REGENERATE_HINT = "regenerate the baseline with `make bench-baseline`"
 
@@ -163,6 +173,19 @@ def validate(doc: dict, label: str) -> list:
                     f"{label}: autotune[{key!r}] is missing or not a "
                     f"number — {REGENERATE_HINT}"
                 )
+    # The runner section is mandatory from schema v5 on, same logic.
+    runner = doc.get("runner")
+    if not isinstance(runner, dict):
+        problems.append(
+            f"{label}: missing 'runner' section — {REGENERATE_HINT}"
+        )
+    else:
+        for key in RUNNER_KEYS:
+            if not isinstance(runner.get(key), (int, float)):
+                problems.append(
+                    f"{label}: runner[{key!r}] is missing or not a "
+                    f"number — {REGENERATE_HINT}"
+                )
     return problems
 
 
@@ -173,6 +196,7 @@ def check(
     min_speedup: float,
     min_vector_speedup: float,
     min_autotune_speedup: float,
+    max_runner_overhead: float,
 ) -> list:
     """Gate violations between two *validated* artifacts (empty == pass)."""
     problems = []
@@ -243,6 +267,27 @@ def check(
             f"autotune warm-cache speedup {warm_speedup:.1f}x is below "
             f"the {min_autotune_speedup:.1f}x floor"
         )
+
+    # Runner: the nominal path's absolute rate holds the tolerance
+    # floor against the baseline; the silent-write detection's cost is
+    # a same-run ratio (machine-free) held under the overhead ceiling.
+    runner_floor = baseline["runner"]["standard_refs_per_s"] * (
+        1.0 - tolerance
+    )
+    runner_rate = current["runner"]["standard_refs_per_s"]
+    if runner_rate < runner_floor:
+        problems.append(
+            f"runner standard-path throughput {runner_rate:,.0f} refs/s "
+            f"is below the floor {runner_floor:,.0f} (baseline "
+            f"{baseline['runner']['standard_refs_per_s']:,.0f} minus "
+            f"{tolerance:.0%} tolerance)"
+        )
+    overhead = current["runner"]["overhead_pct"]
+    if overhead > max_runner_overhead:
+        problems.append(
+            f"silent-write detection overhead {overhead:.1f}% exceeds "
+            f"the {max_runner_overhead:.1f}% ceiling"
+        )
     return problems
 
 
@@ -259,10 +304,13 @@ def _summary_line(label: str, doc: dict) -> str:
             f"({kernels['vector']['speedup_vs_batch']:.1f}x batch)"
         )
     autotune = doc["autotune"]
+    runner = doc["runner"]
     return (
         f"{label}: " + ", ".join(parts) + " trials/s; autotune "
         f"{autotune['cells_per_s_cold']:,.1f} cells/s cold "
-        f"({autotune['warm_speedup']:.0f}x warm)"
+        f"({autotune['warm_speedup']:.0f}x warm); runner "
+        f"{runner['standard_refs_per_s']:,.0f} refs/s "
+        f"({runner['overhead_pct']:.1f}% detection overhead)"
     )
 
 
@@ -304,6 +352,13 @@ def main(argv=None) -> int:
         help="required autotune warm-cache/cold speedup in the current "
              "run",
     )
+    parser.add_argument(
+        "--max-runner-overhead",
+        type=float,
+        default=5.0,
+        help="allowed silent-write detection overhead (%% of standard "
+             "refs/s) in the current run",
+    )
     args = parser.parse_args(argv)
 
     current = _load(args.current)
@@ -323,6 +378,7 @@ def main(argv=None) -> int:
         args.min_speedup,
         args.min_vector_speedup,
         args.min_autotune_speedup,
+        args.max_runner_overhead,
     )
 
     print(_summary_line("current ", current))

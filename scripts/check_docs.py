@@ -32,6 +32,42 @@ def doc_corpus() -> str:
     return "\n".join(chunks)
 
 
+def api_doc_text() -> str:
+    """The registry-reference document (``docs/api.md``) alone."""
+    return (REPO / "docs" / "api.md").read_text(encoding="utf-8")
+
+
+def registry_names() -> dict:
+    """``{registry: [registered names]}`` from the live registries.
+
+    Everything a request can select by name — policy variants, fault
+    scenarios, ECC codecs — must be enumerated in ``docs/api.md``; a
+    name registered without a docs mention fails CI here, exactly like
+    an undocumented CLI flag.
+    """
+    from repro.core.policy import available_variants
+    from repro.ecc import available_codecs
+    from repro.reliability.scenarios import available_scenarios
+
+    return {
+        "variant": list(available_variants()),
+        "scenario": list(available_scenarios()),
+        "codec": list(available_codecs()),
+    }
+
+
+def check_registries(names: dict, api_text: str) -> list:
+    """``FAIL:`` lines for registered names missing from docs/api.md."""
+    failures = []
+    for registry, entries in sorted(names.items()):
+        for name in entries:
+            if name not in api_text:
+                failures.append(
+                    f"FAIL: {registry} {name!r} is not in docs/api.md"
+                )
+    return failures
+
+
 def cli_surface() -> dict:
     """``{verb: [long options]}`` from the live parser."""
     from repro.cli import build_parser
@@ -73,19 +109,24 @@ def check(surface: dict, corpus: str) -> list:
 
 def main() -> int:
     surface = cli_surface()
+    names = registry_names()
     failures = check(surface, doc_corpus())
+    failures += check_registries(names, api_doc_text())
     n_flags = sum(len(f) for f in surface.values())
+    n_names = sum(len(v) for v in names.values())
     if failures:
-        print("docs are out of sync with the CLI surface:")
+        print("docs are out of sync with the CLI/registry surface:")
         for line in failures:
             print(line)
         print(
             f"\n(checked {n_flags} flags across {len(surface)} verbs "
-            f"against {', '.join(DOC_GLOBS)})"
+            f"against {', '.join(DOC_GLOBS)}, and {n_names} registered "
+            f"names against docs/api.md)"
         )
         return 1
     print(
-        f"docs OK: {len(surface)} verbs, {n_flags} flags all documented"
+        f"docs OK: {len(surface)} verbs, {n_flags} flags, "
+        f"{n_names} registered names all documented"
     )
     return 0
 

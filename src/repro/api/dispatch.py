@@ -97,10 +97,59 @@ def register_kind(
         EXAMPLE_KWARGS[kind] = dict(example)
 
 
-def default_doc(kind: str) -> dict:
-    """A kind's default (or minimal representative) request document."""
+def _enum_providers() -> Dict[str, List[str]]:
+    """Registry-backed request fields -> their current valid values.
+
+    One place renders every enumerable axis from its registry —
+    variants, scenarios, codecs, kernels, schemes, objectives — so
+    ``GET /v1/kinds`` (and the docs built from it) can never drift from
+    what :mod:`repro.api.requests` actually accepts.
+    """
+    from repro.autotune import SCHEMES, available_objectives
+    from repro.core.policy import available_variants
+    from repro.ecc import available_codecs
+    from repro.reliability.campaign import KERNELS
+    from repro.reliability.scenarios import available_scenarios
+
+    return {
+        "variant": list(available_variants()),
+        "variants": list(available_variants()),
+        "scenario": list(available_scenarios()),
+        "scenarios": list(available_scenarios()),
+        "codec": list(available_codecs()),
+        "codecs": list(available_codecs()),
+        "kernel": list(KERNELS),
+        "schemes": list(SCHEMES),
+        "objectives": list(available_objectives()),
+    }
+
+
+def kind_enums(kind: str) -> Dict[str, List[str]]:
+    """A kind's registry-backed fields and their valid values."""
+    import dataclasses
+
     cls, _ = KINDS[kind]
-    return cls(**EXAMPLE_KWARGS.get(kind, {})).as_dict()
+    providers = _enum_providers()
+    return {
+        f.name: providers[f.name]
+        for f in dataclasses.fields(cls)
+        if f.name in providers
+    }
+
+
+def default_doc(kind: str) -> dict:
+    """A kind's default (or minimal representative) request document.
+
+    The document carries one extra, informational ``"enums"`` key
+    mapping each registry-backed field to its valid values (from
+    :func:`kind_enums`); strip it before POSTing the document back.
+    """
+    cls, _ = KINDS[kind]
+    doc = cls(**EXAMPLE_KWARGS.get(kind, {})).as_dict()
+    enums = kind_enums(kind)
+    if enums:
+        doc["enums"] = enums
+    return doc
 
 
 def execute(kind: str, request: Any, **kwargs: Any) -> Any:
@@ -134,6 +183,7 @@ def request_key(kind: str, request: Any) -> str:
                 request.benchmark,
                 request.protection_config(),
                 request.run_config(),
+                variant=request.variant,
             )
         )
     payload = {
@@ -180,18 +230,21 @@ def run(
             ) from None
         out = run_trace(
             stream, protection, config, label=request.trace,
-            tracer=tracer, profiler=profiler,
+            tracer=tracer, profiler=profiler, variant=request.variant,
         )
     else:
         _benchmark(request.benchmark)
         if tracer is not None:
             out = run_refs(
                 request.benchmark, protection, config,
-                tracer=tracer, profiler=profiler,
+                tracer=tracer, profiler=profiler, variant=request.variant,
             )
         else:
             eng = _engine(engine)
-            out = eng.run_refs(request.benchmark, protection, config)
+            out = eng.run_refs(
+                request.benchmark, protection, config,
+                variant=request.variant,
+            )
             if profiler is not None:
                 profiler.merge(eng.profiler)
 
@@ -215,6 +268,10 @@ def run(
         writeback_split=dict(out.writeback_split),
         l2_miss_rate=out.l2_miss_rate,
         bus_utilization=out.bus_utilization,
+        silent_writes=out.silent_writes,
+        elided_ecc_updates=out.elided_ecc_updates,
+        wb_bytes_raw=out.wb_bytes_raw,
+        wb_bytes_compressed=out.wb_bytes_compressed,
     )
 
 
@@ -233,7 +290,7 @@ def ipc(
     org = eng.run_ipc(request.benchmark, None, config, n_insts=request.insts)
     ours = eng.run_ipc(
         request.benchmark, request.protection_config(), config,
-        n_insts=request.insts,
+        n_insts=request.insts, variant=request.variant,
     )
     loss = 100 * (org.ipc - ours.ipc) / org.ipc if org.ipc else 0.0
     return IpcResponse(
@@ -247,6 +304,12 @@ def ipc(
         org_writeback_fraction=org.writeback_fraction,
         ours_writeback_fraction=ours.writeback_fraction,
         ipc_loss_pct=loss,
+        org_energy_uj=org.energy_uj,
+        ours_energy_uj=ours.energy_uj,
+        silent_writes=ours.silent_writes,
+        elided_ecc_updates=ours.elided_ecc_updates,
+        wb_bytes_raw=ours.wb_bytes_raw,
+        wb_bytes_compressed=ours.wb_bytes_compressed,
     )
 
 
@@ -460,7 +523,7 @@ def reliability(
         _benchmark(request.benchmark)
         config = _run_config(request.refs, request.warmup, request.seed)
         dirty_fractions = measured_dirty_fractions(
-            request.benchmark, config, engine=eng
+            request.benchmark, config, engine=eng, variant=request.variant
         )
         if progress is not None:
             progress({
@@ -713,6 +776,7 @@ __all__ = [
     "figures",
     "inject",
     "ipc",
+    "kind_enums",
     "recommend",
     "register_kind",
     "reliability",

@@ -86,6 +86,17 @@ def _benchmark(name: str) -> str:
     return name
 
 
+def _variant(name: str) -> str:
+    from repro.core.policy import available_variants
+
+    if name not in available_variants():
+        raise ReproError(
+            f"unknown variant {name!r}; "
+            f"available variants: {', '.join(available_variants())}"
+        )
+    return name
+
+
 # -- run ----------------------------------------------------------------------
 
 
@@ -103,6 +114,11 @@ class RunRequest:
     refs: int = 60_000
     warmup: int = 20_000
     seed: int = 0
+    #: Policy variant (:func:`repro.core.policy.available_variants`).
+    variant: str = "standard"
+
+    def __post_init__(self) -> None:
+        _variant(self.variant)
 
     def protection_config(self) -> Optional[ProtectionConfig]:
         if self.interval is None and self.ecc_entries is None:
@@ -133,6 +149,11 @@ class IpcRequest:
     refs: int = 60_000
     warmup: int = 20_000
     seed: int = 0
+    #: Policy variant (:func:`repro.core.policy.available_variants`).
+    variant: str = "standard"
+
+    def __post_init__(self) -> None:
+        _variant(self.variant)
 
     def protection_config(self) -> Optional[ProtectionConfig]:
         if self.interval is None and self.ecc_entries is None:
@@ -268,6 +289,8 @@ class ReliabilityRequest:
     checkpoint: Optional[str] = None
     scenario: str = "nominal"
     codec: str = "secded"
+    #: Policy variant for the dirty-fraction measurement run.
+    variant: str = "standard"
 
     def __post_init__(self) -> None:
         # Validate kernel, scenario and codec at request-construction
@@ -300,6 +323,7 @@ class ReliabilityRequest:
                 f"unknown codec {self.codec!r}; "
                 f"available codecs: {', '.join(available_codecs())}"
             )
+        _variant(self.variant)
 
     def campaign_config(
         self, dirty_fractions: Optional[Mapping[str, float]] = None
@@ -390,7 +414,6 @@ class AutotuneRequest:
         from repro.autotune import SCHEMES, available_objectives
         from repro.autotune.pareto import OBJECTIVES
         from repro.ecc import available_codecs
-        from repro.experiments.pool import VARIANTS
         from repro.reliability.campaign import KERNELS
         from repro.reliability.scenarios import available_scenarios
 
@@ -431,11 +454,7 @@ class AutotuneRequest:
             if not isinstance(wb, int) or wb < 1:
                 raise ReproError("write_buffers must be positive")
         for variant in self.variants:
-            if variant not in VARIANTS:
-                raise ReproError(
-                    f"unknown variant {variant!r}; "
-                    f"available variants: {', '.join(VARIANTS)}"
-                )
+            _variant(variant)
         for scenario in self.scenarios:
             if scenario not in available_scenarios():
                 raise ReproError(
@@ -454,12 +473,6 @@ class AutotuneRequest:
                 "(a one-objective front is just the minimum)"
             )
         if "ipc" in self.objectives:
-            bad = [v for v in self.variants if v != "standard"]
-            if bad:
-                raise ReproError(
-                    "the ipc objective only supports the 'standard' "
-                    f"variant (got: {', '.join(bad)})"
-                )
             if self.insts < 1:
                 raise ReproError("insts must be positive")
         if self.trials < 1:

@@ -40,6 +40,11 @@ class RunResponse:
     writeback_split: Dict[str, float]
     l2_miss_rate: float
     bus_utilization: float
+    #: Traffic-aware variant counters; all stay 0 on the standard path.
+    silent_writes: int = 0
+    elided_ecc_updates: int = 0
+    wb_bytes_raw: int = 0
+    wb_bytes_compressed: int = 0
 
     def as_dict(self) -> Dict[str, Any]:
         return _as_dict(self)
@@ -58,6 +63,14 @@ class IpcResponse:
     ours_writeback_fraction: float
     #: 100 × (org − ours) / org, the paper's headline metric.
     ipc_loss_pct: float
+    #: Memory-system energy of each run (:mod:`repro.cache.energy`).
+    org_energy_uj: float = 0.0
+    ours_energy_uj: float = 0.0
+    #: Traffic-aware variant counters of the "ours" run; 0 on standard.
+    silent_writes: int = 0
+    elided_ecc_updates: int = 0
+    wb_bytes_raw: int = 0
+    wb_bytes_compressed: int = 0
 
     def as_dict(self) -> Dict[str, Any]:
         return _as_dict(self)

@@ -80,7 +80,7 @@ class DesignPoint:
     ecc_entries: Optional[int]
     #: Write-buffer entries between L2 and memory.
     write_buffer: int
-    #: Simulation variant (:data:`repro.experiments.pool.VARIANTS`).
+    #: Policy variant (:func:`repro.core.policy.available_variants`).
     variant: str
     #: Correlated-fault scenario pack.
     scenario: str
@@ -235,8 +235,9 @@ def expand_grid(
       shared-ECC ways and no policy variant — those axes collapse;
       ``parity-only`` additionally has no ECC slot, so its codec axis
       collapses to ``secded`` (the value is unused).
-    * the ``eager`` variant replaces periodic cleaning with eager
-      write-backs, so its interval axis collapses.
+    * variants whose registry spec sets ``collapses_interval`` (e.g.
+      ``eager``, which replaces periodic cleaning with eager
+      write-backs) have their interval axis collapsed.
     """
     points: List[DesignPoint] = []
     seen = set()
@@ -269,11 +270,13 @@ def _canonical(
     variant: str,
     scenario: str,
 ) -> DesignPoint:
+    from repro.core.policy import get_variant
+
     if scheme != "non-uniform":
         interval, entries, variant = None, None, "standard"
         if scheme == "parity-only":
             codec = "secded"
-    elif variant == "eager":
+    elif get_variant(variant).collapses_interval:
         interval = None
     return DesignPoint(
         benchmark=benchmark,
@@ -345,7 +348,8 @@ def evaluate_point(task: PointTask) -> PointMetrics:
     ipc = None
     if task.measure_ipc:
         ipc = run_ipc(
-            point.benchmark, protection, config, n_insts=task.insts
+            point.benchmark, protection, config,
+            n_insts=task.insts, variant=point.variant,
         ).ipc
 
     return PointMetrics(

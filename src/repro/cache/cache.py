@@ -36,10 +36,17 @@ class WritebackReason(enum.Enum):
 
 @dataclass(frozen=True)
 class Writeback:
-    """One dirty-line write-back: block address plus its cause."""
+    """One dirty-line write-back: block address plus its cause.
+
+    ``bytes`` is the payload size actually sent downstream; ``None``
+    (the nominal path) means the full line.  The wb-compress variant
+    fills it in with the compressed size so main memory and the
+    bus-energy model are charged what really crossed the bus.
+    """
 
     addr: int
     reason: WritebackReason
+    bytes: Optional[int] = None
 
 
 @dataclass

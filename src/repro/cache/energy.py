@@ -127,13 +127,15 @@ def estimate_energy(
         # Parity is maintained on every operation.
         components["L2 parity logic"] = all_ops * params.parity_per_word
         # ECC work: every write encodes; reads check ECC only when the
-        # line is dirty; write-backs of dirty lines re-check.
+        # line is dirty; write-backs of dirty lines re-check.  Writes a
+        # silent-write variant elided never reach the encoder, so their
+        # word count comes straight back off (0 on the nominal path).
         ecc_words = (
-            l2_writes * words_per_l2_line
+            (l2_writes - l2.elided_ecc_updates) * words_per_l2_line
             + l2_reads * dirty_fraction * words_per_l2_line
             + l2.writebacks_total * words_per_l2_line
         )
-        components["L2 ECC logic"] = ecc_words * params.ecc_per_word
+        components["L2 ECC logic"] = max(0.0, ecc_words) * params.ecc_per_word
 
     return EnergyBreakdown(scheme=scheme, components=components)
 

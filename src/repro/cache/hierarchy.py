@@ -283,14 +283,22 @@ class MemoryHierarchy:
         """
         for idx, cache in enumerate(self.levels):
             for wb in cache.advance(cycle):
-                self._push_down(wb.addr, cycle, idx + 1)
+                self._push_down(wb, cycle, idx + 1)
 
-    def _push_down(self, addr: int, cycle: int, level: int) -> None:
-        """Deliver a write-back to ``level`` (memory past the last cache)."""
+    def _push_down(self, wb, cycle: int, level: int) -> None:
+        """Deliver a write-back to ``level`` (memory past the last cache).
+
+        A :class:`~repro.cache.cache.Writeback` carrying a compressed
+        ``bytes`` count charges memory that size; ``None`` charges the
+        full line, exactly as before.
+        """
         if level >= len(self.levels):
-            self.memory.write(cycle, self.levels[-1].config.line_bytes)
+            size = wb.bytes
+            if size is None:
+                size = self.levels[-1].config.line_bytes
+            self.memory.write(cycle, size)
         else:
-            self._level_access(addr, True, cycle, level)
+            self._level_access(wb.addr, True, cycle, level)
 
     def _level_access(
         self, addr: int, is_write: bool, cycle: int, level: int
@@ -309,7 +317,7 @@ class MemoryHierarchy:
         res = cache.access(addr, is_write=is_write, cycle=cycle)
         extra = 0
         for wb in res.writebacks:
-            self._push_down(wb.addr, cycle, level + 1)
+            self._push_down(wb, cycle, level + 1)
         if res.fill_addr is not None:
             extra = self._level_access(
                 res.fill_addr, False, cycle, level + 1

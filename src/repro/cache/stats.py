@@ -44,6 +44,17 @@ class CacheStats(StatsSourceMixin):
     #: duration in cycles: the data for mean-exposure statistics.
     dirty_episodes: int = 0
     dirty_episode_cycles: int = 0
+    #: Stores that rewrote the value the line already held and were
+    #: elided (silent-write variants only; always 0 on the nominal path).
+    silent_writes: int = 0
+    #: ECC encodes / shared-array claims skipped by silent-write elision.
+    elided_ecc_updates: int = 0
+    #: Clean->dirty transitions skipped by silent-write elision.
+    elided_dirty_transitions: int = 0
+    #: Write-back bytes before / after compression (wb-compress variant
+    #: only; both stay 0 on the nominal path).
+    wb_bytes_raw: int = 0
+    wb_bytes_compressed: int = 0
 
     @property
     def accesses(self) -> int:
@@ -79,8 +90,21 @@ class CacheStats(StatsSourceMixin):
             return 0.0
         return self.dirty_episode_cycles / self.dirty_episodes
 
+    @property
+    def silent_write_fraction(self) -> float:
+        """Elided stores as a fraction of all write accesses."""
+        writes = self.write_hits + self.write_misses
+        return self.silent_writes / writes if writes else 0.0
+
+    @property
+    def wb_compression_ratio(self) -> float:
+        """Raw over compressed write-back bytes (1.0 when untracked)."""
+        if self.wb_bytes_compressed == 0:
+            return 1.0
+        return self.wb_bytes_raw / self.wb_bytes_compressed
+
     # ``as_dict``/``reset`` come from :class:`StatsSourceMixin`: one
-    # flat entry per dataclass field (13 counters).
+    # flat entry per dataclass field (18 counters).
 
 
 @dataclass

@@ -135,15 +135,45 @@ def _add_pool_args(parser: argparse.ArgumentParser) -> None:
 
 def _add_format_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--format", choices=["table", "json"], default="table",
-        help="render a table (default) or print the facade's result "
-             "document as JSON",
+        "--format", choices=["table", "json", "csv"], default="table",
+        help="render a table (default), print the facade's result "
+             "document as JSON, or emit the table's rows as CSV",
     )
 
 
 def _emit_json(response) -> int:
     """``--format json``: the facade result document, nothing else."""
     print(json.dumps(response.as_dict(), indent=2, sort_keys=True))
+    return 0
+
+
+def _emit_csv(headers, rows) -> int:
+    """``--format csv``: the table's headers and raw rows, one CSV."""
+    import csv
+
+    writer = csv.writer(sys.stdout)
+    writer.writerow(headers)
+    writer.writerows(rows)
+    return 0
+
+
+def _render_rows(
+    args, headers, rows, *, title=None, ndigits=2, response=None, doc=None
+) -> int:
+    """The one ``table|json|csv`` renderer the tabular commands share.
+
+    ``json`` prints the facade result document (``response.as_dict()``)
+    when one exists, otherwise the explicit ``doc``; ``csv`` emits the
+    same headers and raw rows the table would render.
+    """
+    if args.format == "json":
+        if response is not None:
+            return _emit_json(response)
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    if args.format == "csv":
+        return _emit_csv(headers, rows)
+    print(render_table(headers, rows, ndigits=ndigits, title=title))
     return 0
 
 
@@ -168,6 +198,20 @@ def _add_trace_args(parser: argparse.ArgumentParser) -> None:
         "--trace-capacity", type=_parse_capacity, default=65536,
         metavar="N",
         help="event ring-buffer capacity (oldest events drop beyond it)",
+    )
+
+
+def _add_variant_arg(parser: argparse.ArgumentParser) -> None:
+    # Like --kernel/--scenario/--codec: no argparse `choices` — the
+    # facade rejects unknown names with the same enumerating error the
+    # HTTP service returns as a 400.
+    from repro.core.policy import available_variants
+
+    parser.add_argument(
+        "--variant", default="standard",
+        help="policy variant: " + ", ".join(available_variants())
+             + " ('silent-write' elides redundant stores, 'wb-compress' "
+             "compresses write-back traffic; see docs/traffic.md)",
     )
 
 
@@ -203,12 +247,16 @@ def _export_trace(tracer: Optional[EventTracer], args, file=None) -> None:
           file=file or sys.stdout)
 
 
-def _render_area(response: api.AreaResponse) -> str:
+def _area_rows(response: api.AreaResponse) -> List[List[str]]:
     rows = [[f"conventional: {n}", f"{k:.2f}"]
             for n, k in response.conventional]
     rows += [[f"proposed: {n}", f"{k:.2f}"] for n, k in response.proposed]
     rows.append(["reduction", f"{100 * response.reduction:.1f}%"])
-    return render_table(["component", "KiB"], rows,
+    return rows
+
+
+def _render_area(response: api.AreaResponse) -> str:
+    return render_table(["component", "KiB"], _area_rows(response),
                         title="Protection area, 1MB 4-way 64B L2")
 
 
@@ -248,16 +296,12 @@ def cmd_run(args) -> int:
     request = api.RunRequest(
         benchmark=args.benchmark, trace=args.trace, interval=args.interval,
         ecc_entries=args.ecc_entries, refs=args.refs, warmup=args.warmup,
-        seed=args.seed,
+        seed=args.seed, variant=args.variant,
     )
     tracer = _make_tracer(args)
     profiler = PhaseProfiler()
     out = api.run(request, engine=_engine(args), tracer=tracer,
                   profiler=profiler)
-    if args.format == "json":
-        _emit_json(out)
-        _export_trace(tracer, args, file=sys.stderr)
-        return 0
     rows = [
         ["benchmark", out.benchmark],
         ["measured refs", out.refs],
@@ -274,45 +318,61 @@ def cmd_run(args) -> int:
     if out.cleaning_interval is not None:
         # Paper-nominal interval plus the cycles this geometry ran it at.
         rows.insert(1, ["cleaning interval", out.cleaning_interval])
-    print(render_table(["metric", "value"], rows))
-    _export_trace(tracer, args)
-    if args.profile:
+    if args.variant != "standard":
+        rows.insert(1, ["variant", args.variant])
+        rows += [
+            ["silent writes", out.silent_writes],
+            ["elided ECC updates", out.elided_ecc_updates],
+            ["write-back bytes raw", out.wb_bytes_raw],
+            ["write-back bytes sent", out.wb_bytes_compressed],
+        ]
+    ret = _render_rows(args, ["metric", "value"], rows, response=out)
+    _export_trace(tracer, args,
+                  file=None if args.format == "table" else sys.stderr)
+    if args.profile and args.format == "table":
         print(profiler.summary())
-    return 0
+    return ret
 
 
 def cmd_ipc(args) -> int:
     request = api.IpcRequest(
         benchmark=args.benchmark, insts=args.insts, interval=args.interval,
         ecc_entries=args.ecc_entries, refs=args.refs, warmup=args.warmup,
-        seed=args.seed,
+        seed=args.seed, variant=args.variant,
     )
     engine = _engine(args)
     out = api.ipc(request, engine=engine)
-    if args.format == "json":
-        return _emit_json(out)
-    print(render_table(
-        ["metric", "org", "ours"],
-        [
-            ["IPC", out.org_ipc, out.ours_ipc],
-            ["cycles", out.org_cycles, out.ours_cycles],
-            ["writeback fraction", out.org_writeback_fraction,
-             out.ours_writeback_fraction],
-        ],
-        ndigits=3,
-        title=f"{args.benchmark}: {args.insts} instructions",
-    ))
-    print(f"IPC loss: {out.ipc_loss_pct:.2f}%")
-    _print_sweep_stats(engine)
-    return 0
+    rows = [
+        ["IPC", out.org_ipc, out.ours_ipc],
+        ["cycles", out.org_cycles, out.ours_cycles],
+        ["writeback fraction", out.org_writeback_fraction,
+         out.ours_writeback_fraction],
+        ["energy (uJ)", out.org_energy_uj, out.ours_energy_uj],
+    ]
+    if args.variant != "standard":
+        rows += [
+            ["silent writes", 0, out.silent_writes],
+            ["elided ECC updates", 0, out.elided_ecc_updates],
+            ["write-back bytes raw", 0, out.wb_bytes_raw],
+            ["write-back bytes sent", 0, out.wb_bytes_compressed],
+        ]
+    title = f"{args.benchmark}: {args.insts} instructions"
+    if args.variant != "standard":
+        title += f" (ours = {args.variant})"
+    ret = _render_rows(args, ["metric", "org", "ours"], rows,
+                       ndigits=3, title=title, response=out)
+    if args.format == "table":
+        print(f"IPC loss: {out.ipc_loss_pct:.2f}%")
+        _print_sweep_stats(engine)
+    return ret
 
 
 def cmd_area(args) -> int:
     response = api.area(api.AreaRequest(ecc_entries=args.ecc_area_entries))
-    if args.format == "json":
-        return _emit_json(response)
-    print(_render_area(response))
-    return 0
+    return _render_rows(
+        args, ["component", "KiB"], _area_rows(response),
+        title="Protection area, 1MB 4-way 64B L2", response=response,
+    )
 
 
 def cmd_inject(args) -> int:
@@ -322,12 +382,14 @@ def cmd_inject(args) -> int:
     out = api.inject(request, tracer=tracer)
     rows = [[name, doc["count"], doc["rate"]]
             for name, doc in out.outcomes.items()]
-    print(render_table(
-        ["outcome", "count", "rate"], rows, ndigits=4,
+    ret = _render_rows(
+        args, ["outcome", "count", "rate"], rows, ndigits=4,
         title=f"{args.codec}: {args.trials} trials x {args.flips} flips",
-    ))
-    _export_trace(tracer, args)
-    return 0
+        response=out,
+    )
+    _export_trace(tracer, args,
+                  file=None if args.format == "table" else sys.stderr)
+    return ret
 
 
 def _parse_trials(text: str) -> Optional[int]:
@@ -369,6 +431,7 @@ def cmd_reliability(args) -> int:
         checkpoint=args.checkpoint,
         scenario=args.scenario,
         codec=args.codec,
+        variant=args.variant,
     )
 
     def progress(event: Dict[str, object]) -> None:
@@ -407,6 +470,8 @@ def cmd_reliability(args) -> int:
          f"{result.resumed_shards} / {result.executed_shards}"],
     ]
     # Non-default fault model: say so where the numbers are read.
+    if args.variant != "standard":
+        settings.insert(0, ["variant", args.variant])
     if args.scenario != "nominal":
         settings.insert(0, ["scenario", args.scenario])
     if args.codec != "secded":
@@ -604,9 +669,6 @@ def cmd_workers(args) -> int:
         raise api.ReproError(
             f"cannot reach service at {args.url}: {err.reason}"
         ) from None
-    if args.format == "json":
-        print(json.dumps(doc, indent=2, sort_keys=True))
-        return 0
     rows = [
         (
             w["replica_id"],
@@ -617,11 +679,10 @@ def cmd_workers(args) -> int:
         )
         for w in doc["workers"]
     ]
-    print(render_table(
-        ["replica", "host", "pid", "state", "up"], rows,
-        title=f"fabric workers ({args.url})",
-    ))
-    return 0
+    return _render_rows(
+        args, ["replica", "host", "pid", "state", "up"], rows,
+        title=f"fabric workers ({args.url})", doc=doc,
+    )
 
 
 def cmd_trace(args) -> int:
@@ -662,6 +723,7 @@ def cmd_stats(args) -> int:
     snapshots = [out.snapshot for out in outs if out.snapshot is not None]
     mean_snap = mean_snapshots(snapshots)
 
+    doc = None
     if args.format == "json":
         def _stats_doc(s: SeedStats) -> Dict[str, object]:
             import math
@@ -681,27 +743,25 @@ def cmd_stats(args) -> int:
             "snapshots": snapshots,
             "profile": engine.profiler.as_dict(),
         }
-        print(json.dumps(doc, indent=2, sort_keys=True))
-        return 0
 
     rows = [
         ["dirty fraction", dirty.mean, dirty.std, dirty.ci95],
         ["writeback fraction", traffic.mean, traffic.std, traffic.ci95],
     ]
-    print(render_table(
-        ["metric", "mean", "std", "95% CI"],
-        rows,
-        ndigits=4,
+    ret = _render_rows(
+        args, ["metric", "mean", "std", "95% CI"], rows, ndigits=4,
         title=f"{args.benchmark}: spread over {args.n_seeds} seeds",
-    ))
-    if mean_snap:
-        print()
-        print(render_snapshot(
-            mean_snap,
-            title=f"registry counters (mean of {len(snapshots)} seeds)",
-        ))
-    _print_sweep_stats(engine)
-    return 0
+        doc=doc,
+    )
+    if args.format == "table":
+        if mean_snap:
+            print()
+            print(render_snapshot(
+                mean_snap,
+                title=f"registry counters (mean of {len(snapshots)} seeds)",
+            ))
+        _print_sweep_stats(engine)
+    return ret
 
 
 def cmd_ablate(args) -> int:
@@ -766,6 +826,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", help="run a trace file instead of a benchmark")
     p.add_argument("--profile", action="store_true",
                    help="print per-phase wall-time accounting")
+    _add_variant_arg(p)
     _add_protection_args(p)
     _add_run_args(p)
     _add_pool_args(p)
@@ -777,6 +838,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--benchmark", default="mesa",
                    choices=sorted(BENCHMARKS))
     p.add_argument("--insts", type=int, default=120_000)
+    _add_variant_arg(p)
     _add_protection_args(p)
     _add_run_args(p)
     _add_pool_args(p)
@@ -794,6 +856,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--flips", type=int, default=1)
     p.add_argument("--seed", type=int, default=0)
     _add_trace_args(p)
+    _add_format_arg(p)
     p.set_defaults(func=cmd_inject)
 
     p = sub.add_parser(
@@ -864,6 +927,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="measure per-scheme dirty fractions from this benchmark "
              "instead of using the paper's averages",
     )
+    _add_variant_arg(p)
     p.add_argument(
         "--double-bit-fraction", type=float, default=0.05, metavar="P",
         help="P(a strike upsets two bits of one codeword) — the "
@@ -892,6 +956,7 @@ def build_parser() -> argparse.ArgumentParser:
         the same enumerating error the HTTP service returns as a 400.
         """
         from repro.autotune import SCHEMES, available_objectives
+        from repro.core.policy import available_variants
 
         g = p.add_argument_group("design grid axes")
         g.add_argument("--benchmarks", nargs="+", default=["mesa"],
@@ -914,8 +979,10 @@ def build_parser() -> argparse.ArgumentParser:
                        default=[16], metavar="N",
                        help="write-buffer depths between L2 and memory")
         g.add_argument("--variants", nargs="+", default=["standard"],
-                       help="cleaning-policy variants (standard, eager, "
-                            "decay, no-written-bit)")
+                       help="policy variants: "
+                            + ", ".join(available_variants())
+                            + " (see docs/traffic.md for the "
+                            "traffic-aware ones)")
         g.add_argument("--scenarios", nargs="+", default=["nominal"],
                        help="correlated-fault scenario packs: "
                             + ", ".join(available_scenarios()))
@@ -1016,9 +1083,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--benchmark", default="mesa",
                    choices=sorted(BENCHMARKS))
     p.add_argument("--n-seeds", type=int, default=5)
-    p.add_argument("--format", choices=["table", "json"], default="table",
-                   help="table (default) or a JSON document with per-seed "
-                        "registry snapshots")
+    _add_format_arg(p)
     _add_protection_args(p)
     _add_run_args(p)
     _add_pool_args(p)

@@ -39,16 +39,28 @@ from repro.core.policy import (
     ProtectionPolicy,
     UniformEccPolicy,
     UniformParityPolicy,
+    VariantSpec,
+    available_variants,
+    build_variant_l2,
     domain_codec,
+    get_variant,
+    register_variant,
+    traffic_aware_variants,
 )
 from repro.core.protected_cache import ProtectedL2, ProtectionConfig
 from repro.core.scrub import IntegrityError, check_invariants
 from repro.core.tag_protection import ProtectedTag, TagOutcome
+from repro.core.traffic import (
+    CompressedWritebackL2,
+    SilentWriteL2,
+    TrafficConfig,
+)
 
 __all__ = [
     "AreaBreakdown",
     "DOMAIN_CODECS",
     "CleaningLogic",
+    "CompressedWritebackL2",
     "DecayCleaningL2",
     "EagerL2",
     "HotLineTable",
@@ -62,14 +74,22 @@ __all__ = [
     "ProtectionDomain",
     "ProtectionPolicy",
     "SharedEccArray",
+    "SilentWriteL2",
     "TagOutcome",
+    "TrafficConfig",
     "UniformEccPolicy",
     "UniformParityPolicy",
+    "VariantSpec",
+    "available_variants",
+    "build_variant_l2",
     "check_invariants",
     "codec_area_table",
     "conventional_overhead",
     "domain_codec",
+    "get_variant",
     "li_et_al_overhead",
     "proposed_overhead",
     "reduction",
+    "register_variant",
+    "traffic_aware_variants",
 ]

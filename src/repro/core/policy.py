@@ -16,7 +16,8 @@ from __future__ import annotations
 
 import abc
 import enum
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.ecc.codec import Codec, LineCodec, get_codec
 from repro.ecc.events import CheckOutcome
@@ -315,3 +316,202 @@ class LineProtection:
             else RecoveryAction.SILENT_CORRUPTION
         )
         return action, stored
+
+
+# -- the variant registry -----------------------------------------------------
+#
+# Mirrors the codec registry (:func:`repro.ecc.register_codec`) and the
+# scenario registry (:func:`repro.reliability.register_scenario`): every
+# simulation variant — which concrete L2 a sweep cell, an autotune point
+# or an API request runs against — is one registration here, and every
+# consumer (CLI help, service 400s, the grid canonicalizer, the cell
+# builder) enumerates or builds from the registry instead of keeping its
+# own list.
+
+
+@dataclass(frozen=True)
+class VariantSpec:
+    """One registered simulation variant.
+
+    ``build(geometry, protection, seed)`` returns the L2 under test
+    (``protection`` is paper-nominal; builders scale it themselves).
+    ``needs_interval`` — the variant is meaningless without a cleaning
+    interval (the cell builder rejects ``protection=None``).
+    ``collapses_interval`` — the interval axis cannot affect the variant
+    (the autotuner's canonicalizer drops it, e.g. for ``eager``).
+    ``traffic_aware`` — the variant exists to reduce write traffic
+    (silent-write elision, write-back compression); the traffic figures
+    and smoke tests select variants by this flag.
+    """
+
+    name: str
+    description: str
+    build: Callable[..., Any]
+    needs_interval: bool = False
+    collapses_interval: bool = False
+    traffic_aware: bool = False
+
+
+_VARIANTS: Dict[str, VariantSpec] = {}
+
+
+def register_variant(spec: VariantSpec) -> None:
+    """Register a variant (idempotent re-register by name)."""
+    if not spec.name:
+        raise ValueError("variant name must be non-empty")
+    _VARIANTS[spec.name] = spec
+
+
+def get_variant(name: str) -> VariantSpec:
+    try:
+        return _VARIANTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown variant {name!r}; known: {available_variants()}"
+        ) from None
+
+
+def available_variants() -> List[str]:
+    """Registered variant names, ``standard`` first then alphabetical."""
+    return sorted(_VARIANTS, key=lambda name: (name != "standard", name))
+
+
+def traffic_aware_variants() -> List[str]:
+    """The registered variants whose point is traffic reduction."""
+    return [n for n in available_variants() if _VARIANTS[n].traffic_aware]
+
+
+def build_variant_l2(
+    name: str, geometry, protection, seed: int = 0
+) -> Any:
+    """Build the L2 a variant runs against (the one cell-builder entry).
+
+    ``geometry`` is a :class:`repro.experiments.runner.Geometry`;
+    ``protection`` is the *paper-nominal*
+    :class:`~repro.core.protected_cache.ProtectionConfig` (or ``None``
+    for the unprotected baseline) — scaling to the geometry happens
+    inside the builders, exactly as the figure drivers expect.
+    """
+    spec = get_variant(name)
+    if spec.needs_interval and (
+        protection is None or protection.cleaning_interval is None
+    ):
+        raise ValueError(f"variant {name!r} needs a cleaning interval")
+    return spec.build(geometry, protection, seed)
+
+
+def _scaled_protection(geometry, protection):
+    """Paper-nominal protection scaled onto ``geometry``."""
+    from repro.core.protected_cache import ProtectionConfig
+
+    return ProtectionConfig(
+        cleaning_interval=geometry.scaled_interval(
+            protection.cleaning_interval
+        ),
+        ecc_entries_per_set=protection.ecc_entries_per_set,
+    )
+
+
+# Builders import lazily: the registry lives below the cache layer but
+# builds classes from layers above it (runner, ablations, traffic).
+
+def _build_standard(geometry, protection, seed):
+    from repro.experiments.runner import build_l2
+
+    return build_l2(geometry, protection, seed=seed)
+
+
+def _build_eager(geometry, protection, seed):
+    from repro.core.eager import EagerL2
+
+    return EagerL2(geometry.hierarchy_config().l2, seed=seed)
+
+
+def _build_decay(geometry, protection, seed):
+    from repro.core.decay import DecayCleaningL2
+
+    return DecayCleaningL2(
+        geometry.hierarchy_config().l2,
+        _scaled_protection(geometry, protection),
+        seed=seed,
+    )
+
+
+def _build_no_written_bit(geometry, protection, seed):
+    from repro.experiments.ablations import _NoWrittenBitL2
+
+    return _NoWrittenBitL2(
+        geometry.hierarchy_config().l2,
+        _scaled_protection(geometry, protection),
+        seed=seed,
+    )
+
+
+def _build_silent_write(geometry, protection, seed):
+    from repro.core.traffic import SilentWriteL2
+
+    return SilentWriteL2(
+        geometry.hierarchy_config().l2,
+        _scaled_protection(geometry, protection),
+        seed=seed,
+    )
+
+
+def _build_wb_compress(geometry, protection, seed):
+    from repro.core.traffic import CompressedWritebackL2
+
+    return CompressedWritebackL2(
+        geometry.hierarchy_config().l2,
+        _scaled_protection(geometry, protection),
+        seed=seed,
+    )
+
+
+register_variant(VariantSpec(
+    name="standard",
+    description=(
+        "plain or paper-protected L2 exactly as the figure drivers "
+        "build it"
+    ),
+    build=_build_standard,
+))
+register_variant(VariantSpec(
+    name="eager",
+    description="eager write-back comparator (Lee et al. [7])",
+    build=_build_eager,
+    collapses_interval=True,
+))
+register_variant(VariantSpec(
+    name="decay",
+    description="cache-decay cleaning comparator (idle dirty lines only)",
+    build=_build_decay,
+    needs_interval=True,
+))
+register_variant(VariantSpec(
+    name="no-written-bit",
+    description="cleaning ablation: sweep without the written bit",
+    build=_build_no_written_bit,
+    needs_interval=True,
+))
+register_variant(VariantSpec(
+    name="silent-write",
+    description=(
+        "protected L2 with silent-write elision: stores that rewrite "
+        "the held value skip the write, the dirty transition and the "
+        "ECC update"
+    ),
+    build=_build_silent_write,
+    needs_interval=True,
+    traffic_aware=True,
+))
+register_variant(VariantSpec(
+    name="wb-compress",
+    description=(
+        "protected L2 with frequent-value/zero-line write-back "
+        "compression: dirty lines leave the cache at their compressed "
+        "size"
+    ),
+    build=_build_wb_compress,
+    needs_interval=True,
+    traffic_aware=True,
+))

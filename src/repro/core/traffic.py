@@ -1,0 +1,226 @@
+"""Traffic-aware protection variants: silent-write elision and
+write-back compression.
+
+The paper's area argument is a traffic argument in disguise: every
+dirty line costs an ECC entry *and* a write-back, so any store that
+does not really change memory state pays twice for nothing.  Two
+related-work techniques attack that from opposite ends:
+
+* **Silent-write elision** (Kishani et al., "Using Silent Writes in
+  Low-Power Traffic-Aware ECC") — a large fraction of stores rewrite
+  the value the line already holds.  Detecting them (compare the
+  incoming payload with the stored line) lets the cache skip the write,
+  the clean->dirty transition and the ECC encode entirely.
+* **Write-back compression** — frequent-value / zero-line coding
+  shrinks the bytes a dirty line pushes onto the off-chip bus, cutting
+  bus energy without touching correctness.
+
+The simulator is trace-driven and address-only (lines carry no
+payload), so both classes layer a *deterministic value-tag model* on
+top: every block has a value tag, a store draws — from an RNG that is a
+pure function of the cache seed and the access order — whether it
+rewrites the held tag (a silent store) or produces a fresh one, and the
+"compare payload against stored state" rule becomes exact tag equality.
+The calibrated default (``silent_fraction=0.35``) matches the
+redundant-store fractions the silent-write literature reports;
+``docs/traffic.md`` documents the detection rule and the accounting.
+
+Both variants are opt-in subclasses of :class:`ProtectedL2` selected
+through the variant registry (``silent-write`` / ``wb-compress`` in
+:mod:`repro.core.policy`); the nominal path is untouched.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.cache.cache import (
+    AccessResult,
+    CacheConfig,
+    Writeback,
+    WritebackReason,
+    WritePolicy,
+)
+from repro.cache.line import CacheLine
+from repro.core.protected_cache import ProtectedL2, ProtectionConfig
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Knobs of the value-tag traffic model.
+
+    ``silent_fraction``
+        Probability a store rewrites the value its line already holds
+        (Kishani et al. report 30–45% across SPEC; 0.35 is the
+        calibrated default).  ``1.0`` makes every store silent, ``0.0``
+        reduces the variant to a plain :class:`ProtectedL2` — both are
+        the determinism anchors the tests assert against.
+    ``zero_line_fraction`` / ``frequent_value_fraction``
+        Fraction of blocks whose content compresses as an all-zero line
+        or as frequent-value-table hits; the remainder is incompressible.
+    ``zero_line_ratio`` / ``frequent_value_ratio``
+        Compression ratios of the two compressible classes (a 64-byte
+        zero line leaves as an 8-byte code word at ratio 8).
+    """
+
+    silent_fraction: float = 0.35
+    zero_line_fraction: float = 0.10
+    frequent_value_fraction: float = 0.25
+    zero_line_ratio: int = 8
+    frequent_value_ratio: int = 4
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.silent_fraction <= 1.0:
+            raise ValueError("silent_fraction must be in [0, 1]")
+        if not 0.0 <= self.zero_line_fraction <= 1.0:
+            raise ValueError("zero_line_fraction must be in [0, 1]")
+        if not 0.0 <= self.frequent_value_fraction <= 1.0:
+            raise ValueError("frequent_value_fraction must be in [0, 1]")
+        if self.zero_line_fraction + self.frequent_value_fraction > 1.0:
+            raise ValueError("compressible fractions must sum to <= 1")
+        if self.zero_line_ratio < 1 or self.frequent_value_ratio < 1:
+            raise ValueError("compression ratios must be >= 1")
+
+
+class SilentWriteL2(ProtectedL2):
+    """Protected L2 that detects and elides silent writes.
+
+    A store whose incoming value tag equals the stored tag is *silent*:
+    the payload, the dirty bit, the written bit and the ECC state are
+    all already correct, so the write is dropped.  On a clean line that
+    elides the clean->dirty transition and the shared-ECC-array claim
+    (``elided_ecc_updates``); on a dirty line it elides the re-encode
+    and leaves the written bit alone, so the cleaning FSM retires the
+    line on schedule instead of granting it another interval.
+
+    The scheme invariant is preserved by construction: a silent write
+    never changes the dirty bit, so ECC-array ownership (exactly the
+    dirty ways, checked by :func:`repro.core.scrub.check_invariants`)
+    is untouched.
+    """
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        protection: Optional[ProtectionConfig] = None,
+        seed: int = 0,
+        traffic: Optional[TrafficConfig] = None,
+    ) -> None:
+        super().__init__(config, protection, seed=seed)
+        self.traffic = traffic or TrafficConfig()
+        #: Store-value stream: a pure function of (seed, store order).
+        self._value_rng = random.Random((seed << 1) ^ 0x511E)
+        #: Value tag of every block ever stored to; a block's single
+        #: up-to-date copy (in cache or in memory) carries this tag.
+        self._value_tags: Dict[int, int] = {}
+        self._next_tag = 1
+
+    def _handle_write(
+        self,
+        line: CacheLine,
+        set_idx: int,
+        way: int,
+        cycle: int,
+        result: AccessResult,
+    ) -> None:
+        if self.config.write_policy is WritePolicy.WRITE_THROUGH:
+            super()._handle_write(line, set_idx, way, cycle, result)
+            return
+        block = self.block_addr(set_idx, line.tag)
+        stored = self._value_tags.get(block, 0)
+        if self._value_rng.random() < self.traffic.silent_fraction:
+            incoming = stored  # the store rewrites the held value
+        else:
+            incoming = self._next_tag
+            self._next_tag += 1
+        if incoming == stored:
+            # Silent write: nothing in the line changes, so the write,
+            # the ECC encode and (on a clean line) the dirty transition
+            # and ECC-entry claim are all elided.
+            self.stats.silent_writes += 1
+            self.stats.elided_ecc_updates += 1
+            if not line.dirty:
+                self.stats.elided_dirty_transitions += 1
+            tracer = self._tracer
+            if tracer is not None:
+                tracer.emit(
+                    "silent_write", cycle, cache=self.config.name,
+                    set=set_idx, way=way, addr=block, dirty=line.dirty,
+                )
+            return
+        self._value_tags[block] = incoming
+        super()._handle_write(line, set_idx, way, cycle, result)
+
+
+class CompressedWritebackL2(ProtectedL2):
+    """Protected L2 whose write-backs leave at their compressed size.
+
+    A frequent-value / zero-line filter on the write-back stream:
+    each departing dirty line is classified — deterministically by
+    block address, so the same block always compresses the same way —
+    as an all-zero line, a frequent-value line, or incompressible, and
+    the :class:`~repro.cache.cache.Writeback` it emits carries the
+    compressed byte count.  The hierarchy charges main memory (and so
+    the bus-energy model) those bytes; ``wb_bytes_raw`` versus
+    ``wb_bytes_compressed`` report the reduction.
+    """
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        protection: Optional[ProtectionConfig] = None,
+        seed: int = 0,
+        traffic: Optional[TrafficConfig] = None,
+    ) -> None:
+        super().__init__(config, protection, seed=seed)
+        self.traffic = traffic or TrafficConfig()
+        self._compress_seed = seed & 0xFFFFFFFF
+
+    def compressed_line_bytes(self, addr: int) -> int:
+        """Compressed size of the line holding ``addr``, in bytes."""
+        line_bytes = self.config.line_bytes
+        block = addr >> self._offset_bits
+        # Knuth multiplicative hash: an address-stable content class.
+        h = ((block * 2654435761) ^ self._compress_seed) & 0xFFFFFFFF
+        u = h / 4294967296.0
+        cfg = self.traffic
+        if u < cfg.zero_line_fraction:
+            return max(1, line_bytes // cfg.zero_line_ratio)
+        if u < cfg.zero_line_fraction + cfg.frequent_value_fraction:
+            return max(1, line_bytes // cfg.frequent_value_ratio)
+        return line_bytes
+
+    def compression_ratio(self) -> float:
+        """Raw over compressed write-back bytes (1.0 before any WB)."""
+        if self.stats.wb_bytes_compressed == 0:
+            return 1.0
+        return self.stats.wb_bytes_raw / self.stats.wb_bytes_compressed
+
+    def _writeback_line(
+        self,
+        set_idx: int,
+        way: int,
+        cycle: int,
+        result: AccessResult,
+        reason: WritebackReason,
+    ) -> None:
+        super()._writeback_line(set_idx, way, cycle, result, reason)
+        wb = result.writebacks[-1]
+        raw = self.config.line_bytes
+        compressed = self.compressed_line_bytes(wb.addr)
+        self.stats.wb_bytes_raw += raw
+        self.stats.wb_bytes_compressed += compressed
+        result.writebacks[-1] = Writeback(
+            addr=wb.addr, reason=wb.reason, bytes=compressed
+        )
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(
+                "wb_compress", cycle, cache=self.config.name,
+                addr=wb.addr, raw_bytes=raw, compressed_bytes=compressed,
+            )
+
+
+__all__ = ["CompressedWritebackL2", "SilentWriteL2", "TrafficConfig"]

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
+from repro.core.policy import get_variant
 from repro.core.protected_cache import ProtectionConfig
 from repro.experiments.runner import (
     RunConfig,
@@ -45,10 +46,6 @@ from repro.experiments.runner import (
 )
 from repro.telemetry.profiling import PhaseProfiler
 
-#: Simulation variants a cell can request.  ``standard`` is a plain or
-#: protected L2 built by the runner; the rest are the ablation L2s.
-VARIANTS = ("standard", "eager", "decay", "no-written-bit")
-
 
 @dataclass(frozen=True)
 class Cell:
@@ -56,7 +53,8 @@ class Cell:
 
     ``protection.cleaning_interval`` is paper-nominal, exactly as the
     figure drivers pass it to :func:`~repro.experiments.runner.run_refs`.
-    ``variant`` selects the L2 under test (see :data:`VARIANTS`);
+    ``variant`` selects the L2 under test — any name in the variant
+    registry (:func:`repro.core.policy.available_variants`);
     ``n_insts`` applies to ``mode="ipc"`` only.
     """
 
@@ -70,8 +68,7 @@ class Cell:
     def __post_init__(self) -> None:
         if self.mode not in ("refs", "ipc"):
             raise ValueError(f"unknown cell mode {self.mode!r}")
-        if self.variant not in VARIANTS:
-            raise ValueError(f"unknown cell variant {self.variant!r}")
+        get_variant(self.variant)  # enumerating ValueError when unknown
 
     @property
     def label(self) -> str:
@@ -211,10 +208,10 @@ class ResultCache:
 
 def execute_cell(cell: Cell) -> Any:
     """Run one cell to completion; pure function of the cell."""
-    if cell.variant == "standard" and cell.mode == "ipc":
+    if cell.mode == "ipc":
         return run_ipc(
             cell.benchmark, cell.protection, cell.config,
-            n_insts=cell.n_insts,
+            n_insts=cell.n_insts, variant=cell.variant,
         )
     hierarchy = build_cell_hierarchy(cell)
     return run_refs_with_hierarchy(
@@ -229,38 +226,18 @@ def build_cell_hierarchy(cell: Cell):
     Split out of :func:`execute_cell` so callers that need the hierarchy
     *after* the run — the autotuner's energy accounting reads its event
     counters — can drive :func:`run_refs_with_hierarchy` themselves.
-    Imports are local to avoid an import cycle with
-    :mod:`repro.experiments.ablations`.
+    The L2 under test comes from the variant registry
+    (:func:`repro.core.policy.build_variant_l2`); the import is local to
+    avoid an import cycle through the registered builders.
     """
     from repro.cache.hierarchy import MemoryHierarchy
-    from repro.experiments.runner import build_l2
+    from repro.core.policy import build_variant_l2
 
     geometry = cell.config.geometry
-    hier_cfg = geometry.hierarchy_config()
-    if cell.variant == "standard":
-        l2 = build_l2(geometry, cell.protection, seed=cell.config.seed)
-    elif cell.variant == "eager":
-        from repro.core.eager import EagerL2
-
-        l2 = EagerL2(hier_cfg.l2, seed=cell.config.seed)
-    else:
-        if cell.protection is None or cell.protection.cleaning_interval is None:
-            raise ValueError(f"variant {cell.variant!r} needs a cleaning interval")
-        scaled = ProtectionConfig(
-            cleaning_interval=geometry.scaled_interval(
-                cell.protection.cleaning_interval
-            ),
-            ecc_entries_per_set=cell.protection.ecc_entries_per_set,
-        )
-        if cell.variant == "decay":
-            from repro.core.decay import DecayCleaningL2
-
-            l2 = DecayCleaningL2(hier_cfg.l2, scaled, seed=cell.config.seed)
-        else:  # no-written-bit
-            from repro.experiments.ablations import _NoWrittenBitL2
-
-            l2 = _NoWrittenBitL2(hier_cfg.l2, scaled, seed=cell.config.seed)
-    return MemoryHierarchy(config=hier_cfg, l2=l2)
+    l2 = build_variant_l2(
+        cell.variant, geometry, cell.protection, seed=cell.config.seed
+    )
+    return MemoryHierarchy(config=geometry.hierarchy_config(), l2=l2)
 
 
 def _execute_indexed(item):
@@ -438,9 +415,10 @@ class SweepEngine:
         benchmark: str,
         protection: Optional[ProtectionConfig],
         config: RunConfig,
+        variant: str = "standard",
     ) -> Any:
         """Drop-in for :func:`repro.experiments.runner.run_refs`."""
-        return self.run(Cell(benchmark, protection, config))
+        return self.run(Cell(benchmark, protection, config, variant=variant))
 
     def run_ipc(
         self,
@@ -448,10 +426,14 @@ class SweepEngine:
         protection: Optional[ProtectionConfig],
         config: RunConfig,
         n_insts: Optional[int] = None,
+        variant: str = "standard",
     ) -> Any:
         """Drop-in for :func:`repro.experiments.runner.run_ipc`."""
         return self.run(
-            Cell(benchmark, protection, config, mode="ipc", n_insts=n_insts)
+            Cell(
+                benchmark, protection, config,
+                mode="ipc", n_insts=n_insts, variant=variant,
+            )
         )
 
     def map_tasks(

@@ -144,6 +144,7 @@ def measured_dirty_fractions(
     engine=None,
     cleaning_interval: int = 1 << 20,
     ecc_entries: int = 1,
+    variant: str = "standard",
 ) -> Dict[str, float]:
     """Per-scheme P(struck line is dirty), measured from one benchmark.
 
@@ -152,6 +153,11 @@ def measured_dirty_fractions(
     paper's cleaning + shared-ECC protection (``non-uniform``) — and
     returns each scheme's measured average dirty residency, ready for
     :attr:`repro.reliability.CampaignConfig.dirty_fractions`.
+
+    ``variant`` swaps the protected (non-uniform) run's L2 for a policy
+    variant from the registry — e.g. ``silent-write`` lowers the dirty
+    residency the campaign conditions on.  The unprotected baseline is
+    always the standard cache.
 
     ``engine`` is an optional :class:`~repro.experiments.pool.SweepEngine`
     so the two runs share its cache and profiler with the campaign that
@@ -162,10 +168,10 @@ def measured_dirty_fractions(
     )
     if engine is not None:
         org = engine.run_refs(benchmark, None, config)
-        ours = engine.run_refs(benchmark, protection, config)
+        ours = engine.run_refs(benchmark, protection, config, variant=variant)
     else:
         org = run_refs(benchmark, None, config)
-        ours = run_refs(benchmark, protection, config)
+        ours = run_refs(benchmark, protection, config, variant=variant)
     return {
         "uniform-ecc": org.dirty_fraction,
         "parity-only": org.dirty_fraction,

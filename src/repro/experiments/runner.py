@@ -180,6 +180,11 @@ class RefRunOutput:
     bus_utilization: float
     #: Mean dirty-episode length (first write to write-back), cycles.
     mean_dirty_episode_cycles: float = 0.0
+    #: Traffic-aware variant counters; all stay 0 on the standard path.
+    silent_writes: int = 0
+    elided_ecc_updates: int = 0
+    wb_bytes_raw: int = 0
+    wb_bytes_compressed: int = 0
     #: ``MetricsRegistry.snapshot()`` of the hierarchy at run end.
     snapshot: Optional[Dict[str, Dict[str, float]]] = None
 
@@ -193,6 +198,13 @@ class IpcRunOutput:
     result: RunResult
     writeback_fraction: float
     dirty_fraction: float
+    #: Traffic-aware variant counters; all stay 0 on the standard path.
+    silent_writes: int = 0
+    elided_ecc_updates: int = 0
+    wb_bytes_raw: int = 0
+    wb_bytes_compressed: int = 0
+    #: Memory-system energy of the run (:mod:`repro.cache.energy`).
+    energy_uj: float = 0.0
     #: ``MetricsRegistry.snapshot()`` of the hierarchy at run end.
     snapshot: Optional[Dict[str, Dict[str, float]]] = None
 
@@ -231,6 +243,27 @@ def _build_hierarchy(
     return MemoryHierarchy(config=geometry.hierarchy_config(), l2=l2)
 
 
+def _variant_hierarchy(
+    config: RunConfig,
+    protection: Optional[ProtectionConfig],
+    variant: str,
+) -> MemoryHierarchy:
+    """A hierarchy around the variant registry's L2 (or the standard one).
+
+    The ``standard`` variant routes through :func:`_build_hierarchy`
+    unchanged, so default-path runs are bit-identical to a world without
+    the variant registry.
+    """
+    if variant == "standard":
+        return _build_hierarchy(config, protection)
+    from repro.core.policy import build_variant_l2
+
+    l2 = build_variant_l2(
+        variant, config.geometry, protection, seed=config.seed
+    )
+    return MemoryHierarchy(config=config.geometry.hierarchy_config(), l2=l2)
+
+
 def _reset_measurement(hierarchy: MemoryHierarchy, cycle: int) -> None:
     """Zero every counter after warm-up, keeping cache contents.
 
@@ -249,9 +282,10 @@ def run_refs(
     config: RunConfig = RunConfig(),
     tracer: Optional[EventTracer] = None,
     profiler: Optional[PhaseProfiler] = None,
+    variant: str = "standard",
 ) -> RefRunOutput:
     """Reference-mode run of one benchmark under one protection config."""
-    hierarchy = _build_hierarchy(config, protection)
+    hierarchy = _variant_hierarchy(config, protection, variant)
     return run_refs_with_hierarchy(
         benchmark, hierarchy, config, protection,
         tracer=tracer, profiler=profiler,
@@ -356,6 +390,10 @@ def run_ref_stream(
         l2_miss_rate=l2.stats.miss_rate,
         bus_utilization=hierarchy.memory.utilization(elapsed),
         mean_dirty_episode_cycles=l2.stats.mean_dirty_episode_cycles,
+        silent_writes=l2.stats.silent_writes,
+        elided_ecc_updates=l2.stats.elided_ecc_updates,
+        wb_bytes_raw=l2.stats.wb_bytes_raw,
+        wb_bytes_compressed=l2.stats.wb_bytes_compressed,
         snapshot=hierarchy.snapshot(),
     )
 
@@ -367,9 +405,10 @@ def run_trace(
     label: str = "trace",
     tracer: Optional[EventTracer] = None,
     profiler: Optional[PhaseProfiler] = None,
+    variant: str = "standard",
 ) -> RefRunOutput:
     """Reference-mode run of an arbitrary trace (e.g. from a file)."""
-    hierarchy = _build_hierarchy(config, protection)
+    hierarchy = _variant_hierarchy(config, protection, variant)
     return run_ref_stream(
         stream, hierarchy, config, label, protection,
         tracer=tracer, profiler=profiler,
@@ -382,10 +421,16 @@ def run_ipc(
     config: RunConfig = RunConfig(),
     n_insts: Optional[int] = None,
     processor: Optional[ProcessorConfig] = None,
+    variant: str = "standard",
 ) -> IpcRunOutput:
-    """CPU-mode run: full out-of-order timing, returns IPC and traffic."""
+    """CPU-mode run: full out-of-order timing, returns IPC and traffic.
+
+    ``variant`` selects the L2 under test from the variant registry
+    (:func:`repro.core.policy.available_variants`); ``standard`` is the
+    plain/protected L2 the paper evaluates.
+    """
     spec = get_benchmark(benchmark)
-    hierarchy = _build_hierarchy(config, protection)
+    hierarchy = _variant_hierarchy(config, protection, variant)
     stream = make_ref_stream(spec, config.geometry.l2_bytes, seed=config.seed)
     mix = MixConfig(fp_fraction=0.5 if spec.suite == "fp" else 0.1)
     mixer = InstructionMixer(mix, seed=config.seed)
@@ -398,11 +443,28 @@ def run_ipc(
 
     check_invariants(hierarchy.l2)
     l2 = hierarchy.l2
+    dirty = l2.dirty.average_dirty_fraction(hierarchy.clock)
+    # Charge the unprotected baseline as the conventional (uniform-ECC)
+    # design and any protected L2 as the paper's proposed scheme — the
+    # same pairing compare_schemes uses for the org/ours tables.
+    from repro.cache.energy import estimate_energy
+
+    if protection is None and variant == "standard":
+        energy = estimate_energy(hierarchy, "conventional", 1.0)
+    else:
+        energy = estimate_energy(
+            hierarchy, "proposed", min(max(dirty, 0.0), 1.0)
+        )
     return IpcRunOutput(
         benchmark=benchmark,
         protection=protection,
         result=result,
         writeback_fraction=hierarchy.writeback_fraction(),
-        dirty_fraction=l2.dirty.average_dirty_fraction(hierarchy.clock),
+        dirty_fraction=dirty,
+        silent_writes=l2.stats.silent_writes,
+        elided_ecc_updates=l2.stats.elided_ecc_updates,
+        wb_bytes_raw=l2.stats.wb_bytes_raw,
+        wb_bytes_compressed=l2.stats.wb_bytes_compressed,
+        energy_uj=energy.total_uj,
         snapshot=hierarchy.snapshot(),
     )

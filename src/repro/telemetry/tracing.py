@@ -35,6 +35,12 @@ and ``cycle`` plus its type's fields:
     struck domain, line dirtiness, taxonomy class); ``cycle`` is the
     campaign-global trial index.  Shards head-sample these, so a
     campaign's trace is representative, not exhaustive.
+``silent_write``
+    A store rewrote the value its line already held and was elided
+    (silent-write variant); ``dirty`` is the line's state at the time.
+``wb_compress``
+    A departing dirty line was compressed on the write-back path
+    (wb-compress variant): raw versus on-bus byte counts.
 """
 
 from __future__ import annotations
@@ -81,6 +87,19 @@ EVENT_FIELDS: Dict[str, Dict[str, type]] = {
         "domain": str,
         "dirty": bool,
         "outcome": str,
+    },
+    "silent_write": {
+        "cache": str,
+        "set": int,
+        "way": int,
+        "addr": int,
+        "dirty": bool,
+    },
+    "wb_compress": {
+        "cache": str,
+        "addr": int,
+        "raw_bytes": int,
+        "compressed_bytes": int,
     },
 }
 

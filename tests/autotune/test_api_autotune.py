@@ -54,10 +54,12 @@ class TestValidation:
         with pytest.raises(api.ReproError, match=match):
             request(**{field: value})
 
-    def test_ipc_objective_rejects_non_standard_variants(self):
-        with pytest.raises(api.ReproError, match="'standard' variant"):
-            request(objectives=("area", "ipc"),
-                    variants=("standard", "eager"))
+    def test_ipc_objective_accepts_any_registered_variant(self):
+        # The OoO core runs under each point's variant, so the ipc
+        # objective composes with the whole registry.
+        req = request(objectives=("area", "ipc"),
+                      variants=("standard", "eager", "silent-write"))
+        assert req.variants == ("standard", "eager", "silent-write")
 
     def test_recommend_needs_a_budget(self):
         with pytest.raises(api.ReproError, match="fit-budget"):

@@ -33,7 +33,12 @@ class TestCacheStats:
         assert "writebacks_eager" in d
         assert "dirty_episodes" in d
         assert "dirty_episode_cycles" in d
-        assert len(d) == 13
+        assert "silent_writes" in d
+        assert "elided_ecc_updates" in d
+        assert "elided_dirty_transitions" in d
+        assert "wb_bytes_raw" in d
+        assert "wb_bytes_compressed" in d
+        assert len(d) == 18
 
     def test_as_dict_carries_exposure_counters(self):
         s = CacheStats(dirty_episodes=3, dirty_episode_cycles=450)

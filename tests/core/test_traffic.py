@@ -1,0 +1,243 @@
+"""Tests for the traffic-aware variants and the variant registry.
+
+The silent-write tests pin the value-tag model at its determinism
+anchors (``silent_fraction`` 1.0 and 0.0), assert an *exact* silent
+count for the seeded default against the documented RNG contract, and
+regression-test that elision never breaks the scheme invariant the
+checker enforces (ECC-array owners == dirty ways).
+"""
+
+import random
+
+import pytest
+
+from repro.cache import CacheConfig
+from repro.core import (
+    CompressedWritebackL2,
+    ProtectedL2,
+    ProtectionConfig,
+    SilentWriteL2,
+    TrafficConfig,
+    check_invariants,
+)
+from repro.core.policy import (
+    VariantSpec,
+    available_variants,
+    build_variant_l2,
+    get_variant,
+    register_variant,
+    traffic_aware_variants,
+)
+
+
+def l2_config(**kw):
+    defaults = dict(name="l2", size_bytes=8192, ways=4, line_bytes=64)
+    defaults.update(kw)
+    return CacheConfig(**defaults)
+
+
+def make_silent(silent_fraction, cleaning=1 << 12, ecc=1, seed=0):
+    return SilentWriteL2(
+        l2_config(),
+        ProtectionConfig(cleaning_interval=cleaning, ecc_entries_per_set=ecc),
+        seed=seed,
+        traffic=TrafficConfig(silent_fraction=silent_fraction),
+    )
+
+
+def mixed_workload(n, seed=7):
+    """(addr, is_write) pairs with reuse, so write hits actually occur."""
+    rng = random.Random(seed)
+    addrs = [i * 64 for i in range(64)]
+    return [
+        (rng.choice(addrs), rng.random() < 0.5) for _ in range(n)
+    ]
+
+
+class TestSilentFractionAnchors:
+    def test_all_silent_means_every_store_elided(self):
+        """p=1.0: every store rewrites the held tag — no line ever
+        dirties, no write-back ever happens, and the count is exact."""
+        l2 = make_silent(1.0)
+        writes = 0
+        for cycle, (addr, is_write) in enumerate(mixed_workload(2000), 1):
+            l2.access(addr, is_write, cycle)
+            writes += is_write
+        assert l2.stats.silent_writes == writes
+        assert l2.stats.elided_ecc_updates == writes
+        assert l2.dirty_line_count() == 0
+        assert l2.stats.writebacks_total == 0
+
+    def test_no_silent_is_bitwise_standard(self):
+        """p=0.0: the variant's behavior collapses to ProtectedL2."""
+        silent = make_silent(0.0)
+        plain = ProtectedL2(
+            l2_config(),
+            ProtectionConfig(cleaning_interval=1 << 12,
+                             ecc_entries_per_set=1),
+            seed=0,
+        )
+        for cycle, (addr, is_write) in enumerate(mixed_workload(2000), 1):
+            silent.access(addr, is_write, cycle)
+            plain.access(addr, is_write, cycle)
+            silent.advance(cycle)
+            plain.advance(cycle)
+        assert silent.stats.silent_writes == 0
+        assert silent.stats.elided_ecc_updates == 0
+        assert silent.stats.writebacks_total == plain.stats.writebacks_total
+        assert silent.stats.write_hits == plain.stats.write_hits
+        assert silent.dirty_line_count() == plain.dirty_line_count()
+
+    def test_seeded_default_count_is_exact(self):
+        """The documented RNG contract: the store-value stream is
+        ``random.Random((seed << 1) ^ 0x511E)``, one draw per store to
+        a write-back cache, silent iff the draw < silent_fraction.
+
+        With every store landing on one block, a non-silent store
+        replaces the tag, so "incoming == stored" is exactly "the draw
+        was silent" — the expected count replays the documented stream.
+        """
+        seed, p, n = 3, 0.35, 500
+        l2 = make_silent(p, seed=seed)
+        addr = 0
+        for cycle in range(1, n + 1):
+            l2.access(addr, is_write=True, cycle=cycle)
+        rng = random.Random((seed << 1) ^ 0x511E)
+        expected = sum(rng.random() < p for _ in range(n))
+        assert l2.stats.silent_writes == expected
+        assert 0 < expected < n  # the anchor is in the interior
+
+    def test_same_seed_same_counts(self):
+        counts = []
+        for _ in range(2):
+            l2 = make_silent(0.35, seed=11)
+            for cycle, (addr, is_write) in enumerate(
+                    mixed_workload(1500), 1):
+                l2.access(addr, is_write, cycle)
+            counts.append(l2.stats.silent_writes)
+        assert counts[0] == counts[1] > 0
+
+
+class TestElisionPreservesInvariants:
+    def test_invariant_checker_holds_throughout_a_silent_run(self):
+        """Eliding must never drop an ECC-array entry the checker
+        expects: owners == dirty ways at every step, cleaning included.
+        """
+        l2 = make_silent(0.5, cleaning=256, ecc=1, seed=2)
+        for cycle, (addr, is_write) in enumerate(mixed_workload(3000), 1):
+            l2.access(addr, is_write, cycle)
+            l2.advance(cycle)
+            if cycle % 64 == 0:
+                check_invariants(l2)
+        check_invariants(l2)
+        assert l2.stats.silent_writes > 0  # elision actually exercised
+
+    def test_silent_store_on_dirty_line_keeps_ecc_entry(self):
+        """A silent re-store of a dirty line leaves its ECC ownership
+        (and the dirty bit) alone — the entry is not released early."""
+        l2 = make_silent(0.0, cleaning=1 << 14)
+        l2.access(0, is_write=True, cycle=1)  # non-silent: dirties
+        assert l2.dirty_line_count() == 1
+        l2.traffic = TrafficConfig(silent_fraction=1.0)
+        l2.access(0, is_write=True, cycle=2)  # silent re-store
+        assert l2.stats.silent_writes == 1
+        assert l2.dirty_line_count() == 1
+        check_invariants(l2)
+
+
+class TestCompressedWriteback:
+    def make(self, seed=0):
+        return CompressedWritebackL2(
+            l2_config(size_bytes=2048, ways=2),
+            ProtectionConfig(cleaning_interval=1 << 12,
+                             ecc_entries_per_set=1),
+            seed=seed,
+        )
+
+    def run(self, l2, n=3000):
+        for cycle, (addr, is_write) in enumerate(
+                mixed_workload(n, seed=5), 1):
+            l2.access(addr, is_write, cycle)
+            l2.advance(cycle)
+
+    def test_compressed_never_exceeds_raw(self):
+        l2 = self.make()
+        self.run(l2)
+        assert l2.stats.writebacks_total > 0
+        assert 0 < l2.stats.wb_bytes_compressed <= l2.stats.wb_bytes_raw
+        assert l2.stats.wb_bytes_raw == (
+            l2.stats.writebacks_total * l2.config.line_bytes
+        )
+
+    def test_classification_is_address_stable(self):
+        """The same block compresses the same way every time."""
+        l2 = self.make(seed=9)
+        sizes = [l2.compressed_line_bytes(0x1234) for _ in range(3)]
+        assert len(set(sizes)) == 1
+
+    def test_ratio_and_determinism(self):
+        a, b = self.make(seed=4), self.make(seed=4)
+        self.run(a)
+        self.run(b)
+        assert a.stats.wb_bytes_compressed == b.stats.wb_bytes_compressed
+        assert a.compression_ratio() == b.compression_ratio() > 1.0
+
+    def test_traffic_config_validation(self):
+        with pytest.raises(ValueError):
+            TrafficConfig(silent_fraction=1.5)
+        with pytest.raises(ValueError):
+            TrafficConfig(zero_line_fraction=0.6,
+                          frequent_value_fraction=0.6)
+        with pytest.raises(ValueError):
+            TrafficConfig(zero_line_ratio=0)
+
+
+class TestVariantRegistry:
+    def test_standard_first_then_alphabetical(self):
+        names = available_variants()
+        assert names[0] == "standard"
+        assert names[1:] == sorted(names[1:])
+        for expected in ("decay", "eager", "no-written-bit",
+                         "silent-write", "wb-compress"):
+            assert expected in names
+
+    def test_unknown_name_enumerates(self):
+        with pytest.raises(ValueError, match="unknown variant"):
+            get_variant("bogus")
+
+    def test_traffic_aware_subset(self):
+        aware = traffic_aware_variants()
+        assert aware == ["silent-write", "wb-compress"]
+        assert all(get_variant(n).traffic_aware for n in aware)
+
+    def test_needs_interval_enforced_by_builder(self):
+        from repro.experiments.runner import SCALED_GEOMETRY
+
+        assert get_variant("silent-write").needs_interval
+        with pytest.raises(ValueError, match="needs a cleaning interval"):
+            build_variant_l2("silent-write", SCALED_GEOMETRY, None)
+
+    def test_build_returns_registered_classes(self):
+        from repro.experiments.runner import SCALED_GEOMETRY
+
+        protection = ProtectionConfig(
+            cleaning_interval=1 << 20, ecc_entries_per_set=1
+        )
+        assert isinstance(
+            build_variant_l2("silent-write", SCALED_GEOMETRY, protection),
+            SilentWriteL2,
+        )
+        assert isinstance(
+            build_variant_l2("wb-compress", SCALED_GEOMETRY, protection),
+            CompressedWritebackL2,
+        )
+        assert isinstance(
+            build_variant_l2("standard", SCALED_GEOMETRY, protection),
+            ProtectedL2,
+        )
+
+    def test_register_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            register_variant(VariantSpec(
+                name="", description="x", build=lambda *a: None
+            ))

@@ -170,3 +170,55 @@ class TestErrors:
         assert rc == 2
         err = capsys.readouterr().err
         assert "error:" in err and "trace file not found" in err
+
+
+class TestVariantsAndEnums:
+    def test_unknown_variant_rejected_at_construction(self):
+        with pytest.raises(api.ReproError, match="available variants:"):
+            api.RunRequest(variant="bogus")
+        with pytest.raises(api.ReproError, match="available variants:"):
+            api.IpcRequest(variant="bogus")
+        with pytest.raises(api.ReproError, match="available variants:"):
+            api.ReliabilityRequest(variant="bogus")
+
+    def test_silent_write_run_counts_and_standard_zero(self):
+        config = dict(refs=6000, warmup=1500, benchmark="swim")
+        ours = api.run(api.RunRequest(variant="silent-write", **config))
+        std = api.run(api.RunRequest(**config))
+        assert ours.silent_writes > 0
+        assert ours.elided_ecc_updates == ours.silent_writes
+        assert std.silent_writes == 0 and std.wb_bytes_raw == 0
+        # Elision removes write-backs, never adds them.
+        assert ours.writeback_fraction <= std.writeback_fraction
+
+    def test_wb_compress_run_reports_byte_reduction(self):
+        out = api.run(api.RunRequest(
+            benchmark="swim", variant="wb-compress",
+            refs=6000, warmup=1500,
+        ))
+        assert 0 < out.wb_bytes_compressed < out.wb_bytes_raw
+
+    def test_variant_changes_request_key(self):
+        std = api.request_key("run", api.RunRequest(benchmark="swim"))
+        sw = api.request_key(
+            "run", api.RunRequest(benchmark="swim", variant="silent-write")
+        )
+        assert std != sw
+
+    def test_kind_enums_renders_registries(self):
+        from repro.api.dispatch import kind_enums
+        from repro.core.policy import available_variants
+
+        enums = kind_enums("run")
+        assert enums["variant"] == available_variants()
+        rel = kind_enums("reliability")
+        assert "nominal" in rel["scenario"]
+        assert "secded" in rel["codec"]
+        assert set(rel["schemes"]) >= {"non-uniform", "uniform-ecc"}
+
+    def test_default_doc_carries_enums_but_keeps_fields_flat(self):
+        doc = api.default_doc("run")
+        assert doc["benchmark"] == "mesa"
+        assert "silent-write" in doc["enums"]["variant"]
+        # area has no enum-valued fields: no enums key at all.
+        assert "enums" not in api.default_doc("area")

@@ -194,3 +194,99 @@ class TestCommands:
     def test_ablate_unknown_study_rejected(self):
         with pytest.raises(SystemExit):
             main(["ablate", "voltage"])
+
+
+class TestVariantFlag:
+    def test_run_silent_write_shows_traffic_rows(self, capsys):
+        code = main([
+            "run", "--benchmark", "swim", "--variant", "silent-write",
+            "--refs", "4000", "--warmup", "1000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "variant" in out and "silent-write" in out
+        assert "silent writes" in out
+        assert "elided ECC updates" in out
+
+    def test_run_wb_compress_shows_byte_rows(self, capsys):
+        code = main([
+            "run", "--benchmark", "swim", "--variant", "wb-compress",
+            "--refs", "4000", "--warmup", "1000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "write-back bytes raw" in out
+        assert "write-back bytes sent" in out
+
+    def test_ipc_variant_energy_row(self, capsys):
+        code = main([
+            "ipc", "--benchmark", "mesa", "--variant", "silent-write",
+            "--insts", "8000", "--refs", "4000", "--warmup", "0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "energy (uJ)" in out
+        assert "ours = silent-write" in out
+
+    def test_unknown_variant_enumerates_and_exits_2(self, capsys):
+        rc = main(["run", "--benchmark", "swim", "--variant", "bogus"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "available variants:" in err
+        assert "silent-write" in err and "standard" in err
+
+    def test_standard_variant_counters_stay_zero(self, capsys):
+        code = main([
+            "run", "--benchmark", "swim", "--refs", "4000",
+            "--warmup", "1000", "--format", "json",
+        ])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["silent_writes"] == 0
+        assert doc["wb_bytes_raw"] == 0
+
+
+class TestFormatRenderer:
+    """run/ipc/area/inject/stats/workers share table|json|csv."""
+
+    def csv_rows(self, capsys):
+        import csv as csv_mod
+        import io
+
+        return list(csv_mod.reader(io.StringIO(capsys.readouterr().out)))
+
+    def test_run_csv(self, capsys):
+        code = main([
+            "run", "--benchmark", "swim", "--refs", "4000",
+            "--warmup", "1000", "--format", "csv",
+        ])
+        assert code == 0
+        rows = self.csv_rows(capsys)
+        assert rows[0] == ["metric", "value"]
+        assert ["benchmark", "swim"] in rows
+
+    def test_area_csv(self, capsys):
+        assert main(["area", "--format", "csv"]) == 0
+        rows = self.csv_rows(capsys)
+        assert rows[0][0] == "component"
+        assert any(r[0].endswith("total") for r in rows)
+
+    def test_inject_csv(self, capsys):
+        assert main([
+            "inject", "--codec", "secded", "--trials", "50",
+            "--flips", "1", "--format", "csv",
+        ]) == 0
+        rows = self.csv_rows(capsys)
+        assert rows[0] == ["outcome", "count", "rate"]
+        assert any(r[0] == "corrected" for r in rows)
+
+    def test_stats_csv(self, capsys):
+        code = main([
+            "stats", "--benchmark", "mcf", "--n-seeds", "2",
+            "--refs", "3000", "--warmup", "1000", "--format", "csv",
+        ])
+        assert code == 0
+        rows = self.csv_rows(capsys)
+        assert rows[0][0] == "metric"
+        assert any("dirty" in r[0] for r in rows[1:])

@@ -40,6 +40,12 @@ def _doc(**overrides):
             "cells_per_s_warm": 800.0,
             "warm_speedup": 100.0,
         },
+        "runner": {
+            "refs": 40_000,
+            "standard_refs_per_s": 500_000.0,
+            "silent_write_refs_per_s": 490_000.0,
+            "overhead_pct": 2.0,
+        },
     }
     doc.update(overrides)
     return doc
@@ -289,3 +295,66 @@ class TestScenarioFloors:
         assert rc == 1
         assert "scenarios['nominal']" in out
         assert "bench-baseline" in out
+
+
+def _runner(rate, overhead=2.0):
+    return {
+        "refs": 40_000,
+        "standard_refs_per_s": rate,
+        "silent_write_refs_per_s": rate * (1 - overhead / 100),
+        "overhead_pct": overhead,
+    }
+
+
+class TestRunnerFloors:
+    def test_missing_runner_section_fails_validation(
+        self, tmp_path, capsys
+    ):
+        doc = _doc()
+        del doc["runner"]
+        rc, out = _run(tmp_path, capsys, doc, _doc())
+        assert rc == 1
+        assert "FAIL: current: missing 'runner' section" in out
+        assert "bench-baseline" in out
+
+    def test_malformed_runner_fails_before_deref(self, tmp_path, capsys):
+        rc, out = _run(tmp_path, capsys, _doc(runner={}), _doc())
+        assert rc == 1
+        assert "runner['standard_refs_per_s']" in out
+        assert "runner['overhead_pct']" in out
+
+    def test_nominal_path_regression_fails(self, tmp_path, capsys):
+        rc, out = _run(
+            tmp_path,
+            capsys,
+            _doc(runner=_runner(100_000.0)),
+            _doc(runner=_runner(500_000.0)),
+        )
+        assert rc == 1
+        assert "runner standard-path throughput" in out
+
+    def test_detection_overhead_ceiling(self, tmp_path, capsys):
+        rc, out = _run(
+            tmp_path,
+            capsys,
+            _doc(runner=_runner(500_000.0, overhead=9.0)),
+            _doc(),
+        )
+        assert rc == 1
+        assert "silent-write detection overhead 9.0% exceeds" in out
+
+    def test_overhead_flag_overrides_the_ceiling(self, tmp_path, capsys):
+        rc, out = _run(
+            tmp_path,
+            capsys,
+            _doc(runner=_runner(500_000.0, overhead=9.0)),
+            _doc(),
+            "--max-runner-overhead", "15",
+        )
+        assert rc == 0
+        assert "PASS:" in out
+
+    def test_summary_quotes_runner(self, tmp_path, capsys):
+        rc, out = _run(tmp_path, capsys, _doc(), _doc())
+        assert rc == 0
+        assert "runner 500,000 refs/s (2.0% detection overhead)" in out

@@ -63,3 +63,33 @@ class TestSurface:
             check_docs.cli_surface(), check_docs.doc_corpus()
         )
         assert failures == []
+
+
+class TestRegistries:
+    def test_missing_name_is_a_fail_line(self):
+        failures = check_docs.check_registries(
+            {"variant": ["standard", "silent-write"]},
+            api_text="only `standard` is described here",
+        )
+        assert failures == [
+            "FAIL: variant 'silent-write' is not in docs/api.md"
+        ]
+
+    def test_covered_names_are_clean(self):
+        assert check_docs.check_registries(
+            {"codec": ["secded"], "variant": ["standard"]},
+            api_text="`secded` and `standard` are documented",
+        ) == []
+
+    def test_live_registries_include_the_variants(self):
+        names = check_docs.registry_names()
+        assert "silent-write" in names["variant"]
+        assert "wb-compress" in names["variant"]
+        assert "nominal" in names["scenario"]
+        assert "secded" in names["codec"]
+
+    def test_repo_api_doc_covers_every_registered_name(self):
+        """The live gate: docs/api.md enumerates all registries."""
+        assert check_docs.check_registries(
+            check_docs.registry_names(), check_docs.api_doc_text()
+        ) == []
